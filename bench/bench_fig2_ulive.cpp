@@ -1,0 +1,119 @@
+/// Experiment F2 — the P^{U,live} predicate of Figure 2 in action.
+///
+/// Two regimes:
+///
+/// (a) *Within Theorem 2's predicates*: P_alpha /\ P^{U,safe} enforced on
+///     every round.  A measured finding our harness surfaces: with the
+///     canonical T = E = n/2 + alpha, P^{U,safe} (|SHO| > n/2 + alpha,
+///     permanently) is already termination-grade — the default-value rule
+///     makes U decide within two phases of any start, so the clean-phase
+///     gap barely matters.
+///
+/// (b) *The trade-off regime of Sec. 5.1*: in most rounds more than n/4
+///     of the received messages are corrupted (vote-suppressing garbage,
+///     P_alpha holds but P^{U,safe} does not), and only the sporadic
+///     P^{U,live} windows are clean.  Here the decision lands exactly at
+///     round 2*phi0 + 2 of the first clean phase — the schedule binds,
+///     and latency tracks the gap.
+
+#include "bench/common.hpp"
+
+namespace hoval {
+namespace {
+
+using bench::banner;
+using bench::ratio;
+
+void scenario(const std::string& title, const UteaParams& params,
+              const AdversaryBuilder& interim, CsvWriter& csv,
+              const std::string& tag) {
+  std::cout << "--- " << title << " ---\n";
+  TablePrinter table({"clean-phase gap", "|Pi0|", "terminated",
+                      "mean decision round", "max"},
+                     {Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                      Align::kRight});
+  for (const int gap : {2, 4, 8, 16}) {
+    for (const int pi0 : {params.n, params.n - 2}) {
+      CampaignConfig config;
+      config.runs = 150;
+      config.sim.max_rounds = 6 * gap + 30;
+      config.base_seed = 0xF26B + static_cast<unsigned>(gap * 100 + pi0);
+
+      const auto result = run_campaign(
+          bench::random_values_of(params.n),
+          bench::utea_instance_builder(params),
+          [&] {
+            CleanPhaseConfig clean;
+            clean.period_phases = gap;
+            clean.pi0_size = pi0;
+            return std::make_shared<CleanPhaseScheduler>(interim(), clean);
+          },
+          config);
+
+      const bool decided = !result.last_decision_rounds.empty();
+      table.add_row({std::to_string(gap), std::to_string(pi0),
+                     ratio(result.terminated, result.runs),
+                     decided ? format_double(result.last_decision_rounds.mean(), 1)
+                             : "-",
+                     decided ? format_double(result.last_decision_rounds.max(), 0)
+                             : "-"});
+      csv.add_row({tag, std::to_string(gap), std::to_string(pi0),
+                   std::to_string(result.terminated), std::to_string(result.runs),
+                   decided ? format_double(result.last_decision_rounds.mean(), 3)
+                           : "-"});
+    }
+  }
+  table.print(std::cout);
+}
+
+void run() {
+  banner("Figure 2 — P^{U,live}: clean phases drive termination",
+         "Biely et al., PODC'07, Fig. 2, Theorem 2, Sec. 5.1 trade-off");
+
+  CsvWriter csv("bench_fig2_ulive.csv",
+                {"scenario", "gap_phases", "pi0", "terminated", "runs",
+                 "mean_round"});
+
+  // (a) Within Theorem 2's predicates.
+  {
+    const int n = 12;
+    const int alpha = 5;
+    const auto params = UteaParams::canonical(n, alpha);
+    std::cout << "algorithm: " << params.to_string() << "\n\n";
+    scenario("(a) P_alpha /\\ P^{U,safe} on every round", params,
+             bench::usafe_builder(params), csv, "within");
+    std::cout
+        << "\n(P^{U,safe} with canonical T = E is already termination-grade:\n"
+           " the default-value rule converges within two phases, so the\n"
+           " clean-phase schedule barely shows.)\n\n";
+  }
+
+  // (b) The Sec. 5.1 trade-off: most rounds heavily corrupted, only the
+  // P^{U,live} windows clean.
+  {
+    const int n = 12;
+    const int alpha = 3;  // >= n/4: garbage floods suppress all votes
+    const auto params = UteaParams::canonical(n, alpha);
+    std::cout << "algorithm: " << params.to_string() << "\n\n";
+    scenario("(b) most rounds corrupted beyond n/4 (P_alpha only), clean "
+             "windows sporadic",
+             params, bench::corruption_builder(alpha, CorruptionStyle::kGarbage),
+             csv, "tradeoff");
+    std::cout
+        << "\nReading: votes are suppressed everywhere except the clean\n"
+           "windows; the decision lands at round 2*phi0 + 2 of the first\n"
+           "clean phase (gap g -> ~2g + 2), and a Pi0 smaller than Pi\n"
+           "changes nothing — exactly Fig. 2's clause.  This is the paper's\n"
+           "Sec. 5.1 remark made concrete: more than n/4 corrupted receipts\n"
+           "in most rounds, provided some rounds are much cleaner.\n";
+  }
+  std::cout << "[csv] bench_fig2_ulive.csv written\n";
+}
+
+}  // namespace
+}  // namespace hoval
+
+int main() {
+  hoval::run();
+  return 0;
+}

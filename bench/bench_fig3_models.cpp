@@ -1,0 +1,165 @@
+/// Experiment F3 — Figure 3's corruption taxonomy, executed.
+///
+/// The paper's Figure 3 spans four models between "benign" and "Byzantine":
+///   benign          — transmissions follow S_p^r (omissions only)
+///   symmetrical     — corrupted senders show ONE wrong value to everyone
+///                     ("identical Byzantine"; what signatures enforce)
+///   ours            — transmissions may deviate per link (dynamic value
+///                     faults), state never corrupted
+///   Byzantine-like  — static sender set equivocates freely, every round
+///
+/// We run A_{T,E}, U_{T,E,alpha}, the benign OneThirdRule instance, and
+/// the classical PhaseKing baseline under each model and report measured
+/// safety and termination.  Expected shape: the static-model baseline
+/// (PhaseKing) is fine under *static* patterns but degrades under the
+/// dynamic per-round model; A and U, built for the dynamic model, handle
+/// every column within their alpha budgets.
+
+#include "bench/common.hpp"
+
+#include "adversary/byzantine.hpp"
+#include "adversary/omission.hpp"
+
+namespace hoval {
+namespace {
+
+using bench::banner;
+using bench::latency_cell;
+using bench::ratio;
+
+struct ModelColumn {
+  std::string name;
+  AdversaryBuilder build;  ///< the model's raw fault pattern
+};
+
+struct AlgorithmRow {
+  std::string name;
+  InstanceBuilder instance;
+  int n;
+  /// Wraps the model adversary with the algorithm's liveness helper
+  /// (good rounds / clean phases); PhaseKing needs none.
+  std::function<AdversaryBuilder(const AdversaryBuilder&)> with_liveness;
+};
+
+void run() {
+  banner("Figure 3 — corruption models vs algorithms",
+         "Biely et al., PODC'07, Fig. 3 and Sec. 5.2");
+
+  const int n = 9;
+  const int f = 2;  // fault degree used across all models (< n/4)
+
+  const auto ate_params = AteParams::canonical(n, f);
+  const auto utea_params = UteaParams::canonical(n, f);
+  const PhaseKingParams king_params{n, f};
+
+  const std::vector<ModelColumn> models{
+      {"benign (omissions)",
+       [&] {
+         return std::make_shared<RandomOmissionAdversary>(0.15, f);
+       }},
+      {"symmetrical (identical)",
+       [&] {
+         StaticByzantineConfig config;
+         config.f = f;
+         config.mode = ByzantineMode::kIdentical;
+         return std::make_shared<StaticByzantineAdversary>(config);
+       }},
+      {"ours (dynamic links)",
+       [&] {
+         RandomCorruptionConfig config;
+         config.alpha = f;
+         return std::make_shared<RandomCorruptionAdversary>(config);
+       }},
+      {"Byzantine (static equivocate)",
+       [&] {
+         StaticByzantineConfig config;
+         config.f = f;
+         config.mode = ByzantineMode::kEquivocate;
+         return std::make_shared<StaticByzantineAdversary>(config);
+       }},
+  };
+
+  auto good_rounds = [&](const AdversaryBuilder& inner) -> AdversaryBuilder {
+    return [inner] {
+      GoodRoundConfig good;
+      good.period = 6;
+      return std::make_shared<GoodRoundScheduler>(inner(), good);
+    };
+  };
+  auto clean_phases = [&](const AdversaryBuilder& inner) -> AdversaryBuilder {
+    return [inner] {
+      CleanPhaseConfig clean;
+      clean.period_phases = 4;
+      return std::make_shared<CleanPhaseScheduler>(inner(), clean);
+    };
+  };
+  auto bare = [](const AdversaryBuilder& inner) { return inner; };
+
+  const std::vector<AlgorithmRow> algorithms{
+      {ate_params.to_string(), bench::ate_instance_builder(ate_params), n,
+       good_rounds},
+      {utea_params.to_string(), bench::utea_instance_builder(utea_params), n,
+       clean_phases},
+      {"OneThirdRule(9)",
+       bench::ate_instance_builder(AteParams::one_third_rule(n)), n, good_rounds},
+      {"PhaseKing(n=9,t=2)", bench::phase_king_instance_builder(king_params), n,
+       bare},
+  };
+
+  TablePrinter table({"algorithm \\ model", "benign", "symmetrical",
+                      "ours (dynamic)", "Byzantine (static)"},
+                     {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                      Align::kRight});
+  CsvWriter csv("bench_fig3_models.csv",
+                {"algorithm", "model", "agreement_violations",
+                 "integrity_violations", "terminated", "runs"});
+
+  for (const auto& algorithm : algorithms) {
+    std::vector<std::string> cells{algorithm.name};
+    for (const auto& model : models) {
+      CampaignConfig config;
+      config.runs = 120;
+      config.sim.max_rounds = 50;
+      config.base_seed =
+          mix_seed(std::hash<std::string>{}(algorithm.name),
+                   std::hash<std::string>{}(model.name));
+      const auto result = run_campaign(
+          bench::random_values_of(algorithm.n), algorithm.instance,
+          algorithm.with_liveness(model.build), config);
+      std::string cell = result.safety_clean() ? "safe" : "UNSAFE";
+      cell += result.terminated == result.runs ? "+live" : "";
+      cell += " (" +
+              format_percent(1.0 - result.termination_rate(), 0) + " stuck)";
+      cells.push_back(cell);
+      csv.add_row({algorithm.name, model.name,
+                   std::to_string(result.agreement_violations),
+                   std::to_string(result.integrity_violations),
+                   std::to_string(result.terminated),
+                   std::to_string(result.runs)});
+    }
+    table.add_row(cells);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading, along Figure 3's axes:\n"
+         "  * benign column: everything is safe (the [6] special case).\n"
+         "  * symmetrical column: one wrong-but-identical value per faulty\n"
+         "    sender — handled by every algorithm here.\n"
+         "  * 'ours' column: per-link dynamic corruption; the static-model\n"
+         "    baseline (PhaseKing) has no budget for faults that move\n"
+         "    between senders each round, while A and U absorb alpha=2.\n"
+         "  * Byzantine column: static equivocation, i.e. the classical\n"
+         "    model embedded into transmission faults (Sec. 5.2); every\n"
+         "    process (including 'faulty' senders, whose state is intact)\n"
+         "    must and does decide for A/U within their budgets.\n"
+         "[csv] bench_fig3_models.csv written\n";
+}
+
+}  // namespace
+}  // namespace hoval
+
+int main() {
+  hoval::run();
+  return 0;
+}

@@ -1,0 +1,146 @@
+/// Experiment E4 — circumventing the Martin–Alvisi fast-consensus bound
+/// (Sec. 5.1).  Fast Byzantine consensus needs n > 5f *static* Byzantine
+/// processes [16]; A_{T,E} is fast (2 rounds from any configuration, 1
+/// round from unanimity) while tolerating up to (n-1)/4 corrupted
+/// *emitters per round* — dynamic, per-round quorums instead of permanent
+/// ones.  The flip side, also measured: deciding requires one round where
+/// no process emits corrupted information.
+
+#include "bench/common.hpp"
+
+#include "adversary/block_fault.hpp"
+
+namespace hoval {
+namespace {
+
+using bench::banner;
+using bench::latency_cell;
+using bench::ratio;
+using bench::verdict;
+
+void fast_path_table() {
+  TablePrinter table({"n", "alpha = (n-1)/4", "MA static bound f (n>5f)",
+                      "unanimous: decision round", "split: decision round",
+                      "agreement"},
+                     {Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                      Align::kRight, Align::kRight});
+  CsvWriter csv("bench_martin_alvisi.csv",
+                {"n", "alpha", "ma_f", "unanimous_round", "split_round"});
+
+  for (const int n : {9, 13, 17, 21, 33}) {
+    const int alpha = (n - 1) / 4;
+    const int ma_f = (n - 1) / 5;
+    const auto params = AteParams::canonical(n, alpha);
+
+    // Fault-free fast path (the 2-round run always exists; the fault-free
+    // run is such a run).
+    Simulator unanimous(make_ate_instance(params, unanimous_values(n, 4)),
+                        std::make_shared<IdentityAdversary>(), SimConfig{});
+    const auto u = unanimous.run();
+    Simulator split(make_ate_instance(params, split_values(n, 1, 9)),
+                    std::make_shared<IdentityAdversary>(), SimConfig{});
+    const auto s = split.run();
+
+    // Safety meanwhile survives alpha corrupted emitters per round.
+    CampaignConfig config;
+    config.runs = 80;
+    config.sim.max_rounds = 25;
+    config.sim.stop_when_all_decided = false;
+    config.base_seed = 0x3A + static_cast<unsigned>(n);
+    const auto hostile = run_campaign(
+        bench::random_values_of(n), bench::ate_instance_builder(params),
+        bench::corruption_builder(alpha), config);
+
+    table.add_row(
+        {std::to_string(n), std::to_string(alpha), std::to_string(ma_f),
+         std::to_string(*u.last_decision_round),
+         std::to_string(*s.last_decision_round),
+         verdict(hostile.safety_clean())});
+    csv.add_row({std::to_string(n), std::to_string(alpha), std::to_string(ma_f),
+                 std::to_string(*u.last_decision_round),
+                 std::to_string(*s.last_decision_round)});
+  }
+  table.print(std::cout);
+  std::cout << "[csv] bench_martin_alvisi.csv written\n";
+}
+
+void clean_round_needed_for_decision() {
+  std::cout << "\n--- the price: deciding needs one corruption-free round ---\n";
+  // Corruption in rounds 1..k, clean afterwards: the decision tracks k.
+  const int n = 13;
+  const int alpha = 3;
+  const auto params = AteParams::canonical(n, alpha);
+  TablePrinter table({"corrupt rounds 1..k", "decision round (mean over seeds)",
+                      "max"},
+                     {Align::kRight, Align::kRight, Align::kRight});
+  for (const int k : {0, 2, 5, 10}) {
+    RunningStats rounds;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+      RandomCorruptionConfig corruption;
+      corruption.alpha = alpha;
+      std::shared_ptr<Adversary> adversary;
+      if (k == 0) {
+        adversary = std::make_shared<IdentityAdversary>();
+      } else {
+        adversary = std::make_shared<TransientWindowAdversary>(
+            std::make_shared<RandomCorruptionAdversary>(corruption), 1, k);
+      }
+      SimConfig config;
+      config.max_rounds = k + 10;
+      config.seed = seed;
+      Simulator sim(make_ate_instance(params, split_values(n, 1, 9)), adversary,
+                    config);
+      const auto result = sim.run();
+      if (result.last_decision_round)
+        rounds.add(static_cast<double>(*result.last_decision_round));
+    }
+    table.add_row({std::to_string(k), format_double(rounds.mean(), 1),
+                   format_double(rounds.max(), 0)});
+  }
+  table.print(std::cout);
+}
+
+void latency_vs_phase_king() {
+  std::cout << "\n--- latency against the static-model baseline ---\n";
+  TablePrinter table({"algorithm", "fault model", "decision rounds"},
+                     {Align::kLeft, Align::kLeft, Align::kRight});
+  const int n = 13;
+  {
+    const auto params = AteParams::canonical(n, 3);
+    Simulator sim(make_ate_instance(params, split_values(n, 1, 9)),
+                  std::make_shared<IdentityAdversary>(), SimConfig{});
+    table.add_row({params.to_string(), "(n-1)/4 per-round emitters",
+                   std::to_string(*sim.run().last_decision_round)});
+  }
+  {
+    const PhaseKingParams params{n, 3};
+    Simulator sim(make_phase_king_instance(params, split_values(n, 1, 9)),
+                  std::make_shared<IdentityAdversary>(), SimConfig{});
+    table.add_row({"PhaseKing(n=13,t=3)", "t static senders",
+                   std::to_string(*sim.run().last_decision_round)});
+  }
+  table.print(std::cout);
+}
+
+void run() {
+  banner("Martin–Alvisi circumvention — fast consensus under per-round faults",
+         "Biely et al., PODC'07, Sec. 5.1 (vs. Martin & Alvisi [16])");
+  fast_path_table();
+  clean_round_needed_for_decision();
+  latency_vs_phase_king();
+  std::cout
+      << "\nReading: A_{T,E} is fast — 1 round unanimous, 2 rounds split —\n"
+         "while (n-1)/4 emitters per round may be corrupted: above the\n"
+         "(n-1)/5 static bound of [16].  No contradiction: quorums are\n"
+         "per-round, faults transient; and the decision itself requires a\n"
+         "corruption-free round (the k-sweep shows latency = k + 2).  The\n"
+         "static baseline needs 2(t+1) rounds in every run.\n";
+}
+
+}  // namespace
+}  // namespace hoval
+
+int main() {
+  hoval::run();
+  return 0;
+}

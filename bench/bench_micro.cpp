@@ -1,0 +1,142 @@
+/// Experiment P1 — microbenchmarks (google-benchmark): simulator round
+/// throughput, adversary overhead, predicate evaluation, set algebra,
+/// serialization/CRC and RNG costs.  These quantify the substrate so the
+/// campaign sizes used by the table/figure harnesses are justified.
+
+#include <benchmark/benchmark.h>
+
+#include "adversary/corruption.hpp"
+#include "adversary/wrappers.hpp"
+#include "core/factories.hpp"
+#include "predicates/liveness.hpp"
+#include "predicates/safety.hpp"
+#include "runtime/crc32.hpp"
+#include "runtime/serialization.hpp"
+#include "sim/initial_values.hpp"
+#include "sim/simulator.hpp"
+
+namespace hoval {
+namespace {
+
+void BM_SimulatorRound_FaultFree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim(make_ate_instance(AteParams::one_third_rule(n),
+                                    distinct_values(n)),
+                  std::make_shared<IdentityAdversary>(),
+                  SimConfig{/*max_rounds=*/16, /*stop=*/false, /*seed=*/1});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.run().rounds_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SimulatorRound_FaultFree)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SimulatorRound_Corruption(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int alpha = n / 5;
+  RandomCorruptionConfig config;
+  config.alpha = alpha;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim(make_ate_instance(AteParams::canonical(n, alpha),
+                                    distinct_values(n)),
+                  std::make_shared<RandomCorruptionAdversary>(config),
+                  SimConfig{/*max_rounds=*/16, /*stop=*/false, /*seed=*/1});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.run().rounds_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SimulatorRound_Corruption)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SimulatorRound_UteaClamped(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int alpha = n / 5;
+  const auto params = UteaParams::canonical(n, alpha);
+  const PUSafe bound(n, params.threshold_t, params.threshold_e, alpha);
+  RandomCorruptionConfig config;
+  config.alpha = alpha;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim(make_utea_instance(params, distinct_values(n)),
+                  std::make_shared<SafetyClampAdversary>(
+                      std::make_shared<RandomCorruptionAdversary>(config),
+                      bound.bound(), alpha),
+                  SimConfig{/*max_rounds=*/16, /*stop=*/false, /*seed=*/1});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.run().rounds_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SimulatorRound_UteaClamped)->Arg(8)->Arg(32);
+
+void BM_PredicateEvaluation(benchmark::State& state) {
+  const int n = 32;
+  Simulator sim(make_ate_instance(AteParams::canonical(n, 4), distinct_values(n)),
+                std::make_shared<IdentityAdversary>(),
+                SimConfig{/*max_rounds=*/64, /*stop=*/false, /*seed=*/1});
+  const auto result = sim.run();
+  const PALive alive(n, 21.0, 21.0, 4.0);
+  const PAlpha palpha(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(palpha.evaluate(result.trace).holds);
+    benchmark::DoNotOptimize(alive.evaluate(result.trace).holds);
+  }
+}
+BENCHMARK(BM_PredicateEvaluation);
+
+void BM_ProcessSetAlgebra(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  ProcessSet a(n);
+  ProcessSet b(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (rng.chance(0.5)) a.insert(p);
+    if (rng.chance(0.5)) b.insert(p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b).count());
+    benchmark::DoNotOptimize(a.unite(b).count());
+    benchmark::DoNotOptimize(a.subtract(b).is_subset_of(a));
+  }
+}
+BENCHMARK(BM_ProcessSetAlgebra)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_SerializationRoundTrip(benchmark::State& state) {
+  const bool with_crc = state.range(0) != 0;
+  const WirePacket packet{7, 3, make_estimate(123456789)};
+  for (auto _ : state) {
+    const auto bytes = encode_packet(packet, with_crc);
+    benchmark::DoNotOptimize(decode_packet(bytes, with_crc).status);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kFrameBodySize));
+}
+BENCHMARK(BM_SerializationRoundTrip)->Arg(0)->Arg(1);
+
+void BM_Crc32Throughput(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i * 31);
+  for (auto _ : state) benchmark::DoNotOptimize(crc32(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32Throughput)->Arg(64)->Arg(4096);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngSample(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.sample(64, 8).size());
+}
+BENCHMARK(BM_RngSample);
+
+}  // namespace
+}  // namespace hoval
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+/// Experiment E8 — the threaded message-passing substrate and the Sec. 5.2
+/// coding discussion, measured.
+///
+/// Real node threads exchange framed packets over lossy, bit-flipping
+/// links.  With CRC32 enabled, detected corruptions become omissions
+/// (benign faults); with CRC disabled, flips surface as value faults —
+/// the exact residual-fault model P_alpha is designed for.  We sweep the
+/// wire corruption rate with and without checksums and report what the
+/// ground-truth traces record and whether OneThirdRule/A_{T,E} stay safe.
+
+#include "bench/common.hpp"
+
+#include "predicates/safety.hpp"
+#include "runtime/runner.hpp"
+
+namespace hoval {
+namespace {
+
+using bench::banner;
+using bench::ratio;
+using bench::verdict;
+
+void run() {
+  banner("Threaded runtime — wire corruption, CRC, and residual value faults",
+         "Biely et al., PODC'07, Sec. 5.2 (error-detecting codes discussion)");
+
+  const int n = 5;
+  const Round rounds = 12;
+
+  TablePrinter table({"corrupt prob", "crc", "frames corrupted", "crc rejected",
+                      "value faults in trace", "omission faults", "decided",
+                      "agreement"},
+                     {Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                      Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+  CsvWriter csv("bench_runtime.csv",
+                {"corrupt_prob", "crc", "corrupted", "crc_rejected",
+                 "value_faults", "omissions", "decided", "n", "agreement_ok"});
+
+  for (const double probability : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    for (const bool with_crc : {true, false}) {
+      RuntimeConfig config;
+      config.network.seed = 42 + static_cast<std::uint64_t>(probability * 100);
+      config.network.with_crc = with_crc;
+      config.network.faults.corrupt_probability = probability;
+      config.node.max_rounds = rounds;
+      config.node.round_timeout = std::chrono::milliseconds(150);
+
+      auto processes = make_one_third_rule_instance(n, split_values(n, 2, 8));
+      const auto result = run_threaded_consensus(std::move(processes), config);
+
+      int value_faults = 0;
+      int omissions = 0;
+      for (Round r = 1; r <= result.trace.round_count(); ++r) {
+        value_faults += result.trace.alteration_count(r);
+        omissions += result.trace.omission_count(r);
+      }
+
+      // Agreement over whatever decided.
+      bool agreement = true;
+      std::optional<Value> seen;
+      for (const auto& d : result.decisions) {
+        if (!d) continue;
+        if (seen && *seen != *d) agreement = false;
+        seen = d;
+      }
+
+      table.add_row({format_double(probability, 2), with_crc ? "on" : "off",
+                     std::to_string(result.link_counters.corrupted),
+                     std::to_string(result.node_counters.crc_rejected),
+                     std::to_string(value_faults), std::to_string(omissions),
+                     ratio(result.decided_count(), n), verdict(agreement)});
+      csv.add_row({format_double(probability, 2), std::to_string(with_crc),
+                   std::to_string(result.link_counters.corrupted),
+                   std::to_string(result.node_counters.crc_rejected),
+                   std::to_string(value_faults), std::to_string(omissions),
+                   std::to_string(result.decided_count()), std::to_string(n),
+                   std::to_string(agreement)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: with CRC on, every detected corruption becomes an\n"
+         "omission (value-fault column ~0, crc-rejected column counts the\n"
+         "conversions) — the coding transformation of Sec. 5.2.  With CRC\n"
+         "off, the same wire noise surfaces as genuine value faults in the\n"
+         "ground-truth trace; tolerating the *residual* faults (undetected\n"
+         "corruptions in real systems) is exactly what P_alpha models.\n"
+         "[csv] bench_runtime.csv written\n";
+}
+
+}  // namespace
+}  // namespace hoval
+
+int main() {
+  hoval::run();
+  return 0;
+}

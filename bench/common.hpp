@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared plumbing for the experiment harnesses in bench/.  Each binary
+/// regenerates one table/figure/claim of the paper (see DESIGN.md Sec. 2):
+/// it prints a paper-style table on stdout and drops a CSV next to the
+/// working directory for external re-plotting.
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "adversary/adversary.hpp"
+#include "adversary/corruption.hpp"
+#include "adversary/wrappers.hpp"
+#include "core/factories.hpp"
+#include "predicates/liveness.hpp"
+#include "predicates/safety.hpp"
+#include "sim/campaign.hpp"
+#include "sim/initial_values.hpp"
+#include "stats/descriptive.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace hoval::bench {
+
+/// Renders a pass/fail verdict cell.
+inline std::string verdict(bool ok) { return ok ? "ok" : "VIOLATED"; }
+
+/// Renders "x/y" counts.
+inline std::string ratio(int x, int y) {
+  return std::to_string(x) + "/" + std::to_string(y);
+}
+
+/// Mean/max decision-round cell, "-" when nothing terminated.
+inline std::string latency_cell(const CampaignResult& result) {
+  if (result.last_decision_rounds.empty()) return "-";
+  return format_double(result.last_decision_rounds.mean(), 1) + " (max " +
+         format_double(result.last_decision_rounds.max(), 0) + ")";
+}
+
+/// A P_alpha-compliant worst-case corruption adversary builder.
+inline AdversaryBuilder corruption_builder(
+    int alpha, CorruptionStyle style = CorruptionStyle::kRandomValue) {
+  return [alpha, style] {
+    RandomCorruptionConfig config;
+    config.alpha = alpha;
+    config.policy.style = style;
+    return std::make_shared<RandomCorruptionAdversary>(config);
+  };
+}
+
+/// Corruption clamped to P^{U,safe} for the given U parameters.
+inline AdversaryBuilder usafe_builder(const UteaParams& params) {
+  return [params] {
+    RandomCorruptionConfig config;
+    config.alpha = params.alpha;
+    const PUSafe bound(params.n, params.threshold_t, params.threshold_e,
+                       params.alpha);
+    return std::make_shared<SafetyClampAdversary>(
+        std::make_shared<RandomCorruptionAdversary>(config), bound.bound(),
+        params.alpha);
+  };
+}
+
+/// Corruption plus P^{A,live} good rounds every `period`.
+inline AdversaryBuilder good_round_builder(int alpha, int period) {
+  return [alpha, period] {
+    RandomCorruptionConfig config;
+    config.alpha = alpha;
+    GoodRoundConfig good;
+    good.period = period;
+    return std::make_shared<GoodRoundScheduler>(
+        std::make_shared<RandomCorruptionAdversary>(config), good);
+  };
+}
+
+/// Clamped corruption plus P^{U,live} clean phases every `period` phases.
+inline AdversaryBuilder clean_phase_builder(const UteaParams& params,
+                                            int period_phases) {
+  return [params, period_phases] {
+    CleanPhaseConfig clean;
+    clean.period_phases = period_phases;
+    return std::make_shared<CleanPhaseScheduler>(usafe_builder(params)(), clean);
+  };
+}
+
+/// Random initial values over `distinct` possibilities.
+inline ValueGenerator random_values_of(int n, int distinct = 3) {
+  return [n, distinct](Rng& rng) { return random_values(n, distinct, rng); };
+}
+
+inline ValueGenerator unanimous_of(int n, Value v) {
+  return [n, v](Rng&) { return unanimous_values(n, v); };
+}
+
+inline ValueGenerator split_of(int n, Value lo, Value hi) {
+  return [n, lo, hi](Rng&) { return split_values(n, lo, hi); };
+}
+
+inline InstanceBuilder ate_instance_builder(const AteParams& params) {
+  return [params](const std::vector<Value>& init) {
+    return make_ate_instance(params, init);
+  };
+}
+
+inline InstanceBuilder utea_instance_builder(const UteaParams& params) {
+  return [params](const std::vector<Value>& init) {
+    return make_utea_instance(params, init);
+  };
+}
+
+inline InstanceBuilder phase_king_instance_builder(const PhaseKingParams& params) {
+  return [params](const std::vector<Value>& init) {
+    return make_phase_king_instance(params, init);
+  };
+}
+
+/// Header line for a harness.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace hoval::bench

@@ -1,0 +1,83 @@
+/// The Santoro–Widmayer story in one run (Sec. 5.1 of the paper).
+///
+/// Santoro & Widmayer: with floor(n/2) faulty transmissions per round,
+/// consensus (with guaranteed termination) is impossible.  This demo makes
+/// the abstract argument concrete:
+///
+///   phase 1  — an adaptive adversary spends exactly about n/2 forgeries
+///              per round keeping the estimate population split 50/50.
+///              A_{T,E} never decides... and never errs.  Run it as long
+///              as you like: "time is not a healer".
+///   phase 2  — the *same* adversary, but reality grants one good round
+///              (the P^{A,live} clause) every 40 rounds.  Termination
+///              follows immediately after.
+///
+/// The resolution of the apparent paradox is the paper's core move:
+/// safety and liveness of communication are separate predicates.  The SW
+/// bound kills any algorithm whose single predicate must also deliver
+/// termination; it says nothing about an algorithm that stays safe under
+/// P_alpha and terminates under sporadic good rounds.
+
+#include <iostream>
+
+#include "adversary/bivalence.hpp"
+#include "adversary/wrappers.hpp"
+#include "core/factories.hpp"
+#include "predicates/safety.hpp"
+#include "sim/initial_values.hpp"
+#include "sim/properties.hpp"
+#include "sim/simulator.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace hoval;
+  const int n = 10;
+  const int alpha = 2;
+  const AteParams params = AteParams::canonical(n, alpha);
+  const std::vector<Value> proposals = split_values(n, 0, 1);
+
+  std::cout << "n = " << n << ", SW fault budget floor(n/2) = " << n / 2
+            << " transmissions per round\n\n--- phase 1: stall ---\n";
+
+  BivalenceConfig stall;
+  stall.alpha = alpha;
+  stall.threshold_e = params.threshold_e;
+  auto adversary = std::make_shared<BivalenceAdversary>(stall);
+
+  SimConfig config;
+  config.max_rounds = 300;
+  Simulator stalled(make_ate_instance(params, proposals), adversary, config);
+  const auto stalled_result = stalled.run();
+
+  std::cout << "after " << stalled_result.rounds_executed << " rounds: "
+            << stalled_result.decided_count() << "/" << n << " decided\n"
+            << "forgeries per round: "
+            << format_double(static_cast<double>(adversary->forgeries()) /
+                                 stalled_result.rounds_executed, 2)
+            << " (SW budget: " << n / 2 << ")\n"
+            << "agreement: " << check_agreement(stalled_result).detail << "\n"
+            << "P_alpha(" << alpha << ") held throughout: " << std::boolalpha
+            << PAlpha(alpha).evaluate(stalled_result.trace).holds << "\n";
+
+  std::cout << "\n--- phase 2: same adversary + one good round every 40 ---\n";
+  GoodRoundConfig good;
+  good.period = 40;
+  SimConfig unlock_config;
+  unlock_config.max_rounds = 300;
+  Simulator unlocked(make_ate_instance(params, proposals),
+                     std::make_shared<GoodRoundScheduler>(
+                         std::make_shared<BivalenceAdversary>(stall), good),
+                     unlock_config);
+  const auto unlocked_result = unlocked.run();
+
+  std::cout << "decided " << unlocked_result.decided_count() << "/" << n
+            << (unlocked_result.last_decision_round
+                    ? " by round " +
+                          std::to_string(*unlocked_result.last_decision_round)
+                    : "")
+            << "\nagreement: " << check_agreement(unlocked_result).detail
+            << "\n\nSame budget, same attack — the only difference is that\n"
+               "liveness-enabling rounds eventually occur.  The lower bound\n"
+               "is circumvented, not contradicted.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// Transient dynamic faults — the fault class this paper is really about.
+///
+/// A network partition-and-corruption event hits rounds 5..20: every
+/// receiver gets up to alpha corrupted messages and a couple of losses
+/// per round, on *different* links every round (dynamic), and the trouble
+/// eventually ends (transient).  Classical models must declare processes
+/// faulty; here nobody is faulty and both algorithms ride it out — A
+/// staying silent through the burst and deciding right after, U grinding
+/// through its default-value phases.
+
+#include <iostream>
+
+#include "adversary/corruption.hpp"
+#include "adversary/omission.hpp"
+#include "adversary/wrappers.hpp"
+#include "core/factories.hpp"
+#include "sim/initial_values.hpp"
+#include "sim/properties.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+std::shared_ptr<hoval::Adversary> make_burst(int alpha) {
+  using namespace hoval;
+  RandomCorruptionConfig corruption;
+  corruption.alpha = alpha;
+  auto combined = std::make_shared<ComposedAdversary>(
+      std::vector<std::shared_ptr<Adversary>>{
+          std::make_shared<RandomCorruptionAdversary>(corruption),
+          std::make_shared<RandomOmissionAdversary>(0.08, 2)});
+  return std::make_shared<TransientWindowAdversary>(combined, 1, 16);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hoval;
+  const int n = 12;
+  const int alpha = 2;
+  const std::vector<Value> proposals = split_values(n, 3, 8);
+
+  std::cout << "burst: rounds 1..16, alpha=" << alpha
+            << " corruptions + up to 2 losses per receiver per round\n\n";
+
+  // --- A_{T,E} ---
+  {
+    SimConfig config;
+    config.max_rounds = 60;
+    config.seed = 7;
+    Simulator sim(make_ate_instance(AteParams::canonical(n, alpha), proposals),
+                  make_burst(alpha), config);
+    const auto result = sim.run();
+    std::cout << "A_{T,E}: decided " << result.decided_count() << "/" << n
+              << " by round "
+              << (result.last_decision_round
+                      ? std::to_string(*result.last_decision_round)
+                      : "-")
+              << "; " << check_consensus(proposals, result).summary() << "\n";
+  }
+
+  // --- U_{T,E,alpha} --- (same burst; U rides on its default-value rule)
+  {
+    SimConfig config;
+    config.max_rounds = 60;
+    config.seed = 7;
+    Simulator sim(
+        make_utea_instance(UteaParams::canonical(n, alpha), proposals),
+        make_burst(alpha), config);
+    const auto result = sim.run();
+    std::cout << "U_{T,E,a}: decided " << result.decided_count() << "/" << n
+              << " by round "
+              << (result.last_decision_round
+                      ? std::to_string(*result.last_decision_round)
+                      : "-")
+              << "; " << check_consensus(proposals, result).summary() << "\n";
+  }
+
+  std::cout << "\nNo process was ever 'faulty': all deviations lived on the\n"
+               "wire, hit different links each round, and stopped.  That is\n"
+               "the transmission-fault view of the HO model with value\n"
+               "faults (Sec. 1-2 of the paper).\n";
+  return 0;
+}

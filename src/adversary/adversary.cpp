@@ -1,0 +1,103 @@
+#include "adversary/adversary.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+const Msg& IntendedRound::intended(ProcessId sender, ProcessId receiver) const {
+  HOVAL_EXPECTS_MSG(sender >= 0 && sender < n(), "sender out of universe");
+  HOVAL_EXPECTS_MSG(receiver >= 0 && receiver < n(), "receiver out of universe");
+  const auto& row = by_sender[static_cast<std::size_t>(sender)];
+  HOVAL_EXPECTS_MSG(static_cast<int>(row.size()) == n(),
+                    "intended matrix must be square");
+  return row[static_cast<std::size_t>(receiver)];
+}
+
+DeliveredRound DeliveredRound::faithful(const IntendedRound& intended) {
+  DeliveredRound out;
+  const int n = intended.n();
+  out.by_receiver.assign(static_cast<std::size_t>(n), ReceptionVector(n));
+  for (ProcessId q = 0; q < n; ++q)
+    for (ProcessId p = 0; p < n; ++p)
+      out.by_receiver[static_cast<std::size_t>(p)].set(q, intended.intended(q, p));
+  return out;
+}
+
+void DeliveredRound::put(ProcessId sender, ProcessId receiver, Msg m) {
+  HOVAL_EXPECTS_MSG(receiver >= 0 && receiver < n(), "receiver out of universe");
+  by_receiver[static_cast<std::size_t>(receiver)].set(sender, m);
+}
+
+void DeliveredRound::omit(ProcessId sender, ProcessId receiver) {
+  HOVAL_EXPECTS_MSG(receiver >= 0 && receiver < n(), "receiver out of universe");
+  by_receiver[static_cast<std::size_t>(receiver)].unset(sender);
+}
+
+void DeliveredRound::restore(const IntendedRound& intended, ProcessId sender,
+                             ProcessId receiver) {
+  put(sender, receiver, intended.intended(sender, receiver));
+}
+
+int DeliveredRound::safe_count(const IntendedRound& intended,
+                               ProcessId receiver) const {
+  int safe = 0;
+  const auto& mu = by_receiver[static_cast<std::size_t>(receiver)];
+  for (ProcessId q = 0; q < n(); ++q) {
+    const auto& got = mu.get(q);
+    if (got && *got == intended.intended(q, receiver)) ++safe;
+  }
+  return safe;
+}
+
+std::vector<ProcessId> DeliveredRound::unsafe_senders(const IntendedRound& intended,
+                                                      ProcessId receiver) const {
+  std::vector<ProcessId> out;
+  const auto& mu = by_receiver[static_cast<std::size_t>(receiver)];
+  for (ProcessId q = 0; q < n(); ++q) {
+    const auto& got = mu.get(q);
+    if (!got || !(*got == intended.intended(q, receiver))) out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<ProcessId> DeliveredRound::altered_senders(
+    const IntendedRound& intended, ProcessId receiver) const {
+  std::vector<ProcessId> out;
+  const auto& mu = by_receiver[static_cast<std::size_t>(receiver)];
+  for (ProcessId q = 0; q < n(); ++q) {
+    const auto& got = mu.get(q);
+    if (got && !(*got == intended.intended(q, receiver))) out.push_back(q);
+  }
+  return out;
+}
+
+Msg corrupt_message(const Msg& original, const CorruptionPolicy& policy, Rng& rng) {
+  Msg out = original;
+  switch (policy.style) {
+    case CorruptionStyle::kGarbage:
+      out.kind = original.kind == MsgKind::kEstimate ? MsgKind::kVote
+                                                     : MsgKind::kEstimate;
+      out.payload.reset();
+      break;
+    case CorruptionStyle::kRandomValue:
+      out.payload = rng.range(policy.pool_lo, policy.pool_hi);
+      break;
+    case CorruptionStyle::kOffsetValue:
+      out.payload = original.payload.value_or(0) + policy.offset;
+      break;
+    case CorruptionStyle::kFixedValue:
+      out.payload = policy.fixed_value;
+      break;
+  }
+  if (out == original) {
+    // Corruption must actually alter the message, otherwise the link would
+    // still count as safe (SHO compares delivered against intended).
+    out.payload = original.payload ? *original.payload + 1 : Value{0};
+  }
+  HOVAL_ENSURES(!(out == original));
+  return out;
+}
+
+void Adversary::reset(int /*n*/, Rng& /*rng*/) {}
+
+}  // namespace hoval

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file adversary.hpp
+/// The transmission-fault adversary abstraction.
+///
+/// In this paper's model *all* faults are transmission faults: at round r
+/// every process q ought to send S_q^r(s_q, p) to every p, and the
+/// adversary decides, per (sender, receiver) link, whether the message is
+/// delivered faithfully, delivered corrupted, or omitted.  The adversary
+/// sees the complete intended communication of the round (a worst-case,
+/// adaptive adversary) and may keep state across rounds; it never touches
+/// process states — there are no state faults and no "faulty processes".
+///
+/// The simulator derives ground truth from the transformation:
+///   HO(p,r)  = links delivered (faithfully or not)
+///   SHO(p,r) = links delivered with message == intended
+///   AHO(p,r) = delivered but != intended.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/message.hpp"
+#include "model/reception.hpp"
+#include "model/types.hpp"
+#include "util/rng.hpp"
+
+namespace hoval {
+
+/// What every process ought to send at one round: matrix indexed
+/// [sender][receiver] with the outputs of the sending functions S_q^r.
+struct IntendedRound {
+  Round round = 0;
+  std::vector<std::vector<Msg>> by_sender;  ///< [sender][receiver]
+
+  int n() const noexcept { return static_cast<int>(by_sender.size()); }
+
+  /// The message `sender` ought to send to `receiver`.
+  const Msg& intended(ProcessId sender, ProcessId receiver) const;
+};
+
+/// What is actually received at one round: a reception vector per receiver.
+struct DeliveredRound {
+  std::vector<ReceptionVector> by_receiver;
+
+  int n() const noexcept { return static_cast<int>(by_receiver.size()); }
+
+  /// Faithful delivery of every intended message (the adversary's
+  /// starting point; also the behaviour of the identity adversary).
+  static DeliveredRound faithful(const IntendedRound& intended);
+
+  /// Replaces what `receiver` gets from `sender`.
+  void put(ProcessId sender, ProcessId receiver, Msg m);
+
+  /// Drops the message from `sender` to `receiver` (omission fault).
+  void omit(ProcessId sender, ProcessId receiver);
+
+  /// Restores the faithful message on one link.
+  void restore(const IntendedRound& intended, ProcessId sender, ProcessId receiver);
+
+  /// |SHO(receiver)| under this delivery: links whose delivered message
+  /// equals the intended one.
+  int safe_count(const IntendedRound& intended, ProcessId receiver) const;
+
+  /// Senders *not* in SHO(receiver): altered or omitted links.
+  std::vector<ProcessId> unsafe_senders(const IntendedRound& intended,
+                                        ProcessId receiver) const;
+
+  /// Senders in AHO(receiver): delivered but altered.
+  std::vector<ProcessId> altered_senders(const IntendedRound& intended,
+                                         ProcessId receiver) const;
+};
+
+/// How a corrupted message is fabricated from the original.
+enum class CorruptionStyle {
+  kGarbage,      ///< well-formed envelope, unusable content (wrong kind, no payload)
+  kRandomValue,  ///< same kind, uniformly random payload from a pool
+  kOffsetValue,  ///< same kind, payload shifted by a constant
+  kFixedValue,   ///< same kind, a fixed poison payload
+};
+
+/// Policy bundle for corrupt_message().
+struct CorruptionPolicy {
+  CorruptionStyle style = CorruptionStyle::kRandomValue;
+  Value fixed_value = 999;  ///< poison payload for kFixedValue
+  Value offset = 1;         ///< shift for kOffsetValue
+  Value pool_lo = 0;        ///< inclusive pool bounds for kRandomValue
+  Value pool_hi = 9;
+};
+
+/// Fabricates a corrupted replacement for `original`; guaranteed to differ
+/// from `original` so the alteration really shows up in AHO.
+Msg corrupt_message(const Msg& original, const CorruptionPolicy& policy, Rng& rng);
+
+/// Base class of all transmission-fault adversaries.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Diagnostic name, e.g. "random-corruption(alpha=3)".
+  virtual std::string name() const = 0;
+
+  /// Called once at the start of every run; stateful adversaries (e.g. the
+  /// static Byzantine one) re-draw their per-run choices here.
+  virtual void reset(int n, Rng& rng);
+
+  /// Transforms the round's delivery in place.  `delivered` starts as the
+  /// faithful delivery (or the output of an earlier adversary in a
+  /// composition).  `rng` is the run's fault-schedule stream.
+  virtual void apply(const IntendedRound& intended, DeliveredRound& delivered,
+                     Rng& rng) = 0;
+};
+
+/// Delivers everything faithfully (the fault-free environment).
+class IdentityAdversary final : public Adversary {
+ public:
+  std::string name() const override { return "identity"; }
+  void apply(const IntendedRound&, DeliveredRound&, Rng&) override {}
+};
+
+}  // namespace hoval

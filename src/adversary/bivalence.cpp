@@ -1,0 +1,108 @@
+#include "adversary/bivalence.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+BivalenceAdversary::BivalenceAdversary(BivalenceConfig config) : config_(config) {
+  HOVAL_EXPECTS_MSG(config.alpha >= 0, "alpha must be non-negative");
+}
+
+std::string BivalenceAdversary::name() const {
+  std::ostringstream os;
+  os << "bivalence(alpha=" << config_.alpha << ", E=" << config_.threshold_e << ")";
+  return os.str();
+}
+
+void BivalenceAdversary::apply(const IntendedRound& intended,
+                               DeliveredRound& delivered, Rng& /*rng*/) {
+  const int n = intended.n();
+  if (n == 0 || config_.alpha == 0) return;
+
+  // Estimate histogram of the round's intended broadcasts.  A_{T,E} sends
+  // the same estimate to everyone, so column 0 is representative.
+  std::map<Value, int> hist;
+  for (ProcessId q = 0; q < n; ++q) {
+    const Msg& m = intended.intended(q, 0);
+    if (m.kind == MsgKind::kEstimate && m.payload) ++hist[*m.payload];
+  }
+  if (hist.empty()) return;
+
+  Value lo = hist.begin()->first;
+  int lo_count = 0;
+  for (const auto& [v, c] : hist) {
+    if (c > lo_count) {
+      lo = v;
+      lo_count = c;
+    }
+  }
+  // Second most frequent value, fabricated when the population is unanimous.
+  Value hi = lo + 1;
+  int hi_count = -1;
+  for (const auto& [v, c] : hist) {
+    if (v != lo && c > hi_count) {
+      hi = v;
+      hi_count = c;
+    }
+  }
+  if (lo > hi) std::swap(lo, hi);
+
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value target = p < n / 2 ? lo : hi;
+    const Value other = target == lo ? hi : lo;
+    int budget = config_.alpha;
+
+    auto intended_payload = [&](ProcessId q) -> std::optional<Value> {
+      const Msg& m = intended.intended(q, p);
+      if (m.kind == MsgKind::kEstimate && m.payload) return m.payload;
+      return std::nullopt;
+    };
+
+    int count_target = 0;
+    int count_other = 0;
+    for (ProcessId q = 0; q < n; ++q) {
+      const auto v = intended_payload(q);
+      if (v == target) ++count_target;
+      if (v == other) ++count_other;
+    }
+
+    // Make `target` the strict winner of the smallest-most-frequent rule:
+    // on ties the smaller value wins, so the larger target needs a strict
+    // lead while the smaller one only needs to match.
+    auto deficit = [&]() {
+      return target < other ? count_other - count_target
+                            : count_other - count_target + 1;
+    };
+    for (ProcessId q = 0; q < n && budget > 0 && deficit() > 0; ++q) {
+      const auto v = intended_payload(q);
+      if (v == target) continue;
+      delivered.put(q, p, make_estimate(target));
+      ++count_target;
+      if (v == other) --count_other;
+      --budget;
+      ++forgeries_;
+    }
+
+    // Keep the winning count below the decision threshold E by mangling
+    // surplus copies into garbage (wrong-kind, payload-less messages).
+    if (config_.threshold_e > 0) {
+      for (ProcessId q = 0; q < n && budget > 0 &&
+                            static_cast<double>(count_target) > config_.threshold_e;
+           ++q) {
+        const auto& current = delivered.by_receiver[static_cast<std::size_t>(p)].get(q);
+        if (!current || !(current->kind == MsgKind::kEstimate &&
+                          current->payload == target))
+          continue;
+        delivered.put(q, p, Msg{MsgKind::kVote, std::nullopt});
+        --count_target;
+        --budget;
+        ++forgeries_;
+      }
+    }
+  }
+}
+
+}  // namespace hoval

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file bivalence.hpp
+/// The Santoro–Widmayer-style stalling adversary for estimate-broadcast
+/// algorithms (A_{T,E} and its benign special case OneThirdRule).
+///
+/// Santoro and Widmayer prove that with ⌊n/2⌋ faulty transmissions per
+/// round, consensus with guaranteed termination is impossible.  Our
+/// algorithms "circumvent" that bound only because safety and liveness
+/// predicates are separated — so there must exist an adversary inside
+/// P_alpha that postpones termination forever while safety holds.  This is
+/// that adversary: it keeps the estimate population split between two
+/// values by forging at most `alpha` messages per receiver per round
+/// (about n/2 forgeries per round in total — the SW budget), so no value
+/// ever reaches the decision threshold E, yet the run trivially satisfies
+/// P_alpha and A_{T,E} never violates Agreement/Integrity.  The moment a
+/// P^{A,live} good round occurs (e.g. injected by GoodRoundScheduler),
+/// termination follows — the paper's liveness story in executable form.
+
+#include "adversary/adversary.hpp"
+
+namespace hoval {
+
+/// Configuration of BivalenceAdversary.
+struct BivalenceConfig {
+  int alpha = 2;          ///< per-receiver forgery budget
+  double threshold_e = 0; ///< the E of the algorithm under attack (to stay under)
+};
+
+/// Keeps half of the receivers convinced the majority value is `lo`, the
+/// other half convinced it is `hi`, where lo/hi are the two most frequent
+/// intended estimates of the round (fabricating a second value when the
+/// population is unanimous and the budget allows).
+class BivalenceAdversary final : public Adversary {
+ public:
+  explicit BivalenceAdversary(BivalenceConfig config);
+
+  std::string name() const override;
+  void apply(const IntendedRound& intended, DeliveredRound& delivered,
+             Rng& rng) override;
+
+  /// Total forged transmissions so far (for the SW budget comparison).
+  long long forgeries() const noexcept { return forgeries_; }
+
+ private:
+  BivalenceConfig config_;
+  long long forgeries_ = 0;
+};
+
+}  // namespace hoval

@@ -1,0 +1,51 @@
+#include "adversary/block_fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+BlockFaultAdversary::BlockFaultAdversary(BlockFaultConfig config)
+    : config_(config) {
+  HOVAL_EXPECTS_MSG(config.budget >= -1, "budget must be >= -1");
+}
+
+std::string BlockFaultAdversary::name() const {
+  std::ostringstream os;
+  os << "block-fault(budget="
+     << (config_.budget < 0 ? std::string("n/2") : std::to_string(config_.budget))
+     << ", " << (config_.mode == BlockFaultMode::kOmit ? "omit" : "corrupt")
+     << (config_.rotate ? ", rotating" : ", random") << ")";
+  return os.str();
+}
+
+void BlockFaultAdversary::apply(const IntendedRound& intended,
+                                DeliveredRound& delivered, Rng& rng) {
+  const int n = intended.n();
+  if (n == 0) return;
+  const int budget =
+      std::min(n, config_.budget < 0 ? n / 2 : config_.budget);
+  if (budget == 0) return;
+
+  const ProcessId victim =
+      config_.rotate ? static_cast<ProcessId>((intended.round - 1) % n)
+                     : static_cast<ProcessId>(rng.below(static_cast<std::uint64_t>(n)));
+
+  // Hit the victim's links to `budget` receivers, chosen uniformly so no
+  // receiver is systematically spared.
+  for (std::size_t idx : rng.sample(static_cast<std::size_t>(n),
+                                    static_cast<std::size_t>(budget))) {
+    const auto receiver = static_cast<ProcessId>(idx);
+    if (config_.mode == BlockFaultMode::kOmit) {
+      delivered.omit(victim, receiver);
+    } else {
+      delivered.put(victim, receiver,
+                    corrupt_message(intended.intended(victim, receiver),
+                                    config_.policy, rng));
+    }
+  }
+}
+
+}  // namespace hoval

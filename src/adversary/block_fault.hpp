@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file block_fault.hpp
+/// The literal Santoro–Widmayer fault pattern: in every round the outgoing
+/// links of *one* process are hit, up to a per-round transmission budget
+/// (⌊n/2⌋ in their impossibility proof); the victim may change every round
+/// (dynamic faults).  Used by the E3 experiment to show that the exact
+/// pattern behind the SW lower bound is harmless to A_{T,E}/U_{T,E,alpha}:
+/// per receiver it alters at most one message (P_alpha with alpha = 1),
+/// and rotating victims leave P^{A,live} satisfiable.
+
+#include "adversary/adversary.hpp"
+
+namespace hoval {
+
+/// How the block of transmissions is damaged.
+enum class BlockFaultMode {
+  kOmit,     ///< benign variant: the block is lost
+  kCorrupt,  ///< value-fault variant: the block is altered
+};
+
+/// Configuration of BlockFaultAdversary.
+struct BlockFaultConfig {
+  int budget = -1;  ///< transmissions hit per round; -1 means ⌊n/2⌋
+  BlockFaultMode mode = BlockFaultMode::kCorrupt;
+  bool rotate = true;  ///< round-robin victim; false = random victim each round
+  CorruptionPolicy policy;  ///< used in kCorrupt mode
+};
+
+/// Hits `budget` outgoing links of a single (rotating or random) victim
+/// sender each round.
+class BlockFaultAdversary final : public Adversary {
+ public:
+  explicit BlockFaultAdversary(BlockFaultConfig config);
+
+  std::string name() const override;
+  void apply(const IntendedRound& intended, DeliveredRound& delivered,
+             Rng& rng) override;
+
+ private:
+  BlockFaultConfig config_;
+};
+
+}  // namespace hoval

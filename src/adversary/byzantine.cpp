@@ -1,0 +1,81 @@
+#include "adversary/byzantine.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+StaticByzantineAdversary::StaticByzantineAdversary(StaticByzantineConfig config)
+    : config_(config) {
+  HOVAL_EXPECTS_MSG(config.f >= 0, "f must be non-negative");
+}
+
+std::string StaticByzantineAdversary::name() const {
+  std::ostringstream os;
+  os << "static-byzantine(f=" << config_.f << ", mode=";
+  switch (config_.mode) {
+    case ByzantineMode::kEquivocate: os << "equivocate"; break;
+    case ByzantineMode::kFixedPoison: os << "poison"; break;
+    case ByzantineMode::kIdentical: os << "identical"; break;
+    case ByzantineMode::kGarbage: os << "garbage"; break;
+    case ByzantineMode::kCrash: os << "crash"; break;
+  }
+  os << ")";
+  return os.str();
+}
+
+void StaticByzantineAdversary::reset(int n, Rng& rng) {
+  HOVAL_EXPECTS_MSG(config_.f <= n, "more Byzantine processes than processes");
+  set_.clear();
+  for (std::size_t idx : rng.sample(static_cast<std::size_t>(n),
+                                    static_cast<std::size_t>(config_.f)))
+    set_.push_back(static_cast<ProcessId>(idx));
+}
+
+void StaticByzantineAdversary::apply(const IntendedRound& intended,
+                                     DeliveredRound& delivered, Rng& rng) {
+  const int n = intended.n();
+  for (ProcessId b : set_) {
+    // In kIdentical mode the whole round uses one common replacement per
+    // sender — the symmetric-failure model that signatures would enforce.
+    CorruptionPolicy identical_policy = config_.policy;
+    if (config_.mode == ByzantineMode::kIdentical) {
+      identical_policy.style = CorruptionStyle::kFixedValue;
+      identical_policy.fixed_value =
+          rng.range(config_.policy.pool_lo, config_.policy.pool_hi);
+    }
+
+    for (ProcessId p = 0; p < n; ++p) {
+      const Msg& real = intended.intended(b, p);
+      switch (config_.mode) {
+        case ByzantineMode::kCrash:
+          delivered.omit(b, p);
+          break;
+        case ByzantineMode::kEquivocate: {
+          CorruptionPolicy pol = config_.policy;
+          pol.style = CorruptionStyle::kRandomValue;
+          delivered.put(b, p, corrupt_message(real, pol, rng));
+          break;
+        }
+        case ByzantineMode::kFixedPoison: {
+          CorruptionPolicy pol = config_.policy;
+          pol.style = CorruptionStyle::kFixedValue;
+          delivered.put(b, p, corrupt_message(real, pol, rng));
+          break;
+        }
+        case ByzantineMode::kIdentical:
+          delivered.put(b, p, corrupt_message(real, identical_policy, rng));
+          break;
+        case ByzantineMode::kGarbage: {
+          CorruptionPolicy pol = config_.policy;
+          pol.style = CorruptionStyle::kGarbage;
+          delivered.put(b, p, corrupt_message(real, pol, rng));
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hoval

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file byzantine.hpp
+/// Static, permanent fault patterns: the classical Byzantine-process
+/// assumption expressed as transmission faults (Sec. 5.2 of the paper).
+/// A fixed set B of "faulty" senders is drawn per run; every round, every
+/// outgoing message of every member of B is damaged.  Because our model
+/// has no state faults, members of B still run their transition functions
+/// faithfully and must decide like everyone else — the paper's point that
+/// "faulty process" is a modelling artefact of the classical view.
+///
+/// The altered span of such a run satisfies AS ⊆ B, hence |AS| <= f: the
+/// classical predicates of Sec. 5.2 hold by construction.
+
+#include "adversary/adversary.hpp"
+
+namespace hoval {
+
+/// How a Byzantine sender's messages are damaged.
+enum class ByzantineMode {
+  kEquivocate,  ///< different random values to different receivers (worst case)
+  kFixedPoison, ///< the same fixed wrong value to everyone
+  kIdentical,   ///< same *random* wrong value to everyone each round —
+                ///< the "symmetrical"/"identical Byzantine" model of Fig. 3
+                ///< (what signed messages would enforce)
+  kGarbage,     ///< unusable content (wrong kind, no payload)
+  kCrash,       ///< outgoing messages simply lost (benign degradation)
+};
+
+/// Configuration of StaticByzantineAdversary.
+struct StaticByzantineConfig {
+  int f = 0;  ///< |B|: number of permanently corrupted senders
+  ByzantineMode mode = ByzantineMode::kEquivocate;
+  CorruptionPolicy policy;  ///< pool/poison parameters
+};
+
+/// Damages every outgoing message of a fixed per-run victim set B.
+class StaticByzantineAdversary final : public Adversary {
+ public:
+  explicit StaticByzantineAdversary(StaticByzantineConfig config);
+
+  std::string name() const override;
+  void reset(int n, Rng& rng) override;
+  void apply(const IntendedRound& intended, DeliveredRound& delivered,
+             Rng& rng) override;
+
+  /// The victim set drawn at the last reset (for assertions in tests).
+  const std::vector<ProcessId>& byzantine_set() const noexcept { return set_; }
+
+ private:
+  StaticByzantineConfig config_;
+  std::vector<ProcessId> set_;
+};
+
+}  // namespace hoval

@@ -1,0 +1,45 @@
+#include "adversary/corruption.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+RandomCorruptionAdversary::RandomCorruptionAdversary(RandomCorruptionConfig config)
+    : config_(config) {
+  HOVAL_EXPECTS_MSG(config.alpha >= 0, "alpha must be non-negative");
+  HOVAL_EXPECTS_MSG(config.attack_probability >= 0.0 &&
+                        config.attack_probability <= 1.0,
+                    "attack probability must be in [0,1]");
+}
+
+std::string RandomCorruptionAdversary::name() const {
+  std::ostringstream os;
+  os << "random-corruption(alpha=" << config_.alpha
+     << ", p=" << config_.attack_probability
+     << (config_.always_max ? ", max" : ", uniform") << ")";
+  return os.str();
+}
+
+void RandomCorruptionAdversary::apply(const IntendedRound& intended,
+                                      DeliveredRound& delivered, Rng& rng) {
+  const int n = intended.n();
+  const int budget = std::min(config_.alpha, n);
+  if (budget == 0) return;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!rng.chance(config_.attack_probability)) continue;
+    const int count =
+        config_.always_max
+            ? budget
+            : static_cast<int>(rng.range(1, static_cast<std::int64_t>(budget)));
+    for (std::size_t sender_idx : rng.sample(static_cast<std::size_t>(n),
+                                             static_cast<std::size_t>(count))) {
+      const auto sender = static_cast<ProcessId>(sender_idx);
+      delivered.put(sender, p,
+                    corrupt_message(intended.intended(sender, p), config_.policy, rng));
+    }
+  }
+}
+
+}  // namespace hoval

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file corruption.hpp
+/// The workhorse value-fault adversary: per receiver and per round it
+/// corrupts up to `alpha` incoming messages, so the run satisfies the
+/// paper's safety predicate P_alpha (Eq. 2) *by construction*.  Dynamic
+/// (different links every round) and transient (no process is permanently
+/// affected) — exactly the fault class the paper targets.
+
+#include "adversary/adversary.hpp"
+
+namespace hoval {
+
+/// Configuration of RandomCorruptionAdversary.
+struct RandomCorruptionConfig {
+  int alpha = 0;  ///< max corrupted messages per receiver per round
+  /// Probability that a given receiver is attacked at all in a round
+  /// (attack intensity; 1.0 = every receiver every round).
+  double attack_probability = 1.0;
+  /// When attacked, the number of corrupted links is drawn uniformly from
+  /// {1, ..., alpha} if `always_max` is false, and is exactly alpha
+  /// otherwise (worst case allowed by P_alpha).
+  bool always_max = true;
+  /// How the replacement message is fabricated.
+  CorruptionPolicy policy;
+};
+
+/// Corrupts up to alpha randomly chosen incoming links per receiver per
+/// round.  |AHO(p,r)| <= alpha for all p, r — the run satisfies P_alpha.
+class RandomCorruptionAdversary final : public Adversary {
+ public:
+  explicit RandomCorruptionAdversary(RandomCorruptionConfig config);
+
+  std::string name() const override;
+  void apply(const IntendedRound& intended, DeliveredRound& delivered,
+             Rng& rng) override;
+
+  const RandomCorruptionConfig& config() const noexcept { return config_; }
+
+ private:
+  RandomCorruptionConfig config_;
+};
+
+}  // namespace hoval

@@ -1,0 +1,100 @@
+#include "adversary/lock_in.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+bool lock_in_feasible(int n, double threshold_t, double threshold_e, int alpha) {
+  if (n < 6 || n % 2 != 0) return false;          // even split script
+  if (alpha < 2 || alpha > n / 2 - 1) return false;
+  if (!(threshold_t < n)) return false;           // updates must keep firing
+  // No accidental decisions in rounds 1/2 at non-victim receivers:
+  if (!(static_cast<double>(n) / 2.0 + 1.0 <= threshold_e)) return false;
+  // The victim's forged round-2 count crosses E:
+  if (!(static_cast<double>(n) / 2.0 + 1.0 + alpha > threshold_e)) return false;
+  // Round 3 hands the opposite decision to everyone else:
+  if (!(static_cast<double>(n) - 1.0 > threshold_e)) return false;
+  return true;
+}
+
+LockInAdversary::LockInAdversary(LockInConfig config) : config_(config) {
+  HOVAL_EXPECTS_MSG(config.alpha >= 2, "the lock-in script needs alpha >= 2");
+  HOVAL_EXPECTS_MSG(config.low_value < config.high_value,
+                    "low_value must be smaller (ties break low)");
+}
+
+std::string LockInAdversary::name() const {
+  std::ostringstream os;
+  os << "lock-in(alpha=" << config_.alpha << ", lo=" << config_.low_value
+     << ", hi=" << config_.high_value << ", victim=" << config_.victim << ")";
+  return os.str();
+}
+
+void LockInAdversary::apply(const IntendedRound& intended,
+                            DeliveredRound& delivered, Rng& /*rng*/) {
+  switch (intended.round) {
+    case 1:
+      steer_majority_low(intended, delivered);
+      break;
+    case 2:
+      decide_victim_spare_rest(intended, delivered);
+      break;
+    default:
+      break;  // round >= 3: hands off, the population finishes the job
+  }
+}
+
+namespace {
+/// Senders whose intended estimate to `receiver` equals `v`, ascending.
+std::vector<ProcessId> senders_of_value(const IntendedRound& intended,
+                                        ProcessId receiver, Value v) {
+  std::vector<ProcessId> out;
+  for (ProcessId q = 0; q < intended.n(); ++q) {
+    const Msg& m = intended.intended(q, receiver);
+    if (m.kind == MsgKind::kEstimate && m.payload == v) out.push_back(q);
+  }
+  return out;
+}
+}  // namespace
+
+void LockInAdversary::steer_majority_low(const IntendedRound& intended,
+                                         DeliveredRound& delivered) {
+  const int n = intended.n();
+  // Receivers 0..n/2 adopt lo for free (lo wins ties); receivers above
+  // need one lo->hi forgery to tip the plurality to hi.
+  for (ProcessId p = static_cast<ProcessId>(n / 2 + 1); p < n; ++p) {
+    const auto low_senders = senders_of_value(intended, p, config_.low_value);
+    if (!low_senders.empty())
+      delivered.put(low_senders.front(), p, make_estimate(config_.high_value));
+  }
+}
+
+void LockInAdversary::decide_victim_spare_rest(const IntendedRound& intended,
+                                               DeliveredRound& delivered) {
+  const int n = intended.n();
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p == config_.victim) {
+      // Forge alpha extra copies of lo: with the n/2+1 genuine lo-senders
+      // from round 1 this pushes count(lo) strictly past E.
+      auto high_senders = senders_of_value(intended, p, config_.high_value);
+      const int budget = std::min<int>(config_.alpha,
+                                       static_cast<int>(high_senders.size()));
+      for (int i = 0; i < budget; ++i)
+        delivered.put(high_senders[static_cast<std::size_t>(i)], p,
+                      make_estimate(config_.low_value));
+    } else {
+      // Tip this receiver's plurality to hi while keeping every count at
+      // or below E: two lo->hi conversions flip the n/2+1 vs n/2-1 gap.
+      auto low_senders = senders_of_value(intended, p, config_.low_value);
+      const int budget = std::min<int>(2, static_cast<int>(low_senders.size()));
+      for (int i = 0; i < budget; ++i)
+        delivered.put(low_senders[static_cast<std::size_t>(i)], p,
+                      make_estimate(config_.high_value));
+    }
+  }
+}
+
+}  // namespace hoval

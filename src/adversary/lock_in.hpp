@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file lock_in.hpp
+/// The cross-round agreement attacker: demonstrates that Theorem 1's
+/// *second* condition, T >= 2(n + 2*alpha - E), is load-bearing on its own.
+///
+/// The split-vote attacker (split_vote.hpp) breaks choices with
+/// E < n/2 + alpha via two same-round decisions (Lemma 3's counting).
+/// But a choice with E >= n/2 + alpha and T *below* the Lemma 4 frontier
+/// is immune to that attack — and still unsafe: after some process
+/// decides v, Lemma 4's lock-in fails, so the remaining processes can be
+/// steered to update *away* from v and decide differently later.
+///
+/// The three-round script (for an even-n population split between lo < hi):
+///   round 1: steer a bare majority of processes to adopt lo (ties break
+///            low, so this costs ~1 forgery per high receiver), the rest
+///            keep hi;
+///   round 2: at one victim receiver, forge alpha extra copies of lo —
+///            with |Q(lo)| = n/2 + 1 genuine senders this crosses
+///            E < n/2 + 1 + alpha and the victim DECIDES lo; at every
+///            other receiver, convert 2 copies of lo into hi so that hi
+///            is the strict plurality (possible exactly because T is
+///            below the frontier: updates keep firing on |HO| = n > T
+///            with no lo-majority guarantee) while keeping both counts
+///            at or below E;
+///   round 3: hands off — n-1 processes now broadcast hi, everyone
+///            receives > E copies of hi and decides it, disagreeing with
+///            the round-2 victim.
+///
+/// Every round forges at most alpha messages per receiver: the run
+/// satisfies P_alpha.  Needs alpha >= 2 and E within [n/2 + alpha,
+/// n/2 + alpha + 1)-ish headroom; see lock_in_feasible().
+
+#include "adversary/adversary.hpp"
+
+namespace hoval {
+
+/// Configuration of LockInAdversary.
+struct LockInConfig {
+  int alpha = 2;       ///< per-receiver forgery budget (>= 2)
+  Value low_value = 0;   ///< the value the victim decides
+  Value high_value = 1;  ///< the value everyone else decides
+  ProcessId victim = 0;  ///< receiver pushed over E in round 2
+  double threshold_e = 0;  ///< the E of the attacked A_{T,E}
+};
+
+/// Checks the attack's arithmetic for A_{T,E} with the given parameters
+/// and an even lo/hi split of initial values: returns true when the
+/// three-round script above produces an agreement violation.
+bool lock_in_feasible(int n, double threshold_t, double threshold_e, int alpha);
+
+/// Executes the three-round lock-in script.
+class LockInAdversary final : public Adversary {
+ public:
+  explicit LockInAdversary(LockInConfig config);
+
+  std::string name() const override;
+  void apply(const IntendedRound& intended, DeliveredRound& delivered,
+             Rng& rng) override;
+
+ private:
+  void steer_majority_low(const IntendedRound& intended, DeliveredRound& delivered);
+  void decide_victim_spare_rest(const IntendedRound& intended,
+                                DeliveredRound& delivered);
+
+  LockInConfig config_;
+};
+
+}  // namespace hoval

@@ -1,0 +1,52 @@
+#include "adversary/split_vote.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+SplitVoteAdversary::SplitVoteAdversary(SplitVoteConfig config) : config_(config) {
+  HOVAL_EXPECTS_MSG(config.alpha >= 0, "alpha must be non-negative");
+  HOVAL_EXPECTS_MSG(config.low_value != config.high_value,
+                    "split targets must differ");
+}
+
+std::string SplitVoteAdversary::name() const {
+  std::ostringstream os;
+  os << "split-vote(alpha=" << config_.alpha << ", lo=" << config_.low_value
+     << ", hi=" << config_.high_value << ")";
+  return os.str();
+}
+
+void SplitVoteAdversary::apply(const IntendedRound& intended,
+                               DeliveredRound& delivered, Rng& /*rng*/) {
+  const int n = intended.n();
+  if (config_.alpha == 0 || n == 0) return;
+
+  // All our algorithms keep every process in the same round structure, so
+  // the round's dominant message kind tells us what to forge.
+  int estimates = 0;
+  int votes = 0;
+  for (ProcessId q = 0; q < n; ++q) {
+    const Msg& m = intended.intended(q, 0);
+    (m.kind == MsgKind::kEstimate ? estimates : votes)++;
+  }
+  const MsgKind kind = votes > estimates ? MsgKind::kVote : MsgKind::kEstimate;
+
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value target = p < n / 2 ? config_.low_value : config_.high_value;
+    const Msg forged{kind, target};
+    int budget = config_.alpha;
+    // Forge links that do not already carry the target, lowest sender
+    // first (deterministic, so violations are reproducible).
+    for (ProcessId q = 0; q < n && budget > 0; ++q) {
+      const Msg& real = intended.intended(q, p);
+      if (real == forged) continue;
+      delivered.put(q, p, forged);
+      --budget;
+    }
+  }
+}
+
+}  // namespace hoval

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file split_vote.hpp
+/// Targeted agreement attacker used in the *negative* experiments: when
+/// the threshold conditions of Theorem 1 / Theorem 2 are violated (e.g.
+/// E < n/2 + alpha), this adversary constructs real agreement violations,
+/// demonstrating that the paper's conditions are not mere proof artefacts.
+///
+/// Strategy: split the receivers into two camps; for the "low" camp it
+/// corrupts up to alpha incoming links towards a low target value, for the
+/// "high" camp towards a high target value.  With a near-even initial
+/// value split and alpha extra forged copies per receiver, both camps can
+/// be pushed past a decision threshold E < n/2 + alpha simultaneously —
+/// exactly the counting argument that Lemma 3 excludes when E >= n/2+alpha.
+
+#include "adversary/adversary.hpp"
+
+namespace hoval {
+
+/// Configuration of SplitVoteAdversary.
+struct SplitVoteConfig {
+  int alpha = 0;      ///< per-receiver corruption budget (P_alpha compliant)
+  Value low_value = 0;   ///< decision value targeted at the low camp
+  Value high_value = 1;  ///< decision value targeted at the high camp
+};
+
+/// Pushes half the receivers towards low_value and half towards
+/// high_value, forging at most `alpha` messages per receiver per round.
+class SplitVoteAdversary final : public Adversary {
+ public:
+  explicit SplitVoteAdversary(SplitVoteConfig config);
+
+  std::string name() const override;
+  void apply(const IntendedRound& intended, DeliveredRound& delivered,
+             Rng& rng) override;
+
+ private:
+  SplitVoteConfig config_;
+};
+
+}  // namespace hoval

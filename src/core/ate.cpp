@@ -1,0 +1,35 @@
+#include "core/ate.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+AteProcess::AteProcess(ProcessId id, AteParams params, Value initial)
+    : HoProcess(id, params.n), params_(params), x_(initial) {
+  HOVAL_EXPECTS_MSG(params.well_formed(), "malformed A_{T,E} parameters");
+}
+
+Msg AteProcess::message_for(Round /*r*/, ProcessId /*dest*/) const {
+  return make_estimate(x_);
+}
+
+void AteProcess::transition(Round r, const ReceptionVector& mu) {
+  // Line 7-8: adopt the smallest most often received value when more than
+  // T messages (of any content — corrupted ones count towards |HO|) came in.
+  if (mu.count_received() > params_.threshold_t) {
+    if (const auto most_frequent = mu.smallest_most_frequent(MsgKind::kEstimate))
+      x_ = *most_frequent;
+    // All received messages corrupted beyond recognition (no well-formed
+    // estimate at all): keep the current estimate.  Unreachable under
+    // P_alpha with T >= 2*alpha, but the adversary may violate P_alpha in
+    // the negative experiments.
+  }
+
+  // Line 9-10: decide on any value received strictly more than E times.
+  if (const auto decided = mu.payload_exceeding(MsgKind::kEstimate, params_.threshold_e))
+    decide(*decided, r);
+}
+
+std::string AteProcess::name() const { return params_.to_string(); }
+
+}  // namespace hoval

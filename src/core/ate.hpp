@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file ate.hpp
+/// The A_{T,E} algorithm (Algorithm 1 of the paper): a parametrisation of
+/// the OneThirdRule algorithm for corrupted communication.
+///
+/// Every round: broadcast the estimate x_p; if strictly more than T
+/// messages arrive, adopt the smallest most-often-received value; if some
+/// value arrives strictly more than E times, decide it.
+///
+/// Under P_alpha it is safe whenever E >= n/2 + alpha and
+/// T >= 2(n + 2·alpha - E) (Propositions 1/2); with P^{A,live} it
+/// terminates (Proposition 3); and it is *fast*: from any initial
+/// configuration there is a run deciding in two rounds, in one round when
+/// the initial values are unanimous (Sec. 3.3).
+
+#include "core/params.hpp"
+#include "model/process.hpp"
+
+namespace hoval {
+
+/// A single A_{T,E} process.
+class AteProcess : public HoProcess {
+ public:
+  /// Process `id` of `params.n` starting with estimate `initial`.
+  /// Requires well-formed params (Theorem 1 conditions are *not* enforced
+  /// here: experiments deliberately run condition-violating choices).
+  AteProcess(ProcessId id, AteParams params, Value initial);
+
+  /// S_p^r: the same estimate message to every destination.
+  Msg message_for(Round r, ProcessId dest) const override;
+
+  /// T_p^r per Algorithm 1.  The decision guard (line 9) is evaluated on
+  /// the reception vector independently of the |HO| > T update guard:
+  /// Proposition 3's termination argument needs a process to decide in any
+  /// round with more than E receipts of one value, even if T > E and the
+  /// round delivered no more than T messages overall.  When T <= E (the
+  /// canonical choice has T = E) the two readings coincide.
+  void transition(Round r, const ReceptionVector& mu) override;
+
+  std::string name() const override;
+
+  /// Current estimate x_p (exposed for tests and trace inspection).
+  Value estimate() const noexcept { return x_; }
+
+  const AteParams& params() const noexcept { return params_; }
+
+ private:
+  AteParams params_;
+  Value x_;
+};
+
+}  // namespace hoval

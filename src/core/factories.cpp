@@ -1,0 +1,66 @@
+#include "core/factories.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+ProcessVector make_instance(const ProcessMaker& maker,
+                            const std::vector<Value>& initial_values) {
+  HOVAL_EXPECTS_MSG(!initial_values.empty(), "need at least one process");
+  ProcessVector out;
+  out.reserve(initial_values.size());
+  for (std::size_t id = 0; id < initial_values.size(); ++id)
+    out.push_back(maker(static_cast<ProcessId>(id), initial_values[id]));
+  return out;
+}
+
+ProcessMaker ate_maker(const AteParams& params) {
+  return [params](ProcessId id, Value initial) -> std::unique_ptr<HoProcess> {
+    return std::make_unique<AteProcess>(id, params, initial);
+  };
+}
+
+ProcessMaker utea_maker(const UteaParams& params) {
+  return [params](ProcessId id, Value initial) -> std::unique_ptr<HoProcess> {
+    return std::make_unique<UteaProcess>(id, params, initial);
+  };
+}
+
+ProcessMaker phase_king_maker(const PhaseKingParams& params) {
+  return [params](ProcessId id, Value initial) -> std::unique_ptr<HoProcess> {
+    return std::make_unique<PhaseKingProcess>(id, params, initial);
+  };
+}
+
+ProcessVector make_ate_instance(const AteParams& params,
+                                const std::vector<Value>& initial_values) {
+  HOVAL_EXPECTS_MSG(static_cast<int>(initial_values.size()) == params.n,
+                    "one initial value per process required");
+  return make_instance(ate_maker(params), initial_values);
+}
+
+ProcessVector make_utea_instance(const UteaParams& params,
+                                 const std::vector<Value>& initial_values) {
+  HOVAL_EXPECTS_MSG(static_cast<int>(initial_values.size()) == params.n,
+                    "one initial value per process required");
+  return make_instance(utea_maker(params), initial_values);
+}
+
+ProcessVector make_phase_king_instance(const PhaseKingParams& params,
+                                       const std::vector<Value>& initial_values) {
+  HOVAL_EXPECTS_MSG(static_cast<int>(initial_values.size()) == params.n,
+                    "one initial value per process required");
+  return make_instance(phase_king_maker(params), initial_values);
+}
+
+ProcessVector make_one_third_rule_instance(
+    int n, const std::vector<Value>& initial_values) {
+  return make_ate_instance(AteParams::one_third_rule(n), initial_values);
+}
+
+ProcessVector make_uniform_voting_instance(
+    int n, const std::vector<Value>& initial_values) {
+  return make_utea_instance(UteaParams::uniform_voting(n), initial_values);
+}
+
+}  // namespace hoval

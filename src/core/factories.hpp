@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file factories.hpp
+/// Convenience constructors for whole algorithm instances (one process per
+/// member of Pi), used throughout tests, benches and examples.
+
+#include <functional>
+#include <vector>
+
+#include "core/ate.hpp"
+#include "core/params.hpp"
+#include "core/phase_king.hpp"
+#include "core/utea.hpp"
+#include "model/process.hpp"
+
+namespace hoval {
+
+/// Builds process `id` for a run; bound to algorithm + parameters by the
+/// make_* helpers below.
+using ProcessMaker =
+    std::function<std::unique_ptr<HoProcess>(ProcessId id, Value initial)>;
+
+/// A_{T,E} instance with one process per initial value.
+ProcessVector make_ate_instance(const AteParams& params,
+                                const std::vector<Value>& initial_values);
+
+/// U_{T,E,alpha} instance with one process per initial value.
+ProcessVector make_utea_instance(const UteaParams& params,
+                                 const std::vector<Value>& initial_values);
+
+/// Phase King instance with one process per initial value.
+ProcessVector make_phase_king_instance(const PhaseKingParams& params,
+                                       const std::vector<Value>& initial_values);
+
+/// OneThirdRule = A_{2n/3, 2n/3} with alpha = 0 (benign baseline of [6]).
+ProcessVector make_one_third_rule_instance(int n,
+                                           const std::vector<Value>& initial_values);
+
+/// UniformVoting = U with alpha = 0 (benign baseline of [6]).
+ProcessVector make_uniform_voting_instance(int n,
+                                           const std::vector<Value>& initial_values);
+
+/// Maker closures for campaign drivers that recreate instances per run.
+ProcessMaker ate_maker(const AteParams& params);
+ProcessMaker utea_maker(const UteaParams& params);
+ProcessMaker phase_king_maker(const PhaseKingParams& params);
+
+/// Builds an instance from a maker and explicit initial values.
+ProcessVector make_instance(const ProcessMaker& maker,
+                            const std::vector<Value>& initial_values);
+
+}  // namespace hoval

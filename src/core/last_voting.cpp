@@ -1,0 +1,135 @@
+#include "core/last_voting.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+namespace {
+/// The null placeholder of Sec. 2.1: occupies HO but carries nothing any
+/// transition function counts.
+Msg null_message() { return Msg{MsgKind::kEstimate, std::nullopt}; }
+}  // namespace
+
+Value pack_value_ts(std::int32_t value, std::int32_t ts) {
+  return static_cast<Value>(
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(value)) << 32) |
+      static_cast<std::uint32_t>(ts));
+}
+
+std::int32_t unpack_value(Value packed) {
+  return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(packed) >> 32));
+}
+
+std::int32_t unpack_ts(Value packed) {
+  return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(packed)));
+}
+
+LastVotingProcess::LastVotingProcess(ProcessId id, int n, Value initial)
+    : HoProcess(id, n), x_(initial) {
+  HOVAL_EXPECTS_MSG(initial >= std::numeric_limits<std::int32_t>::min() &&
+                        initial <= std::numeric_limits<std::int32_t>::max(),
+                    "LastVoting packs values with timestamps: 32-bit range");
+}
+
+bool LastVotingProcess::is_coordinator(Round r) const noexcept {
+  return coordinator_of(phase_of(r), universe_size()) == id();
+}
+
+Msg LastVotingProcess::message_for(Round r, ProcessId dest) const {
+  const Phase phi = phase_of(r);
+  const ProcessId coord = coordinator_of(phi, universe_size());
+  switch (slot_of(r)) {
+    case 0:  // everyone -> coordinator: (x, ts)
+      if (dest == coord)
+        return make_estimate(pack_value_ts(static_cast<std::int32_t>(x_),
+                                           static_cast<std::int32_t>(ts_)));
+      return null_message();
+    case 1:  // coordinator -> all: the vote (if committed)
+      if (is_coordinator(r) && vote_) return make_vote(*vote_);
+      return null_message();
+    case 2:  // stamped processes -> coordinator: ack
+      if (dest == coord && ts_ == phi) return make_vote(phi);
+      return null_message();
+    default:  // coordinator -> all: decide (if ready)
+      if (is_coordinator(r) && ready_ && vote_) return make_estimate(*vote_);
+      return null_message();
+  }
+}
+
+void LastVotingProcess::transition(Round r, const ReceptionVector& mu) {
+  const Phase phi = phase_of(r);
+  const ProcessId coord = coordinator_of(phi, universe_size());
+  switch (slot_of(r)) {
+    case 0: {
+      if (!is_coordinator(r)) break;
+      // Collect (x, ts) pairs; commit to the value of the highest
+      // timestamp (ties toward the smallest value) given a majority.
+      int heard = 0;
+      std::optional<Value> best;
+      std::int32_t best_ts = -1;
+      for (ProcessId q = 0; q < universe_size(); ++q) {
+        const auto& got = mu.get(q);
+        if (!got || got->kind != MsgKind::kEstimate || !got->payload) continue;
+        ++heard;
+        const std::int32_t ts = unpack_ts(*got->payload);
+        const auto value = static_cast<Value>(unpack_value(*got->payload));
+        if (ts > best_ts || (ts == best_ts && (!best || value < *best))) {
+          best_ts = ts;
+          best = value;
+        }
+      }
+      if (heard > universe_size() / 2 && best) vote_ = best;
+      break;
+    }
+    case 1: {
+      const auto& from_coord = mu.get(coord);
+      if (from_coord && from_coord->kind == MsgKind::kVote &&
+          from_coord->payload) {
+        x_ = *from_coord->payload;
+        ts_ = phi;
+      }
+      break;
+    }
+    case 2: {
+      if (!is_coordinator(r)) break;
+      if (mu.count_payload(MsgKind::kVote, phi) > universe_size() / 2)
+        ready_ = true;
+      break;
+    }
+    default: {
+      const auto& from_coord = mu.get(coord);
+      if (from_coord && from_coord->kind == MsgKind::kEstimate &&
+          from_coord->payload)
+        decide(*from_coord->payload, r);
+      // End of phase: coordinator state resets.
+      vote_.reset();
+      ready_ = false;
+      break;
+    }
+  }
+}
+
+std::string LastVotingProcess::name() const {
+  std::ostringstream os;
+  os << "LastVoting(n=" << universe_size() << ")";
+  return os.str();
+}
+
+ProcessVector make_last_voting_instance(
+    int n, const std::vector<Value>& initial_values) {
+  HOVAL_EXPECTS_MSG(static_cast<int>(initial_values.size()) == n,
+                    "one initial value per process required");
+  ProcessVector out;
+  out.reserve(initial_values.size());
+  for (std::size_t id = 0; id < initial_values.size(); ++id)
+    out.push_back(std::make_unique<LastVotingProcess>(
+        static_cast<ProcessId>(id), n, initial_values[id]));
+  return out;
+}
+
+}  // namespace hoval

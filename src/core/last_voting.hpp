@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file last_voting.hpp
+/// LastVoting — the coordinator-based (Paxos-like) consensus algorithm of
+/// the benign HO model of Charron-Bost & Schiper [6], included here as the
+/// third member of the benign-case algorithm zoo the paper builds on
+/// (OneThirdRule and UniformVoting are the alpha = 0 instances of A_{T,E}
+/// and U_{T,E,alpha}).
+///
+/// Unlike the paper's two algorithms, LastVoting exercises two general
+/// features of the HO machine abstraction that broadcast algorithms never
+/// touch: *per-destination* sending functions (processes talk to the
+/// phase's coordinator only) and the *null placeholder* message (Sec. 2.1
+/// allows M to include an empty message).
+///
+/// Phases of four rounds, coordinator c_phi = (phi-1) mod n:
+///   round 4phi-3: everyone sends (x_p, ts_p) to c_phi; if c_phi hears
+///                 more than n/2, it votes for the value with the highest
+///                 timestamp;
+///   round 4phi-2: c_phi sends its vote to all; receivers adopt it and
+///                 stamp ts_p := phi;
+///   round 4phi-1: processes with ts_p = phi ack to c_phi; on more than
+///                 n/2 acks the coordinator readies a decision;
+///   round 4phi:   c_phi broadcasts the decision; receivers decide.
+///
+/// Safety holds under arbitrary benign faults (omissions); termination
+/// needs one phase whose coordinator communicates bidirectionally with a
+/// majority.  This is a *benign-case* algorithm: value faults can break
+/// it (a corrupted coordinator vote splits the system) — which is exactly
+/// why the paper derives its corruption-tolerant algorithms from the two
+/// symmetric ones instead.  A test demonstrates that contrast.
+///
+/// (x, ts) pairs and acks are packed into the payload of ordinary
+/// messages; see pack_value_ts().
+
+#include <optional>
+
+#include "model/process.hpp"
+
+namespace hoval {
+
+/// Packs (value, timestamp) into one payload; value and ts must fit in
+/// 32 bits (checked).  Exposed for tests.
+Value pack_value_ts(std::int32_t value, std::int32_t ts);
+std::int32_t unpack_value(Value packed);
+std::int32_t unpack_ts(Value packed);
+
+/// A single LastVoting process.
+class LastVotingProcess : public HoProcess {
+ public:
+  LastVotingProcess(ProcessId id, int n, Value initial);
+
+  Msg message_for(Round r, ProcessId dest) const override;
+  void transition(Round r, const ReceptionVector& mu) override;
+  std::string name() const override;
+
+  Value estimate() const noexcept { return x_; }
+  Phase timestamp() const noexcept { return ts_; }
+
+  /// Coordinator of phase `phi` (1-based): process (phi-1) mod n.
+  static ProcessId coordinator_of(Phase phi, int n) noexcept {
+    return static_cast<ProcessId>((phi - 1) % n);
+  }
+
+ private:
+  /// Four-round phase structure helpers (round 4phi-3 .. 4phi).
+  static Phase phase_of(Round r) noexcept { return (r + 3) / 4; }
+  static int slot_of(Round r) noexcept { return (r - 1) % 4; }  // 0..3
+  bool is_coordinator(Round r) const noexcept;
+
+  Value x_;
+  Phase ts_ = 0;            ///< phase at which x_ was last adopted
+  std::optional<Value> vote_;  ///< coordinator state: value voted this phase
+  bool ready_ = false;         ///< coordinator state: majority acked
+};
+
+/// LastVoting instance over n processes.
+ProcessVector make_last_voting_instance(int n,
+                                        const std::vector<Value>& initial_values);
+
+}  // namespace hoval

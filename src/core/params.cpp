@@ -1,0 +1,132 @@
+#include "core/params.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace hoval {
+
+namespace {
+// Threshold conditions are often instantiated exactly on their boundary
+// (e.g. Prop. 4 sets T = 2(n + 2*alpha - E) with E = 2/3*(n + 2*alpha)),
+// where double rounding can flip a >= comparison by one ulp.  All
+// inequality checks therefore tolerate a tiny epsilon.
+constexpr double kEps = 1e-9;
+
+bool geq(double a, double b) { return a >= b - kEps; }
+bool gt(double a, double b) { return a > b + kEps; }
+}  // namespace
+
+// ---------------------------------------------------------------- AteParams
+
+bool AteParams::well_formed() const {
+  return n > 0 && alpha >= 0.0 && alpha <= n && threshold_t >= 0.0 &&
+         threshold_t <= n && threshold_e >= 0.0 && threshold_e <= n;
+}
+
+bool AteParams::deterministic_decision() const {
+  return geq(threshold_e, n / 2.0);
+}
+
+bool AteParams::agreement_conditions() const {
+  return geq(threshold_e, n / 2.0 + alpha) &&
+         geq(threshold_t, 2.0 * (n + 2.0 * alpha - threshold_e));
+}
+
+bool AteParams::integrity_conditions() const {
+  return geq(threshold_e, alpha) && geq(threshold_t, 2.0 * alpha);
+}
+
+bool AteParams::theorem1_conditions() const {
+  return well_formed() && gt(n, threshold_e) && gt(n, threshold_t) &&
+         geq(threshold_t, 2.0 * (n + 2.0 * alpha - threshold_e));
+}
+
+AteParams AteParams::canonical(int n, double alpha) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+  HOVAL_EXPECTS_MSG(alpha >= 0.0, "alpha must be non-negative");
+  const double e = 2.0 / 3.0 * (n + 2.0 * alpha);
+  return AteParams{n, e, e, alpha};
+}
+
+AteParams AteParams::one_third_rule(int n) { return canonical(n, 0.0); }
+
+std::optional<AteParams> AteParams::feasible(int n, double alpha) {
+  const AteParams p = canonical(n, alpha);
+  if (p.theorem1_conditions()) return p;
+  return std::nullopt;
+}
+
+int AteParams::max_tolerated_alpha(int n) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+  // Largest integer alpha with alpha < n/4.
+  int best = -1;
+  for (int a = 0; 4 * a < n; ++a) best = a;
+  return best;
+}
+
+std::string AteParams::to_string() const {
+  std::ostringstream os;
+  os << "A(n=" << n << ", T=" << format_double(threshold_t, 2)
+     << ", E=" << format_double(threshold_e, 2)
+     << ", alpha=" << format_double(alpha, 2) << ")";
+  return os.str();
+}
+
+// --------------------------------------------------------------- UteaParams
+
+bool UteaParams::well_formed() const {
+  return n > 0 && alpha >= 0 && alpha <= n && threshold_t >= 0.0 &&
+         threshold_t <= n && threshold_e >= 0.0 && threshold_e <= n;
+}
+
+bool UteaParams::deterministic_decision() const {
+  return geq(threshold_e, n / 2.0);
+}
+
+bool UteaParams::unique_vote_conditions() const {
+  return geq(threshold_t, n / 2.0 + alpha);
+}
+
+bool UteaParams::agreement_conditions() const {
+  return geq(threshold_e, n / 2.0 + alpha) && geq(threshold_t, n / 2.0 + alpha);
+}
+
+bool UteaParams::theorem2_conditions() const {
+  return well_formed() && gt(n, threshold_e) && gt(n, threshold_t) &&
+         n > alpha && agreement_conditions();
+}
+
+UteaParams UteaParams::canonical(int n, int alpha) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+  HOVAL_EXPECTS_MSG(alpha >= 0, "alpha must be non-negative");
+  const double t = n / 2.0 + alpha;
+  return UteaParams{n, t, t, alpha, /*default_value=*/0};
+}
+
+UteaParams UteaParams::uniform_voting(int n) { return canonical(n, 0); }
+
+std::optional<UteaParams> UteaParams::feasible(int n, int alpha) {
+  const UteaParams p = canonical(n, alpha);
+  if (p.theorem2_conditions()) return p;
+  return std::nullopt;
+}
+
+int UteaParams::max_tolerated_alpha(int n) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+  int best = -1;
+  for (int a = 0; 2 * a < n; ++a) best = a;
+  return best;
+}
+
+std::string UteaParams::to_string() const {
+  std::ostringstream os;
+  os << "U(n=" << n << ", T=" << format_double(threshold_t, 2)
+     << ", E=" << format_double(threshold_e, 2) << ", alpha=" << alpha
+     << ", v0=" << default_value << ")";
+  return os.str();
+}
+
+}  // namespace hoval

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file params.hpp
+/// Threshold parameter sets for the two algorithms of the paper, with the
+/// sufficient conditions of Theorem 1 and Theorem 2 as first-class,
+/// testable predicates, and the canonical constructions of Sec. 3.3 / 4.3.
+///
+/// Thresholds are real-valued (the paper uses e.g. E = 2/3·(n + 2·alpha));
+/// every use in the algorithms is a strict comparison `count > threshold`
+/// with an integer count, so doubles are exact enough and match the text.
+
+#include <optional>
+#include <string>
+
+#include "model/types.hpp"
+
+namespace hoval {
+
+/// Parameters of the A_{T,E} algorithm (Algorithm 1) for a given
+/// per-receiver corruption bound alpha (the alpha of P_alpha).
+struct AteParams {
+  int n = 0;         ///< number of processes |Pi|
+  double threshold_t = 0.0;  ///< T: liveness/update threshold (|HO| > T)
+  double threshold_e = 0.0;  ///< E: safety/decision threshold (> E equal values)
+  double alpha = 0.0;        ///< assumed bound on |AHO(p,r)| per round
+
+  /// Basic well-formedness: n > 0, 0 <= alpha <= n, thresholds in [0, n].
+  bool well_formed() const;
+
+  /// Lemma 2 condition: E >= n/2 (decision guard true for <= 1 value).
+  bool deterministic_decision() const;
+
+  /// Proposition 1 (Agreement): E >= n/2 + alpha and T >= 2(n + 2alpha - E).
+  bool agreement_conditions() const;
+
+  /// Proposition 2 (Integrity): E >= alpha and T >= 2alpha.
+  bool integrity_conditions() const;
+
+  /// Theorem 1: n > E and n > T >= 2(n + 2alpha - E).  Implies both of the
+  /// above (see the theorem's proof) and makes P_alpha ∧ P^{A,live}
+  /// satisfiable, so the machine solves consensus.
+  bool theorem1_conditions() const;
+
+  /// Proposition 4's canonical choice E = T = 2/3·(n + 2·alpha).
+  /// Feasible (i.e. theorem1_conditions()) exactly when alpha < n/4.
+  static AteParams canonical(int n, double alpha);
+
+  /// The benign-case instantiation: A_{2n/3, 2n/3} with alpha = 0 is
+  /// exactly the OneThirdRule algorithm of Charron-Bost & Schiper [6].
+  static AteParams one_third_rule(int n);
+
+  /// Some Theorem-1-satisfying parameters for (n, alpha) if any exist
+  /// (exist iff alpha < n/4); favours the canonical choice.
+  static std::optional<AteParams> feasible(int n, double alpha);
+
+  /// Largest alpha (integral) for which feasible(n, alpha) exists,
+  /// i.e. ceil(n/4) - 1.
+  static int max_tolerated_alpha(int n);
+
+  std::string to_string() const;
+};
+
+/// Parameters of the U_{T,E,alpha} algorithm (Algorithm 2).  Here alpha
+/// also appears in the code (the "at least alpha + 1 receipts" guard), so
+/// it is integral.
+struct UteaParams {
+  int n = 0;          ///< number of processes |Pi|
+  double threshold_t = 0.0;  ///< T: vote-casting threshold (round 2phi-1)
+  double threshold_e = 0.0;  ///< E: decision threshold (round 2phi)
+  int alpha = 0;      ///< assumed bound on |AHO(p,r)|; used as alpha+1 guard
+  Value default_value = 0;   ///< v0, the fall-back estimate of line 17
+
+  /// Basic well-formedness.
+  bool well_formed() const;
+
+  /// Lemma 7 condition: E >= n/2.
+  bool deterministic_decision() const;
+
+  /// Lemma 8 condition: T >= n/2 + alpha (at most one true vote per round).
+  bool unique_vote_conditions() const;
+
+  /// Propositions 5/6 (Agreement/Integrity): E >= n/2 + alpha and
+  /// T >= n/2 + alpha.
+  bool agreement_conditions() const;
+
+  /// Theorem 2: n > E >= n/2 + alpha, n > T >= n/2 + alpha, n > alpha.
+  bool theorem2_conditions() const;
+
+  /// Canonical choice E = T = n/2 + alpha (Sec. 4.3).  Feasible exactly
+  /// when alpha < n/2.
+  static UteaParams canonical(int n, int alpha);
+
+  /// The benign-case instantiation (alpha = 0): the parametrised
+  /// UniformVoting algorithm of [6].
+  static UteaParams uniform_voting(int n);
+
+  /// Some Theorem-2-satisfying parameters for (n, alpha) if any exist
+  /// (exist iff alpha < n/2).
+  static std::optional<UteaParams> feasible(int n, int alpha);
+
+  /// Largest alpha for which feasible(n, alpha) exists, i.e. ceil(n/2)-1.
+  static int max_tolerated_alpha(int n);
+
+  std::string to_string() const;
+};
+
+}  // namespace hoval

@@ -1,0 +1,62 @@
+#include "core/phase_king.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+PhaseKingProcess::PhaseKingProcess(ProcessId id, PhaseKingParams params,
+                                   Value initial)
+    : HoProcess(id, params.n),
+      params_(params),
+      value_(initial),
+      majority_(initial) {
+  HOVAL_EXPECTS_MSG(params.well_formed(), "malformed PhaseKing parameters");
+}
+
+Msg PhaseKingProcess::message_for(Round r, ProcessId /*dest*/) const {
+  // First round of a phase: broadcast the current value.  Second round:
+  // broadcast maj (only the king's copy is consumed, but everyone sends —
+  // S_p^r must be total, and it keeps the round pattern uniform).
+  return make_estimate(is_first_round_of_phase(r) ? value_ : majority_);
+}
+
+void PhaseKingProcess::transition(Round r, const ReceptionVector& mu) {
+  const Phase k = phase_of_round(r);
+  if (k > params_.t + 1) return;  // algorithm finished; ignore later rounds
+
+  if (is_first_round_of_phase(r)) {
+    // Tally the universal exchange.
+    if (const auto maj = mu.smallest_most_frequent(MsgKind::kEstimate)) {
+      majority_ = *maj;
+      multiplicity_ = mu.count_payload(MsgKind::kEstimate, *maj);
+    } else {
+      majority_ = value_;
+      multiplicity_ = 0;
+    }
+    return;
+  }
+
+  // Second round: defer to the king unless our own majority was strong.
+  if (static_cast<double>(multiplicity_) > params_.n / 2.0 + params_.t) {
+    value_ = majority_;
+  } else {
+    const auto& from_king = mu.get(king_of_phase(k));
+    if (from_king && from_king->payload) {
+      value_ = *from_king->payload;
+    } else {
+      value_ = majority_;  // king silent/garbled: fall back to own majority
+    }
+  }
+
+  if (k == params_.t + 1) decide(value_, r);
+}
+
+std::string PhaseKingProcess::name() const {
+  std::ostringstream os;
+  os << "PhaseKing(n=" << params_.n << ", t=" << params_.t << ")";
+  return os.str();
+}
+
+}  // namespace hoval

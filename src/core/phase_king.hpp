@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file phase_king.hpp
+/// Classical baseline: the Phase King algorithm (Berman & Garay) for
+/// synchronous consensus with at most t *static, permanent* Byzantine
+/// senders, requiring n > 4t.  The paper (Sec. 5) contrasts its own
+/// per-round, dynamic fault model against exactly this kind of static
+/// model, so Phase King serves as the comparison algorithm in the
+/// model-taxonomy and fast-consensus experiments (F3, E4).
+///
+/// t+1 phases of two rounds each.  Round 2k-1: broadcast the current
+/// value; record the most frequent received value (maj) and its
+/// multiplicity (mult).  Round 2k: everyone broadcasts maj; the *king* of
+/// phase k (process k-1) is authoritative: a process keeps maj if
+/// mult > n/2 + t, otherwise adopts the king's broadcast.  After phase
+/// t+1 every process decides its value.
+///
+/// In our transmission-fault world "t static Byzantine processes" becomes
+/// a static adversary corrupting all outgoing messages of a fixed set B,
+/// |B| <= t; state corruption does not exist, so *all* n processes
+/// (including members of B) must decide and agree — which Phase King
+/// delivers, since its proof only constrains received values.
+
+#include "model/process.hpp"
+
+namespace hoval {
+
+/// Parameters of the Phase King baseline.
+struct PhaseKingParams {
+  int n = 0;  ///< number of processes
+  int t = 0;  ///< static fault bound; correctness needs n > 4t
+
+  bool well_formed() const { return n > 0 && t >= 0 && t < n; }
+  /// The classical resilience condition n > 4t.
+  bool resilience_condition() const { return n > 4 * t; }
+  /// Total rounds until decision: 2(t+1).
+  int rounds_to_decision() const { return 2 * (t + 1); }
+};
+
+/// A single Phase King process.
+class PhaseKingProcess : public HoProcess {
+ public:
+  PhaseKingProcess(ProcessId id, PhaseKingParams params, Value initial);
+
+  Msg message_for(Round r, ProcessId dest) const override;
+  void transition(Round r, const ReceptionVector& mu) override;
+  std::string name() const override;
+
+  Value current_value() const noexcept { return value_; }
+
+  /// King of phase `k` (1-based) is process k-1.
+  static ProcessId king_of_phase(Phase k) noexcept { return k - 1; }
+
+ private:
+  PhaseKingParams params_;
+  Value value_;     ///< current consensus candidate
+  Value majority_;  ///< maj from the first round of the current phase
+  int multiplicity_ = 0;  ///< mult of maj
+};
+
+}  // namespace hoval

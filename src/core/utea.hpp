@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file utea.hpp
+/// The U_{T,E,alpha} algorithm (Algorithm 2 of the paper): a
+/// parametrisation of the UniformVoting algorithm for corrupted
+/// communication.  Tolerates more corruption than A_{T,E} (alpha < n/2
+/// instead of alpha < n/4) at the price of the stronger permanent
+/// communication predicate P^{U,safe}.
+///
+/// Phases of two rounds.  Round 2phi-1: broadcast x_p; cast a (true) vote
+/// for v on strictly more than T receipts of v.  Round 2phi: broadcast the
+/// vote ('?' when none was cast); adopt v as the new estimate on at least
+/// alpha+1 true-vote receipts for v (with P_alpha that certifies at least
+/// one process really voted v), otherwise fall back to the default value
+/// v0; decide v on strictly more than E true-vote receipts; reset the vote.
+
+#include <optional>
+
+#include "core/params.hpp"
+#include "model/process.hpp"
+
+namespace hoval {
+
+/// A single U_{T,E,alpha} process.
+class UteaProcess : public HoProcess {
+ public:
+  /// Process `id` of `params.n` starting with estimate `initial`.
+  /// Theorem 2 conditions are *not* enforced so experiments can run
+  /// condition-violating parameter choices.
+  UteaProcess(ProcessId id, UteaParams params, Value initial);
+
+  /// S_p^r: estimate in the first round of a phase, vote in the second.
+  Msg message_for(Round r, ProcessId dest) const override;
+
+  /// T_p^r per Algorithm 2.
+  void transition(Round r, const ReceptionVector& mu) override;
+
+  std::string name() const override;
+
+  /// Current estimate x_p.
+  Value estimate() const noexcept { return x_; }
+
+  /// Current vote (nullopt encodes '?').
+  std::optional<Value> vote() const noexcept { return vote_; }
+
+  const UteaParams& params() const noexcept { return params_; }
+
+ private:
+  void first_round_transition(const ReceptionVector& mu);
+  void second_round_transition(Round r, const ReceptionVector& mu);
+
+  UteaParams params_;
+  Value x_;
+  std::optional<Value> vote_;  ///< nullopt is the '?' vote
+};
+
+}  // namespace hoval

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file hoval.hpp
+/// Umbrella header for the hoval library — the Heard-Of model with value
+/// faults and the consensus algorithms of:
+///
+///   Biely, Charron-Bost, Gaillard, Hutle, Schiper, Widder.
+///   "Tolerating Corrupted Communication", PODC 2007.
+///
+/// Module map (see DESIGN.md for the full inventory):
+///   model/      HO/SHO sets, traces, messages, the HoProcess interface
+///   core/       A_{T,E}, U_{T,E,alpha}, OneThirdRule/UniformVoting,
+///               PhaseKing baseline, validated threshold parameters
+///   adversary/  transmission-fault injection: corruption, omission,
+///               block faults, Byzantine patterns, split/bivalence/lock-in
+///               attackers, predicate-enforcing wrappers
+///   predicates/ P_alpha, P^{A,live}, P^{U,safe}, P^{U,live}, classical
+///               Byzantine encodings, combinators
+///   sim/        deterministic round simulator, consensus checkers,
+///               Monte-Carlo campaigns
+///   runtime/    threaded message-passing substrate with wire-level
+///               fault injection and CRC framing
+///   stats/      descriptive statistics and histograms
+///   util/       contracts, deterministic RNG, tables, CSV, logging
+
+#include "adversary/adversary.hpp"
+#include "adversary/bivalence.hpp"
+#include "adversary/block_fault.hpp"
+#include "adversary/byzantine.hpp"
+#include "adversary/corruption.hpp"
+#include "adversary/lock_in.hpp"
+#include "adversary/omission.hpp"
+#include "adversary/split_vote.hpp"
+#include "adversary/wrappers.hpp"
+#include "core/ate.hpp"
+#include "core/factories.hpp"
+#include "core/last_voting.hpp"
+#include "core/params.hpp"
+#include "core/phase_king.hpp"
+#include "core/utea.hpp"
+#include "model/message.hpp"
+#include "model/process.hpp"
+#include "model/process_set.hpp"
+#include "model/reception.hpp"
+#include "model/trace.hpp"
+#include "model/trace_dump.hpp"
+#include "model/types.hpp"
+#include "predicates/liveness.hpp"
+#include "predicates/predicate.hpp"
+#include "predicates/safety.hpp"
+#include "runtime/runner.hpp"
+#include "sim/campaign.hpp"
+#include "sim/initial_values.hpp"
+#include "sim/machine.hpp"
+#include "sim/properties.hpp"
+#include "sim/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"

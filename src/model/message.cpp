@@ -1,0 +1,31 @@
+#include "model/message.hpp"
+
+namespace hoval {
+
+std::strong_ordering operator<=>(const Msg& a, const Msg& b) {
+  if (auto c = a.kind <=> b.kind; c != 0) return c;
+  // nullopt sorts first; then by value.
+  const bool ha = a.payload.has_value();
+  const bool hb = b.payload.has_value();
+  if (auto c = ha <=> hb; c != 0) return c;
+  if (!ha) return std::strong_ordering::equal;
+  return *a.payload <=> *b.payload;
+}
+
+Msg make_estimate(Value v) { return Msg{MsgKind::kEstimate, v}; }
+
+Msg make_vote(Value v) { return Msg{MsgKind::kVote, v}; }
+
+Msg make_question_vote() { return Msg{MsgKind::kVote, std::nullopt}; }
+
+bool is_true_vote(const Msg& m) {
+  return m.kind == MsgKind::kVote && m.payload.has_value();
+}
+
+std::string to_string(const Msg& m) {
+  const char* prefix = m.kind == MsgKind::kEstimate ? "est(" : "vote(";
+  if (!m.payload) return std::string(prefix) + "?)";
+  return std::string(prefix) + std::to_string(*m.payload) + ")";
+}
+
+}  // namespace hoval

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file message.hpp
+/// The wire message type M of the HO machine.
+///
+/// All algorithms in this library exchange either value estimates or votes
+/// (a vote may be the placeholder '?').  A corrupted transmission may turn
+/// any message into any other message — including shapes the receiving
+/// algorithm never expects (e.g. a vote in an estimate round).  Transition
+/// functions must therefore treat message contents defensively; the type
+/// deliberately allows every combination an adversary could fabricate.
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "model/types.hpp"
+
+namespace hoval {
+
+/// Message kind tag.
+enum class MsgKind : std::uint8_t {
+  kEstimate = 0,  ///< carries a value estimate x_p
+  kVote = 1,      ///< carries a vote: a value of V, or '?' (empty payload)
+};
+
+/// A single message.  Value-semantic and trivially copyable so it can be
+/// passed between threads by value (Core Guidelines CP.31).
+struct Msg {
+  MsgKind kind = MsgKind::kEstimate;
+  /// The carried value; nullopt encodes the '?' vote (or a corrupted,
+  /// payload-less estimate, which no transition function will count).
+  std::optional<Value> payload;
+
+  friend bool operator==(const Msg&, const Msg&) = default;
+  /// Total order (kind-major, then payload with nullopt first); lets
+  /// messages be used as map keys and makes corruption strategies
+  /// deterministic.
+  friend std::strong_ordering operator<=>(const Msg& a, const Msg& b);
+};
+
+/// Constructs an estimate message carrying `v`.
+Msg make_estimate(Value v);
+
+/// Constructs a vote message carrying `v`.
+Msg make_vote(Value v);
+
+/// Constructs the '?' vote.
+Msg make_question_vote();
+
+/// True when `m` is a vote with an actual value (a "true vote" in the
+/// paper's terminology).
+bool is_true_vote(const Msg& m);
+
+/// Human-readable rendering, e.g. "est(7)", "vote(3)", "vote(?)".
+std::string to_string(const Msg& m);
+
+}  // namespace hoval

@@ -1,0 +1,21 @@
+#include "model/process.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+HoProcess::HoProcess(ProcessId id, int n) : id_(id), n_(n) {
+  HOVAL_EXPECTS_MSG(n > 0, "universe must contain at least one process");
+  HOVAL_EXPECTS_MSG(id >= 0 && id < n, "process id out of universe");
+}
+
+void HoProcess::decide(Value v, Round r) {
+  HOVAL_EXPECTS_MSG(r > 0, "decisions happen at positive rounds");
+  decision_log_.push_back(DecisionEvent{r, v});
+  if (!decision_) {
+    decision_ = v;
+    decision_round_ = r;
+  }
+}
+
+}  // namespace hoval

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file process.hpp
+/// The process abstraction of the HO model: an algorithm on Pi is a
+/// collection of processes, each defined by a message-sending function
+/// S_p^r and a state-transition function T_p^r (Sec. 2.1).
+///
+/// Crucially for this paper's fault model, T_p^r is *always* followed —
+/// there are no state faults and hence no "faulty processes".  All
+/// deviation happens on the wire, between message_for() and transition().
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/message.hpp"
+#include "model/reception.hpp"
+#include "model/types.hpp"
+
+namespace hoval {
+
+/// One decision event (processes may re-decide the same value; checkers
+/// verify irrevocability and cross-process agreement from this log).
+struct DecisionEvent {
+  Round round = 0;
+  Value value = 0;
+};
+
+/// Abstract HO process.  Subclasses implement the sending and transition
+/// functions; decision bookkeeping lives here so every algorithm reports
+/// decisions uniformly.
+class HoProcess {
+ public:
+  /// A process with identity `id` in a universe of `n` processes.
+  HoProcess(ProcessId id, int n);
+  virtual ~HoProcess() = default;
+
+  HoProcess(const HoProcess&) = delete;
+  HoProcess& operator=(const HoProcess&) = delete;
+
+  ProcessId id() const noexcept { return id_; }
+  int universe_size() const noexcept { return n_; }
+
+  /// S_p^r: the message this process sends to `dest` at round `r`, given
+  /// its current state.  Must be callable repeatedly without side effects.
+  virtual Msg message_for(Round r, ProcessId dest) const = 0;
+
+  /// T_p^r: consumes the reception vector of round `r` and updates state.
+  virtual void transition(Round r, const ReceptionVector& mu) = 0;
+
+  /// Algorithm name for diagnostics, e.g. "A(T=11,E=12)".
+  virtual std::string name() const = 0;
+
+  /// The first (irrevocable) decision, if any.
+  std::optional<Value> decision() const noexcept { return decision_; }
+
+  /// Round at which the first decision was made, if any.
+  std::optional<Round> decision_round() const noexcept { return decision_round_; }
+
+  /// Every decide() call this process performed, in order.
+  const std::vector<DecisionEvent>& decision_log() const noexcept {
+    return decision_log_;
+  }
+
+ protected:
+  /// Records a decision at round `r`.  The first call fixes decision();
+  /// later calls are logged (the checkers assert they repeat the same
+  /// value, which the paper's algorithms guarantee).
+  void decide(Value v, Round r);
+
+ private:
+  ProcessId id_;
+  int n_;
+  std::optional<Value> decision_;
+  std::optional<Round> decision_round_;
+  std::vector<DecisionEvent> decision_log_;
+};
+
+/// An algorithm instance on Pi: one process object per id 0..n-1.
+using ProcessVector = std::vector<std::unique_ptr<HoProcess>>;
+
+/// Factory that builds process `id` of `n` with initial value `v`.
+/// Campaign drivers call it once per process per run.
+using ProcessFactory =
+    std::unique_ptr<HoProcess> (*)(ProcessId id, int n, Value initial);
+
+}  // namespace hoval

@@ -1,0 +1,120 @@
+#include "model/process_set.hpp"
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace hoval {
+
+namespace {
+constexpr std::size_t blocks_for(int n) {
+  return static_cast<std::size_t>((n + 63) / 64);
+}
+}  // namespace
+
+ProcessSet::ProcessSet(int n) : n_(n), blocks_(blocks_for(n), 0) {
+  HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
+}
+
+ProcessSet ProcessSet::universe(int n) {
+  ProcessSet s(n);
+  for (auto& block : s.blocks_) block = ~std::uint64_t{0};
+  s.trim_tail();
+  return s;
+}
+
+ProcessSet ProcessSet::of(int n, const std::vector<ProcessId>& members) {
+  ProcessSet s(n);
+  for (ProcessId p : members) s.insert(p);
+  return s;
+}
+
+int ProcessSet::count() const noexcept {
+  int total = 0;
+  for (std::uint64_t block : blocks_) total += __builtin_popcountll(block);
+  return total;
+}
+
+bool ProcessSet::contains(ProcessId p) const {
+  HOVAL_EXPECTS_MSG(p >= 0 && p < n_, "process id out of universe");
+  return (blocks_[static_cast<std::size_t>(p) / 64] >>
+          (static_cast<std::size_t>(p) % 64)) & 1u;
+}
+
+void ProcessSet::insert(ProcessId p) {
+  HOVAL_EXPECTS_MSG(p >= 0 && p < n_, "process id out of universe");
+  blocks_[static_cast<std::size_t>(p) / 64] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(p) % 64);
+}
+
+void ProcessSet::erase(ProcessId p) {
+  HOVAL_EXPECTS_MSG(p >= 0 && p < n_, "process id out of universe");
+  blocks_[static_cast<std::size_t>(p) / 64] &=
+      ~(std::uint64_t{1} << (static_cast<std::size_t>(p) % 64));
+}
+
+void ProcessSet::clear() noexcept {
+  for (auto& block : blocks_) block = 0;
+}
+
+ProcessSet ProcessSet::intersect(const ProcessSet& other) const {
+  check_same_universe(other);
+  ProcessSet out(n_);
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    out.blocks_[i] = blocks_[i] & other.blocks_[i];
+  return out;
+}
+
+ProcessSet ProcessSet::unite(const ProcessSet& other) const {
+  check_same_universe(other);
+  ProcessSet out(n_);
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    out.blocks_[i] = blocks_[i] | other.blocks_[i];
+  return out;
+}
+
+ProcessSet ProcessSet::subtract(const ProcessSet& other) const {
+  check_same_universe(other);
+  ProcessSet out(n_);
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    out.blocks_[i] = blocks_[i] & ~other.blocks_[i];
+  return out;
+}
+
+ProcessSet ProcessSet::complement() const {
+  ProcessSet out(n_);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) out.blocks_[i] = ~blocks_[i];
+  out.trim_tail();
+  return out;
+}
+
+bool ProcessSet::is_subset_of(const ProcessSet& other) const {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    if ((blocks_[i] & ~other.blocks_[i]) != 0) return false;
+  return true;
+}
+
+std::vector<ProcessId> ProcessSet::members() const {
+  std::vector<ProcessId> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for_each([&](ProcessId p) { out.push_back(p); });
+  return out;
+}
+
+std::string ProcessSet::to_string() const {
+  std::vector<std::string> parts;
+  for_each([&](ProcessId p) { parts.push_back(std::to_string(p)); });
+  return "{" + join(parts, ", ") + "}";
+}
+
+void ProcessSet::check_same_universe(const ProcessSet& other) const {
+  HOVAL_EXPECTS_MSG(n_ == other.n_, "set operation across different universes");
+}
+
+void ProcessSet::trim_tail() noexcept {
+  const int tail_bits = n_ % 64;
+  if (tail_bits != 0 && !blocks_.empty())
+    blocks_.back() &= (std::uint64_t{1} << tail_bits) - 1;
+}
+
+}  // namespace hoval

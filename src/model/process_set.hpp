@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file process_set.hpp
+/// A subset of Pi = {0, ..., n-1} with set algebra, used for the HO, SHO,
+/// AHO, kernel and altered-span computations.  Implemented as a packed
+/// bitset over 64-bit blocks; all operations require both operands to be
+/// over the same universe size n.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace hoval {
+
+/// Subset of the process universe {0, ..., n-1}.
+class ProcessSet {
+ public:
+  /// Empty set over a universe of size `n` (n >= 0).
+  explicit ProcessSet(int n = 0);
+
+  /// The full universe {0, ..., n-1}.
+  static ProcessSet universe(int n);
+
+  /// Builds a set from explicit member ids (each in [0, n)).
+  static ProcessSet of(int n, const std::vector<ProcessId>& members);
+
+  /// Universe size n (not the cardinality).
+  int universe_size() const noexcept { return n_; }
+
+  /// Number of members.
+  int count() const noexcept;
+
+  bool empty() const noexcept { return count() == 0; }
+
+  bool contains(ProcessId p) const;
+  void insert(ProcessId p);
+  void erase(ProcessId p);
+  void clear() noexcept;
+
+  /// Set algebra; operands must share the same universe size.
+  ProcessSet intersect(const ProcessSet& other) const;
+  ProcessSet unite(const ProcessSet& other) const;
+  ProcessSet subtract(const ProcessSet& other) const;
+  ProcessSet complement() const;
+
+  /// True when every member of *this is a member of `other`.
+  bool is_subset_of(const ProcessSet& other) const;
+
+  /// Members in increasing order.
+  std::vector<ProcessId> members() const;
+
+  /// Applies `fn(ProcessId)` to each member in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (int b = 0; b < static_cast<int>(blocks_.size()); ++b) {
+      std::uint64_t word = blocks_[static_cast<std::size_t>(b)];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<ProcessId>(b * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const ProcessSet&, const ProcessSet&) = default;
+
+  /// Rendering like "{0, 2, 5}".
+  std::string to_string() const;
+
+ private:
+  void check_same_universe(const ProcessSet& other) const;
+  void trim_tail() noexcept;
+
+  int n_ = 0;
+  std::vector<std::uint64_t> blocks_;
+};
+
+}  // namespace hoval

@@ -1,0 +1,99 @@
+#include "model/reception.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+ReceptionVector::ReceptionVector(int n) : slots_(static_cast<std::size_t>(n)) {
+  HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
+}
+
+void ReceptionVector::set(ProcessId q, Msg m) {
+  HOVAL_EXPECTS_MSG(q >= 0 && q < universe_size(), "sender id out of universe");
+  slots_[static_cast<std::size_t>(q)] = m;
+}
+
+void ReceptionVector::unset(ProcessId q) {
+  HOVAL_EXPECTS_MSG(q >= 0 && q < universe_size(), "sender id out of universe");
+  slots_[static_cast<std::size_t>(q)].reset();
+}
+
+const std::optional<Msg>& ReceptionVector::get(ProcessId q) const {
+  HOVAL_EXPECTS_MSG(q >= 0 && q < universe_size(), "sender id out of universe");
+  return slots_[static_cast<std::size_t>(q)];
+}
+
+ProcessSet ReceptionVector::support() const {
+  ProcessSet s(universe_size());
+  for (int q = 0; q < universe_size(); ++q)
+    if (slots_[static_cast<std::size_t>(q)]) s.insert(q);
+  return s;
+}
+
+int ReceptionVector::count_received() const noexcept {
+  int total = 0;
+  for (const auto& slot : slots_)
+    if (slot) ++total;
+  return total;
+}
+
+int ReceptionVector::count_kind(MsgKind kind) const noexcept {
+  int total = 0;
+  for (const auto& slot : slots_)
+    if (slot && slot->kind == kind) ++total;
+  return total;
+}
+
+int ReceptionVector::count_payload(MsgKind kind, Value v) const noexcept {
+  int total = 0;
+  for (const auto& slot : slots_)
+    if (slot && slot->kind == kind && slot->payload == v) ++total;
+  return total;
+}
+
+int ReceptionVector::count_question_votes() const noexcept {
+  int total = 0;
+  for (const auto& slot : slots_)
+    if (slot && slot->kind == MsgKind::kVote && !slot->payload) ++total;
+  return total;
+}
+
+std::map<Value, int> ReceptionVector::payload_histogram(MsgKind kind) const {
+  std::map<Value, int> hist;
+  for (const auto& slot : slots_)
+    if (slot && slot->kind == kind && slot->payload) ++hist[*slot->payload];
+  return hist;
+}
+
+std::optional<Value> ReceptionVector::smallest_most_frequent(MsgKind kind) const {
+  const auto hist = payload_histogram(kind);
+  std::optional<Value> best;
+  int best_count = 0;
+  // std::map iterates in increasing value order, so on ties the smallest
+  // value is kept — exactly "the smallest most often received value".
+  for (const auto& [value, count] : hist) {
+    if (count > best_count) {
+      best = value;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::optional<Value> ReceptionVector::payload_exceeding(MsgKind kind,
+                                                        double threshold) const {
+  for (const auto& [value, count] : payload_histogram(kind))
+    if (static_cast<double>(count) > threshold) return value;
+  return std::nullopt;
+}
+
+ProcessSet ReceptionVector::senders_of(const Msg& m) const {
+  ProcessSet s(universe_size());
+  for (int q = 0; q < universe_size(); ++q) {
+    const auto& slot = slots_[static_cast<std::size_t>(q)];
+    if (slot && *slot == m) s.insert(q);
+  }
+  return s;
+}
+
+}  // namespace hoval

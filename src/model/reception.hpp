@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file reception.hpp
+/// The reception vector ~mu_p^r: a partial vector indexed by Pi holding the
+/// message (if any) that p received from each process q at round r.  This is
+/// the only view an algorithm gets of a round — algorithms cannot observe
+/// which entries were corrupted (SHO is known to the analysis, not to p).
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "model/message.hpp"
+#include "model/process_set.hpp"
+#include "model/types.hpp"
+
+namespace hoval {
+
+/// Partial vector of messages indexed by sender.
+class ReceptionVector {
+ public:
+  /// Empty vector over a universe of `n` processes.
+  explicit ReceptionVector(int n = 0);
+
+  int universe_size() const noexcept { return static_cast<int>(slots_.size()); }
+
+  /// Records that the message from `q` was received as `m` (overwrites).
+  void set(ProcessId q, Msg m);
+
+  /// Removes the entry for `q` (models omission).
+  void unset(ProcessId q);
+
+  /// The entry for `q`, nullopt when nothing was received from q.
+  const std::optional<Msg>& get(ProcessId q) const;
+
+  /// The support of the vector — exactly HO(p, r).
+  ProcessSet support() const;
+
+  /// |HO(p, r)|: number of defined entries.
+  int count_received() const noexcept;
+
+  /// Number of received messages of the given kind.
+  int count_kind(MsgKind kind) const noexcept;
+
+  /// Number of received messages of kind `kind` whose payload equals `v`
+  /// (the paper's |R_p^r(v)| when restricted to well-formed messages).
+  int count_payload(MsgKind kind, Value v) const noexcept;
+
+  /// Number of received '?' votes.
+  int count_question_votes() const noexcept;
+
+  /// Multiset of payloads among received messages of `kind`, as a sorted
+  /// histogram value -> multiplicity.
+  std::map<Value, int> payload_histogram(MsgKind kind) const;
+
+  /// "The smallest most often received value": among messages of `kind`
+  /// that carry a payload, the value with the highest multiplicity,
+  /// breaking ties toward the smallest value.  nullopt when no message of
+  /// that kind carries a payload.
+  std::optional<Value> smallest_most_frequent(MsgKind kind) const;
+
+  /// Some value of `kind` received strictly more than `threshold` times,
+  /// if any (smallest such value for determinism; unique by Lemma 2 when
+  /// threshold >= n/2).
+  std::optional<Value> payload_exceeding(MsgKind kind, double threshold) const;
+
+  /// Senders whose entry equals `m` exactly.
+  ProcessSet senders_of(const Msg& m) const;
+
+ private:
+  std::vector<std::optional<Msg>> slots_;
+};
+
+}  // namespace hoval

@@ -1,0 +1,107 @@
+#include "model/trace.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+ComputationTrace::ComputationTrace(int n) : n_(n) {
+  HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
+}
+
+void ComputationTrace::append_round(std::vector<HoRecord> per_process) {
+  HOVAL_EXPECTS_MSG(static_cast<int>(per_process.size()) == n_,
+                    "round record must cover every process");
+  for (const auto& rec : per_process) {
+    HOVAL_EXPECTS_MSG(rec.ho.universe_size() == n_ && rec.sho.universe_size() == n_,
+                      "record sets must be over the trace universe");
+    HOVAL_EXPECTS_MSG(rec.sho.is_subset_of(rec.ho), "SHO must be a subset of HO");
+  }
+  RoundRecord rr;
+  rr.round = round_count() + 1;
+  rr.per_process = std::move(per_process);
+  rounds_.push_back(std::move(rr));
+}
+
+const HoRecord& ComputationTrace::record(ProcessId p, Round r) const {
+  check_round(r);
+  HOVAL_EXPECTS_MSG(p >= 0 && p < n_, "process id out of universe");
+  return rounds_[static_cast<std::size_t>(r - 1)]
+      .per_process[static_cast<std::size_t>(p)];
+}
+
+const RoundRecord& ComputationTrace::round(Round r) const {
+  check_round(r);
+  return rounds_[static_cast<std::size_t>(r - 1)];
+}
+
+ProcessSet ComputationTrace::kernel(Round r) const {
+  check_round(r);
+  ProcessSet k = ProcessSet::universe(n_);
+  for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
+    k = k.intersect(rec.ho);
+  return k;
+}
+
+ProcessSet ComputationTrace::safe_kernel(Round r) const {
+  check_round(r);
+  ProcessSet k = ProcessSet::universe(n_);
+  for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
+    k = k.intersect(rec.sho);
+  return k;
+}
+
+ProcessSet ComputationTrace::altered_span(Round r) const {
+  check_round(r);
+  ProcessSet span(n_);
+  for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
+    span = span.unite(rec.aho());
+  return span;
+}
+
+ProcessSet ComputationTrace::kernel() const {
+  ProcessSet k = ProcessSet::universe(n_);
+  for (Round r = 1; r <= round_count(); ++r) k = k.intersect(kernel(r));
+  return k;
+}
+
+ProcessSet ComputationTrace::safe_kernel() const {
+  ProcessSet k = ProcessSet::universe(n_);
+  for (Round r = 1; r <= round_count(); ++r) k = k.intersect(safe_kernel(r));
+  return k;
+}
+
+ProcessSet ComputationTrace::altered_span() const {
+  ProcessSet span(n_);
+  for (Round r = 1; r <= round_count(); ++r) span = span.unite(altered_span(r));
+  return span;
+}
+
+int ComputationTrace::alteration_count(Round r) const {
+  check_round(r);
+  int total = 0;
+  for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
+    total += rec.aho().count();
+  return total;
+}
+
+int ComputationTrace::max_aho(Round r) const {
+  check_round(r);
+  int worst = 0;
+  for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
+    worst = std::max(worst, rec.aho().count());
+  return worst;
+}
+
+int ComputationTrace::omission_count(Round r) const {
+  check_round(r);
+  int total = 0;
+  for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
+    total += n_ - rec.ho.count();
+  return total;
+}
+
+void ComputationTrace::check_round(Round r) const {
+  HOVAL_EXPECTS_MSG(r >= 1 && r <= round_count(), "round out of recorded prefix");
+}
+
+}  // namespace hoval

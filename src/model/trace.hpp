@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file trace.hpp
+/// Ground-truth record of a computation: for every round r and process p,
+/// the heard-of set HO(p,r) and the safe heard-of set SHO(p,r).  The trace
+/// is what communication predicates are evaluated against (Sec. 2.1/2.2 of
+/// the paper) — algorithms never see it.
+
+#include <vector>
+
+#include "model/process_set.hpp"
+#include "model/types.hpp"
+
+namespace hoval {
+
+/// Per-(process, round) communication record.
+struct HoRecord {
+  ProcessSet ho;   ///< HO(p, r): senders p received some message from
+  ProcessSet sho;  ///< SHO(p, r) ⊆ HO(p, r): senders received uncorrupted
+
+  /// AHO(p, r) = HO(p, r) \ SHO(p, r): the altered heard-of set.
+  ProcessSet aho() const { return ho.subtract(sho); }
+};
+
+/// All records of one round, indexed by receiving process.
+struct RoundRecord {
+  Round round = 0;
+  std::vector<HoRecord> per_process;
+};
+
+/// Ground-truth trace of a (finite prefix of a) computation.
+///
+/// Rounds are numbered from 1; the trace stores rounds 1..round_count()
+/// contiguously.  All whole-run aggregates (K, SK, AS) are over the
+/// recorded prefix.
+class ComputationTrace {
+ public:
+  /// Trace over `n` processes.
+  explicit ComputationTrace(int n = 0);
+
+  int universe_size() const noexcept { return n_; }
+  Round round_count() const noexcept { return static_cast<Round>(rounds_.size()); }
+
+  /// Appends the record of round round_count()+1.  Each HoRecord must have
+  /// sets over universe n and satisfy SHO ⊆ HO.
+  void append_round(std::vector<HoRecord> per_process);
+
+  /// Record of process `p` at round `r` (1-based, r <= round_count()).
+  const HoRecord& record(ProcessId p, Round r) const;
+
+  /// The full record of round `r`.
+  const RoundRecord& round(Round r) const;
+
+  /// K(r) = ∩_p HO(p, r): processes heard by all at round r.
+  ProcessSet kernel(Round r) const;
+
+  /// SK(r) = ∩_p SHO(p, r): processes heard correctly by all at round r.
+  ProcessSet safe_kernel(Round r) const;
+
+  /// AS(r) = ∪_p AHO(p, r): processes from which someone received a
+  /// corrupted message at round r.
+  ProcessSet altered_span(Round r) const;
+
+  /// K = ∩_{r} K(r) over the recorded prefix.
+  ProcessSet kernel() const;
+
+  /// SK = ∩_{r} SK(r) over the recorded prefix.
+  ProcessSet safe_kernel() const;
+
+  /// AS = ∪_{r} AS(r) over the recorded prefix.
+  ProcessSet altered_span() const;
+
+  /// Σ_p |AHO(p, r)|: total corrupted transmissions at round r (the
+  /// quantity Santoro–Widmayer's bound counts).
+  int alteration_count(Round r) const;
+
+  /// max_p |AHO(p, r)|: worst per-receiver corruption at round r (the
+  /// quantity P_alpha bounds).
+  int max_aho(Round r) const;
+
+  /// Σ_p (n - |HO(p, r)|): total omitted transmissions at round r.
+  int omission_count(Round r) const;
+
+ private:
+  void check_round(Round r) const;
+
+  int n_ = 0;
+  std::vector<RoundRecord> rounds_;
+};
+
+}  // namespace hoval

@@ -1,0 +1,45 @@
+#include "model/trace_dump.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace hoval {
+
+std::string render_round(const ComputationTrace& trace, Round r) {
+  HOVAL_EXPECTS_MSG(r >= 1 && r <= trace.round_count(),
+                    "round out of recorded prefix");
+  std::ostringstream os;
+  os << "round " << r << ":  K=" << trace.kernel(r).to_string()
+     << " SK=" << trace.safe_kernel(r).to_string()
+     << " AS=" << trace.altered_span(r).to_string() << "\n";
+  for (ProcessId p = 0; p < trace.universe_size(); ++p) {
+    const auto& rec = trace.record(p, r);
+    os << "  p" << p << ": HO=" << rec.ho.to_string()
+       << " SHO=" << rec.sho.to_string() << " AHO=" << rec.aho().to_string()
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string render_summary(const ComputationTrace& trace, Round from, Round to) {
+  if (to < 0) to = trace.round_count();
+  from = std::max<Round>(from, 1);
+  to = std::min<Round>(to, trace.round_count());
+
+  TablePrinter table({"round", "|K|", "|SK|", "|AS|", "alterations",
+                      "omissions"});
+  for (Round r = from; r <= to; ++r) {
+    table.add_row({std::to_string(r), std::to_string(trace.kernel(r).count()),
+                   std::to_string(trace.safe_kernel(r).count()),
+                   std::to_string(trace.altered_span(r).count()),
+                   std::to_string(trace.alteration_count(r)),
+                   std::to_string(trace.omission_count(r))});
+  }
+  return table.to_string();
+}
+
+}  // namespace hoval

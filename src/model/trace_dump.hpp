@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file trace_dump.hpp
+/// Human-readable rendering of computation traces for diagnostics: a
+/// per-process HO/SHO/AHO table for one round, and a per-round summary of
+/// the aggregate sets (|K|, |SK|, |AS|, fault counts) for a whole prefix.
+
+#include <string>
+
+#include "model/trace.hpp"
+
+namespace hoval {
+
+/// Renders one round, e.g.
+///   round 3:  K={0,1,2} SK={0,1} AS={4}
+///     p0: HO={0,1,2,3,4} SHO={0,1,2,3} AHO={4}
+///     ...
+std::string render_round(const ComputationTrace& trace, Round r);
+
+/// Renders a per-round summary table over rounds [from, to] (inclusive,
+/// clamped to the recorded prefix): |K(r)|, |SK(r)|, |AS(r)|, alterations,
+/// omissions.
+std::string render_summary(const ComputationTrace& trace, Round from = 1,
+                           Round to = -1);
+
+}  // namespace hoval

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental identifiers of the HO model: processes, rounds, phases,
+/// and the totally ordered decision domain V.
+
+#include <cstdint>
+
+namespace hoval {
+
+/// Index of a process in Pi = {0, ..., n-1}.
+using ProcessId = std::int32_t;
+
+/// Round number; rounds are numbered from 1 as in the paper (r > 0).
+using Round = std::int32_t;
+
+/// Phase number for two-round algorithms (phase phi spans rounds
+/// 2*phi - 1 and 2*phi); phases are numbered from 1.
+using Phase = std::int32_t;
+
+/// The totally ordered value domain V of the consensus problem.  The
+/// paper only requires a non-empty totally ordered set; 64-bit integers
+/// exercise every comparison the algorithms perform.
+using Value = std::int64_t;
+
+/// First round of phase `phi` (r = 2*phi - 1).
+constexpr Round first_round_of_phase(Phase phi) noexcept { return 2 * phi - 1; }
+
+/// Second round of phase `phi` (r = 2*phi).
+constexpr Round second_round_of_phase(Phase phi) noexcept { return 2 * phi; }
+
+/// Phase that round `r` belongs to.
+constexpr Phase phase_of_round(Round r) noexcept { return (r + 1) / 2; }
+
+/// True when `r` is the first (voting-preparation) round of its phase.
+constexpr bool is_first_round_of_phase(Round r) noexcept { return r % 2 == 1; }
+
+}  // namespace hoval

@@ -1,0 +1,146 @@
+#include "predicates/liveness.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace hoval {
+
+// ------------------------------------------------------------------ PALive
+
+PALive::PALive(int n, double threshold_t, double threshold_e, double alpha)
+    : n_(n), t_(threshold_t), e_(threshold_e), alpha_(alpha) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+}
+
+std::string PALive::name() const {
+  return "P^{A,live}(T=" + format_double(t_, 2) + ",E=" + format_double(e_, 2) +
+         ",alpha=" + format_double(alpha_, 2) + ")";
+}
+
+bool PALive::round_is_coordinated(const ComputationTrace& trace, Round r) const {
+  // Bucket processes with HO(p,r) == SHO(p,r) by that common set; conjunct
+  // (1) needs one bucket whose set exceeds T and whose population exceeds
+  // E - alpha.
+  std::map<std::vector<ProcessId>, int> buckets;
+  for (ProcessId p = 0; p < n_; ++p) {
+    const auto& rec = trace.record(p, r);
+    if (!(rec.ho == rec.sho)) continue;
+    if (static_cast<double>(rec.ho.count()) <= t_) continue;
+    ++buckets[rec.ho.members()];
+  }
+  for (const auto& [set_members, population] : buckets)
+    if (static_cast<double>(population) > e_ - alpha_) return true;
+  return false;
+}
+
+std::vector<Round> PALive::coordinated_rounds(const ComputationTrace& trace) const {
+  std::vector<Round> out;
+  for (Round r = 1; r <= trace.round_count(); ++r)
+    if (round_is_coordinated(trace, r)) out.push_back(r);
+  return out;
+}
+
+PredicateVerdict PALive::evaluate(const ComputationTrace& trace) const {
+  PredicateVerdict v;
+
+  // Conjunct (1): a coordinated round exists.
+  const auto coordinated = coordinated_rounds(trace);
+  if (coordinated.empty()) {
+    v.holds = false;
+    v.detail = "no round with the Pi1/Pi2 structure (|Pi1| > E-alpha "
+               "hearing exactly a common Pi2 with |Pi2| > T)";
+    return v;
+  }
+  v.witnesses = coordinated;
+
+  // Conjuncts (2) and (3): per-process witnesses.
+  for (ProcessId p = 0; p < n_; ++p) {
+    bool ho_witness = false;
+    bool sho_witness = false;
+    for (Round r = 1; r <= trace.round_count(); ++r) {
+      const auto& rec = trace.record(p, r);
+      ho_witness |= static_cast<double>(rec.ho.count()) > t_;
+      sho_witness |= static_cast<double>(rec.sho.count()) > e_;
+    }
+    if (!ho_witness || !sho_witness) {
+      v.holds = false;
+      std::ostringstream os;
+      os << "process " << p << " lacks a round with "
+         << (!ho_witness ? "|HO| > T" : "|SHO| > E");
+      v.detail = os.str();
+      return v;
+    }
+  }
+
+  v.holds = true;
+  std::ostringstream os;
+  os << coordinated.size() << " coordinated round(s), first at round "
+     << coordinated.front();
+  v.detail = os.str();
+  return v;
+}
+
+// ------------------------------------------------------------------ PULive
+
+PULive::PULive(int n, double threshold_t, double threshold_e, int alpha)
+    : n_(n), t_(threshold_t), e_(threshold_e), alpha_(alpha) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+}
+
+std::string PULive::name() const {
+  return "P^{U,live}(T=" + format_double(t_, 2) + ",E=" + format_double(e_, 2) +
+         ",alpha=" + std::to_string(alpha_) + ")";
+}
+
+bool PULive::phase_is_clean(const ComputationTrace& trace, Phase phi0) const {
+  const Round r0 = 2 * phi0;
+  if (r0 < 1 || r0 + 2 > trace.round_count()) return false;
+
+  // Round 2*phi0: all processes hear exactly the same set, uncorrupted.
+  const auto& first = trace.record(0, r0);
+  if (!(first.ho == first.sho)) return false;
+  for (ProcessId p = 1; p < n_; ++p) {
+    const auto& rec = trace.record(p, r0);
+    if (!(rec.ho == rec.sho) || !(rec.ho == first.ho)) return false;
+  }
+
+  // Rounds 2*phi0+1 / 2*phi0+2: big enough safe heard-of sets for all.
+  const double second_bound = std::max(e_, static_cast<double>(alpha_));
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (!(static_cast<double>(trace.record(p, r0 + 1).sho.count()) > t_))
+      return false;
+    if (!(static_cast<double>(trace.record(p, r0 + 2).sho.count()) > second_bound))
+      return false;
+  }
+  return true;
+}
+
+std::vector<Phase> PULive::clean_phases(const ComputationTrace& trace) const {
+  std::vector<Phase> out;
+  for (Phase phi0 = 1; 2 * phi0 + 2 <= trace.round_count(); ++phi0)
+    if (phase_is_clean(trace, phi0)) out.push_back(phi0);
+  return out;
+}
+
+PredicateVerdict PULive::evaluate(const ComputationTrace& trace) const {
+  PredicateVerdict v;
+  const auto clean = clean_phases(trace);
+  if (clean.empty()) {
+    v.holds = false;
+    v.detail = "no phase phi0 with common uncorrupted Pi0 at round 2*phi0 "
+               "and sufficiently safe rounds 2*phi0+1, 2*phi0+2";
+    return v;
+  }
+  v.holds = true;
+  for (Phase phi : clean) v.witnesses.push_back(2 * phi);
+  std::ostringstream os;
+  os << clean.size() << " clean phase(s), first at phase " << clean.front();
+  v.detail = os.str();
+  return v;
+}
+
+}  // namespace hoval

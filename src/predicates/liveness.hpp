@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file liveness.hpp
+/// The paper's communication-*liveness* predicates:
+///   P^{A,live} (Fig. 1) — what A_{T,E} needs to terminate
+///   P^{U,live} (Fig. 2) — what U_{T,E,alpha} needs to terminate
+///
+/// Both are time-invariant eventual predicates ("∀r ∃r' >= r : ...").  On
+/// a finite prefix a clause holds iff a witness round occurs in the prefix;
+/// verdicts carry all witnesses so experiments can measure good-round
+/// frequency, not just existence.
+
+#include "predicates/predicate.hpp"
+
+namespace hoval {
+
+/// P^{A,live} (Fig. 1), three conjuncts:
+///  (1) ∃r, ∃Pi1, Pi2 ⊆ Pi: |Pi1| > E - alpha, |Pi2| > T, and every
+///      p ∈ Pi1 has HO(p,r) = SHO(p,r) = Pi2;
+///  (2) every p has a round with |HO(p,r)| > T;
+///  (3) every p has a round with |SHO(p,r)| > E.
+class PALive final : public Predicate {
+ public:
+  PALive(int n, double threshold_t, double threshold_e, double alpha);
+
+  std::string name() const override;
+  PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+
+  /// Rounds of the prefix satisfying conjunct (1) (exposed for the F1
+  /// experiment which measures good-round frequency vs decision latency).
+  std::vector<Round> coordinated_rounds(const ComputationTrace& trace) const;
+
+ private:
+  /// True when round r contains the Pi1/Pi2 structure of conjunct (1).
+  bool round_is_coordinated(const ComputationTrace& trace, Round r) const;
+
+  int n_;
+  double t_;
+  double e_;
+  double alpha_;
+};
+
+/// P^{U,live} (Fig. 2): infinitely often a phase phi0 exists with a common
+/// set Pi0 such that for all p,
+///   HO(p, 2*phi0) = SHO(p, 2*phi0) = Pi0,
+///   |SHO(p, 2*phi0 + 1)| > T,  and  |SHO(p, 2*phi0 + 2)| > max(E, alpha).
+class PULive final : public Predicate {
+ public:
+  PULive(int n, double threshold_t, double threshold_e, int alpha);
+
+  std::string name() const override;
+  PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+
+  /// Phases of the prefix satisfying the clause (needs rounds up to
+  /// 2*phi0+2 recorded).
+  std::vector<Phase> clean_phases(const ComputationTrace& trace) const;
+
+ private:
+  bool phase_is_clean(const ComputationTrace& trace, Phase phi0) const;
+
+  int n_;
+  double t_;
+  double e_;
+  int alpha_;
+};
+
+}  // namespace hoval

@@ -1,0 +1,42 @@
+#include "predicates/predicate.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+AndPredicate::AndPredicate(std::vector<std::shared_ptr<Predicate>> parts)
+    : parts_(std::move(parts)) {
+  HOVAL_EXPECTS_MSG(!parts_.empty(), "conjunction needs at least one part");
+  for (const auto& part : parts_)
+    HOVAL_EXPECTS_MSG(part != nullptr, "conjunction part must not be null");
+}
+
+std::string AndPredicate::name() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts_.size(); ++i)
+    os << (i ? " /\\ " : "") << parts_[i]->name();
+  return os.str();
+}
+
+PredicateVerdict AndPredicate::evaluate(const ComputationTrace& trace) const {
+  for (const auto& part : parts_) {
+    PredicateVerdict verdict = part->evaluate(trace);
+    if (!verdict.holds) {
+      verdict.detail = part->name() + " failed: " + verdict.detail;
+      return verdict;
+    }
+  }
+  PredicateVerdict ok;
+  ok.holds = true;
+  ok.detail = "all conjuncts hold";
+  return ok;
+}
+
+std::shared_ptr<Predicate> conjunction(
+    std::vector<std::shared_ptr<Predicate>> parts) {
+  return std::make_shared<AndPredicate>(std::move(parts));
+}
+
+}  // namespace hoval

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file predicate.hpp
+/// Communication predicates (Sec. 2.2): predicates over the collections
+/// (HO(p,r)) and (SHO(p,r)) that characterise *all* system assumptions —
+/// synchrony, failures, fault bounds — in one unified object.  Predicates
+/// over HO alone are liveness properties of communication; predicates
+/// involving SHO are safety properties.
+///
+/// Evaluation semantics on finite prefixes: permanent clauses
+/// (∀r ...) are checked on every recorded round; eventual clauses
+/// (∃r ...) hold iff a witness occurs in the recorded prefix.  The paper's
+/// time-invariant "∀r ∃r' >= r" shapes therefore degrade gracefully: a
+/// verdict reports the witnesses found so experiments can also assert
+/// *how often* the good rounds occurred.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/trace.hpp"
+
+namespace hoval {
+
+/// Outcome of evaluating a predicate on a trace prefix.
+struct PredicateVerdict {
+  bool holds = false;
+  /// First round at which a permanent clause failed, if any.
+  std::optional<Round> violation_round;
+  /// Witness rounds of eventual clauses (empty for permanent predicates).
+  std::vector<Round> witnesses;
+  /// Human-readable explanation of the verdict.
+  std::string detail;
+};
+
+/// A communication predicate evaluated against ground-truth traces.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// Short identifier, e.g. "P_alpha(3)".
+  virtual std::string name() const = 0;
+
+  /// Evaluates the predicate on the recorded prefix.
+  virtual PredicateVerdict evaluate(const ComputationTrace& trace) const = 0;
+};
+
+/// Conjunction of predicates; holds iff all parts hold.  The verdict
+/// reports the first failing part.
+class AndPredicate final : public Predicate {
+ public:
+  explicit AndPredicate(std::vector<std::shared_ptr<Predicate>> parts);
+
+  std::string name() const override;
+  PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+
+ private:
+  std::vector<std::shared_ptr<Predicate>> parts_;
+};
+
+/// Convenience constructor for conjunctions.
+std::shared_ptr<Predicate> conjunction(std::vector<std::shared_ptr<Predicate>> parts);
+
+}  // namespace hoval

@@ -1,0 +1,185 @@
+#include "predicates/safety.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace hoval {
+
+namespace {
+PredicateVerdict holds_verdict(std::string detail) {
+  PredicateVerdict v;
+  v.holds = true;
+  v.detail = std::move(detail);
+  return v;
+}
+
+PredicateVerdict fails_at(Round r, std::string detail) {
+  PredicateVerdict v;
+  v.holds = false;
+  v.violation_round = r;
+  v.detail = std::move(detail);
+  return v;
+}
+}  // namespace
+
+// ------------------------------------------------------------------ PAlpha
+
+PAlpha::PAlpha(double alpha) : alpha_(alpha) {
+  HOVAL_EXPECTS_MSG(alpha >= 0.0, "alpha must be non-negative");
+}
+
+std::string PAlpha::name() const {
+  return "P_alpha(" + format_double(alpha_, 2) + ")";
+}
+
+PredicateVerdict PAlpha::evaluate(const ComputationTrace& trace) const {
+  for (Round r = 1; r <= trace.round_count(); ++r) {
+    for (ProcessId p = 0; p < trace.universe_size(); ++p) {
+      const int aho = trace.record(p, r).aho().count();
+      if (static_cast<double>(aho) > alpha_) {
+        std::ostringstream os;
+        os << "|AHO(" << p << "," << r << ")| = " << aho << " > alpha = "
+           << format_double(alpha_, 2);
+        return fails_at(r, os.str());
+      }
+    }
+  }
+  return holds_verdict("every |AHO(p,r)| <= " + format_double(alpha_, 2));
+}
+
+// -------------------------------------------------------------- PPermAlpha
+
+PPermAlpha::PPermAlpha(double alpha) : alpha_(alpha) {
+  HOVAL_EXPECTS_MSG(alpha >= 0.0, "alpha must be non-negative");
+}
+
+std::string PPermAlpha::name() const {
+  return "P_alpha^perm(" + format_double(alpha_, 2) + ")";
+}
+
+PredicateVerdict PPermAlpha::evaluate(const ComputationTrace& trace) const {
+  const int as = trace.altered_span().count();
+  if (static_cast<double>(as) > alpha_) {
+    std::ostringstream os;
+    os << "|AS| = " << as << " > alpha = " << format_double(alpha_, 2);
+    PredicateVerdict v;
+    v.holds = false;
+    v.detail = os.str();
+    return v;
+  }
+  return holds_verdict("|AS| = " + std::to_string(as) +
+                       " <= " + format_double(alpha_, 2));
+}
+
+// ----------------------------------------------------------------- PBenign
+
+std::string PBenign::name() const { return "P_benign"; }
+
+PredicateVerdict PBenign::evaluate(const ComputationTrace& trace) const {
+  for (Round r = 1; r <= trace.round_count(); ++r) {
+    for (ProcessId p = 0; p < trace.universe_size(); ++p) {
+      const auto& rec = trace.record(p, r);
+      if (!(rec.sho == rec.ho)) {
+        std::ostringstream os;
+        os << "SHO(" << p << "," << r << ") != HO(" << p << "," << r << ")";
+        return fails_at(r, os.str());
+      }
+    }
+  }
+  return holds_verdict("no corrupted transmission in the prefix");
+}
+
+// ------------------------------------------------------------------ PUSafe
+
+PUSafe::PUSafe(int n, double threshold_t, double threshold_e, int alpha)
+    : n_(n), t_(threshold_t), e_(threshold_e), alpha_(alpha) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+}
+
+double PUSafe::bound() const noexcept {
+  return std::max({static_cast<double>(n_) + 2.0 * alpha_ - e_ - 1.0, t_,
+                   static_cast<double>(alpha_)});
+}
+
+std::string PUSafe::name() const {
+  return "P^{U,safe}(|SHO|>" + format_double(bound(), 2) + ")";
+}
+
+PredicateVerdict PUSafe::evaluate(const ComputationTrace& trace) const {
+  const double b = bound();
+  for (Round r = 1; r <= trace.round_count(); ++r) {
+    for (ProcessId p = 0; p < trace.universe_size(); ++p) {
+      const int sho = trace.record(p, r).sho.count();
+      if (!(static_cast<double>(sho) > b)) {
+        std::ostringstream os;
+        os << "|SHO(" << p << "," << r << ")| = " << sho
+           << " not > " << format_double(b, 2);
+        return fails_at(r, os.str());
+      }
+    }
+  }
+  return holds_verdict("every |SHO(p,r)| > " + format_double(b, 2));
+}
+
+// ---------------------------------------------------------- SyncByzantine
+
+SyncByzantinePredicate::SyncByzantinePredicate(int f) : f_(f) {
+  HOVAL_EXPECTS_MSG(f >= 0, "f must be non-negative");
+}
+
+std::string SyncByzantinePredicate::name() const {
+  return "|SK| >= n-" + std::to_string(f_);
+}
+
+PredicateVerdict SyncByzantinePredicate::evaluate(
+    const ComputationTrace& trace) const {
+  const int sk = trace.safe_kernel().count();
+  const int need = trace.universe_size() - f_;
+  if (sk < need) {
+    PredicateVerdict v;
+    v.holds = false;
+    v.detail = "|SK| = " + std::to_string(sk) + " < n - f = " + std::to_string(need);
+    return v;
+  }
+  return holds_verdict("|SK| = " + std::to_string(sk) +
+                       " >= " + std::to_string(need));
+}
+
+// --------------------------------------------------------- AsyncByzantine
+
+AsyncByzantinePredicate::AsyncByzantinePredicate(int f) : f_(f) {
+  HOVAL_EXPECTS_MSG(f >= 0, "f must be non-negative");
+}
+
+std::string AsyncByzantinePredicate::name() const {
+  return "∀p,r |HO| >= n-" + std::to_string(f_) + " /\\ |AS| <= " +
+         std::to_string(f_);
+}
+
+PredicateVerdict AsyncByzantinePredicate::evaluate(
+    const ComputationTrace& trace) const {
+  const int need = trace.universe_size() - f_;
+  for (Round r = 1; r <= trace.round_count(); ++r) {
+    for (ProcessId p = 0; p < trace.universe_size(); ++p) {
+      const int ho = trace.record(p, r).ho.count();
+      if (ho < need) {
+        std::ostringstream os;
+        os << "|HO(" << p << "," << r << ")| = " << ho << " < n - f = " << need;
+        return fails_at(r, os.str());
+      }
+    }
+  }
+  const int as = trace.altered_span().count();
+  if (as > f_) {
+    PredicateVerdict v;
+    v.holds = false;
+    v.detail = "|AS| = " + std::to_string(as) + " > f = " + std::to_string(f_);
+    return v;
+  }
+  return holds_verdict("liveness and |AS| <= f both hold");
+}
+
+}  // namespace hoval

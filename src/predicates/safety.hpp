@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file safety.hpp
+/// The paper's communication-*safety* predicates (they constrain SHO):
+///   P_alpha        (Eq. 2)  — per-round, per-process corruption bound
+///   P_alpha^perm   (Eq. 1)  — classical whole-run corruption bound
+///   P_benign                — no corruption at all (the model of [6])
+///   P^{U,safe}     (Eq. 7)  — the permanent safety/liveness mix U needs
+/// plus the Sec. 5.2 encodings of classical Byzantine assumptions:
+///   sync:  |SK| >= n - f
+///   async: ∀p,r: |HO(p,r)| >= n - f  and  |AS| <= f.
+
+#include "predicates/predicate.hpp"
+
+namespace hoval {
+
+/// P_alpha :: ∀r > 0, ∀p: |AHO(p,r)| <= alpha — "alpha-safe communication".
+class PAlpha final : public Predicate {
+ public:
+  explicit PAlpha(double alpha);
+  std::string name() const override;
+  PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+
+ private:
+  double alpha_;
+};
+
+/// P_alpha^perm :: |AS| <= alpha — at most alpha processes ever emit a
+/// corrupted message (implies P_alpha; the classical static reading).
+class PPermAlpha final : public Predicate {
+ public:
+  explicit PPermAlpha(double alpha);
+  std::string name() const override;
+  PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+
+ private:
+  double alpha_;
+};
+
+/// P_benign :: ∀p, r: SHO(p,r) = HO(p,r) — the benign HO model of [6].
+class PBenign final : public Predicate {
+ public:
+  std::string name() const override;
+  PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+};
+
+/// P^{U,safe} :: ∀p, r: |SHO(p,r)| > max(n + 2*alpha - E - 1, T, alpha).
+class PUSafe final : public Predicate {
+ public:
+  PUSafe(int n, double threshold_t, double threshold_e, int alpha);
+  std::string name() const override;
+  PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+
+  /// The bound max(n + 2*alpha - E - 1, T, alpha).
+  double bound() const noexcept;
+
+ private:
+  int n_;
+  double t_;
+  double e_;
+  int alpha_;
+};
+
+/// Synchronous Byzantine encoding (Sec. 5.2): |SK| >= n - f.
+class SyncByzantinePredicate final : public Predicate {
+ public:
+  explicit SyncByzantinePredicate(int f);
+  std::string name() const override;
+  PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+
+ private:
+  int f_;
+};
+
+/// Asynchronous Byzantine encoding (Sec. 5.2):
+/// ∀p, r: |HO(p,r)| >= n - f  and  |AS| <= f.
+class AsyncByzantinePredicate final : public Predicate {
+ public:
+  explicit AsyncByzantinePredicate(int f);
+  std::string name() const override;
+  PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+
+ private:
+  int f_;
+};
+
+}  // namespace hoval

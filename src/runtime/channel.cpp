@@ -1,0 +1,60 @@
+#include "runtime/channel.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+ChannelFaults::ChannelFaults(LinkFaultConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  HOVAL_EXPECTS_MSG(config.drop_probability >= 0.0 &&
+                        config.drop_probability <= 1.0,
+                    "drop probability must be in [0,1]");
+  HOVAL_EXPECTS_MSG(config.corrupt_probability >= 0.0 &&
+                        config.corrupt_probability <= 1.0,
+                    "corrupt probability must be in [0,1]");
+  HOVAL_EXPECTS_MSG(config.delay_probability >= 0.0 &&
+                        config.delay_probability <= 1.0,
+                    "delay probability must be in [0,1]");
+  HOVAL_EXPECTS_MSG(config.max_bit_flips >= 1, "need at least one possible flip");
+}
+
+std::vector<std::vector<std::byte>> ChannelFaults::transmit(
+    std::vector<std::byte> frame) {
+  ++counters_.sent;
+  std::vector<std::vector<std::byte>> out;
+  // A previously delayed frame is released first (FIFO per link).
+  if (pending_) {
+    out.push_back(std::move(*pending_));
+    pending_.reset();
+  }
+  if (rng_.chance(config_.drop_probability)) {
+    ++counters_.dropped;
+    return out;
+  }
+  if (!frame.empty() && rng_.chance(config_.corrupt_probability)) {
+    ++counters_.corrupted;
+    const auto flips = static_cast<int>(
+        rng_.range(1, static_cast<std::int64_t>(config_.max_bit_flips)));
+    for (int i = 0; i < flips; ++i) {
+      const auto byte_idx =
+          static_cast<std::size_t>(rng_.below(frame.size()));
+      const auto bit = static_cast<int>(rng_.below(8));
+      frame[byte_idx] ^= static_cast<std::byte>(1u << bit);
+    }
+  }
+  if (rng_.chance(config_.delay_probability)) {
+    ++counters_.delayed;
+    pending_ = std::move(frame);
+    return out;
+  }
+  out.push_back(std::move(frame));
+  return out;
+}
+
+std::optional<std::vector<std::byte>> ChannelFaults::flush_pending() {
+  std::optional<std::vector<std::byte>> out;
+  out.swap(pending_);
+  return out;
+}
+
+}  // namespace hoval

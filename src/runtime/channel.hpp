@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file channel.hpp
+/// Byte-level fault injection on a point-to-point link.  Faults are
+/// injected on the encoded frame, so their effect is whatever the decoder
+/// makes of the damaged bytes — payload flips become value faults, round
+/// tag flips become omissions (communication closure discards the frame),
+/// header damage becomes a malformed frame (omission).  This is the
+/// "faulty channel" cause of the paper's introduction, realised literally.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hoval {
+
+/// Per-link fault model.
+struct LinkFaultConfig {
+  double drop_probability = 0.0;     ///< frame lost entirely
+  double corrupt_probability = 0.0;  ///< frame suffers random bit flips
+  int max_bit_flips = 3;             ///< 1..max flips, uniform, when corrupted
+  /// Probability that a frame is *delayed*: it is held back and delivered
+  /// just before the next frame sent over the same link — typically one
+  /// round late, where communication closure discards it (an omission
+  /// for its own round, plus a late arrival at the receiver).
+  double delay_probability = 0.0;
+};
+
+/// Fault injector owned by one link; accessed only by the sending node's
+/// thread, so it needs no locking (state is confined, CP.3).
+class ChannelFaults {
+ public:
+  ChannelFaults(LinkFaultConfig config, Rng rng);
+
+  /// Statistics of one link.
+  struct Counters {
+    long long sent = 0;
+    long long dropped = 0;
+    long long corrupted = 0;
+    long long delayed = 0;
+  };
+
+  /// Result of one transmission attempt: frames to put on the wire *now*
+  /// (a delayed predecessor may be released together with, and ahead of,
+  /// the current frame; an empty vector means everything was dropped or
+  /// held back).
+  std::vector<std::vector<std::byte>> transmit(std::vector<std::byte> frame);
+
+  /// Releases a held-back frame, if any (used when the link goes quiet).
+  std::optional<std::vector<std::byte>> flush_pending();
+
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  LinkFaultConfig config_;
+  Rng rng_;
+  Counters counters_;
+  std::optional<std::vector<std::byte>> pending_;  ///< delayed frame
+};
+
+}  // namespace hoval

@@ -1,0 +1,36 @@
+#include "runtime/crc32.hpp"
+
+#include <array>
+
+namespace hoval {
+
+namespace {
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;  // reflected IEEE 802.3
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> data) noexcept {
+  for (std::byte b : data)
+    state_ = (state_ >> 8) ^
+             kTable[(state_ ^ static_cast<std::uint32_t>(b)) & 0xFFu];
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace hoval

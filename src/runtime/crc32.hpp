@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3 polynomial, reflected) implemented from scratch.
+///
+/// Role in the reproduction: Sec. 5.2 of the paper discusses turning value
+/// faults into benign faults with error-detecting codes — and why that
+/// transformation is imperfect ("error correcting codes cannot correct all
+/// errors").  Our threaded runtime attaches a CRC32 to each packet; a
+/// corruption detected by the checksum is converted into an omission
+/// (benign fault), while an undetected corruption (checksum collision or
+/// checksums disabled) remains a value fault — exactly the residual-fault
+/// story the paper's P_alpha predicate is designed for.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hoval {
+
+/// CRC-32 of a byte span (init 0xFFFFFFFF, reflected, final xor).
+std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+/// Incremental variant for framed encodings.
+class Crc32 {
+ public:
+  void update(std::span<const std::byte> data) noexcept;
+  std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace hoval

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file mailbox.hpp
+/// Thread-safe MPSC mailbox used by node threads.  Producers are the n-1
+/// peer node threads (via Network::send); the consumer is the owning node.
+/// Follows the Core Guidelines concurrency rules: mutex defined with the
+/// data it guards (CP.50), condition-variable waits always use a predicate
+/// (CP.42), values are passed by value between threads (CP.31).
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace hoval {
+
+/// Unbounded thread-safe queue with timed pop and close semantics.
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues one item; no-op after close().
+  void push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      queue_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+  }
+
+  /// Dequeues one item, waiting up to `timeout`.  Returns nullopt on
+  /// timeout or when the mailbox was closed and drained.
+  std::optional<T> pop(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    return out;
+  }
+
+  /// Non-blocking dequeue.
+  std::optional<T> try_pop() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    return out;
+  }
+
+  /// Unblocks all poppers; subsequent pushes are dropped.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace hoval

@@ -1,0 +1,80 @@
+#include "runtime/network.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+Network::Network(int n, NetworkConfig config) : n_(n), config_(config) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+  Rng master(config.seed);
+  links_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (ProcessId q = 0; q < n; ++q) {
+    for (ProcessId p = 0; p < n; ++p) {
+      LinkFaultConfig link_config = config.faults;
+      if (q == p && !config.faults_on_self_link) {
+        link_config.drop_probability = 0.0;
+        link_config.corrupt_probability = 0.0;
+      }
+      links_.push_back(std::make_unique<ChannelFaults>(
+          link_config, master.fork(intent_key(0, q, p))));
+    }
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox<std::vector<std::byte>>>());
+}
+
+std::size_t Network::link_index(ProcessId sender, ProcessId receiver) const {
+  HOVAL_EXPECTS_MSG(sender >= 0 && sender < n_, "sender out of universe");
+  HOVAL_EXPECTS_MSG(receiver >= 0 && receiver < n_, "receiver out of universe");
+  return static_cast<std::size_t>(sender) * static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(receiver);
+}
+
+std::uint64_t Network::intent_key(Round r, ProcessId sender, ProcessId receiver) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(sender)) << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(receiver));
+}
+
+void Network::send(ProcessId receiver, const WirePacket& packet) {
+  {
+    const std::lock_guard<std::mutex> lock(intent_mutex_);
+    intent_log_[intent_key(packet.round, packet.sender, receiver)] = packet.msg;
+  }
+  auto frame = encode_packet(packet, config_.with_crc);
+  auto transmitted =
+      links_[link_index(packet.sender, receiver)]->transmit(std::move(frame));
+  for (auto& wire_frame : transmitted)
+    mailboxes_[static_cast<std::size_t>(receiver)]->push(std::move(wire_frame));
+}
+
+Mailbox<std::vector<std::byte>>& Network::mailbox(ProcessId p) {
+  HOVAL_EXPECTS_MSG(p >= 0 && p < n_, "process out of universe");
+  return *mailboxes_[static_cast<std::size_t>(p)];
+}
+
+std::optional<Msg> Network::intended(Round r, ProcessId sender,
+                                     ProcessId receiver) const {
+  const std::lock_guard<std::mutex> lock(intent_mutex_);
+  const auto it = intent_log_.find(intent_key(r, sender, receiver));
+  if (it == intent_log_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Network::close_all() {
+  for (auto& mailbox : mailboxes_) mailbox->close();
+}
+
+ChannelFaults::Counters Network::total_counters() const {
+  ChannelFaults::Counters total;
+  for (const auto& link : links_) {
+    total.sent += link->counters().sent;
+    total.dropped += link->counters().dropped;
+    total.corrupted += link->counters().corrupted;
+    total.delayed += link->counters().delayed;
+  }
+  return total;
+}
+
+}  // namespace hoval

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file network.hpp
+/// The simulated network connecting node threads: n*n lossy, corrupting
+/// point-to-point links feeding per-node mailboxes, plus a ground-truth
+/// send log so HO/SHO sets can be reconstructed after a run (the paper's
+/// analysis-level objects, which no process can observe online).
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "model/message.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/serialization.hpp"
+#include "util/rng.hpp"
+
+namespace hoval {
+
+/// Network-wide configuration.
+struct NetworkConfig {
+  LinkFaultConfig faults;      ///< applied to every non-self link
+  bool with_crc = true;        ///< frames carry a CRC32 trailer
+  std::uint64_t seed = 1;      ///< master seed for per-link fault streams
+  bool faults_on_self_link = false;  ///< local delivery is reliable by default
+};
+
+/// Thread-safe fabric of n*n links.
+///
+/// Threading model: link (q -> p) is used only by node q's thread, so the
+/// per-link fault injectors need no locks; mailboxes are internally
+/// synchronised; the intent log has its own mutex (CP.50).
+class Network {
+ public:
+  Network(int n, NetworkConfig config);
+
+  int universe_size() const noexcept { return n_; }
+  bool with_crc() const noexcept { return config_.with_crc; }
+
+  /// Called by node `packet.sender`'s thread: logs the intent, encodes,
+  /// pushes the (possibly damaged) frame into `receiver`'s mailbox.
+  void send(ProcessId receiver, const WirePacket& packet);
+
+  /// The receiving end of process `p`.
+  Mailbox<std::vector<std::byte>>& mailbox(ProcessId p);
+
+  /// Ground truth: what `sender` intended to send `receiver` at round `r`
+  /// (nullopt when nothing was sent, e.g. the sender had stopped).
+  std::optional<Msg> intended(Round r, ProcessId sender, ProcessId receiver) const;
+
+  /// Closes all mailboxes (unblocks any node still waiting).
+  void close_all();
+
+  /// Aggregated link counters.
+  ChannelFaults::Counters total_counters() const;
+
+ private:
+  std::size_t link_index(ProcessId sender, ProcessId receiver) const;
+  static std::uint64_t intent_key(Round r, ProcessId sender, ProcessId receiver);
+
+  int n_;
+  NetworkConfig config_;
+  std::vector<std::unique_ptr<ChannelFaults>> links_;  ///< [sender*n+receiver]
+  std::vector<std::unique_ptr<Mailbox<std::vector<std::byte>>>> mailboxes_;
+
+  mutable std::mutex intent_mutex_;
+  std::unordered_map<std::uint64_t, Msg> intent_log_;
+};
+
+}  // namespace hoval

@@ -1,0 +1,104 @@
+#include "runtime/node.hpp"
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hoval {
+
+Node::Node(std::unique_ptr<HoProcess> process, Network& network, NodeConfig config)
+    : process_(std::move(process)), network_(network), config_(config) {
+  HOVAL_EXPECTS_MSG(process_ != nullptr, "node needs a process");
+  HOVAL_EXPECTS_MSG(config.max_rounds >= 1, "node must run at least one round");
+  HOVAL_EXPECTS_MSG(config.quorum >= 0 &&
+                        config.quorum <= process_->universe_size(),
+                    "quorum must be within [0, n]");
+  HOVAL_EXPECTS_MSG(config.retransmits >= 0, "retransmits must be >= 0");
+}
+
+void Node::dispatch(Round r, ReceptionVector& mu, const WirePacket& packet) {
+  if (packet.sender < 0 || packet.sender >= process_->universe_size()) {
+    ++counters_.malformed;  // sender field corrupted out of range
+    return;
+  }
+  if (packet.round == r) {
+    mu.set(packet.sender, packet.msg);
+    ++counters_.delivered;
+  } else if (packet.round > r) {
+    future_[packet.round].push_back(packet);
+    ++counters_.future_buffered;
+  } else {
+    ++counters_.late_discarded;  // round already closed
+  }
+}
+
+void Node::broadcast(Round r) {
+  const int n = process_->universe_size();
+  for (ProcessId dest = 0; dest < n; ++dest)
+    network_.send(dest, WirePacket{r, process_->id(),
+                                   process_->message_for(r, dest)});
+}
+
+void Node::collect_round(Round r, ReceptionVector& mu) {
+  const int n = process_->universe_size();
+  const int quorum = config_.quorum == 0 ? n : config_.quorum;
+
+  // First drain anything buffered for this round.
+  if (const auto it = future_.find(r); it != future_.end()) {
+    for (const WirePacket& packet : it->second) {
+      mu.set(packet.sender, packet.msg);
+      ++counters_.delivered;
+    }
+    future_.erase(it);
+  }
+
+  // The timeout is split into (retransmits + 1) slices; each expired slice
+  // without a quorum triggers one rebroadcast.
+  const int slices = config_.retransmits + 1;
+  const auto slice_length = config_.round_timeout / slices;
+  for (int slice = 0; slice < slices && mu.count_received() < quorum; ++slice) {
+    if (slice > 0) {
+      broadcast(r);  // peers that lost our frame get another chance
+      ++counters_.retransmissions;
+    }
+    const auto deadline = std::chrono::steady_clock::now() + slice_length;
+    while (mu.count_received() < quorum) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+      auto frame = network_.mailbox(process_->id()).pop(remaining);
+      if (!frame) continue;  // timeout slice or close; loop re-checks deadline
+
+      const DecodeResult decoded = decode_packet(*frame, network_.with_crc());
+      switch (decoded.status) {
+        case DecodeStatus::kOk:
+          dispatch(r, mu, *decoded.packet);
+          break;
+        case DecodeStatus::kCrcMismatch:
+          ++counters_.crc_rejected;  // detected corruption -> omission
+          break;
+        case DecodeStatus::kMalformed:
+          ++counters_.malformed;
+          break;
+      }
+    }
+  }
+}
+
+void Node::run() {
+  const int n = process_->universe_size();
+  history_.reserve(static_cast<std::size_t>(config_.max_rounds));
+  for (Round r = 1; r <= config_.max_rounds; ++r) {
+    broadcast(r);
+    ReceptionVector mu(n);
+    collect_round(r, mu);
+    history_.push_back(mu);
+    process_->transition(r, mu);
+  }
+  HOVAL_LOG(kDebug) << "node " << process_->id() << " finished "
+                    << config_.max_rounds << " rounds, decision="
+                    << (process_->decision() ? std::to_string(*process_->decision())
+                                             : std::string("none"));
+}
+
+}  // namespace hoval

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file node.hpp
+/// A node thread: runs one HoProcess over the asynchronous network,
+/// realising communication-closed rounds in the spirit of the predicate
+/// implementations of Hutle & Schiper [10].  Per round it broadcasts,
+/// then collects round-r frames until either a quorum arrived or a local
+/// timeout expired; frames from past rounds are discarded (communication
+/// closure), frames from future rounds buffered.  CRC-rejected and
+/// malformed frames are dropped — turning *detected* value faults into
+/// benign omissions; undetected corruptions (flips the CRC misses, or CRC
+/// disabled) surface as value faults, exactly the paper's residual-fault
+/// model.
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "model/process.hpp"
+#include "runtime/network.hpp"
+
+namespace hoval {
+
+/// Per-node configuration.
+struct NodeConfig {
+  Round max_rounds = 20;  ///< every node runs exactly this many rounds
+  /// Move on as soon as this many round-r messages arrived (n = wait for
+  /// everyone; smaller values model impatient quorum-based advancement).
+  int quorum = 0;  ///< 0 means "wait for all n"
+  std::chrono::milliseconds round_timeout{50};  ///< per-round deadline
+  /// Rebroadcast the round's messages up to this many times while the
+  /// quorum has not been reached (the round timeout is split into
+  /// retransmits+1 slices).  Masks message loss: with per-link drop
+  /// probability d, an effectively delivered link fails only with
+  /// d^(retransmits+1).  Duplicates are idempotent at the receiver (a
+  /// round-r slot is simply overwritten).
+  int retransmits = 0;
+};
+
+/// One process bound to the network; run() executes on its own thread.
+class Node {
+ public:
+  Node(std::unique_ptr<HoProcess> process, Network& network, NodeConfig config);
+
+  /// Executes max_rounds communication-closed rounds.  Called once, on the
+  /// node's thread.
+  void run();
+
+  /// Per-round message-handling statistics.
+  struct Counters {
+    long long delivered = 0;       ///< frames consumed into a reception vector
+    long long late_discarded = 0;  ///< frames from already-closed rounds
+    long long future_buffered = 0; ///< frames buffered for a later round
+    long long crc_rejected = 0;    ///< detected corruptions (became omissions)
+    long long malformed = 0;       ///< undecodable frames (became omissions)
+    long long retransmissions = 0; ///< extra broadcasts due to missed quorum
+  };
+
+  const HoProcess& process() const noexcept { return *process_; }
+  const Counters& counters() const noexcept { return counters_; }
+
+  /// The reception vector consumed at each executed round (index r-1);
+  /// used to reconstruct ground-truth HO/SHO sets after the run.
+  const std::vector<ReceptionVector>& reception_history() const noexcept {
+    return history_;
+  }
+
+ private:
+  /// Broadcasts this round's messages per the sending function.
+  void broadcast(Round r);
+
+  /// Collects messages for round `r` into `mu` until quorum or deadline,
+  /// rebroadcasting on slice expiry when configured.
+  void collect_round(Round r, ReceptionVector& mu);
+
+  /// Routes one decoded packet (round r current).
+  void dispatch(Round r, ReceptionVector& mu, const WirePacket& packet);
+
+  std::unique_ptr<HoProcess> process_;
+  Network& network_;
+  NodeConfig config_;
+  Counters counters_;
+  std::vector<ReceptionVector> history_;
+  std::map<Round, std::vector<WirePacket>> future_;  ///< early arrivals
+};
+
+}  // namespace hoval

@@ -1,0 +1,86 @@
+#include "runtime/runner.hpp"
+
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+int RuntimeResult::decided_count() const {
+  int total = 0;
+  for (const auto& d : decisions)
+    if (d) ++total;
+  return total;
+}
+
+RuntimeResult run_threaded_consensus(ProcessVector processes,
+                                     const RuntimeConfig& config) {
+  HOVAL_EXPECTS_MSG(!processes.empty(), "need at least one process");
+  const int n = static_cast<int>(processes.size());
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    HOVAL_EXPECTS_MSG(processes[i] != nullptr, "process must not be null");
+    HOVAL_EXPECTS_MSG(processes[i]->id() == static_cast<ProcessId>(i),
+                      "process ids must be 0..n-1 in order");
+  }
+
+  Network network(n, config.network);
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (auto& process : processes)
+    nodes.push_back(
+        std::make_unique<Node>(std::move(process), network, config.node));
+
+  {
+    // jthreads join on scope exit (CP.25); one thread per node.
+    std::vector<std::jthread> threads;
+    threads.reserve(nodes.size());
+    for (auto& node : nodes)
+      threads.emplace_back([&node_ref = *node] { node_ref.run(); });
+  }
+  network.close_all();
+
+  RuntimeResult result;
+  result.n = n;
+  result.rounds = config.node.max_rounds;
+  result.trace = ComputationTrace(n);
+  result.link_counters = network.total_counters();
+
+  for (const auto& node : nodes) {
+    result.decisions.push_back(node->process().decision());
+    result.decision_rounds.push_back(node->process().decision_round());
+    result.node_counters.delivered += node->counters().delivered;
+    result.node_counters.late_discarded += node->counters().late_discarded;
+    result.node_counters.future_buffered += node->counters().future_buffered;
+    result.node_counters.crc_rejected += node->counters().crc_rejected;
+    result.node_counters.malformed += node->counters().malformed;
+    result.node_counters.retransmissions += node->counters().retransmissions;
+  }
+  result.all_decided = result.decided_count() == n;
+
+  // Reconstruct HO/SHO per round: HO is the support of what the node
+  // consumed; a link is safe when the consumed message matches the
+  // sender's logged intent for that round.
+  for (Round r = 1; r <= config.node.max_rounds; ++r) {
+    std::vector<HoRecord> records;
+    records.reserve(static_cast<std::size_t>(n));
+    for (ProcessId p = 0; p < n; ++p) {
+      const auto& history = nodes[static_cast<std::size_t>(p)]->reception_history();
+      HOVAL_ENSURES_MSG(static_cast<Round>(history.size()) >= r,
+                        "node history shorter than the configured rounds");
+      const ReceptionVector& mu = history[static_cast<std::size_t>(r - 1)];
+      HoRecord rec{mu.support(), ProcessSet(n)};
+      for (ProcessId q = 0; q < n; ++q) {
+        const auto& got = mu.get(q);
+        if (!got) continue;
+        const auto intent = network.intended(r, q, p);
+        if (intent && *got == *intent) rec.sho.insert(q);
+      }
+      records.push_back(std::move(rec));
+    }
+    result.trace.append_round(std::move(records));
+  }
+
+  return result;
+}
+
+}  // namespace hoval

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file runner.hpp
+/// Orchestrates a full threaded consensus execution: builds the network,
+/// spawns one thread per node, joins them, and reconstructs the
+/// ground-truth computation trace (HO/SHO per process per round) from the
+/// nodes' consumed reception vectors and the network's intent log.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/process.hpp"
+#include "model/trace.hpp"
+#include "runtime/network.hpp"
+#include "runtime/node.hpp"
+
+namespace hoval {
+
+/// Configuration of one threaded run.
+struct RuntimeConfig {
+  NetworkConfig network;
+  NodeConfig node;
+};
+
+/// Result of one threaded run.
+struct RuntimeResult {
+  int n = 0;
+  Round rounds = 0;
+  bool all_decided = false;
+  std::vector<std::optional<Value>> decisions;
+  std::vector<std::optional<Round>> decision_rounds;
+  /// Ground-truth trace reconstructed post-hoc (what each node consumed
+  /// vs what the network's intent log says should have been sent).
+  ComputationTrace trace;
+  /// Network-level statistics.
+  ChannelFaults::Counters link_counters;
+  /// Node-level statistics summed over all nodes.
+  Node::Counters node_counters;
+
+  int decided_count() const;
+};
+
+/// Runs every process on its own thread over the faulty network and waits
+/// for completion.  Takes ownership of the processes.
+RuntimeResult run_threaded_consensus(ProcessVector processes,
+                                     const RuntimeConfig& config);
+
+}  // namespace hoval

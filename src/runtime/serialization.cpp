@@ -1,0 +1,72 @@
+#include "runtime/serialization.hpp"
+
+#include <cstring>
+
+#include "runtime/crc32.hpp"
+#include "util/check.hpp"
+
+namespace hoval {
+
+namespace {
+
+template <typename T>
+void put_le(std::vector<std::byte>& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    out.push_back(static_cast<std::byte>(
+        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xFFu));
+}
+
+template <typename T>
+T get_le(std::span<const std::byte> in, std::size_t offset) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    acc |= static_cast<std::uint64_t>(in[offset + i]) << (8 * i);
+  T out;
+  static_assert(sizeof(T) <= sizeof(acc));
+  std::memcpy(&out, &acc, sizeof(T));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_packet(const WirePacket& packet, bool with_crc) {
+  std::vector<std::byte> out;
+  out.reserve(kFrameBodySize + (with_crc ? kFrameCrcSize : 0));
+  put_le<std::uint8_t>(out, packet.msg.kind == MsgKind::kEstimate ? 0 : 1);
+  put_le<std::uint8_t>(out, packet.msg.payload ? 1 : 0);
+  put_le<std::int64_t>(out, packet.msg.payload.value_or(0));
+  put_le<std::int32_t>(out, packet.round);
+  put_le<std::int32_t>(out, packet.sender);
+  HOVAL_ENSURES(out.size() == kFrameBodySize);
+  if (with_crc) put_le<std::uint32_t>(out, crc32(out));
+  return out;
+}
+
+DecodeResult decode_packet(std::span<const std::byte> bytes, bool with_crc) {
+  const std::size_t expected =
+      kFrameBodySize + (with_crc ? kFrameCrcSize : 0);
+  if (bytes.size() != expected) return {DecodeStatus::kMalformed, std::nullopt};
+
+  if (with_crc) {
+    const auto stored = get_le<std::uint32_t>(bytes, kFrameBodySize);
+    const auto computed = crc32(bytes.subspan(0, kFrameBodySize));
+    if (stored != computed) return {DecodeStatus::kCrcMismatch, std::nullopt};
+  }
+
+  const auto kind_raw = get_le<std::uint8_t>(bytes, 0);
+  const auto has_payload = get_le<std::uint8_t>(bytes, 1);
+  if (kind_raw > 1 || has_payload > 1)
+    return {DecodeStatus::kMalformed, std::nullopt};
+
+  WirePacket packet;
+  packet.msg.kind = kind_raw == 0 ? MsgKind::kEstimate : MsgKind::kVote;
+  if (has_payload == 1)
+    packet.msg.payload = get_le<std::int64_t>(bytes, 2);
+  packet.round = get_le<std::int32_t>(bytes, 10);
+  packet.sender = get_le<std::int32_t>(bytes, 14);
+  if (packet.round < 1 || packet.sender < 0)
+    return {DecodeStatus::kMalformed, std::nullopt};
+  return {DecodeStatus::kOk, packet};
+}
+
+}  // namespace hoval

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file serialization.hpp
+/// Binary wire format for round-tagged messages.  Fixed-width
+/// little-endian frame so that byte-level fault injection (bit flips)
+/// yields realistic outcomes: some flips land in the payload (value
+/// fault), some in the round tag (message migrates to a wrong round and
+/// is discarded by communication closure — an omission), some make the
+/// frame undecodable (omission).
+///
+/// Frame layout (little-endian):
+///   offset 0  : u8  kind            (0 = estimate, 1 = vote)
+///   offset 1  : u8  has_payload     (0 / 1)
+///   offset 2  : i64 payload         (0 when absent)
+///   offset 10 : i32 round
+///   offset 14 : i32 sender
+///   offset 18 : u32 crc32 of bytes [0, 18)   (only when CRC enabled)
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "model/message.hpp"
+#include "model/types.hpp"
+
+namespace hoval {
+
+/// A message together with its routing metadata.
+struct WirePacket {
+  Round round = 0;
+  ProcessId sender = 0;
+  Msg msg;
+
+  friend bool operator==(const WirePacket&, const WirePacket&) = default;
+};
+
+/// Frame sizes.
+inline constexpr std::size_t kFrameBodySize = 18;
+inline constexpr std::size_t kFrameCrcSize = 4;
+
+/// Encodes a packet; appends a CRC32 trailer when `with_crc`.
+std::vector<std::byte> encode_packet(const WirePacket& packet, bool with_crc);
+
+/// Decode outcome classification.
+enum class DecodeStatus {
+  kOk,           ///< well-formed (and checksum matched, when present)
+  kCrcMismatch,  ///< frame intact but checksum failed — detected corruption
+  kMalformed,    ///< wrong size or un-decodable fields
+};
+
+/// Result of decode_packet.
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kMalformed;
+  std::optional<WirePacket> packet;  ///< set when status == kOk
+};
+
+/// Decodes a frame; `with_crc` must match the encoder's setting.
+DecodeResult decode_packet(std::span<const std::byte> bytes, bool with_crc);
+
+}  // namespace hoval

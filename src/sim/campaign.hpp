@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file campaign.hpp
+/// Monte-Carlo campaign driver: runs many independent simulations with
+/// derived seeds and aggregates consensus verdicts, decision latencies and
+/// predicate verdicts.  This is the engine behind every table/figure
+/// harness in bench/.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predicates/predicate.hpp"
+#include "sim/properties.hpp"
+#include "sim/simulator.hpp"
+#include "stats/descriptive.hpp"
+
+namespace hoval {
+
+/// Builds the algorithm instance for one run from its initial values.
+using InstanceBuilder =
+    std::function<ProcessVector(const std::vector<Value>& initial_values)>;
+
+/// Draws the initial values for one run.
+using ValueGenerator = std::function<std::vector<Value>(Rng& rng)>;
+
+/// Builds a fresh adversary for one run (so per-run adversary state such
+/// as forgery counters starts clean).
+using AdversaryBuilder = std::function<std::shared_ptr<Adversary>()>;
+
+/// Campaign parameters.
+struct CampaignConfig {
+  int runs = 100;
+  SimConfig sim;  ///< per-run simulator config; seed is derived per run
+  std::uint64_t base_seed = 0xC0FFEE;
+  /// Predicates evaluated on every run's trace (hold counts aggregated).
+  std::vector<std::shared_ptr<Predicate>> predicates;
+  /// Keep at most this many violation descriptions for diagnostics.
+  int max_recorded_violations = 5;
+};
+
+/// Aggregated campaign outcome.
+struct CampaignResult {
+  int runs = 0;
+  int agreement_violations = 0;
+  int integrity_violations = 0;
+  int irrevocability_violations = 0;
+  int terminated = 0;  ///< runs where all processes decided in the horizon
+
+  /// Decision latency over terminated runs.
+  SampleSet last_decision_rounds;   ///< round by which everyone decided
+  SampleSet first_decision_rounds;  ///< round of the earliest decision
+
+  /// Per-predicate hold counts, aligned with CampaignConfig::predicates.
+  std::vector<int> predicate_holds;
+
+  /// Sample violation descriptions (capped).
+  std::vector<std::string> violations;
+
+  bool safety_clean() const {
+    return agreement_violations == 0 && integrity_violations == 0 &&
+           irrevocability_violations == 0;
+  }
+  double termination_rate() const {
+    return runs == 0 ? 0.0 : static_cast<double>(terminated) / runs;
+  }
+  double agreement_rate() const {
+    return runs == 0 ? 1.0
+                     : 1.0 - static_cast<double>(agreement_violations) / runs;
+  }
+
+  /// One-line summary for harness output.
+  std::string summary() const;
+};
+
+/// Runs the campaign.  Each run gets seeds derived from (base_seed, index)
+/// for the initial values and the fault schedule independently.
+CampaignResult run_campaign(const ValueGenerator& values,
+                            const InstanceBuilder& instance,
+                            const AdversaryBuilder& adversary,
+                            const CampaignConfig& config);
+
+}  // namespace hoval

@@ -1,0 +1,34 @@
+#include "sim/initial_values.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+std::vector<Value> unanimous_values(int n, Value v) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+  return std::vector<Value>(static_cast<std::size_t>(n), v);
+}
+
+std::vector<Value> split_values(int n, Value lo, Value hi) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+  std::vector<Value> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = i < n / 2 ? lo : hi;
+  return out;
+}
+
+std::vector<Value> random_values(int n, int distinct, Rng& rng) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+  HOVAL_EXPECTS_MSG(distinct > 0, "need at least one possible value");
+  std::vector<Value> out(static_cast<std::size_t>(n));
+  for (auto& v : out) v = static_cast<Value>(rng.below(static_cast<std::uint64_t>(distinct)));
+  return out;
+}
+
+std::vector<Value> distinct_values(int n) {
+  HOVAL_EXPECTS_MSG(n > 0, "need at least one process");
+  std::vector<Value> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = i;
+  return out;
+}
+
+}  // namespace hoval

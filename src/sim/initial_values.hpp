@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file initial_values.hpp
+/// Generators for initial-value assignments used across tests and benches.
+
+#include <vector>
+
+#include "model/types.hpp"
+#include "util/rng.hpp"
+
+namespace hoval {
+
+/// Every process starts with `v`.
+std::vector<Value> unanimous_values(int n, Value v);
+
+/// First half starts with `lo`, second half with `hi` (worst case for
+/// agreement attacks and bivalence).
+std::vector<Value> split_values(int n, Value lo, Value hi);
+
+/// Uniformly random values from {0, ..., distinct-1}.
+std::vector<Value> random_values(int n, int distinct, Rng& rng);
+
+/// Every process starts with its own id (maximally divergent).
+std::vector<Value> distinct_values(int n);
+
+}  // namespace hoval

@@ -1,0 +1,102 @@
+#include "sim/properties.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+PropertyVerdict check_agreement(const RunResult& result) {
+  std::optional<Value> seen;
+  std::optional<ProcessId> seen_at;
+  for (ProcessId p = 0; p < result.n; ++p) {
+    const auto& d = result.decisions[static_cast<std::size_t>(p)];
+    if (!d) continue;
+    if (!seen) {
+      seen = d;
+      seen_at = p;
+      continue;
+    }
+    if (*seen != *d) {
+      std::ostringstream os;
+      os << "process " << *seen_at << " decided " << *seen << " but process "
+         << p << " decided " << *d;
+      return {false, os.str()};
+    }
+  }
+  return {true, seen ? "all deciders agree on " + std::to_string(*seen)
+                     : "no process decided (vacuous)"};
+}
+
+PropertyVerdict check_integrity(const std::vector<Value>& initial_values,
+                                const RunResult& result) {
+  HOVAL_EXPECTS_MSG(static_cast<int>(initial_values.size()) == result.n,
+                    "initial values must cover every process");
+  bool unanimous = true;
+  for (const Value v : initial_values)
+    if (v != initial_values.front()) {
+      unanimous = false;
+      break;
+    }
+  if (!unanimous)
+    return {true, "initial values not unanimous (vacuous)"};
+
+  const Value v0 = initial_values.front();
+  for (ProcessId p = 0; p < result.n; ++p) {
+    const auto& d = result.decisions[static_cast<std::size_t>(p)];
+    if (d && *d != v0) {
+      std::ostringstream os;
+      os << "unanimous initial value " << v0 << " but process " << p
+         << " decided " << *d;
+      return {false, os.str()};
+    }
+  }
+  return {true, "all decisions equal the unanimous initial value"};
+}
+
+PropertyVerdict check_termination(const RunResult& result) {
+  if (result.all_decided) {
+    std::ostringstream os;
+    os << "all " << result.n << " processes decided by round "
+       << (result.last_decision_round ? *result.last_decision_round : 0);
+    return {true, os.str()};
+  }
+  std::ostringstream os;
+  os << result.decided_count() << "/" << result.n << " processes decided within "
+     << result.rounds_executed << " rounds";
+  return {false, os.str()};
+}
+
+PropertyVerdict check_irrevocability(const ProcessVector& processes) {
+  for (const auto& p : processes) {
+    const auto& log = p->decision_log();
+    for (const auto& event : log) {
+      if (event.value != log.front().value) {
+        std::ostringstream os;
+        os << "process " << p->id() << " first decided " << log.front().value
+           << " then " << event.value << " at round " << event.round;
+        return {false, os.str()};
+      }
+    }
+  }
+  return {true, "every decision log repeats one value"};
+}
+
+std::string ConsensusReport::summary() const {
+  std::ostringstream os;
+  os << "agreement=" << (agreement.holds ? "ok" : "VIOLATED")
+     << ", integrity=" << (integrity.holds ? "ok" : "VIOLATED")
+     << ", termination=" << (termination.holds ? "ok" : "no");
+  return os.str();
+}
+
+ConsensusReport check_consensus(const std::vector<Value>& initial_values,
+                                const RunResult& result) {
+  ConsensusReport report;
+  report.agreement = check_agreement(result);
+  report.integrity = check_integrity(initial_values, result);
+  report.termination = check_termination(result);
+  return report;
+}
+
+}  // namespace hoval

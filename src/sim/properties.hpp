@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file properties.hpp
+/// Checkers for the three clauses of the consensus specification
+/// (Sec. 2.3).  Because the model has no faulty processes, the clauses are
+/// unconditional: *every* process must decide, *no two* may differ, and a
+/// unanimous initial value is the only admissible decision.  We also check
+/// irrevocability (a process never re-decides a different value).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/process.hpp"
+#include "sim/simulator.hpp"
+
+namespace hoval {
+
+/// Verdict of one consensus clause.
+struct PropertyVerdict {
+  bool holds = true;
+  std::string detail;  ///< explanation, including counterexample if any
+};
+
+/// Agreement: no two processes decided different values.
+PropertyVerdict check_agreement(const RunResult& result);
+
+/// Integrity: when all initial values equal v0, every decision is v0.
+/// (Vacuously true for non-unanimous starts.)
+PropertyVerdict check_integrity(const std::vector<Value>& initial_values,
+                                const RunResult& result);
+
+/// Termination relative to the horizon: all processes decided within the
+/// executed prefix.  (On an infinite run this would be genuine
+/// termination; experiments pick horizons far above the expected latency.)
+PropertyVerdict check_termination(const RunResult& result);
+
+/// Irrevocability: each process's decision log repeats a single value.
+PropertyVerdict check_irrevocability(const ProcessVector& processes);
+
+/// All-in-one consensus report.
+struct ConsensusReport {
+  PropertyVerdict agreement;
+  PropertyVerdict integrity;
+  PropertyVerdict termination;
+
+  bool safety_holds() const { return agreement.holds && integrity.holds; }
+  bool all_hold() const { return safety_holds() && termination.holds; }
+
+  std::string summary() const;
+};
+
+/// Evaluates Agreement/Integrity/Termination for one finished run.
+ConsensusReport check_consensus(const std::vector<Value>& initial_values,
+                                const RunResult& result);
+
+}  // namespace hoval

@@ -1,0 +1,121 @@
+#include "sim/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+int RunResult::decided_count() const {
+  int total = 0;
+  for (const auto& d : decisions)
+    if (d) ++total;
+  return total;
+}
+
+Simulator::Simulator(ProcessVector processes, std::shared_ptr<Adversary> adversary,
+                     SimConfig config)
+    : processes_(std::move(processes)),
+      adversary_(std::move(adversary)),
+      config_(config),
+      rng_(config.seed),
+      trace_(static_cast<int>(processes_.size())) {
+  HOVAL_EXPECTS_MSG(!processes_.empty(), "need at least one process");
+  HOVAL_EXPECTS_MSG(adversary_ != nullptr, "adversary must not be null");
+  HOVAL_EXPECTS_MSG(config.max_rounds >= 1, "horizon must be positive");
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    HOVAL_EXPECTS_MSG(processes_[i] != nullptr, "process must not be null");
+    HOVAL_EXPECTS_MSG(processes_[i]->id() == static_cast<ProcessId>(i),
+                      "process ids must be 0..n-1 in order");
+    HOVAL_EXPECTS_MSG(processes_[i]->universe_size() ==
+                          static_cast<int>(processes_.size()),
+                      "every process must agree on n");
+  }
+}
+
+bool Simulator::everyone_decided() const {
+  for (const auto& p : processes_)
+    if (!p->decision()) return false;
+  return true;
+}
+
+bool Simulator::step() {
+  if (finished_) return false;
+  if (!started_) {
+    adversary_->reset(static_cast<int>(processes_.size()), rng_);
+    started_ = true;
+  }
+  if (next_round_ > config_.max_rounds ||
+      (config_.stop_when_all_decided && everyone_decided())) {
+    finished_ = true;
+    return false;
+  }
+
+  const int n = static_cast<int>(processes_.size());
+  const Round r = next_round_++;
+
+  // (1) Sending functions.
+  IntendedRound intended;
+  intended.round = r;
+  intended.by_sender.resize(static_cast<std::size_t>(n));
+  for (ProcessId q = 0; q < n; ++q) {
+    auto& row = intended.by_sender[static_cast<std::size_t>(q)];
+    row.reserve(static_cast<std::size_t>(n));
+    for (ProcessId p = 0; p < n; ++p)
+      row.push_back(processes_[static_cast<std::size_t>(q)]->message_for(r, p));
+  }
+
+  // (2) Adversary transforms the faithful delivery.
+  DeliveredRound delivered = DeliveredRound::faithful(intended);
+  adversary_->apply(intended, delivered, rng_);
+
+  // (3) Ground truth: HO from the support, SHO by comparing against intent.
+  std::vector<HoRecord> records;
+  records.reserve(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto& mu = delivered.by_receiver[static_cast<std::size_t>(p)];
+    HoRecord rec{mu.support(), ProcessSet(n)};
+    for (ProcessId q = 0; q < n; ++q) {
+      const auto& got = mu.get(q);
+      if (got && *got == intended.intended(q, p)) rec.sho.insert(q);
+    }
+    records.push_back(std::move(rec));
+  }
+  trace_.append_round(std::move(records));
+
+  // (4) Transition functions.
+  for (ProcessId p = 0; p < n; ++p)
+    processes_[static_cast<std::size_t>(p)]->transition(
+        r, delivered.by_receiver[static_cast<std::size_t>(p)]);
+
+  return true;
+}
+
+RunResult Simulator::run() {
+  while (step()) {
+  }
+  return snapshot();
+}
+
+RunResult Simulator::snapshot() const {
+  RunResult result;
+  result.n = static_cast<int>(processes_.size());
+  result.rounds_executed = trace_.round_count();
+  result.trace = trace_;
+  result.decisions.reserve(processes_.size());
+  result.decision_rounds.reserve(processes_.size());
+  for (const auto& p : processes_) {
+    result.decisions.push_back(p->decision());
+    result.decision_rounds.push_back(p->decision_round());
+    if (p->decision_round()) {
+      if (!result.first_decision_round ||
+          *p->decision_round() < *result.first_decision_round)
+        result.first_decision_round = p->decision_round();
+      if (!result.last_decision_round ||
+          *p->decision_round() > *result.last_decision_round)
+        result.last_decision_round = p->decision_round();
+    }
+  }
+  result.all_decided = result.decided_count() == result.n;
+  return result;
+}
+
+}  // namespace hoval

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Deterministic executor of HO machines under a transmission-fault
+/// adversary.  Per round it (1) collects the intended messages via the
+/// sending functions S_p^r, (2) lets the adversary transform them into
+/// per-receiver reception vectors, (3) derives the ground-truth HO/SHO
+/// sets for the trace, and (4) applies the transition functions T_p^r.
+/// The round structure imposes no synchrony assumption — it is exactly
+/// the communication-closed layering of the paper.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "model/process.hpp"
+#include "model/trace.hpp"
+#include "util/rng.hpp"
+
+namespace hoval {
+
+/// Simulation parameters.
+struct SimConfig {
+  Round max_rounds = 1000;  ///< horizon (termination cut-off)
+  /// Stop as soon as every process has decided (the usual mode); when
+  /// false, always run to the horizon (used to check decision stability
+  /// after the first decisions).
+  bool stop_when_all_decided = true;
+  std::uint64_t seed = 1;  ///< fault-schedule seed (fully reproducible)
+};
+
+/// Outcome of one run.
+struct RunResult {
+  int n = 0;
+  Round rounds_executed = 0;
+  bool all_decided = false;
+  /// Per-process decision values/rounds (index = ProcessId).
+  std::vector<std::optional<Value>> decisions;
+  std::vector<std::optional<Round>> decision_rounds;
+  /// min/max decision round over deciding processes, if any decided.
+  std::optional<Round> first_decision_round;
+  std::optional<Round> last_decision_round;
+  /// Ground-truth communication trace of the executed prefix.
+  ComputationTrace trace;
+
+  /// Number of processes that decided.
+  int decided_count() const;
+};
+
+/// Runs one algorithm instance against one adversary.
+class Simulator {
+ public:
+  /// Takes ownership of the processes; the adversary is shared so callers
+  /// can inspect adversary state (e.g. forgery counters) after the run.
+  Simulator(ProcessVector processes, std::shared_ptr<Adversary> adversary,
+            SimConfig config);
+
+  /// Executes rounds until everyone decided (if configured) or the horizon
+  /// is reached, and returns the result.  Callable once.
+  RunResult run();
+
+  /// Executes a single round; returns false once the stop condition holds.
+  /// Exposed for fine-grained tests.
+  bool step();
+
+  Round current_round() const noexcept { return next_round_ - 1; }
+  const ProcessVector& processes() const noexcept { return processes_; }
+  const ComputationTrace& trace() const noexcept { return trace_; }
+
+  /// Builds the result snapshot for the rounds executed so far.
+  RunResult snapshot() const;
+
+ private:
+  bool everyone_decided() const;
+
+  ProcessVector processes_;
+  std::shared_ptr<Adversary> adversary_;
+  SimConfig config_;
+  Rng rng_;
+  ComputationTrace trace_;
+  Round next_round_ = 1;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace hoval

@@ -1,0 +1,88 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace hoval {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+std::string RunningStats::summary(int precision) const {
+  std::ostringstream os;
+  os << format_double(mean(), precision) << " +/- "
+     << format_double(stddev(), precision) << " [" << format_double(min(), precision)
+     << ".." << format_double(max(), precision) << "] (" << count_ << ")";
+  return os.str();
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double SampleSet::mean() const {
+  HOVAL_EXPECTS_MSG(!samples_.empty(), "mean of empty sample set");
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  HOVAL_EXPECTS_MSG(!samples_.empty(), "min of empty sample set");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  HOVAL_EXPECTS_MSG(!samples_.empty(), "max of empty sample set");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  HOVAL_EXPECTS_MSG(!samples_.empty(), "quantile of empty sample set");
+  HOVAL_EXPECTS_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+}  // namespace hoval

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file descriptive.hpp
+/// Descriptive statistics for experiment aggregation: an online
+/// mean/variance accumulator (Welford) and a sample store with quantiles.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hoval {
+
+/// Online accumulator: count, mean, variance, min, max.  O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+
+  /// "mean +/- stddev [min..max] (count)" rendering.
+  std::string summary(int precision = 2) const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples for exact quantiles; suitable for campaign-sized data.
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Exact quantile by linear interpolation, q in [0,1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace hoval

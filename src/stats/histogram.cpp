@@ -1,0 +1,52 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace hoval {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  HOVAL_EXPECTS_MSG(hi > lo, "histogram range must be non-empty");
+  HOVAL_EXPECTS_MSG(bins > 0, "histogram needs at least one bin");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<long long>((x - lo_) / width);
+  bin = std::clamp<long long>(bin, 0, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+long long Histogram::count(int bin) const {
+  HOVAL_EXPECTS_MSG(bin >= 0 && bin < bin_count(), "bin out of range");
+  return counts_[static_cast<std::size_t>(bin)];
+}
+
+std::pair<double, double> Histogram::bin_range(int bin) const {
+  HOVAL_EXPECTS_MSG(bin >= 0 && bin < bin_count(), "bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * bin, lo_ + width * (bin + 1)};
+}
+
+std::string Histogram::render(int width) const {
+  long long peak = 0;
+  for (long long c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (int b = 0; b < bin_count(); ++b) {
+    const auto [lo, hi] = bin_range(b);
+    const int bar = peak == 0 ? 0
+                              : static_cast<int>(static_cast<double>(count(b)) /
+                                                 static_cast<double>(peak) * width);
+    os << pad_left(format_double(lo, 1), 8) << " .. "
+       << pad_left(format_double(hi, 1), 8) << " | " << repeat("#", bar) << ' '
+       << count(b) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hoval

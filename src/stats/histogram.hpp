@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-width bin histogram with ASCII rendering, used by benches to show
+/// decision-latency distributions.
+
+#include <string>
+#include <vector>
+
+namespace hoval {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins; samples outside
+/// the range are clamped into the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x) noexcept;
+
+  int bin_count() const noexcept { return static_cast<int>(counts_.size()); }
+  long long count(int bin) const;
+  long long total() const noexcept { return total_; }
+
+  /// Inclusive-exclusive bounds of one bin.
+  std::pair<double, double> bin_range(int bin) const;
+
+  /// ASCII bar rendering, one line per bin, bars scaled to `width` chars.
+  std::string render(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<long long> counts_;
+  long long total_ = 0;
+};
+
+}  // namespace hoval

@@ -1,0 +1,27 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace hoval::detail {
+
+namespace {
+std::string render(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(render("precondition", expr, file, line, msg));
+}
+
+void throw_invariant(const char* expr, const char* file, int line,
+                     const std::string& msg) {
+  throw InvariantError(render("invariant", expr, file, line, msg));
+}
+
+}  // namespace hoval::detail

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file check.hpp
+/// Contract-checking helpers in the spirit of the C++ Core Guidelines
+/// I.5/I.7 (Expects/Ensures).  Violations throw rather than abort so that
+/// tests can assert on them and long-running campaigns fail loudly with
+/// context instead of dying silently.
+
+#include <stdexcept>
+#include <string>
+
+namespace hoval {
+
+/// Thrown when a function's precondition is violated (bad arguments,
+/// calls out of protocol order, ...).
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a function detects that its own postcondition or an internal
+/// invariant does not hold; indicates a bug in this library.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& msg);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+}  // namespace detail
+
+}  // namespace hoval
+
+/// Precondition check: use at function entry to validate arguments/state.
+#define HOVAL_EXPECTS(expr)                                                       \
+  do {                                                                            \
+    if (!(expr)) ::hoval::detail::throw_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define HOVAL_EXPECTS_MSG(expr, msg)                                                 \
+  do {                                                                               \
+    if (!(expr)) ::hoval::detail::throw_precondition(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+/// Internal-invariant / postcondition check.
+#define HOVAL_ENSURES(expr)                                                    \
+  do {                                                                         \
+    if (!(expr)) ::hoval::detail::throw_invariant(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Internal-invariant / postcondition check with an explanatory message.
+#define HOVAL_ENSURES_MSG(expr, msg)                                              \
+  do {                                                                            \
+    if (!(expr)) ::hoval::detail::throw_invariant(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

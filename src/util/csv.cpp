@@ -1,0 +1,49 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace hoval {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : file_(path, std::ios::trunc), to_file_(true), columns_(header.size()) {
+  HOVAL_EXPECTS_MSG(file_.is_open(), "cannot open CSV output file: " + path);
+  HOVAL_EXPECTS_MSG(columns_ > 0, "CSV header must not be empty");
+  write_line(header);
+}
+
+CsvWriter::CsvWriter(const std::vector<std::string>& header)
+    : columns_(header.size()) {
+  HOVAL_EXPECTS_MSG(columns_ > 0, "CSV header must not be empty");
+  write_line(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& fields) {
+  HOVAL_EXPECTS_MSG(fields.size() == columns_, "CSV row width must match header");
+  write_line(fields);
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& fields) {
+  std::vector<std::string> escaped;
+  escaped.reserve(fields.size());
+  for (const auto& f : fields) escaped.push_back(escape(f));
+  const std::string line = join(escaped, ",") + "\n";
+  buffer_ += line;
+  if (to_file_) file_ << line << std::flush;
+}
+
+}  // namespace hoval

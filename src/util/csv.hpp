@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV emitter for experiment outputs (one file per figure series
+/// so results can be re-plotted outside this repo).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hoval {
+
+/// Writes RFC-4180-ish CSV rows; fields containing comma/quote/newline are
+/// quoted with internal quotes doubled.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  /// Throws PreconditionError when the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// In-memory variant (for tests): no file, rows retrievable via dump().
+  explicit CsvWriter(const std::vector<std::string>& header);
+
+  /// Appends one data row; must have exactly as many fields as the header.
+  void add_row(const std::vector<std::string>& fields);
+
+  /// Returns everything written so far as a single string.
+  const std::string& dump() const noexcept { return buffer_; }
+
+  /// Number of data rows written (excluding the header).
+  std::size_t row_count() const noexcept { return rows_; }
+
+  /// Escapes a single field per the quoting rules above (exposed for tests).
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_line(const std::vector<std::string>& fields);
+
+  std::ofstream file_;
+  bool to_file_ = false;
+  std::string buffer_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hoval

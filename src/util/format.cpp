@@ -1,0 +1,51 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hoval {
+
+std::string format_double(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_percent(double ratio, int precision) {
+  return format_double(ratio * 100.0, precision) + "%";
+}
+
+std::string format_optional(const std::optional<long long>& value) {
+  if (!value) return "-";
+  return std::to_string(*value);
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string join(const std::vector<std::string>& items, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string repeat(const std::string& glyph, std::size_t count) {
+  std::string out;
+  out.reserve(glyph.size() * count);
+  for (std::size_t i = 0; i < count; ++i) out += glyph;
+  return out;
+}
+
+}  // namespace hoval

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file format.hpp
+/// Small string-formatting helpers shared by the table printer, loggers
+/// and experiment harnesses.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hoval {
+
+/// Fixed-precision decimal rendering (no locale surprises).
+std::string format_double(double value, int precision = 2);
+
+/// Renders a ratio as a percentage string, e.g. 0.1234 -> "12.34%".
+std::string format_percent(double ratio, int precision = 2);
+
+/// Renders an optional integral value, "-" when absent.
+std::string format_optional(const std::optional<long long>& value);
+
+/// Left-pads / right-pads a string with spaces to the given width
+/// (no-op when already wider).
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, const std::string& sep);
+
+/// Repeats a glyph `count` times ("-" x 7 -> "-------").
+std::string repeat(const std::string& glyph, std::size_t count);
+
+}  // namespace hoval

@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace hoval {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+void Logger::set_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(Logger::level())) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+const char* Logger::level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace hoval

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file log.hpp
+/// Tiny thread-safe leveled logger.  The threaded runtime logs from many
+/// node threads concurrently; a single mutex around formatted writes keeps
+/// lines intact.  Disabled levels cost one atomic load.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hoval {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global logger configuration + sink.  There is intentionally exactly one
+/// sink (stderr) — experiments parse stdout, diagnostics go to stderr.
+class Logger {
+ public:
+  /// Sets the minimum level that will be emitted.
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Emits one line (thread-safe).  Prefer the HOVAL_LOG macro.
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level) noexcept;
+};
+
+}  // namespace hoval
+
+/// Usage: HOVAL_LOG(kInfo) << "node " << id << " decided " << v;
+#define HOVAL_LOG(levelname)                                                  \
+  for (bool hoval_log_once =                                                  \
+           ::hoval::Logger::level() <= ::hoval::LogLevel::levelname;          \
+       hoval_log_once; hoval_log_once = false)                                \
+  ::hoval::detail::LogLine(::hoval::LogLevel::levelname)
+
+namespace hoval::detail {
+
+/// Accumulates one log line and flushes it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::write(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace hoval::detail

@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                       std::uint64_t d) noexcept {
+  SplitMix64 sm(a);
+  std::uint64_t acc = sm.next();
+  acc ^= SplitMix64(b ^ 0x9e3779b97f4a7c15ULL).next() + rotl(acc, 17);
+  acc ^= SplitMix64(c ^ 0xbf58476d1ce4e5b9ULL).next() + rotl(acc, 31);
+  acc ^= SplitMix64(d ^ 0x94d049bb133111ebULL).next() + rotl(acc, 47);
+  return acc;
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Rng::result_type Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  if (bound == 0) return 0;  // degenerate; callers check, but stay total
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo > hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::vector<std::size_t> Rng::sample(std::size_t n, std::size_t k) {
+  HOVAL_EXPECTS_MSG(k <= n, "cannot sample more elements than the population");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::fork(std::uint64_t label) noexcept {
+  return Rng(mix_seed(next(), label, 0x5851f42d4c957f2dULL));
+}
+
+}  // namespace hoval

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for reproducible
+/// simulations.  We implement SplitMix64 (for seeding) and xoshiro256**
+/// (as the workhorse generator) from scratch so that every platform and
+/// standard library produces bit-identical fault schedules for a given
+/// seed — a requirement for reproducible adversary behaviour across runs.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hoval {
+
+/// SplitMix64: tiny, fast generator used to expand a single 64-bit seed
+/// into the larger state of xoshiro256**.  Also usable standalone for
+/// cheap hashing of (seed, round, process) tuples.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mixing of several 64-bit words into one; used to derive
+/// independent sub-streams (e.g. one RNG per channel) from a master seed.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0,
+                       std::uint64_t d = 0) noexcept;
+
+/// xoshiro256**: public-domain generator by Blackman & Vigna.  Fast,
+/// 256-bit state, passes BigCrush; more than adequate for fault-injection
+/// schedules.  Satisfies the UniformRandomBitGenerator concept so it can
+/// be plugged into <random> distributions if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 as recommended by the
+  /// xoshiro authors; any 64-bit seed (including 0) is valid.
+  explicit Rng(std::uint64_t seed = 0xD1CEBEEFCAFEF00DULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased multiply-shift
+  /// rejection method.  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Chooses k distinct indices out of [0, n) (unordered, uniformly via
+  /// partial Fisher–Yates).  Requires k <= n.
+  std::vector<std::size_t> sample(std::size_t n, std::size_t k);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent generator for a labelled sub-stream.
+  Rng fork(std::uint64_t label) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace hoval

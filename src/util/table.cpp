@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace hoval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  HOVAL_EXPECTS_MSG(!headers_.empty(), "a table needs at least one column");
+  if (aligns_.empty()) aligns_.assign(headers_.size(), Align::kRight);
+  HOVAL_EXPECTS_MSG(aligns_.size() == headers_.size(),
+                    "alignment list must match header count");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  HOVAL_EXPECTS_MSG(cells.size() == headers_.size(),
+                    "row width must match header count");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string padded = aligns_[c] == Align::kLeft
+                                     ? pad_right(cells[c], widths[c])
+                                     : pad_left(cells[c], widths[c]);
+      os << padded << (c + 1 == cells.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c)
+      os << repeat("-", widths[c] + 2) << '+';
+    os << '\n';
+  };
+
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      rule();
+    } else {
+      emit(row.cells);
+    }
+  }
+  rule();
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace hoval

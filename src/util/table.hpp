@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file table.hpp
+/// Fixed-width ASCII table renderer used by the benchmark harnesses to
+/// print paper-style result tables (rows/series in the same layout the
+/// paper reports).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hoval {
+
+/// Column alignment for TablePrinter.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of string cells and renders them with padded columns.
+///
+/// Usage:
+///   TablePrinter t({"n", "alpha", "decided%"});
+///   t.add_row({"16", "3", "100.00%"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<Align> aligns = {});
+
+  /// Appends one data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string to_string() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hoval

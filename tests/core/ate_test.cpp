@@ -1,0 +1,118 @@
+#include "core/ate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+ReceptionVector estimates(int n, const std::vector<Value>& values) {
+  ReceptionVector mu(n);
+  for (std::size_t q = 0; q < values.size(); ++q)
+    mu.set(static_cast<ProcessId>(q), make_estimate(values[q]));
+  return mu;
+}
+
+TEST(Ate, SendsCurrentEstimateToEveryone) {
+  const AteProcess p(0, AteParams::one_third_rule(6), 7);
+  for (ProcessId dest = 0; dest < 6; ++dest)
+    EXPECT_EQ(p.message_for(1, dest), make_estimate(7));
+  EXPECT_EQ(p.estimate(), 7);
+}
+
+TEST(Ate, NoUpdateBelowThresholdT) {
+  // n=6, OneThirdRule: T = 4.  Four receipts are not > 4.
+  AteProcess p(0, AteParams::one_third_rule(6), 9);
+  p.transition(1, estimates(6, {1, 1, 1, 1}));
+  EXPECT_EQ(p.estimate(), 9);
+  EXPECT_FALSE(p.decision().has_value());
+}
+
+TEST(Ate, UpdatesToSmallestMostFrequentAboveT) {
+  AteProcess p(0, AteParams::one_third_rule(6), 9);
+  p.transition(1, estimates(6, {2, 2, 5, 5, 3}));
+  // 5 messages > T=4; counts: 2->2, 5->2, 3->1; tie broken to 2.
+  EXPECT_EQ(p.estimate(), 2);
+  EXPECT_FALSE(p.decision().has_value());
+}
+
+TEST(Ate, DecidesAboveE) {
+  AteProcess p(0, AteParams::one_third_rule(6), 9);
+  p.transition(3, estimates(6, {4, 4, 4, 4, 4}));
+  ASSERT_TRUE(p.decision().has_value());
+  EXPECT_EQ(*p.decision(), 4);
+  EXPECT_EQ(*p.decision_round(), 3);
+  EXPECT_EQ(p.estimate(), 4);
+}
+
+TEST(Ate, ExactlyThresholdDoesNotDecide) {
+  // E = 4 for n=6: exactly 4 equal values are not strictly more than E.
+  AteProcess p(0, AteParams::one_third_rule(6), 9);
+  p.transition(1, estimates(6, {4, 4, 4, 4, 1}));
+  EXPECT_FALSE(p.decision().has_value());
+}
+
+TEST(Ate, DecisionIndependentOfUpdateGuard) {
+  // T > E configuration: deciding must not require |HO| > T (see the
+  // Proposition 3 discussion in ate.hpp).
+  const AteParams params{8, /*T=*/6.0, /*E=*/4.0, /*alpha=*/0.0};
+  AteProcess p(0, params, 0);
+  // 5 receipts: not > T=6, but 5 copies of value 3 are > E=4.
+  p.transition(1, estimates(8, {3, 3, 3, 3, 3}));
+  ASSERT_TRUE(p.decision().has_value());
+  EXPECT_EQ(*p.decision(), 3);
+  // The estimate was NOT updated (|HO| <= T).
+  EXPECT_EQ(p.estimate(), 0);
+}
+
+TEST(Ate, GarbageMessagesCountTowardHoOnly) {
+  AteProcess p(0, AteParams::one_third_rule(6), 9);
+  ReceptionVector mu(6);
+  mu.set(0, make_estimate(1));
+  mu.set(1, make_estimate(1));
+  mu.set(2, make_estimate(1));
+  mu.set(3, make_question_vote());        // corrupted junk
+  mu.set(4, Msg{MsgKind::kVote, 1});      // wrong-kind junk
+  // |HO| = 5 > T=4 -> update happens using estimates only.
+  p.transition(1, mu);
+  EXPECT_EQ(p.estimate(), 1);
+  // Only 3 estimate-copies of 1: no decision (E=4).
+  EXPECT_FALSE(p.decision().has_value());
+}
+
+TEST(Ate, AllGarbageKeepsEstimate) {
+  AteProcess p(0, AteParams::one_third_rule(6), 9);
+  ReceptionVector mu(6);
+  for (ProcessId q = 0; q < 5; ++q) mu.set(q, make_question_vote());
+  p.transition(1, mu);
+  EXPECT_EQ(p.estimate(), 9);  // defensive: nothing countable received
+}
+
+TEST(Ate, RepeatedDecisionsKeepFirst) {
+  AteProcess p(0, AteParams::one_third_rule(6), 9);
+  p.transition(1, estimates(6, {4, 4, 4, 4, 4}));
+  p.transition(2, estimates(6, {4, 4, 4, 4, 4}));
+  EXPECT_EQ(p.decision_log().size(), 2u);
+  EXPECT_EQ(*p.decision_round(), 1);
+  EXPECT_EQ(*p.decision(), 4);
+}
+
+TEST(Ate, MalformedParamsThrow) {
+  EXPECT_THROW(AteProcess(0, AteParams{0, 0, 0, 0}, 1), PreconditionError);
+}
+
+TEST(Ate, NameIncludesThresholds) {
+  const AteProcess p(0, AteParams::one_third_rule(9), 0);
+  EXPECT_NE(p.name().find("T=6.00"), std::string::npos);
+}
+
+TEST(Ate, EmptyReceptionIsHarmless) {
+  AteProcess p(0, AteParams::one_third_rule(4), 5);
+  p.transition(1, ReceptionVector(4));
+  EXPECT_EQ(p.estimate(), 5);
+  EXPECT_FALSE(p.decision().has_value());
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,154 @@
+#include "core/last_voting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/corruption.hpp"
+#include "adversary/omission.hpp"
+#include "adversary/wrappers.hpp"
+#include "core/factories.hpp"
+#include "sim/initial_values.hpp"
+#include "sim/properties.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+TEST(LastVoting, PackUnpackRoundTrip) {
+  for (const std::int32_t value : {0, 1, -1, 123456, -987654}) {
+    for (const std::int32_t ts : {0, 1, 77, 2147483647}) {
+      const Value packed = pack_value_ts(value, ts);
+      EXPECT_EQ(unpack_value(packed), value);
+      EXPECT_EQ(unpack_ts(packed), ts);
+    }
+  }
+}
+
+TEST(LastVoting, CoordinatorRotation) {
+  EXPECT_EQ(LastVotingProcess::coordinator_of(1, 5), 0);
+  EXPECT_EQ(LastVotingProcess::coordinator_of(2, 5), 1);
+  EXPECT_EQ(LastVotingProcess::coordinator_of(6, 5), 0);
+}
+
+TEST(LastVoting, PerDestinationSendingFunctions) {
+  // Round 1: a process sends its (x, ts) to the coordinator only; everyone
+  // else receives the null placeholder — the per-destination generality of
+  // S_p^r that the broadcast algorithms never use.
+  const LastVotingProcess p(2, 5, 42);
+  const Msg to_coord = p.message_for(1, 0);
+  EXPECT_EQ(to_coord.kind, MsgKind::kEstimate);
+  ASSERT_TRUE(to_coord.payload.has_value());
+  EXPECT_EQ(unpack_value(*to_coord.payload), 42);
+  EXPECT_EQ(unpack_ts(*to_coord.payload), 0);
+
+  const Msg to_other = p.message_for(1, 3);
+  EXPECT_EQ(to_other.kind, MsgKind::kEstimate);
+  EXPECT_FALSE(to_other.payload.has_value());  // null placeholder
+}
+
+TEST(LastVoting, FaultFreeDecidesInOnePhase) {
+  for (const int n : {3, 5, 8}) {
+    Simulator sim(make_last_voting_instance(n, distinct_values(n)),
+                  std::make_shared<IdentityAdversary>(), SimConfig{});
+    const auto result = sim.run();
+    EXPECT_TRUE(result.all_decided) << "n=" << n;
+    EXPECT_EQ(result.last_decision_round, 4) << "n=" << n;
+    // Phase-1 coordinator (process 0) imposes a value all ts are 0, so the
+    // smallest initial value wins the tie-break.
+    for (const auto& d : result.decisions) EXPECT_EQ(*d, 0) << "n=" << n;
+  }
+}
+
+TEST(LastVoting, IntegrityOnUnanimousStart) {
+  Simulator sim(make_last_voting_instance(5, unanimous_values(5, 9)),
+                std::make_shared<IdentityAdversary>(), SimConfig{});
+  const auto result = sim.run();
+  EXPECT_TRUE(check_integrity(unanimous_values(5, 9), result).holds);
+}
+
+TEST(LastVoting, SafeUnderArbitraryOmissions) {
+  // Benign-fault safety: no loss pattern can create disagreement.
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    SimConfig config;
+    config.max_rounds = 60;
+    config.stop_when_all_decided = false;
+    config.seed = seed;
+    Simulator sim(make_last_voting_instance(6, distinct_values(6)),
+                  std::make_shared<RandomOmissionAdversary>(0.35), config);
+    const auto result = sim.run();
+    EXPECT_TRUE(check_agreement(result).holds) << "seed " << seed;
+    EXPECT_TRUE(check_irrevocability(sim.processes()).holds) << "seed " << seed;
+  }
+}
+
+TEST(LastVoting, TerminatesOncePhaseIsClean) {
+  // Heavy loss through round 16, faithful afterwards: the first complete
+  // clean phase (rounds 17..20, phase 5) decides.
+  SimConfig config;
+  config.max_rounds = 40;
+  config.seed = 9;
+  Simulator sim(
+      make_last_voting_instance(5, distinct_values(5)),
+      std::make_shared<TransientWindowAdversary>(
+          std::make_shared<RandomOmissionAdversary>(0.5), 1, 16),
+      config);
+  const auto result = sim.run();
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_LE(*result.last_decision_round, 20);
+}
+
+TEST(LastVoting, CrashedCoordinatorIsRotatedAround) {
+  // Process 0 (phase-1 coordinator) falls silent from round 1: phase 1
+  // cannot decide, but phase 2's coordinator (process 1) finishes the job.
+  SimConfig config;
+  config.max_rounds = 12;
+  config.seed = 4;
+  class SilenceZero final : public Adversary {
+   public:
+    std::string name() const override { return "silence-p0"; }
+    void apply(const IntendedRound& intended, DeliveredRound& delivered,
+               Rng&) override {
+      for (ProcessId p = 0; p < intended.n(); ++p) delivered.omit(0, p);
+    }
+  };
+  Simulator sim(make_last_voting_instance(5, distinct_values(5)),
+                std::make_shared<SilenceZero>(), config);
+  const auto result = sim.run();
+  // Process 0 still *decides* (it can hear the others) — only its outgoing
+  // links are dead; phase 2 (rounds 5..8) completes for everyone.
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_LE(*result.last_decision_round, 8);
+  EXPECT_TRUE(check_agreement(result).holds);
+}
+
+TEST(LastVoting, ValueFaultsBreakIt) {
+  // The motivating contrast for the paper's algorithms: a single corrupted
+  // message per receiver per round (alpha = 1!) lets an equivocating
+  // environment split LastVoting — while A_{T,E} at alpha = 1 shrugs the
+  // same budget off.  Coordinator-based algorithms concentrate trust;
+  // value faults exploit it.
+  int lastvoting_violations = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    RandomCorruptionConfig corruption;
+    corruption.alpha = 1;
+    corruption.policy.style = CorruptionStyle::kRandomValue;
+    corruption.policy.pool_lo = 0;
+    corruption.policy.pool_hi = 5;
+    SimConfig config;
+    config.max_rounds = 40;
+    config.stop_when_all_decided = false;
+    config.seed = seed;
+    Simulator sim(make_last_voting_instance(5, distinct_values(5)),
+                  std::make_shared<RandomCorruptionAdversary>(corruption),
+                  config);
+    const auto result = sim.run();
+    if (!check_agreement(result).holds ||
+        !check_irrevocability(sim.processes()).holds)
+      ++lastvoting_violations;
+  }
+  EXPECT_GT(lastvoting_violations, 0)
+      << "value faults should be able to split a benign-case algorithm";
+}
+
+}  // namespace
+}  // namespace hoval

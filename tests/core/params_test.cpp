@@ -1,0 +1,143 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hoval {
+namespace {
+
+// ------------------------------------------------------------- A_{T,E}
+
+TEST(AteParams, OneThirdRuleIsCanonicalBenignChoice) {
+  const auto p = AteParams::one_third_rule(9);
+  EXPECT_DOUBLE_EQ(p.threshold_t, 6.0);  // 2n/3
+  EXPECT_DOUBLE_EQ(p.threshold_e, 6.0);
+  EXPECT_DOUBLE_EQ(p.alpha, 0.0);
+  EXPECT_TRUE(p.theorem1_conditions());
+}
+
+TEST(AteParams, CanonicalMatchesProposition4) {
+  // Prop. 4: E = T = 2/3 (n + 2 alpha).
+  const auto p = AteParams::canonical(16, 3);
+  EXPECT_DOUBLE_EQ(p.threshold_e, 2.0 / 3.0 * (16 + 6));
+  EXPECT_DOUBLE_EQ(p.threshold_t, p.threshold_e);
+}
+
+TEST(AteParams, Theorem1FeasibleExactlyBelowQuarter) {
+  for (int n = 4; n <= 64; ++n) {
+    for (int alpha = 0; alpha <= n; ++alpha) {
+      const bool feasible = AteParams::feasible(n, alpha).has_value();
+      EXPECT_EQ(feasible, alpha < n / 4.0)
+          << "n=" << n << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(AteParams, MaxToleratedAlphaIsJustBelowQuarter) {
+  EXPECT_EQ(AteParams::max_tolerated_alpha(4), 0);
+  EXPECT_EQ(AteParams::max_tolerated_alpha(8), 1);
+  EXPECT_EQ(AteParams::max_tolerated_alpha(9), 2);   // 2 < 9/4 = 2.25
+  EXPECT_EQ(AteParams::max_tolerated_alpha(16), 3);
+  EXPECT_EQ(AteParams::max_tolerated_alpha(17), 4);
+  EXPECT_EQ(AteParams::max_tolerated_alpha(100), 24);
+}
+
+TEST(AteParams, Theorem1ImpliesAgreementAndIntegrityConditions) {
+  // The theorem's proof derives E >= n/2 + alpha, E >= alpha, T >= 2 alpha
+  // from its premises; verify on a sweep.
+  for (int n = 4; n <= 40; ++n) {
+    for (int alpha = 0; 4 * alpha < n; ++alpha) {
+      const auto p = AteParams::canonical(n, alpha);
+      ASSERT_TRUE(p.theorem1_conditions()) << p.to_string();
+      EXPECT_TRUE(p.agreement_conditions()) << p.to_string();
+      EXPECT_TRUE(p.integrity_conditions()) << p.to_string();
+      EXPECT_TRUE(p.deterministic_decision()) << p.to_string();
+    }
+  }
+}
+
+TEST(AteParams, BadChoicesAreRejected) {
+  // E = n violates n > E.
+  const AteParams too_big_e{8, 6.0, 8.0, 1.0};
+  EXPECT_FALSE(too_big_e.theorem1_conditions());
+  // T below 2(n + 2 alpha - E).
+  const AteParams small_t{8, 1.0, 7.0, 1.0};
+  EXPECT_FALSE(small_t.theorem1_conditions());
+}
+
+TEST(AteParams, WellFormedChecks) {
+  EXPECT_TRUE((AteParams{4, 2, 3, 0}).well_formed());
+  EXPECT_FALSE((AteParams{0, 0, 0, 0}).well_formed());
+  EXPECT_FALSE((AteParams{4, -1, 3, 0}).well_formed());
+  EXPECT_FALSE((AteParams{4, 2, 5, 0}).well_formed());  // E > n
+  EXPECT_FALSE((AteParams{4, 2, 3, -1}).well_formed());
+}
+
+TEST(AteParams, ToStringMentionsEverything) {
+  const auto s = AteParams::canonical(9, 2).to_string();
+  EXPECT_NE(s.find("n=9"), std::string::npos);
+  EXPECT_NE(s.find("alpha=2"), std::string::npos);
+}
+
+// --------------------------------------------------------- U_{T,E,alpha}
+
+TEST(UteaParams, UniformVotingIsBenignChoice) {
+  const auto p = UteaParams::uniform_voting(8);
+  EXPECT_DOUBLE_EQ(p.threshold_t, 4.0);  // n/2
+  EXPECT_DOUBLE_EQ(p.threshold_e, 4.0);
+  EXPECT_EQ(p.alpha, 0);
+  EXPECT_TRUE(p.theorem2_conditions());
+}
+
+TEST(UteaParams, CanonicalMatchesSection43) {
+  const auto p = UteaParams::canonical(11, 4);
+  EXPECT_DOUBLE_EQ(p.threshold_t, 11 / 2.0 + 4);
+  EXPECT_DOUBLE_EQ(p.threshold_e, p.threshold_t);
+}
+
+TEST(UteaParams, Theorem2FeasibleExactlyBelowHalf) {
+  for (int n = 2; n <= 64; ++n) {
+    for (int alpha = 0; alpha <= n; ++alpha) {
+      const bool feasible = UteaParams::feasible(n, alpha).has_value();
+      EXPECT_EQ(feasible, alpha < n / 2.0)
+          << "n=" << n << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(UteaParams, MaxToleratedAlphaIsJustBelowHalf) {
+  EXPECT_EQ(UteaParams::max_tolerated_alpha(4), 1);
+  EXPECT_EQ(UteaParams::max_tolerated_alpha(5), 2);
+  EXPECT_EQ(UteaParams::max_tolerated_alpha(8), 3);
+  EXPECT_EQ(UteaParams::max_tolerated_alpha(9), 4);
+  EXPECT_EQ(UteaParams::max_tolerated_alpha(100), 49);
+}
+
+TEST(UteaParams, UToleratesStrictlyMoreThanA) {
+  // The headline comparison of Sec. 4.3: alpha < n/2 vs alpha < n/4.
+  for (int n = 8; n <= 64; n += 4)
+    EXPECT_GT(UteaParams::max_tolerated_alpha(n), AteParams::max_tolerated_alpha(n));
+}
+
+TEST(UteaParams, ConditionsBreakdown) {
+  const UteaParams p{10, 7.0, 7.0, 2, 0};
+  EXPECT_TRUE(p.deterministic_decision());
+  EXPECT_TRUE(p.unique_vote_conditions());
+  EXPECT_TRUE(p.agreement_conditions());
+  EXPECT_TRUE(p.theorem2_conditions());
+
+  const UteaParams weak_t{10, 5.0, 7.0, 2, 0};
+  EXPECT_FALSE(weak_t.unique_vote_conditions());
+  EXPECT_FALSE(weak_t.theorem2_conditions());
+
+  const UteaParams e_at_n{10, 7.0, 10.0, 2, 0};
+  EXPECT_FALSE(e_at_n.theorem2_conditions());
+}
+
+TEST(UteaParams, DefaultValueIsCarried) {
+  auto p = UteaParams::canonical(6, 1);
+  p.default_value = 42;
+  EXPECT_NE(p.to_string().find("v0=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hoval

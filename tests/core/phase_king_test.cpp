@@ -1,0 +1,109 @@
+#include "core/phase_king.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factories.hpp"
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+ReceptionVector estimates(int n, const std::vector<Value>& values) {
+  ReceptionVector mu(n);
+  for (std::size_t q = 0; q < values.size(); ++q)
+    mu.set(static_cast<ProcessId>(q), make_estimate(values[q]));
+  return mu;
+}
+
+TEST(PhaseKing, ParameterChecks) {
+  EXPECT_TRUE((PhaseKingParams{9, 2}).well_formed());
+  EXPECT_TRUE((PhaseKingParams{9, 2}).resilience_condition());
+  EXPECT_FALSE((PhaseKingParams{8, 2}).resilience_condition());  // needs n > 4t
+  EXPECT_EQ((PhaseKingParams{9, 2}).rounds_to_decision(), 6);
+  EXPECT_FALSE((PhaseKingParams{0, 0}).well_formed());
+}
+
+TEST(PhaseKing, KingRotation) {
+  EXPECT_EQ(PhaseKingProcess::king_of_phase(1), 0);
+  EXPECT_EQ(PhaseKingProcess::king_of_phase(3), 2);
+}
+
+TEST(PhaseKing, StrongMajorityOverridesKing) {
+  const PhaseKingParams params{5, 1};
+  PhaseKingProcess p(3, params, 0);
+  // Round 1: 4 of 5 say 7 -> mult 4 > n/2 + t = 3.5.
+  p.transition(1, estimates(5, {7, 7, 7, 7, 0}));
+  // Round 2: the king (process 0) says 9, but own majority is strong.
+  ReceptionVector round2(5);
+  round2.set(0, make_estimate(9));
+  p.transition(2, round2);
+  EXPECT_EQ(p.current_value(), 7);
+}
+
+TEST(PhaseKing, WeakMajorityDefersToKing) {
+  const PhaseKingParams params{5, 1};
+  PhaseKingProcess p(3, params, 0);
+  // Round 1: split 3/2 -> mult 3 is not > 3.5.
+  p.transition(1, estimates(5, {7, 7, 7, 2, 2}));
+  ReceptionVector round2(5);
+  round2.set(0, make_estimate(9));
+  p.transition(2, round2);
+  EXPECT_EQ(p.current_value(), 9);
+}
+
+TEST(PhaseKing, SilentKingFallsBackToOwnMajority) {
+  const PhaseKingParams params{5, 1};
+  PhaseKingProcess p(3, params, 0);
+  p.transition(1, estimates(5, {7, 7, 7, 2, 2}));
+  p.transition(2, ReceptionVector(5));  // king heard nothing
+  EXPECT_EQ(p.current_value(), 7);
+}
+
+TEST(PhaseKing, DecidesAfterLastPhase) {
+  const PhaseKingParams params{5, 1};  // 2 phases, 4 rounds
+  PhaseKingProcess p(0, params, 3);
+  const std::vector<Value> unanimous(5, 3);
+  for (Round r = 1; r <= 4; ++r) {
+    EXPECT_FALSE(p.decision().has_value()) << "round " << r;
+    p.transition(r, estimates(5, unanimous));
+  }
+  ASSERT_TRUE(p.decision().has_value());
+  EXPECT_EQ(*p.decision(), 3);
+  EXPECT_EQ(*p.decision_round(), 4);
+}
+
+TEST(PhaseKing, IgnoresRoundsAfterCompletion) {
+  const PhaseKingParams params{5, 0};  // 1 phase
+  PhaseKingProcess p(0, params, 3);
+  const std::vector<Value> unanimous(5, 3);
+  p.transition(1, estimates(5, unanimous));
+  p.transition(2, estimates(5, unanimous));
+  ASSERT_TRUE(p.decision().has_value());
+  // Later rounds must not disturb the decision or crash.
+  p.transition(3, estimates(5, {9, 9, 9, 9, 9}));
+  p.transition(4, estimates(5, {9, 9, 9, 9, 9}));
+  EXPECT_EQ(*p.decision(), 3);
+  EXPECT_EQ(p.decision_log().size(), 1u);
+}
+
+TEST(PhaseKing, SecondRoundBroadcastsMajority) {
+  const PhaseKingParams params{5, 1};
+  PhaseKingProcess p(0, params, 1);
+  p.transition(1, estimates(5, {4, 4, 4, 1, 1}));
+  EXPECT_EQ(p.message_for(2, 0), make_estimate(4));  // maj, not own value
+}
+
+TEST(PhaseKing, FactoryBuildsFullInstance) {
+  const auto instance =
+      make_phase_king_instance(PhaseKingParams{5, 1}, {0, 1, 2, 3, 4});
+  ASSERT_EQ(instance.size(), 5u);
+  for (ProcessId id = 0; id < 5; ++id) EXPECT_EQ(instance[id]->id(), id);
+  EXPECT_NE(instance[0]->name().find("PhaseKing"), std::string::npos);
+}
+
+TEST(PhaseKing, MalformedParamsThrow) {
+  EXPECT_THROW(PhaseKingProcess(0, PhaseKingParams{0, 0}, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,154 @@
+#include "core/utea.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+ReceptionVector estimates(int n, const std::vector<Value>& values) {
+  ReceptionVector mu(n);
+  for (std::size_t q = 0; q < values.size(); ++q)
+    mu.set(static_cast<ProcessId>(q), make_estimate(values[q]));
+  return mu;
+}
+
+ReceptionVector votes(int n, const std::vector<std::optional<Value>>& values) {
+  ReceptionVector mu(n);
+  for (std::size_t q = 0; q < values.size(); ++q)
+    mu.set(static_cast<ProcessId>(q),
+           values[q] ? make_vote(*values[q]) : make_question_vote());
+  return mu;
+}
+
+UteaParams params6() { return UteaParams::canonical(6, 1); }  // T=E=4
+
+TEST(Utea, SendsEstimateThenVote) {
+  UteaProcess p(0, params6(), 7);
+  EXPECT_EQ(p.message_for(1, 0), make_estimate(7));   // round 2phi-1
+  EXPECT_EQ(p.message_for(2, 0), make_question_vote());  // no vote cast yet
+  EXPECT_EQ(p.message_for(3, 0), make_estimate(7));
+}
+
+TEST(Utea, CastsVoteAboveT) {
+  UteaProcess p(0, params6(), 7);
+  p.transition(1, estimates(6, {3, 3, 3, 3, 3}));  // 5 > T=4
+  ASSERT_TRUE(p.vote().has_value());
+  EXPECT_EQ(*p.vote(), 3);
+  EXPECT_EQ(p.message_for(2, 0), make_vote(3));
+}
+
+TEST(Utea, NoVoteAtOrBelowT) {
+  UteaProcess p(0, params6(), 7);
+  p.transition(1, estimates(6, {3, 3, 3, 3}));  // 4 is not > 4
+  EXPECT_FALSE(p.vote().has_value());
+}
+
+TEST(Utea, AdoptsValueWithAlphaPlusOneVotes) {
+  UteaProcess p(0, params6(), 7);
+  p.transition(1, estimates(6, {}));  // no vote
+  // alpha=1: two true votes for 9 certify at least one genuine voter.
+  p.transition(2, votes(6, {9, 9, std::nullopt, std::nullopt}));
+  EXPECT_EQ(p.estimate(), 9);
+  EXPECT_FALSE(p.decision().has_value());
+}
+
+TEST(Utea, SingleVoteIsNotEnoughUnderCorruption) {
+  UteaProcess p(0, params6(), 7);
+  p.transition(1, estimates(6, {}));
+  // alpha=1: one vote for 9 could be forged; fall back to default v0=0.
+  p.transition(2, votes(6, {9, std::nullopt, std::nullopt}));
+  EXPECT_EQ(p.estimate(), 0);
+}
+
+TEST(Utea, FallsBackToDefaultValue) {
+  auto params = params6();
+  params.default_value = 77;
+  UteaProcess p(0, params, 7);
+  p.transition(1, estimates(6, {}));
+  p.transition(2, votes(6, {std::nullopt, std::nullopt}));
+  EXPECT_EQ(p.estimate(), 77);
+}
+
+TEST(Utea, DecidesAboveEVotes) {
+  UteaProcess p(0, params6(), 7);
+  p.transition(1, estimates(6, {}));
+  p.transition(2, votes(6, {5, 5, 5, 5, 5}));  // 5 > E=4
+  ASSERT_TRUE(p.decision().has_value());
+  EXPECT_EQ(*p.decision(), 5);
+  EXPECT_EQ(*p.decision_round(), 2);
+  EXPECT_EQ(p.estimate(), 5);
+}
+
+TEST(Utea, QuestionVotesNeverDecide) {
+  UteaProcess p(0, params6(), 7);
+  p.transition(1, estimates(6, {}));
+  p.transition(2, votes(6, {std::nullopt, std::nullopt, std::nullopt,
+                            std::nullopt, std::nullopt, std::nullopt}));
+  EXPECT_FALSE(p.decision().has_value());
+  EXPECT_EQ(p.estimate(), 0);  // default value
+}
+
+TEST(Utea, VoteResetAfterEachPhase) {
+  UteaProcess p(0, params6(), 7);
+  p.transition(1, estimates(6, {3, 3, 3, 3, 3}));
+  EXPECT_TRUE(p.vote().has_value());
+  p.transition(2, votes(6, {3, 3}));
+  EXPECT_FALSE(p.vote().has_value());  // line 20 reset
+  EXPECT_EQ(p.message_for(4, 0), make_question_vote());
+}
+
+TEST(Utea, EstimateRoundIgnoresVotesAndViceVersa) {
+  UteaProcess p(0, params6(), 7);
+  // Round 1 carrying (corrupted) vote messages: they count for |HO| but
+  // never toward the estimate threshold.
+  ReceptionVector mixed(6);
+  for (ProcessId q = 0; q < 5; ++q) mixed.set(q, make_vote(3));
+  p.transition(1, mixed);
+  EXPECT_FALSE(p.vote().has_value());
+
+  // Round 2 carrying estimates: they never count as votes.
+  ReceptionVector mixed2(6);
+  for (ProcessId q = 0; q < 5; ++q) mixed2.set(q, make_estimate(3));
+  p.transition(2, mixed2);
+  EXPECT_FALSE(p.decision().has_value());
+  EXPECT_EQ(p.estimate(), 0);  // default: no certified vote
+}
+
+TEST(Utea, BestSupportedValueAdoptedOnManyCandidates) {
+  // Defensive behaviour outside Lemma 8's conditions: several values with
+  // >= alpha+1 votes -> highest count wins, smallest on ties.
+  UteaProcess p(0, params6(), 7);
+  p.transition(1, estimates(6, {}));
+  p.transition(2, votes(6, {9, 9, 4, 4, 4}));
+  EXPECT_EQ(p.estimate(), 4);
+}
+
+TEST(Utea, MalformedParamsThrow) {
+  EXPECT_THROW(UteaProcess(0, UteaParams{0, 0, 0, 0, 0}, 1), PreconditionError);
+}
+
+TEST(Utea, FullPhaseHappyPath) {
+  // All six processes unanimous: one phase suffices (decide at round 2).
+  const auto params = params6();
+  std::vector<std::unique_ptr<UteaProcess>> procs;
+  for (ProcessId id = 0; id < 6; ++id)
+    procs.push_back(std::make_unique<UteaProcess>(id, params, 5));
+
+  // Round 1: everyone receives everyone's estimate.
+  std::vector<Value> all_estimates(6, 5);
+  for (auto& p : procs) p->transition(1, estimates(6, all_estimates));
+  for (auto& p : procs) ASSERT_EQ(p->vote(), std::optional<Value>(5));
+
+  // Round 2: everyone receives everyone's vote.
+  std::vector<std::optional<Value>> all_votes(6, std::optional<Value>(5));
+  for (auto& p : procs) p->transition(2, votes(6, all_votes));
+  for (auto& p : procs) {
+    ASSERT_TRUE(p->decision().has_value());
+    EXPECT_EQ(*p->decision(), 5);
+  }
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,140 @@
+/// Serialization robustness fuzzing: the decoder must classify *any* byte
+/// sequence without misbehaving, and bit-flipped frames must land in one
+/// of the three documented outcomes with sensible frequencies.
+
+#include <gtest/gtest.h>
+
+#include "runtime/serialization.hpp"
+#include "util/rng.hpp"
+
+namespace hoval {
+namespace {
+
+TEST(SerializationFuzz, RandomBytesNeverCrashAndNeverPassCrc) {
+  Rng rng(0x5E01);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::size_t size = static_cast<std::size_t>(rng.below(40));
+    std::vector<std::byte> bytes(size);
+    for (auto& b : bytes) b = static_cast<std::byte>(rng.below(256));
+
+    const auto with_crc = decode_packet(bytes, true);
+    // Random bytes essentially never produce a matching CRC32.
+    EXPECT_NE(with_crc.status, DecodeStatus::kOk);
+
+    const auto without_crc = decode_packet(bytes, false);
+    if (without_crc.status == DecodeStatus::kOk) {
+      // Whatever decoded must be internally consistent.
+      EXPECT_GE(without_crc.packet->round, 1);
+      EXPECT_GE(without_crc.packet->sender, 0);
+    }
+  }
+}
+
+TEST(SerializationFuzz, StructuredGarbageDecodesWithoutCrc) {
+  // Frame-sized garbage with plausible header bytes decodes fine without a
+  // checksum — precisely the undetected-value-fault channel of Sec. 5.2.
+  Rng rng(0x5E11);
+  int ok_without_crc = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::byte> bytes(kFrameBodySize);
+    for (auto& b : bytes) b = static_cast<std::byte>(rng.below(256));
+    bytes[0] = static_cast<std::byte>(rng.below(2));  // valid kind
+    bytes[1] = static_cast<std::byte>(rng.below(2));  // valid flag
+    if (decode_packet(bytes, false).status == DecodeStatus::kOk)
+      ++ok_without_crc;
+  }
+  EXPECT_GT(ok_without_crc, 100);
+}
+
+TEST(SerializationFuzz, FlippedFramesClassifyIntoDocumentedOutcomes) {
+  Rng rng(0x5E02);
+  long long crc_caught = 0;
+  long long value_faults = 0;
+  long long round_migrations = 0;
+  long long survived_intact = 0;
+
+  const WirePacket original{3, 2, make_estimate(1234)};
+  for (int trial = 0; trial < 20000; ++trial) {
+    auto bytes = encode_packet(original, true);
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < flips; ++i)
+      bytes[static_cast<std::size_t>(rng.below(bytes.size()))] ^=
+          static_cast<std::byte>(1u << rng.below(8));
+
+    const auto decoded = decode_packet(bytes, true);
+    switch (decoded.status) {
+      case DecodeStatus::kCrcMismatch:
+        ++crc_caught;
+        break;
+      case DecodeStatus::kMalformed:
+        break;
+      case DecodeStatus::kOk:
+        if (*decoded.packet == original) {
+          ++survived_intact;  // self-cancelling flip pattern (two flips on
+                              // the same bit): frame genuinely unchanged
+        } else if (decoded.packet->round != original.round) {
+          ++round_migrations;
+        } else {
+          ++value_faults;
+        }
+        break;
+    }
+  }
+  // CRC32 catches essentially everything at these flip counts; the only
+  // frames that "pass" are ones whose flip pattern self-cancelled (two
+  // flips of the same bit), i.e. genuinely unmodified frames.
+  EXPECT_GT(crc_caught, 19000);
+  EXPECT_EQ(value_faults, 0);
+  EXPECT_EQ(round_migrations, 0);
+  EXPECT_LT(survived_intact, 200);
+}
+
+TEST(SerializationFuzz, WithoutCrcFlipsBecomeValueFaultsOrOmissions) {
+  Rng rng(0x5E03);
+  long long value_faults = 0;
+  long long omissions = 0;  // malformed or round-migrated
+  long long intact = 0;
+
+  const WirePacket original{3, 2, make_estimate(1234)};
+  for (int trial = 0; trial < 20000; ++trial) {
+    auto bytes = encode_packet(original, false);
+    bytes[static_cast<std::size_t>(rng.below(bytes.size()))] ^=
+        static_cast<std::byte>(1u << rng.below(8));
+
+    const auto decoded = decode_packet(bytes, false);
+    if (decoded.status != DecodeStatus::kOk) {
+      ++omissions;
+    } else if (*decoded.packet == original) {
+      ++intact;
+    } else if (decoded.packet->round != original.round) {
+      ++omissions;  // migrates; communication closure will discard it
+    } else {
+      ++value_faults;
+    }
+  }
+  EXPECT_EQ(intact, 0);  // a single flip always changes the body
+  EXPECT_GT(value_faults, 0);
+  EXPECT_GT(omissions, 0);
+  // Most single-bit flips land in the 8-byte payload or kind/flag bytes:
+  // the value-fault channel dominates on this layout.
+  EXPECT_GT(value_faults, omissions);
+}
+
+TEST(SerializationFuzz, EncodeDecodeRandomPacketsRoundTrip) {
+  Rng rng(0x5E04);
+  for (int trial = 0; trial < 2000; ++trial) {
+    WirePacket packet;
+    packet.round = 1 + static_cast<Round>(rng.below(1 << 20));
+    packet.sender = static_cast<ProcessId>(rng.below(1 << 10));
+    packet.msg.kind = rng.chance(0.5) ? MsgKind::kEstimate : MsgKind::kVote;
+    if (rng.chance(0.8))
+      packet.msg.payload = static_cast<Value>(rng.next());
+    const bool with_crc = rng.chance(0.5);
+    const auto decoded = decode_packet(encode_packet(packet, with_crc), with_crc);
+    ASSERT_EQ(decoded.status, DecodeStatus::kOk);
+    ASSERT_EQ(*decoded.packet, packet);
+  }
+}
+
+}  // namespace
+}  // namespace hoval

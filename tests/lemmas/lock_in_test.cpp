@@ -1,0 +1,134 @@
+/// Constructive necessity of Theorem 1's second condition
+/// T >= 2(n + 2*alpha - E): with E >= n/2 + alpha (so same-round splits
+/// are impossible — Lemma 3 holds) but T below the frontier, the lock-in
+/// adversary produces a cross-round agreement violation in three rounds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "adversary/lock_in.hpp"
+#include "core/factories.hpp"
+#include "util/check.hpp"
+#include "predicates/safety.hpp"
+#include "sim/initial_values.hpp"
+#include "sim/properties.hpp"
+#include "sim/simulator.hpp"
+
+namespace hoval {
+namespace {
+
+TEST(LockIn, FeasibilityArithmetic) {
+  // n=12, alpha=2: E = n/2 + alpha = 8 satisfies Lemma 3, and the script
+  // works for any T < n.
+  EXPECT_TRUE(lock_in_feasible(12, 6.0, 8.0, 2));
+  // Odd n: the even-split script does not apply.
+  EXPECT_FALSE(lock_in_feasible(11, 6.0, 7.5, 2));
+  // alpha too small to both poison the victim and spare the rest.
+  EXPECT_FALSE(lock_in_feasible(12, 6.0, 8.0, 1));
+  // E too large: the victim cannot be pushed past it (n/2+1+alpha <= E).
+  EXPECT_FALSE(lock_in_feasible(12, 6.0, 9.5, 2));
+  // E too small would allow early accidental decisions.
+  EXPECT_FALSE(lock_in_feasible(12, 6.0, 5.0, 2));
+}
+
+TEST(LockIn, BreaksAgreementBelowTheFrontier) {
+  const int n = 12;
+  const int alpha = 2;
+  // E = n/2 + alpha: agreement_conditions' E-half holds...
+  const AteParams params{n, /*T=*/6.0, /*E=*/8.0, static_cast<double>(alpha)};
+  EXPECT_TRUE(params.threshold_e >= n / 2.0 + alpha);
+  // ...but the T condition fails (frontier = 2(n + 2a - E) = 16 > T):
+  EXPECT_FALSE(params.agreement_conditions());
+  ASSERT_TRUE(lock_in_feasible(n, params.threshold_t, params.threshold_e, alpha));
+
+  LockInConfig attack;
+  attack.alpha = alpha;
+  attack.low_value = 0;
+  attack.high_value = 1;
+  attack.threshold_e = params.threshold_e;
+
+  SimConfig config;
+  config.max_rounds = 6;
+  config.stop_when_all_decided = false;
+  Simulator sim(make_ate_instance(params, split_values(n, 0, 1)),
+                std::make_shared<LockInAdversary>(attack), config);
+  const auto result = sim.run();
+
+  // The victim decided lo at round 2; everyone else decided hi at round 3.
+  EXPECT_EQ(result.decisions[0], 0);
+  EXPECT_EQ(result.decision_rounds[0], 2);
+  for (ProcessId p = 1; p < n; ++p) {
+    ASSERT_TRUE(result.decisions[p].has_value()) << "p=" << p;
+    EXPECT_EQ(*result.decisions[p], 1) << "p=" << p;
+  }
+  EXPECT_FALSE(check_agreement(result).holds);
+
+  // The attack stayed within P_alpha the whole time.
+  EXPECT_TRUE(PAlpha(alpha).evaluate(result.trace).holds);
+}
+
+TEST(LockIn, SameRoundSafetyWasNeverViolated) {
+  // Sanity: the violation is genuinely cross-round (Lemma 3 intact).
+  const int n = 12;
+  const AteParams params{n, 6.0, 8.0, 2.0};
+  LockInConfig attack;
+  attack.alpha = 2;
+  attack.threshold_e = params.threshold_e;
+
+  SimConfig config;
+  config.max_rounds = 6;
+  config.stop_when_all_decided = false;
+  Simulator sim(make_ate_instance(params, split_values(n, 0, 1)),
+                std::make_shared<LockInAdversary>(attack), config);
+  const auto result = sim.run();
+
+  // Group decision rounds: all first decisions at round 2 share a value,
+  // all at round 3 share a value.
+  std::map<Round, std::set<Value>> by_round;
+  for (ProcessId p = 0; p < n; ++p)
+    if (result.decision_rounds[p])
+      by_round[*result.decision_rounds[p]].insert(*result.decisions[p]);
+  for (const auto& [round, values] : by_round)
+    EXPECT_EQ(values.size(), 1u) << "two decisions at round " << round;
+  EXPECT_GE(by_round.size(), 2u);  // and they happened at different rounds
+}
+
+TEST(LockIn, HarmlessAgainstTheorem1Thresholds) {
+  // The same adversary against a full Theorem-1 instantiation: Lemma 4's
+  // lock-in defuses the script (its round-2 steering can no longer flip
+  // the plurality away from the decided value).
+  const int n = 12;
+  const int alpha = 2;
+  const auto params = AteParams::canonical(n, alpha);
+  ASSERT_TRUE(params.theorem1_conditions());
+
+  LockInConfig attack;
+  attack.alpha = alpha;
+  attack.threshold_e = params.threshold_e;
+
+  SimConfig config;
+  config.max_rounds = 30;
+  config.stop_when_all_decided = false;
+  Simulator sim(make_ate_instance(params, split_values(n, 0, 1)),
+                std::make_shared<LockInAdversary>(attack), config);
+  const auto result = sim.run();
+  EXPECT_TRUE(check_agreement(result).holds);
+  EXPECT_TRUE(check_irrevocability(sim.processes()).holds);
+}
+
+TEST(LockIn, ParameterValidation) {
+  LockInConfig bad;
+  bad.alpha = 1;
+  EXPECT_THROW(LockInAdversary{bad}, PreconditionError);
+
+  LockInConfig swapped;
+  swapped.alpha = 2;
+  swapped.low_value = 5;
+  swapped.high_value = 3;
+  EXPECT_THROW(LockInAdversary{swapped}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace hoval

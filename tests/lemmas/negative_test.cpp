@@ -1,0 +1,237 @@
+/// Constructive *negative* results: when the threshold conditions of
+/// Theorems 1/2 are violated, targeted P_alpha-compliant adversaries build
+/// real Agreement/Integrity violations — the conditions are not artefacts
+/// of the proofs.  Also the Santoro–Widmayer-style stalling adversary: it
+/// postpones termination of A_{T,E} forever while never violating safety,
+/// and a single P^{A,live} round later the system decides.
+
+#include <gtest/gtest.h>
+
+#include "adversary/bivalence.hpp"
+#include "adversary/corruption.hpp"
+#include "adversary/split_vote.hpp"
+#include "adversary/wrappers.hpp"
+#include "core/factories.hpp"
+#include "predicates/safety.hpp"
+#include "sim/campaign.hpp"
+#include "sim/initial_values.hpp"
+
+namespace hoval {
+namespace {
+
+TEST(Negative, AteAgreementBreaksWhenEBelowHalfPlusAlpha) {
+  // n=8, alpha=2: Theorem 1 needs E >= 6.  Choose E=5 (and T high enough
+  // to be otherwise sane): the split adversary pushes both camps over E
+  // with opposite values in round 1.
+  const int n = 8;
+  const int alpha = 2;
+  const AteParams bad{n, /*T=*/6.0, /*E=*/5.0, static_cast<double>(alpha)};
+  ASSERT_FALSE(bad.agreement_conditions());
+
+  SplitVoteConfig split;
+  split.alpha = alpha;
+  split.low_value = 1;
+  split.high_value = 9;
+
+  SimConfig config;
+  config.max_rounds = 5;
+  Simulator sim(make_ate_instance(bad, split_values(n, 1, 9)),
+                std::make_shared<SplitVoteAdversary>(split), config);
+  const auto result = sim.run();
+
+  const auto verdict = check_agreement(result);
+  EXPECT_FALSE(verdict.holds) << "expected a constructed agreement violation";
+  // The adversary stayed within P_alpha while doing it.
+  EXPECT_TRUE(PAlpha(alpha).evaluate(result.trace).holds);
+}
+
+TEST(Negative, SameAdversaryHarmlessWithTheorem1Thresholds) {
+  // Identical attack against the canonical thresholds: nothing breaks.
+  const int n = 8;
+  const int alpha = 2;  // alpha = 2 satisfies 2 < 8/4? No: 2 < 2 is false.
+  // For n=8 the max tolerated alpha is 1, so run the attack with alpha=1.
+  const int safe_alpha = AteParams::max_tolerated_alpha(n);
+  ASSERT_EQ(safe_alpha, 1);
+  const auto good = AteParams::canonical(n, safe_alpha);
+
+  SplitVoteConfig split;
+  split.alpha = safe_alpha;
+  split.low_value = 1;
+  split.high_value = 9;
+
+  SimConfig config;
+  config.max_rounds = 30;
+  config.stop_when_all_decided = false;
+  Simulator sim(make_ate_instance(good, split_values(n, 1, 9)),
+                std::make_shared<SplitVoteAdversary>(split), config);
+  const auto result = sim.run();
+  EXPECT_TRUE(check_agreement(result).holds);
+  (void)alpha;
+}
+
+TEST(Negative, AteIntegrityBreaksWhenEBelowAlpha) {
+  // Proposition 2 needs E >= alpha.  With E < alpha the adversary's forged
+  // copies alone can cross the decision threshold, deciding a value nobody
+  // proposed despite a unanimous start.  (The forged value must undercut
+  // the genuine one because the decision rule deterministically picks the
+  // smallest qualifying value.)
+  const int n = 8;
+  const AteParams bad{n, /*T=*/6.0, /*E=*/2.0, /*alpha=*/3.0};
+  ASSERT_FALSE(bad.integrity_conditions());
+
+  RandomCorruptionConfig corruption;
+  corruption.alpha = 3;
+  corruption.policy.style = CorruptionStyle::kFixedValue;
+  corruption.policy.fixed_value = 0;
+
+  SimConfig config;
+  config.max_rounds = 3;
+  Simulator sim(make_ate_instance(bad, unanimous_values(n, 1)),
+                std::make_shared<RandomCorruptionAdversary>(corruption), config);
+  const auto result = sim.run();
+  const auto verdict = check_integrity(unanimous_values(n, 1), result);
+  EXPECT_FALSE(verdict.holds);
+  EXPECT_NE(verdict.detail.find("decided 0"), std::string::npos);
+}
+
+TEST(Negative, UteaAgreementBreaksWithoutUniqueVoteCondition) {
+  // Theorem 2 needs T >= n/2 + alpha.  With T below that, the split
+  // adversary manufactures two true votes in round 1 and two conflicting
+  // decisions in round 2.
+  const int n = 8;
+  const int alpha = 2;
+  const UteaParams bad{n, /*T=*/4.0, /*E=*/4.0, alpha, 0};
+  ASSERT_FALSE(bad.unique_vote_conditions());
+
+  SplitVoteConfig split;
+  split.alpha = alpha;
+  split.low_value = 1;
+  split.high_value = 9;
+
+  SimConfig config;
+  config.max_rounds = 4;
+  Simulator sim(make_utea_instance(bad, split_values(n, 1, 9)),
+                std::make_shared<SplitVoteAdversary>(split), config);
+  const auto result = sim.run();
+  EXPECT_FALSE(check_agreement(result).holds);
+  EXPECT_TRUE(PAlpha(alpha).evaluate(result.trace).holds);
+}
+
+TEST(Negative, UteaSafeWithCanonicalThresholdsUnderSameAttack) {
+  const int n = 8;
+  const int alpha = 2;
+  const auto good = UteaParams::canonical(n, alpha);
+
+  SplitVoteConfig split;
+  split.alpha = alpha;
+  split.low_value = 1;
+  split.high_value = 9;
+
+  SimConfig config;
+  config.max_rounds = 30;
+  config.stop_when_all_decided = false;
+  Simulator sim(make_utea_instance(good, split_values(n, 1, 9)),
+                std::make_shared<SplitVoteAdversary>(split), config);
+  const auto result = sim.run();
+  EXPECT_TRUE(check_agreement(result).holds);
+}
+
+TEST(Negative, BivalenceAdversaryStallsAteForever) {
+  // The SW circumvention story, part 1: a P_alpha-compliant adversary
+  // spending ~n/2 forgeries per round keeps A_{T,E} undecided for as long
+  // as it runs, without ever violating safety.
+  const int n = 10;
+  const int alpha = 2;
+  const auto params = AteParams::canonical(n, alpha);
+
+  BivalenceConfig stall;
+  stall.alpha = alpha;
+  stall.threshold_e = params.threshold_e;
+  auto adversary = std::make_shared<BivalenceAdversary>(stall);
+
+  SimConfig config;
+  config.max_rounds = 200;
+  Simulator sim(make_ate_instance(params, split_values(n, 0, 1)), adversary,
+                config);
+  const auto result = sim.run();
+
+  EXPECT_EQ(result.decided_count(), 0) << "stall must prevent any decision";
+  EXPECT_EQ(result.rounds_executed, 200);
+  EXPECT_TRUE(check_agreement(result).holds);
+  EXPECT_TRUE(PAlpha(alpha).evaluate(result.trace).holds);
+  // Sustained forgery effort comparable to the SW budget floor(n/2).
+  EXPECT_GE(adversary->forgeries(), 200LL * (n / 2 - 1));
+}
+
+TEST(Negative, OneGoodRoundUnlocksTheStalledSystem) {
+  // Part 2: the identical adversary, but P^{A,live} good rounds occur every
+  // 50 rounds -> the system decides shortly after the first one.
+  const int n = 10;
+  const int alpha = 2;
+  const auto params = AteParams::canonical(n, alpha);
+
+  BivalenceConfig stall;
+  stall.alpha = alpha;
+  stall.threshold_e = params.threshold_e;
+  GoodRoundConfig good;
+  good.period = 50;
+
+  SimConfig config;
+  config.max_rounds = 200;
+  Simulator sim(make_ate_instance(params, split_values(n, 0, 1)),
+                std::make_shared<GoodRoundScheduler>(
+                    std::make_shared<BivalenceAdversary>(stall), good),
+                config);
+  const auto result = sim.run();
+
+  EXPECT_TRUE(result.all_decided);
+  // Good round at 50 creates unanimity; the one at 100 delivers > E equal
+  // values to everyone.
+  EXPECT_GE(*result.first_decision_round, 50);
+  EXPECT_LE(*result.last_decision_round, 100);
+  EXPECT_TRUE(check_agreement(result).holds);
+}
+
+TEST(Negative, GarbageFloodStallsUteaAboveQuarter) {
+  // For U the stalling threshold is alpha >= n/4 (Sec. 5.1 trade-off): with
+  // that much garbage per receiver no estimate ever clears T = n/2 + alpha,
+  // votes never form, and every phase resets to the default value.
+  const int n = 8;
+  const int alpha = 3;  // >= n/4 = 2 means count(v) <= n - alpha <= T
+  const auto params = UteaParams::canonical(n, alpha);
+
+  RandomCorruptionConfig corruption;
+  corruption.alpha = alpha;
+  corruption.policy.style = CorruptionStyle::kGarbage;
+
+  SimConfig config;
+  config.max_rounds = 100;
+  Simulator sim(make_utea_instance(params, unanimous_values(n, 5)),
+                std::make_shared<RandomCorruptionAdversary>(corruption), config);
+  const auto result = sim.run();
+  EXPECT_EQ(result.decided_count(), 0);
+  EXPECT_TRUE(PAlpha(alpha).evaluate(result.trace).holds);
+}
+
+TEST(Negative, GarbageFloodBelowQuarterCannotStallUtea) {
+  // With alpha < n/4 the same attack fails: n - alpha > n/2 + alpha, votes
+  // still form and U decides.
+  const int n = 8;
+  const int alpha = 1;
+  const auto params = UteaParams::canonical(n, alpha);
+
+  RandomCorruptionConfig corruption;
+  corruption.alpha = alpha;
+  corruption.policy.style = CorruptionStyle::kGarbage;
+
+  SimConfig config;
+  config.max_rounds = 100;
+  Simulator sim(make_utea_instance(params, unanimous_values(n, 5)),
+                std::make_shared<RandomCorruptionAdversary>(corruption), config);
+  const auto result = sim.run();
+  EXPECT_TRUE(result.all_decided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, 5);
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,75 @@
+#include "model/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace hoval {
+namespace {
+
+TEST(Message, Constructors) {
+  const Msg est = make_estimate(5);
+  EXPECT_EQ(est.kind, MsgKind::kEstimate);
+  EXPECT_EQ(est.payload, 5);
+
+  const Msg vote = make_vote(3);
+  EXPECT_EQ(vote.kind, MsgKind::kVote);
+  EXPECT_EQ(vote.payload, 3);
+
+  const Msg question = make_question_vote();
+  EXPECT_EQ(question.kind, MsgKind::kVote);
+  EXPECT_FALSE(question.payload.has_value());
+}
+
+TEST(Message, Equality) {
+  EXPECT_EQ(make_estimate(1), make_estimate(1));
+  EXPECT_NE(make_estimate(1), make_estimate(2));
+  EXPECT_NE(make_estimate(1), make_vote(1));
+  EXPECT_NE(make_vote(1), make_question_vote());
+  EXPECT_EQ(make_question_vote(), make_question_vote());
+}
+
+TEST(Message, TrueVoteClassification) {
+  EXPECT_TRUE(is_true_vote(make_vote(0)));
+  EXPECT_FALSE(is_true_vote(make_question_vote()));
+  EXPECT_FALSE(is_true_vote(make_estimate(0)));
+}
+
+TEST(Message, TotalOrderIsStrictWeak) {
+  std::vector<Msg> messages{make_vote(2),         make_estimate(7),
+                            make_question_vote(), make_estimate(-1),
+                            make_vote(-5),        make_estimate(7)};
+  std::sort(messages.begin(), messages.end());
+  // Estimates sort before votes (kind-major); nullopt payload sorts first.
+  EXPECT_EQ(messages[0], make_estimate(-1));
+  EXPECT_EQ(messages[1], make_estimate(7));
+  EXPECT_EQ(messages[2], make_estimate(7));
+  EXPECT_EQ(messages[3], make_question_vote());
+  EXPECT_EQ(messages[4], make_vote(-5));
+  EXPECT_EQ(messages[5], make_vote(2));
+}
+
+TEST(Message, ToString) {
+  EXPECT_EQ(to_string(make_estimate(7)), "est(7)");
+  EXPECT_EQ(to_string(make_vote(3)), "vote(3)");
+  EXPECT_EQ(to_string(make_question_vote()), "vote(?)");
+  EXPECT_EQ(to_string(Msg{MsgKind::kEstimate, std::nullopt}), "est(?)");
+}
+
+TEST(Message, PhaseHelpers) {
+  EXPECT_EQ(first_round_of_phase(1), 1);
+  EXPECT_EQ(second_round_of_phase(1), 2);
+  EXPECT_EQ(first_round_of_phase(3), 5);
+  EXPECT_EQ(second_round_of_phase(3), 6);
+  EXPECT_EQ(phase_of_round(1), 1);
+  EXPECT_EQ(phase_of_round(2), 1);
+  EXPECT_EQ(phase_of_round(5), 3);
+  EXPECT_EQ(phase_of_round(6), 3);
+  EXPECT_TRUE(is_first_round_of_phase(1));
+  EXPECT_FALSE(is_first_round_of_phase(2));
+  EXPECT_TRUE(is_first_round_of_phase(7));
+}
+
+}  // namespace
+}  // namespace hoval

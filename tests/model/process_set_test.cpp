@@ -1,0 +1,124 @@
+#include "model/process_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+TEST(ProcessSet, EmptyAndUniverse) {
+  const ProcessSet empty(5);
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.universe_size(), 5);
+
+  const ProcessSet all = ProcessSet::universe(5);
+  EXPECT_EQ(all.count(), 5);
+  for (ProcessId p = 0; p < 5; ++p) EXPECT_TRUE(all.contains(p));
+}
+
+TEST(ProcessSet, InsertEraseContains) {
+  ProcessSet s(10);
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.count(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.count(), 1);
+  s.insert(7);  // idempotent
+  EXPECT_EQ(s.count(), 1);
+}
+
+TEST(ProcessSet, OutOfRangeThrows) {
+  ProcessSet s(4);
+  EXPECT_THROW(s.insert(4), PreconditionError);
+  EXPECT_THROW(s.insert(-1), PreconditionError);
+  EXPECT_THROW(s.contains(100), PreconditionError);
+  EXPECT_THROW((void)ProcessSet(-1), PreconditionError);
+}
+
+TEST(ProcessSet, OfBuilder) {
+  const auto s = ProcessSet::of(6, {0, 2, 5});
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(5));
+}
+
+TEST(ProcessSet, SetAlgebra) {
+  const auto a = ProcessSet::of(8, {0, 1, 2, 3});
+  const auto b = ProcessSet::of(8, {2, 3, 4, 5});
+  EXPECT_EQ(a.intersect(b), ProcessSet::of(8, {2, 3}));
+  EXPECT_EQ(a.unite(b), ProcessSet::of(8, {0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(a.subtract(b), ProcessSet::of(8, {0, 1}));
+  EXPECT_EQ(b.subtract(a), ProcessSet::of(8, {4, 5}));
+}
+
+TEST(ProcessSet, Complement) {
+  const auto s = ProcessSet::of(5, {1, 3});
+  EXPECT_EQ(s.complement(), ProcessSet::of(5, {0, 2, 4}));
+  EXPECT_EQ(ProcessSet(5).complement(), ProcessSet::universe(5));
+  EXPECT_EQ(ProcessSet::universe(5).complement(), ProcessSet(5));
+}
+
+TEST(ProcessSet, SubsetRelation) {
+  const auto small = ProcessSet::of(8, {1, 2});
+  const auto big = ProcessSet::of(8, {0, 1, 2, 3});
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.is_subset_of(small));
+  EXPECT_TRUE(ProcessSet(8).is_subset_of(small));
+}
+
+TEST(ProcessSet, CrossUniverseOperationsThrow) {
+  const ProcessSet a(4);
+  const ProcessSet b(5);
+  EXPECT_THROW((void)a.intersect(b), PreconditionError);
+  EXPECT_THROW((void)a.unite(b), PreconditionError);
+  EXPECT_THROW((void)a.is_subset_of(b), PreconditionError);
+}
+
+TEST(ProcessSet, MembersInOrder) {
+  const auto s = ProcessSet::of(70, {65, 3, 40});
+  EXPECT_EQ(s.members(), (std::vector<ProcessId>{3, 40, 65}));
+}
+
+TEST(ProcessSet, LargeUniverseAcrossBlocks) {
+  // Exercise multi-block (n > 64) behaviour.
+  ProcessSet s(130);
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);
+  s.insert(129);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_EQ(s.complement().count(), 126);
+  const auto u = ProcessSet::universe(130);
+  EXPECT_EQ(u.count(), 130);
+  EXPECT_TRUE(s.is_subset_of(u));
+}
+
+TEST(ProcessSet, ForEachVisitsInOrder) {
+  const auto s = ProcessSet::of(100, {99, 0, 64, 63});
+  std::vector<ProcessId> visited;
+  s.for_each([&](ProcessId p) { visited.push_back(p); });
+  EXPECT_EQ(visited, (std::vector<ProcessId>{0, 63, 64, 99}));
+}
+
+TEST(ProcessSet, ToString) {
+  EXPECT_EQ(ProcessSet::of(5, {0, 2}).to_string(), "{0, 2}");
+  EXPECT_EQ(ProcessSet(3).to_string(), "{}");
+}
+
+TEST(ProcessSet, ClearEmptiesTheSet) {
+  auto s = ProcessSet::universe(9);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.universe_size(), 9);
+}
+
+}  // namespace
+}  // namespace hoval

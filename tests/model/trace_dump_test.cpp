@@ -1,0 +1,59 @@
+#include "model/trace_dump.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+ComputationTrace sample_trace() {
+  ComputationTrace trace(3);
+  trace.append_round({HoRecord{ProcessSet::of(3, {0, 1, 2}), ProcessSet::of(3, {0, 1})},
+                      HoRecord{ProcessSet::of(3, {0, 1}), ProcessSet::of(3, {0, 1})},
+                      HoRecord{ProcessSet::of(3, {0, 1, 2}), ProcessSet::of(3, {0, 1, 2})}});
+  trace.append_round({HoRecord{ProcessSet::universe(3), ProcessSet::universe(3)},
+                      HoRecord{ProcessSet::universe(3), ProcessSet::universe(3)},
+                      HoRecord{ProcessSet::universe(3), ProcessSet::universe(3)}});
+  return trace;
+}
+
+TEST(TraceDump, RenderRoundShowsAllSets) {
+  const auto trace = sample_trace();
+  const std::string out = render_round(trace, 1);
+  EXPECT_NE(out.find("round 1"), std::string::npos);
+  EXPECT_NE(out.find("AS={2}"), std::string::npos);
+  EXPECT_NE(out.find("p0: HO={0, 1, 2} SHO={0, 1} AHO={2}"), std::string::npos);
+  EXPECT_NE(out.find("p2: HO={0, 1, 2} SHO={0, 1, 2} AHO={}"), std::string::npos);
+}
+
+TEST(TraceDump, RenderRoundValidatesRange) {
+  const auto trace = sample_trace();
+  EXPECT_THROW((void)render_round(trace, 0), PreconditionError);
+  EXPECT_THROW((void)render_round(trace, 3), PreconditionError);
+}
+
+TEST(TraceDump, SummaryCoversRequestedRounds) {
+  const auto trace = sample_trace();
+  const std::string all = render_summary(trace);
+  // Round 1: K = {0,1}, SK = {0,1}, AS = {2}, 1 alteration, 1 omission.
+  EXPECT_NE(all.find("|     1 |   2 |    2 |    1 |           1 |         1 |"),
+            std::string::npos)
+      << all;
+  // Round 2 is perfect.
+  EXPECT_NE(all.find("|     2 |   3 |    3 |    0 |           0 |         0 |"),
+            std::string::npos)
+      << all;
+}
+
+TEST(TraceDump, SummaryClampsBounds) {
+  const auto trace = sample_trace();
+  const std::string clamped = render_summary(trace, -5, 99);
+  EXPECT_NE(clamped.find("|     1 |"), std::string::npos);
+  EXPECT_NE(clamped.find("|     2 |"), std::string::npos);
+  const std::string only_second = render_summary(trace, 2, 2);
+  EXPECT_EQ(only_second.find("|     1 |   2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,107 @@
+#include "model/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+HoRecord record_of(int n, std::vector<ProcessId> ho, std::vector<ProcessId> sho) {
+  return HoRecord{ProcessSet::of(n, ho), ProcessSet::of(n, sho)};
+}
+
+TEST(Trace, AppendAndAccess) {
+  ComputationTrace trace(3);
+  EXPECT_EQ(trace.round_count(), 0);
+  trace.append_round({record_of(3, {0, 1, 2}, {0, 1}),
+                      record_of(3, {0, 1}, {0, 1}),
+                      record_of(3, {0, 1, 2}, {0, 1, 2})});
+  EXPECT_EQ(trace.round_count(), 1);
+  EXPECT_EQ(trace.record(0, 1).ho, ProcessSet::of(3, {0, 1, 2}));
+  EXPECT_EQ(trace.record(0, 1).aho(), ProcessSet::of(3, {2}));
+  EXPECT_EQ(trace.record(2, 1).aho(), ProcessSet(3));
+}
+
+TEST(Trace, RejectsIllFormedRecords) {
+  ComputationTrace trace(2);
+  // SHO not a subset of HO.
+  EXPECT_THROW(trace.append_round({record_of(2, {0}, {0, 1}),
+                                   record_of(2, {0, 1}, {0, 1})}),
+               PreconditionError);
+  // Wrong number of per-process records.
+  EXPECT_THROW(trace.append_round({record_of(2, {0}, {0})}), PreconditionError);
+  // Wrong universe.
+  EXPECT_THROW(trace.append_round({record_of(3, {0}, {0}),
+                                   record_of(3, {0}, {0})}),
+               PreconditionError);
+}
+
+TEST(Trace, RoundOutOfPrefixThrows) {
+  ComputationTrace trace(1);
+  trace.append_round({record_of(1, {0}, {0})});
+  EXPECT_THROW((void)trace.record(0, 0), PreconditionError);
+  EXPECT_THROW((void)trace.record(0, 2), PreconditionError);
+  EXPECT_THROW((void)trace.kernel(2), PreconditionError);
+}
+
+TEST(Trace, PerRoundKernels) {
+  ComputationTrace trace(3);
+  trace.append_round({record_of(3, {0, 1, 2}, {0, 1}),
+                      record_of(3, {0, 1}, {0}),
+                      record_of(3, {0, 2}, {0, 2})});
+  // K(1) = {0,1,2} ∩ {0,1} ∩ {0,2} = {0}
+  EXPECT_EQ(trace.kernel(1), ProcessSet::of(3, {0}));
+  // SK(1) = {0,1} ∩ {0} ∩ {0,2} = {0}
+  EXPECT_EQ(trace.safe_kernel(1), ProcessSet::of(3, {0}));
+  // AHO: {2}, {1}, {} -> AS(1) = {1,2}
+  EXPECT_EQ(trace.altered_span(1), ProcessSet::of(3, {1, 2}));
+}
+
+TEST(Trace, WholeRunAggregates) {
+  ComputationTrace trace(3);
+  trace.append_round({record_of(3, {0, 1, 2}, {0, 1, 2}),
+                      record_of(3, {0, 1, 2}, {0, 1, 2}),
+                      record_of(3, {0, 1, 2}, {0, 1, 2})});
+  trace.append_round({record_of(3, {0, 1}, {0, 1}),
+                      record_of(3, {0, 1, 2}, {0, 2}),
+                      record_of(3, {0, 1, 2}, {0, 1, 2})});
+  // K = K(1) ∩ K(2) = Pi ∩ {0,1} = {0,1}
+  EXPECT_EQ(trace.kernel(), ProcessSet::of(3, {0, 1}));
+  // SK = Pi ∩ ({0,1} ∩ {0,2} ∩ {0,1,2}) = {0}
+  EXPECT_EQ(trace.safe_kernel(), ProcessSet::of(3, {0}));
+  // AS = {} ∪ {1} = {1}
+  EXPECT_EQ(trace.altered_span(), ProcessSet::of(3, {1}));
+}
+
+TEST(Trace, FaultCounting) {
+  ComputationTrace trace(3);
+  trace.append_round({record_of(3, {0, 1, 2}, {0}),   // 2 altered, 0 omitted
+                      record_of(3, {0, 1}, {0, 1}),   // 0 altered, 1 omitted
+                      record_of(3, {2}, {})});        // 1 altered, 2 omitted
+  EXPECT_EQ(trace.alteration_count(1), 3);
+  EXPECT_EQ(trace.max_aho(1), 2);
+  EXPECT_EQ(trace.omission_count(1), 3);
+}
+
+TEST(Trace, EmptyTraceAggregatesAreUniverseOrEmpty) {
+  const ComputationTrace trace(4);
+  // Intersections over an empty set of rounds are the universe; unions empty.
+  EXPECT_EQ(trace.kernel(), ProcessSet::universe(4));
+  EXPECT_EQ(trace.safe_kernel(), ProcessSet::universe(4));
+  EXPECT_EQ(trace.altered_span(), ProcessSet(4));
+}
+
+TEST(Trace, BenignRoundHasEqualSets) {
+  ComputationTrace trace(2);
+  trace.append_round({record_of(2, {0, 1}, {0, 1}), record_of(2, {1}, {1})});
+  for (ProcessId p = 0; p < 2; ++p) {
+    const auto& rec = trace.record(p, 1);
+    EXPECT_EQ(rec.ho, rec.sho);
+    EXPECT_TRUE(rec.aho().empty());
+  }
+  EXPECT_EQ(trace.alteration_count(1), 0);
+}
+
+}  // namespace
+}  // namespace hoval

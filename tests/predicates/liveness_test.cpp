@@ -1,0 +1,181 @@
+#include "predicates/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hoval {
+namespace {
+
+HoRecord rec(int n, std::vector<ProcessId> ho, std::vector<ProcessId> sho) {
+  return HoRecord{ProcessSet::of(n, ho), ProcessSet::of(n, sho)};
+}
+
+HoRecord full(int n) {
+  return HoRecord{ProcessSet::universe(n), ProcessSet::universe(n)};
+}
+
+void append_uniform(ComputationTrace& trace, const HoRecord& record) {
+  std::vector<HoRecord> records(static_cast<std::size_t>(trace.universe_size()),
+                                record);
+  trace.append_round(std::move(records));
+}
+
+// n=6, T=4, E=4, alpha=1: Pi1 needs > 3 members, Pi2 needs > 4 members.
+PALive alive() { return PALive(6, 4.0, 4.0, 1.0); }
+
+TEST(PALivePred, FullyCleanRoundSatisfiesEverything) {
+  ComputationTrace trace(6);
+  append_uniform(trace, full(6));
+  const auto verdict = alive().evaluate(trace);
+  EXPECT_TRUE(verdict.holds);
+  ASSERT_EQ(verdict.witnesses.size(), 1u);
+  EXPECT_EQ(verdict.witnesses.front(), 1);
+}
+
+TEST(PALivePred, FailsWithoutCoordinatedRound) {
+  ComputationTrace trace(6);
+  // Everyone hears everyone, but one message is always corrupted:
+  // HO != SHO for every process, so no Pi1/Pi2 structure exists.
+  for (int r = 0; r < 5; ++r) {
+    std::vector<HoRecord> records;
+    for (int p = 0; p < 6; ++p)
+      records.push_back(rec(6, {0, 1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}));
+    trace.append_round(std::move(records));
+  }
+  const auto verdict = alive().evaluate(trace);
+  EXPECT_FALSE(verdict.holds);
+  EXPECT_NE(verdict.detail.find("Pi1"), std::string::npos);
+}
+
+TEST(PALivePred, MinimalPi1Pi2Structure) {
+  const int n = 6;
+  ComputationTrace trace(n);
+  // Pi2 = {0..4} (5 > T=4); Pi1 = {0,1,2,3} (4 > E-alpha=3) hears exactly
+  // Pi2 uncorrupted; others hear everything with corruption.
+  std::vector<HoRecord> records;
+  for (int p = 0; p < 4; ++p)
+    records.push_back(rec(n, {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}));
+  for (int p = 4; p < 6; ++p)
+    records.push_back(rec(n, {0, 1, 2, 3, 4, 5}, {0, 1, 2, 3}));
+  trace.append_round(std::move(records));
+
+  // Conjunct (1) holds at round 1, but conjunct (3) fails: processes 4,5
+  // never see |SHO| > E=4.
+  EXPECT_FALSE(alive().evaluate(trace).holds);
+  EXPECT_EQ(alive().coordinated_rounds(trace), std::vector<Round>{1});
+
+  // One fully clean round fixes conjuncts (2)/(3) for everyone.
+  append_uniform(trace, full(n));
+  EXPECT_TRUE(alive().evaluate(trace).holds);
+}
+
+TEST(PALivePred, Pi1TooSmallDoesNotCount) {
+  const int n = 6;
+  ComputationTrace trace(n);
+  // Only 3 processes (= E - alpha, not >) hear exactly Pi2.
+  std::vector<HoRecord> records;
+  for (int p = 0; p < 3; ++p)
+    records.push_back(rec(n, {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}));
+  for (int p = 3; p < 6; ++p)
+    records.push_back(rec(n, {0, 1, 2, 3, 4, 5}, {0, 1, 2, 3}));
+  trace.append_round(std::move(records));
+  EXPECT_TRUE(alive().coordinated_rounds(trace).empty());
+}
+
+TEST(PALivePred, Pi2MustBeCommon) {
+  const int n = 6;
+  ComputationTrace trace(n);
+  // Everyone hears exactly 5 processes uncorrupted — but different sets.
+  std::vector<HoRecord> records;
+  records.push_back(rec(n, {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}));
+  records.push_back(rec(n, {1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}));
+  records.push_back(rec(n, {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}));
+  records.push_back(rec(n, {1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}));
+  records.push_back(rec(n, {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}));
+  records.push_back(rec(n, {1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}));
+  trace.append_round(std::move(records));
+  // Largest same-set bucket has 3 members = E - alpha: not enough.
+  EXPECT_TRUE(alive().coordinated_rounds(trace).empty());
+}
+
+TEST(PALivePred, WitnessesAccumulate) {
+  ComputationTrace trace(6);
+  append_uniform(trace, full(6));
+  append_uniform(trace, rec(6, {0, 1, 2, 3, 4, 5}, {0, 1, 2}));
+  append_uniform(trace, full(6));
+  const auto verdict = alive().evaluate(trace);
+  EXPECT_TRUE(verdict.holds);
+  EXPECT_EQ(verdict.witnesses, (std::vector<Round>{1, 3}));
+}
+
+// n=6, T=4, E=4, alpha=1 for U as well.
+PULive ulive() { return PULive(6, 4.0, 4.0, 1); }
+
+TEST(PULivePred, CleanPhasePattern) {
+  const int n = 6;
+  ComputationTrace trace(n);
+  append_uniform(trace, rec(n, {0, 1, 2, 3, 4, 5}, {0, 1, 2}));  // r1 dirty
+  append_uniform(trace, full(n));  // r2 = 2*phi0 with phi0 = 1
+  append_uniform(trace, full(n));  // r3
+  append_uniform(trace, full(n));  // r4
+  const auto verdict = ulive().evaluate(trace);
+  EXPECT_TRUE(verdict.holds);
+  EXPECT_EQ(ulive().clean_phases(trace), std::vector<Phase>{1});
+}
+
+TEST(PULivePred, Pi0MayBeAProperSubset) {
+  const int n = 6;
+  ComputationTrace trace(n);
+  append_uniform(trace, full(n));                                // r1
+  append_uniform(trace, rec(n, {0, 1, 2, 3}, {0, 1, 2, 3}));     // r2: Pi0
+  append_uniform(trace, rec(n, {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}));  // r3: >T
+  append_uniform(trace, full(n));                                // r4: >max(E,a)
+  EXPECT_TRUE(ulive().evaluate(trace).holds);
+}
+
+TEST(PULivePred, FailsWhenPi0RoundCorrupted) {
+  const int n = 6;
+  ComputationTrace trace(n);
+  append_uniform(trace, full(n));
+  // HO != SHO at round 2*phi0: not a clean phase.
+  append_uniform(trace, rec(n, {0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4}));
+  append_uniform(trace, full(n));
+  append_uniform(trace, full(n));
+  EXPECT_FALSE(ulive().evaluate(trace).holds);
+}
+
+TEST(PULivePred, FailsWhenPi0NotCommon) {
+  const int n = 6;
+  ComputationTrace trace(n);
+  append_uniform(trace, full(n));
+  std::vector<HoRecord> mixed;
+  mixed.push_back(rec(n, {0, 1, 2, 3}, {0, 1, 2, 3}));
+  for (int p = 1; p < n; ++p) mixed.push_back(rec(n, {1, 2, 3, 4}, {1, 2, 3, 4}));
+  trace.append_round(std::move(mixed));
+  append_uniform(trace, full(n));
+  append_uniform(trace, full(n));
+  EXPECT_FALSE(ulive().evaluate(trace).holds);
+}
+
+TEST(PULivePred, FailsWhenFollowupRoundsTooLossy) {
+  const int n = 6;
+  ComputationTrace trace(n);
+  append_uniform(trace, full(n));
+  append_uniform(trace, full(n));                       // r2 = 2*phi0
+  append_uniform(trace, rec(n, {0, 1, 2, 3}, {0, 1, 2, 3}));  // |SHO|=4 not > T
+  append_uniform(trace, full(n));
+  EXPECT_FALSE(ulive().evaluate(trace).holds);
+}
+
+TEST(PULivePred, NeedsFullWindowRecorded) {
+  const int n = 6;
+  ComputationTrace trace(n);
+  append_uniform(trace, full(n));
+  append_uniform(trace, full(n));  // 2*phi0 recorded but +1/+2 missing
+  EXPECT_FALSE(ulive().evaluate(trace).holds);
+  append_uniform(trace, full(n));
+  append_uniform(trace, full(n));
+  EXPECT_TRUE(ulive().evaluate(trace).holds);
+}
+
+}  // namespace
+}  // namespace hoval

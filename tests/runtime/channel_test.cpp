@@ -1,0 +1,126 @@
+#include "runtime/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/serialization.hpp"
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+std::vector<std::byte> frame() {
+  return encode_packet({1, 0, make_estimate(5)}, true);
+}
+
+TEST(Channel, FaultFreePassesThrough) {
+  ChannelFaults channel({}, Rng(1));
+  const auto original = frame();
+  const auto out = channel.transmit(original);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.front(), original);
+  EXPECT_EQ(channel.counters().sent, 1);
+  EXPECT_EQ(channel.counters().dropped, 0);
+  EXPECT_EQ(channel.counters().corrupted, 0);
+  EXPECT_EQ(channel.counters().delayed, 0);
+}
+
+TEST(Channel, AlwaysDropDropsEverything) {
+  LinkFaultConfig config;
+  config.drop_probability = 1.0;
+  ChannelFaults channel(config, Rng(1));
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(channel.transmit(frame()).empty());
+  EXPECT_EQ(channel.counters().dropped, 20);
+}
+
+TEST(Channel, CorruptionFlipsBits) {
+  LinkFaultConfig config;
+  config.corrupt_probability = 1.0;
+  config.max_bit_flips = 1;
+  ChannelFaults channel(config, Rng(1));
+  const auto original = frame();
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto out = channel.transmit(original);
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out.front().size(), original.size());
+    if (out.front() != original) ++changed;
+  }
+  // A single bit flip always changes the frame.
+  EXPECT_EQ(changed, 50);
+  EXPECT_EQ(channel.counters().corrupted, 50);
+}
+
+TEST(Channel, DropRateApproximatesConfig) {
+  LinkFaultConfig config;
+  config.drop_probability = 0.3;
+  ChannelFaults channel(config, Rng(123));
+  int dropped = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i)
+    if (channel.transmit(frame()).empty()) ++dropped;
+  EXPECT_NEAR(static_cast<double>(dropped) / trials, 0.3, 0.03);
+}
+
+TEST(Channel, CrcCatchesMostChannelCorruption) {
+  // End-to-end property of the Sec. 5.2 pipeline: bit flips injected by
+  // the channel are (practically always) caught by the CRC and turn into
+  // omissions rather than value faults.
+  LinkFaultConfig config;
+  config.corrupt_probability = 1.0;
+  config.max_bit_flips = 3;
+  ChannelFaults channel(config, Rng(7));
+  int undetected_value_faults = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto out = channel.transmit(frame());
+    ASSERT_EQ(out.size(), 1u);
+    const auto decoded = decode_packet(out.front(), true);
+    if (decoded.status == DecodeStatus::kOk &&
+        !(decoded.packet->msg == make_estimate(5)))
+      ++undetected_value_faults;
+  }
+  // CRC32 with <= 3 flips on a 22-byte frame: collisions essentially never.
+  EXPECT_EQ(undetected_value_faults, 0);
+}
+
+TEST(Channel, SameSeedSameFaults) {
+  LinkFaultConfig config;
+  config.drop_probability = 0.5;
+  config.corrupt_probability = 0.5;
+  ChannelFaults a(config, Rng(9));
+  ChannelFaults b(config, Rng(9));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.transmit(frame()), b.transmit(frame()));
+}
+
+TEST(Channel, InvalidConfigThrows) {
+  EXPECT_THROW(ChannelFaults({-0.1, 0.0, 1, 0.0}, Rng(1)), PreconditionError);
+  EXPECT_THROW(ChannelFaults({0.0, 1.5, 1, 0.0}, Rng(1)), PreconditionError);
+  EXPECT_THROW(ChannelFaults({0.0, 0.0, 0, 0.0}, Rng(1)), PreconditionError);
+  EXPECT_THROW(ChannelFaults({0.0, 0.0, 1, 1.5}, Rng(1)), PreconditionError);
+}
+
+TEST(Channel, DelayHoldsFrameUntilNextTransmission) {
+  LinkFaultConfig config;
+  config.delay_probability = 1.0;  // every frame held back one slot
+  ChannelFaults channel(config, Rng(1));
+  const auto first = frame();
+  auto second = frame();
+  second[2] ^= std::byte{0x01};  // distinguishable payload
+
+  // First send: frame is held, nothing on the wire.
+  EXPECT_TRUE(channel.transmit(first).empty());
+  EXPECT_EQ(channel.counters().delayed, 1);
+
+  // Second send: the held frame is released (FIFO), the new one is held.
+  const auto out = channel.transmit(second);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.front(), first);
+
+  // Flushing releases the still-pending second frame.
+  const auto flushed = channel.flush_pending();
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(*flushed, second);
+  EXPECT_FALSE(channel.flush_pending().has_value());
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,112 @@
+#include "runtime/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hoval {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Mailbox, PushPopSingleThread) {
+  Mailbox<int> box;
+  box.push(1);
+  box.push(2);
+  EXPECT_EQ(box.size(), 2u);
+  EXPECT_EQ(box.pop(10ms), 1);
+  EXPECT_EQ(box.pop(10ms), 2);
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(Mailbox, PopTimesOutWhenEmpty) {
+  Mailbox<int> box;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.pop(30ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+}
+
+TEST(Mailbox, TryPopNeverBlocks) {
+  Mailbox<int> box;
+  EXPECT_FALSE(box.try_pop().has_value());
+  box.push(5);
+  EXPECT_EQ(box.try_pop(), 5);
+  EXPECT_FALSE(box.try_pop().has_value());
+}
+
+TEST(Mailbox, CloseUnblocksWaiters) {
+  Mailbox<int> box;
+  std::atomic<bool> unblocked{false};
+  std::jthread waiter([&] {
+    (void)box.pop(5s);  // must return early on close
+    unblocked = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  box.close();
+  waiter.join();
+  EXPECT_TRUE(unblocked);
+}
+
+TEST(Mailbox, PushAfterCloseIsDropped) {
+  Mailbox<int> box;
+  box.close();
+  box.push(1);
+  EXPECT_FALSE(box.try_pop().has_value());
+}
+
+TEST(Mailbox, DrainableAfterClose) {
+  Mailbox<int> box;
+  box.push(1);
+  box.close();
+  // close() unblocks, but items already queued remain poppable.
+  EXPECT_EQ(box.pop(10ms), 1);
+  EXPECT_FALSE(box.pop(10ms).has_value());
+}
+
+TEST(Mailbox, ManyProducersOneConsumer) {
+  Mailbox<int> box;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+
+  std::vector<std::jthread> producers;
+  for (int producer = 0; producer < kProducers; ++producer) {
+    producers.emplace_back([&box, producer] {
+      for (int i = 0; i < kPerProducer; ++i)
+        box.push(producer * kPerProducer + i);
+    });
+  }
+
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    const auto item = box.pop(1s);
+    ASSERT_TRUE(item.has_value()) << "lost messages under concurrency";
+    ASSERT_FALSE(seen[static_cast<std::size_t>(*item)]) << "duplicate delivery";
+    seen[static_cast<std::size_t>(*item)] = true;
+    ++received;
+  }
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(Mailbox, FifoPerProducer) {
+  Mailbox<int> box;
+  {
+    std::jthread producer([&box] {
+      for (int i = 0; i < 100; ++i) box.push(i);
+    });
+  }
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(box.pop(100ms), i);
+}
+
+TEST(Mailbox, MoveOnlyPayload) {
+  Mailbox<std::unique_ptr<int>> box;
+  box.push(std::make_unique<int>(7));
+  const auto item = box.pop(10ms);
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 7);
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,112 @@
+#include "runtime/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factories.hpp"
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+using namespace std::chrono_literals;
+
+NodeConfig quick_node(Round rounds) {
+  NodeConfig config;
+  config.max_rounds = rounds;
+  config.round_timeout = 100ms;
+  return config;
+}
+
+TEST(Node, SingleNodeUniverseDecidesAlone) {
+  Network network(1, NetworkConfig{});
+  auto process = std::make_unique<AteProcess>(0, AteParams::one_third_rule(1), 7);
+  Node node(std::move(process), network, quick_node(2));
+  node.run();
+  // n = 1: every round it hears itself; T = E = 2/3 < 1, so it decides at
+  // round 1 on its own estimate.
+  EXPECT_EQ(node.process().decision(), 7);
+  EXPECT_EQ(node.process().decision_round(), 1);
+  EXPECT_EQ(node.reception_history().size(), 2u);
+}
+
+TEST(Node, JunkFramesAreCountedNotConsumed) {
+  Network network(1, NetworkConfig{});
+
+  // Pre-load the node's mailbox with hostile input:
+  // (1) a syntactically valid frame for a *future* round,
+  network.mailbox(0).push(encode_packet({/*round=*/5, /*sender=*/0,
+                                         make_estimate(9)},
+                                        /*with_crc=*/true));
+  // (2) a frame whose sender id is out of range (decodes, then rejected),
+  network.mailbox(0).push(encode_packet({1, /*sender=*/7, make_estimate(9)},
+                                        true));
+  // (3) raw garbage that does not even frame.
+  network.mailbox(0).push(std::vector<std::byte>{std::byte{1}, std::byte{2}});
+
+  auto process = std::make_unique<AteProcess>(0, AteParams::one_third_rule(1), 3);
+  Node node(std::move(process), network, quick_node(1));
+  node.run();
+
+  EXPECT_EQ(node.counters().future_buffered, 1);
+  EXPECT_EQ(node.counters().malformed, 2);  // bad sender + unframeable
+  // Round 1 still consumed exactly the node's own message.
+  EXPECT_EQ(node.reception_history().front().count_received(), 1);
+  EXPECT_EQ(node.process().decision(), 3);
+}
+
+TEST(Node, BufferedFutureRoundIsConsumedWhenReached) {
+  Network network(1, NetworkConfig{});
+  // A round-2 message from "sender 0" arrives before round 1 even starts;
+  // it must be buffered and then consumed in round 2, overridden by the
+  // node's own round-2 broadcast arriving later (last write wins is fine —
+  // both carry the same estimate after a decided round 1).
+  network.mailbox(0).push(encode_packet({2, 0, make_estimate(42)}, true));
+
+  auto process = std::make_unique<AteProcess>(0, AteParams::one_third_rule(1), 3);
+  Node node(std::move(process), network, quick_node(2));
+  node.run();
+  EXPECT_EQ(node.counters().future_buffered, 1);
+  EXPECT_EQ(node.reception_history()[1].count_received(), 1);
+}
+
+TEST(Node, ConfigValidation) {
+  Network network(2, NetworkConfig{});
+  auto make_process = [] {
+    return std::make_unique<AteProcess>(0, AteParams::one_third_rule(2), 1);
+  };
+  NodeConfig bad_rounds;
+  bad_rounds.max_rounds = 0;
+  EXPECT_THROW(Node(make_process(), network, bad_rounds), PreconditionError);
+
+  NodeConfig bad_quorum;
+  bad_quorum.max_rounds = 1;
+  bad_quorum.quorum = 3;  // > n
+  EXPECT_THROW(Node(make_process(), network, bad_quorum), PreconditionError);
+
+  EXPECT_THROW(Node(nullptr, network, quick_node(1)), PreconditionError);
+}
+
+TEST(NetworkIntentLog, RecordsAndLooksUp) {
+  Network network(2, NetworkConfig{});
+  network.send(1, WirePacket{3, 0, make_estimate(9)});
+  ASSERT_TRUE(network.intended(3, 0, 1).has_value());
+  EXPECT_EQ(*network.intended(3, 0, 1), make_estimate(9));
+  EXPECT_FALSE(network.intended(3, 1, 0).has_value());
+  EXPECT_FALSE(network.intended(2, 0, 1).has_value());
+}
+
+TEST(NetworkCounters, AggregateAcrossLinks) {
+  NetworkConfig config;
+  config.faults.drop_probability = 1.0;  // non-self links drop everything
+  Network network(2, config);
+  network.send(1, WirePacket{1, 0, make_estimate(9)});  // dropped
+  network.send(0, WirePacket{1, 0, make_estimate(9)});  // self link: reliable
+  const auto totals = network.total_counters();
+  EXPECT_EQ(totals.sent, 2);
+  EXPECT_EQ(totals.dropped, 1);
+  EXPECT_EQ(network.mailbox(0).size(), 1u);
+  EXPECT_EQ(network.mailbox(1).size(), 0u);
+}
+
+}  // namespace
+}  // namespace hoval

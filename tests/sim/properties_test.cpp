@@ -1,0 +1,103 @@
+#include "sim/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factories.hpp"
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+RunResult result_with(std::vector<std::optional<Value>> decisions) {
+  RunResult result;
+  result.n = static_cast<int>(decisions.size());
+  result.decisions = std::move(decisions);
+  result.decision_rounds.assign(static_cast<std::size_t>(result.n), std::nullopt);
+  for (std::size_t i = 0; i < result.decisions.size(); ++i)
+    if (result.decisions[i]) result.decision_rounds[i] = 1;
+  result.all_decided = result.decided_count() == result.n;
+  if (result.all_decided) {
+    result.first_decision_round = 1;
+    result.last_decision_round = 1;
+  }
+  result.rounds_executed = 5;
+  return result;
+}
+
+TEST(Agreement, HoldsWhenAllAgree) {
+  EXPECT_TRUE(check_agreement(result_with({Value{2}, Value{2}, Value{2}})).holds);
+}
+
+TEST(Agreement, VacuousWithoutDecisions) {
+  const auto verdict =
+      check_agreement(result_with({std::nullopt, std::nullopt}));
+  EXPECT_TRUE(verdict.holds);
+  EXPECT_NE(verdict.detail.find("vacuous"), std::string::npos);
+}
+
+TEST(Agreement, PartialDecisionsStillChecked) {
+  EXPECT_TRUE(check_agreement(result_with({Value{2}, std::nullopt, Value{2}})).holds);
+  const auto verdict =
+      check_agreement(result_with({Value{2}, std::nullopt, Value{3}}));
+  EXPECT_FALSE(verdict.holds);
+  EXPECT_NE(verdict.detail.find("decided 2"), std::string::npos);
+  EXPECT_NE(verdict.detail.find("decided 3"), std::string::npos);
+}
+
+TEST(Integrity, EnforcedOnlyForUnanimousStarts) {
+  const auto decided_9 = result_with({Value{9}, Value{9}});
+  EXPECT_FALSE(check_integrity({4, 4}, decided_9).holds);
+  EXPECT_TRUE(check_integrity({4, 9}, decided_9).holds);  // vacuous
+  EXPECT_TRUE(check_integrity({9, 9}, decided_9).holds);
+}
+
+TEST(Integrity, SizeMismatchThrows) {
+  EXPECT_THROW((void)check_integrity({1}, result_with({Value{1}, Value{1}})),
+               PreconditionError);
+}
+
+TEST(Termination, ReflectsAllDecided) {
+  EXPECT_TRUE(check_termination(result_with({Value{1}, Value{1}})).holds);
+  const auto verdict =
+      check_termination(result_with({Value{1}, std::nullopt}));
+  EXPECT_FALSE(verdict.holds);
+  EXPECT_NE(verdict.detail.find("1/2"), std::string::npos);
+}
+
+TEST(Irrevocability, DetectsValueFlip) {
+  // Build a process and force a contradictory decision log through the
+  // protected API by simulating two conflicting rounds.
+  class FlippingProcess final : public HoProcess {
+   public:
+    FlippingProcess() : HoProcess(0, 1) {}
+    Msg message_for(Round, ProcessId) const override { return make_estimate(0); }
+    void transition(Round r, const ReceptionVector&) override {
+      decide(r == 1 ? 1 : 2, r);  // misbehaving on purpose
+    }
+    std::string name() const override { return "flipper"; }
+  };
+
+  ProcessVector processes;
+  auto flipper = std::make_unique<FlippingProcess>();
+  flipper->transition(1, ReceptionVector(1));
+  processes.push_back(std::move(flipper));
+  EXPECT_TRUE(check_irrevocability(processes).holds);  // single decision ok
+  processes.front()->transition(2, ReceptionVector(1));
+  const auto verdict = check_irrevocability(processes);
+  EXPECT_FALSE(verdict.holds);
+  EXPECT_NE(verdict.detail.find("first decided 1"), std::string::npos);
+}
+
+TEST(ConsensusReport, SummaryAndFlags) {
+  const auto good = check_consensus({1, 1}, result_with({Value{1}, Value{1}}));
+  EXPECT_TRUE(good.safety_holds());
+  EXPECT_TRUE(good.all_hold());
+  EXPECT_NE(good.summary().find("agreement=ok"), std::string::npos);
+
+  const auto bad = check_consensus({1, 1}, result_with({Value{1}, Value{2}}));
+  EXPECT_FALSE(bad.safety_holds());
+  EXPECT_NE(bad.summary().find("VIOLATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hoval

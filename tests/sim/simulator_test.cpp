@@ -1,0 +1,169 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/corruption.hpp"
+#include "adversary/omission.hpp"
+#include "core/factories.hpp"
+#include "sim/initial_values.hpp"
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+SimConfig quick(std::uint64_t seed = 1, Round horizon = 50) {
+  SimConfig config;
+  config.max_rounds = horizon;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Simulator, FaultFreeUnanimousDecidesInOneRound) {
+  // OneThirdRule property (Sec. 3.3): unanimous inputs + fault-free round
+  // -> decision at round 1.
+  auto processes = make_one_third_rule_instance(6, unanimous_values(6, 7));
+  Simulator sim(std::move(processes), std::make_shared<IdentityAdversary>(),
+                quick());
+  const RunResult result = sim.run();
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_EQ(result.last_decision_round, 1);
+  for (const auto& d : result.decisions) EXPECT_EQ(d, 7);
+}
+
+TEST(Simulator, FaultFreeSplitDecidesInTwoRounds) {
+  // Fast path: any initial configuration decides in two fault-free rounds.
+  auto processes = make_one_third_rule_instance(6, split_values(6, 1, 5));
+  Simulator sim(std::move(processes), std::make_shared<IdentityAdversary>(),
+                quick());
+  const RunResult result = sim.run();
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_EQ(result.last_decision_round, 2);
+  // Round 1 makes everyone adopt the smallest most frequent value (1 on a
+  // 3/3 split); round 2 is unanimous.
+  for (const auto& d : result.decisions) EXPECT_EQ(d, 1);
+}
+
+TEST(Simulator, TraceIsCleanWithoutAdversary) {
+  auto processes = make_one_third_rule_instance(5, distinct_values(5));
+  Simulator sim(std::move(processes), std::make_shared<IdentityAdversary>(),
+                quick());
+  const RunResult result = sim.run();
+  for (Round r = 1; r <= result.trace.round_count(); ++r) {
+    EXPECT_EQ(result.trace.kernel(r), ProcessSet::universe(5));
+    EXPECT_EQ(result.trace.safe_kernel(r), ProcessSet::universe(5));
+    EXPECT_TRUE(result.trace.altered_span(r).empty());
+  }
+}
+
+TEST(Simulator, TraceRecordsCorruptions) {
+  RandomCorruptionConfig config;
+  config.alpha = 2;
+  auto processes = make_one_third_rule_instance(8, unanimous_values(8, 3));
+  Simulator sim(std::move(processes),
+                std::make_shared<RandomCorruptionAdversary>(config), quick());
+  const RunResult result = sim.run();
+  ASSERT_GE(result.trace.round_count(), 1);
+  EXPECT_EQ(result.trace.max_aho(1), 2);
+  EXPECT_GT(result.trace.alteration_count(1), 0);
+}
+
+TEST(Simulator, HorizonStopsUndecidedRuns) {
+  // Heavy omissions: nobody ever hears more than T processes.
+  auto processes = make_one_third_rule_instance(6, distinct_values(6));
+  Simulator sim(std::move(processes),
+                std::make_shared<RandomOmissionAdversary>(0.9), quick(1, 20));
+  const RunResult result = sim.run();
+  EXPECT_FALSE(result.all_decided);
+  EXPECT_EQ(result.rounds_executed, 20);
+}
+
+TEST(Simulator, StopWhenAllDecidedCanBeDisabled) {
+  SimConfig config = quick();
+  config.max_rounds = 10;
+  config.stop_when_all_decided = false;
+  auto processes = make_one_third_rule_instance(4, unanimous_values(4, 1));
+  Simulator sim(std::move(processes), std::make_shared<IdentityAdversary>(),
+                config);
+  const RunResult result = sim.run();
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_EQ(result.rounds_executed, 10);  // kept simulating after decision
+  EXPECT_EQ(result.last_decision_round, 1);
+}
+
+TEST(Simulator, StepwiseExecutionMatchesRun) {
+  auto a = make_one_third_rule_instance(5, split_values(5, 0, 9));
+  auto b = make_one_third_rule_instance(5, split_values(5, 0, 9));
+  Simulator sim_a(std::move(a), std::make_shared<IdentityAdversary>(), quick(3));
+  Simulator sim_b(std::move(b), std::make_shared<IdentityAdversary>(), quick(3));
+  const RunResult run_result = sim_a.run();
+  while (sim_b.step()) {
+  }
+  const RunResult step_result = sim_b.snapshot();
+  EXPECT_EQ(run_result.decisions, step_result.decisions);
+  EXPECT_EQ(run_result.rounds_executed, step_result.rounds_executed);
+}
+
+TEST(Simulator, SameSeedSameOutcome) {
+  RandomCorruptionConfig config;
+  config.alpha = 2;
+  auto make = [&] {
+    return Simulator(
+        make_ate_instance(AteParams::canonical(9, 2), distinct_values(9)),
+        std::make_shared<RandomCorruptionAdversary>(config), quick(99));
+  };
+  const RunResult r1 = make().run();
+  const RunResult r2 = make().run();
+  EXPECT_EQ(r1.decisions, r2.decisions);
+  EXPECT_EQ(r1.rounds_executed, r2.rounds_executed);
+  for (Round r = 1; r <= r1.trace.round_count(); ++r)
+    EXPECT_EQ(r1.trace.alteration_count(r), r2.trace.alteration_count(r));
+}
+
+TEST(Simulator, DifferentSeedsDifferentSchedules) {
+  RandomCorruptionConfig config;
+  config.alpha = 3;
+  auto run_with = [&](std::uint64_t seed) {
+    SimConfig sc = quick(seed, 5);
+    sc.stop_when_all_decided = false;
+    Simulator sim(
+        make_ate_instance(AteParams::canonical(12, 2), distinct_values(12)),
+        std::make_shared<RandomCorruptionAdversary>(config), sc);
+    return sim.run();
+  };
+  const RunResult r1 = run_with(1);
+  const RunResult r2 = run_with(2);
+  bool any_difference = false;
+  for (Round r = 1; r <= 5; ++r)
+    any_difference |=
+        !(r1.trace.altered_span(r) == r2.trace.altered_span(r));
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Simulator, RejectsIllFormedInstances) {
+  EXPECT_THROW(Simulator(ProcessVector{}, std::make_shared<IdentityAdversary>(),
+                         quick()),
+               PreconditionError);
+
+  // Ids out of order.
+  ProcessVector wrong_order;
+  wrong_order.push_back(
+      std::make_unique<AteProcess>(1, AteParams::one_third_rule(2), 0));
+  wrong_order.push_back(
+      std::make_unique<AteProcess>(0, AteParams::one_third_rule(2), 0));
+  EXPECT_THROW(Simulator(std::move(wrong_order),
+                         std::make_shared<IdentityAdversary>(), quick()),
+               PreconditionError);
+
+  auto fine = make_one_third_rule_instance(3, unanimous_values(3, 0));
+  EXPECT_THROW(Simulator(std::move(fine), nullptr, quick()), PreconditionError);
+}
+
+TEST(RunResultHelpers, DecidedCount) {
+  RunResult result;
+  result.n = 3;
+  result.decisions = {Value{1}, std::nullopt, Value{1}};
+  EXPECT_EQ(result.decided_count(), 2);
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,49 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hoval {
+namespace {
+
+TEST(Check, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(HOVAL_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Check, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(HOVAL_EXPECTS(1 + 1 == 3), PreconditionError);
+}
+
+TEST(Check, ExpectsMessageAppearsInWhat) {
+  try {
+    HOVAL_EXPECTS_MSG(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, EnsuresThrowsInvariantError) {
+  EXPECT_THROW(HOVAL_ENSURES(false), InvariantError);
+  EXPECT_NO_THROW(HOVAL_ENSURES(true));
+}
+
+TEST(Check, InvariantErrorIsLogicError) {
+  // Both contract errors should be catchable as std::logic_error.
+  EXPECT_THROW(HOVAL_ENSURES_MSG(false, "x"), std::logic_error);
+  EXPECT_THROW(HOVAL_EXPECTS_MSG(false, "x"), std::logic_error);
+}
+
+TEST(Check, ExpressionTextIsReported) {
+  try {
+    const int answer = 41;
+    HOVAL_EXPECTS(answer == 42);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("answer == 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace hoval {
+namespace {
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("123.45"), "123.45");
+}
+
+TEST(Csv, EscapeQuotesCommasNewlines) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, InMemoryWriterAccumulatesRows) {
+  CsvWriter csv({"n", "alpha", "rate"});
+  csv.add_row({"8", "1", "100%"});
+  csv.add_row({"16", "3", "99%"});
+  EXPECT_EQ(csv.row_count(), 2u);
+  EXPECT_EQ(csv.dump(), "n,alpha,rate\n8,1,100%\n16,3,99%\n");
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), PreconditionError);
+  EXPECT_THROW(csv.add_row({"1", "2", "3"}), PreconditionError);
+}
+
+TEST(Csv, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter csv(std::vector<std::string>{}), PreconditionError);
+}
+
+TEST(Csv, FileWriterWritesToDisk) {
+  const std::string path = testing::TempDir() + "/hoval_csv_test.csv";
+  {
+    CsvWriter csv(path, {"x"});
+    csv.add_row({"1"});
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"}, {Align::kLeft, Align::kRight});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "1234"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| alpha | "), std::string::npos);
+  EXPECT_NE(out.find("|  1234 |"), std::string::npos);
+  EXPECT_NE(out.find("+-------+"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, SeparatorRowsRender) {
+  TablePrinter table({"h"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.to_string();
+  // header rule + post-header rule + separator + trailing rule = 4 rules
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+--", pos)) != std::string::npos; ++pos)
+    ++rules;
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, RowCount) {
+  TablePrinter table({"h"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,56 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hoval {
+namespace {
+
+TEST(Format, FormatDoubleBasics) {
+  EXPECT_EQ(format_double(1.2345, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-2.5, 1), "-2.5");
+  EXPECT_EQ(format_double(0.0, 3), "0.000");
+}
+
+TEST(Format, FormatDoubleSpecials) {
+  EXPECT_EQ(format_double(std::nan(""), 2), "nan");
+  EXPECT_EQ(format_double(HUGE_VAL, 2), "inf");
+  EXPECT_EQ(format_double(-HUGE_VAL, 2), "-inf");
+}
+
+TEST(Format, FormatPercent) {
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+  EXPECT_EQ(format_percent(0.1234, 2), "12.34%");
+  EXPECT_EQ(format_percent(1.0, 1), "100.0%");
+}
+
+TEST(Format, FormatOptional) {
+  EXPECT_EQ(format_optional(std::nullopt), "-");
+  EXPECT_EQ(format_optional(42), "42");
+  EXPECT_EQ(format_optional(-7), "-7");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+  EXPECT_EQ(pad_left("", 3), "   ");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Format, Repeat) {
+  EXPECT_EQ(repeat("-", 3), "---");
+  EXPECT_EQ(repeat("ab", 2), "abab");
+  EXPECT_EQ(repeat("x", 0), "");
+}
+
+}  // namespace
+}  // namespace hoval

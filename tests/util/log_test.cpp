@@ -1,0 +1,65 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hoval {
+namespace {
+
+/// Restores the global log level on scope exit so tests stay independent.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(Logger::level()) {}
+  ~LevelGuard() { Logger::set_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logger, LevelRoundTrip) {
+  const LevelGuard guard;
+  Logger::set_level(LogLevel::kDebug);
+  EXPECT_EQ(Logger::level(), LogLevel::kDebug);
+  Logger::set_level(LogLevel::kOff);
+  EXPECT_EQ(Logger::level(), LogLevel::kOff);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(Logger::level_name(LogLevel::kTrace), "trace");
+  EXPECT_STREQ(Logger::level_name(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(Logger::level_name(LogLevel::kInfo), "info");
+  EXPECT_STREQ(Logger::level_name(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(Logger::level_name(LogLevel::kError), "error");
+  EXPECT_STREQ(Logger::level_name(LogLevel::kOff), "off");
+}
+
+TEST(Logger, DisabledLevelsDoNotEvaluate) {
+  const LevelGuard guard;
+  Logger::set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  HOVAL_LOG(kDebug) << "value: " << expensive();
+  EXPECT_EQ(evaluations, 0) << "stream args must not run when level is off";
+  HOVAL_LOG(kError) << "value: " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Logger, ConcurrentWritesDoNotCrash) {
+  const LevelGuard guard;
+  Logger::set_level(LogLevel::kOff);  // exercise the path without spamming
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i)
+        Logger::write(LogLevel::kError, "thread " + std::to_string(t));
+    });
+  }
+}
+
+}  // namespace
+}  // namespace hoval

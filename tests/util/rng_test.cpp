@@ -1,0 +1,179 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() != b.next()) ++differences;
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  // xoshiro must not collapse to the all-zero state.
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 10; ++i) acc |= rng.next();
+  EXPECT_NE(acc, 0u);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(123);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversSmallRangeUniformly) {
+  Rng rng(99);
+  std::array<int, 4> counts{};
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(4)];
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 4 - trials / 20);
+    EXPECT_LT(c, trials / 4 + trials / 20);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(31);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, SampleReturnsDistinctElements) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto picks = rng.sample(20, 7);
+    ASSERT_EQ(picks.size(), 7u);
+    const std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (auto p : picks) EXPECT_LT(p, 20u);
+  }
+}
+
+TEST(Rng, SampleFullPopulation) {
+  Rng rng(13);
+  const auto picks = rng.sample(5, 5);
+  const std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleZero) {
+  Rng rng(13);
+  EXPECT_TRUE(rng.sample(5, 0).empty());
+}
+
+TEST(Rng, SampleTooManyThrows) {
+  Rng rng(13);
+  EXPECT_THROW(rng.sample(3, 4), PreconditionError);
+}
+
+TEST(Rng, SampleIsUnbiased) {
+  // Every element of a 5-element population should appear in a 2-sample
+  // with probability 2/5.
+  Rng rng(77);
+  std::array<int, 5> counts{};
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    for (auto p : rng.sample(5, 2)) ++counts[p];
+  for (int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.4, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> items{1, 2, 3, 4, 5, 6};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(5);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_NE(child1.next(), child2.next());
+}
+
+TEST(MixSeed, DistinctInputsDistinctOutputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t a = 0; a < 10; ++a)
+    for (std::uint64_t b = 0; b < 10; ++b) outputs.insert(mix_seed(a, b));
+  EXPECT_EQ(outputs.size(), 100u);
+}
+
+}  // namespace
+}  // namespace hoval

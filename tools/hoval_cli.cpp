@@ -1,0 +1,235 @@
+/// hoval_cli — command-line front end for single runs and quick campaigns.
+///
+/// Usage:
+///   hoval_cli [--algorithm ate|utea|otr|uv|lastvoting|phaseking]
+///             [--n N] [--alpha A] [--adversary none|corrupt|omit|block|byz|split]
+///             [--good-rounds G] [--rounds R] [--runs K] [--seed S]
+///             [--values unanimous|split|distinct|random] [--trace]
+///
+/// Examples:
+///   hoval_cli --algorithm ate --n 12 --alpha 2 --adversary corrupt
+///             --good-rounds 5 --runs 50     (single line in practice)
+///   hoval_cli --algorithm utea --n 9 --alpha 4 --adversary byz --trace
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "hoval.hpp"
+
+namespace {
+
+using namespace hoval;
+
+struct CliOptions {
+  std::string algorithm = "ate";
+  int n = 9;
+  int alpha = 1;
+  std::string adversary = "corrupt";
+  int good_rounds = 5;
+  Round rounds = 50;
+  int runs = 1;
+  std::uint64_t seed = 1;
+  std::string values = "random";
+  bool trace = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --algorithm ate|utea|otr|uv|lastvoting|phaseking   (default ate)\n"
+      << "  --n N            processes                        (default 9)\n"
+      << "  --alpha A        corruption budget / fault degree (default 1)\n"
+      << "  --adversary none|corrupt|omit|block|byz|split     (default corrupt)\n"
+      << "  --good-rounds G  P^{A,live}/P^{U,live} period, 0=off (default 5)\n"
+      << "  --rounds R       horizon                          (default 50)\n"
+      << "  --runs K         Monte-Carlo campaign size        (default 1)\n"
+      << "  --seed S         base seed                        (default 1)\n"
+      << "  --values unanimous|split|distinct|random          (default random)\n"
+      << "  --trace          print the per-round trace summary (single run)\n";
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--algorithm") options.algorithm = next();
+    else if (arg == "--n") options.n = std::stoi(next());
+    else if (arg == "--alpha") options.alpha = std::stoi(next());
+    else if (arg == "--adversary") options.adversary = next();
+    else if (arg == "--good-rounds") options.good_rounds = std::stoi(next());
+    else if (arg == "--rounds") options.rounds = std::stoi(next());
+    else if (arg == "--runs") options.runs = std::stoi(next());
+    else if (arg == "--seed") options.seed = std::stoull(next());
+    else if (arg == "--values") options.values = next();
+    else if (arg == "--trace") options.trace = true;
+    else usage(argv[0]);
+  }
+  return options;
+}
+
+InstanceBuilder make_instance_builder(const CliOptions& options) {
+  const int n = options.n;
+  const int alpha = options.alpha;
+  if (options.algorithm == "ate") {
+    const auto params = AteParams::canonical(n, alpha);
+    if (!params.theorem1_conditions())
+      std::cerr << "warning: " << params.to_string()
+                << " violates Theorem 1 (alpha >= n/4?) — running anyway\n";
+    return [params](const std::vector<Value>& init) {
+      return make_ate_instance(params, init);
+    };
+  }
+  if (options.algorithm == "utea") {
+    const auto params = UteaParams::canonical(n, alpha);
+    if (!params.theorem2_conditions())
+      std::cerr << "warning: " << params.to_string()
+                << " violates Theorem 2 (alpha >= n/2?) — running anyway\n";
+    return [params](const std::vector<Value>& init) {
+      return make_utea_instance(params, init);
+    };
+  }
+  if (options.algorithm == "otr")
+    return [n](const std::vector<Value>& init) {
+      return make_one_third_rule_instance(n, init);
+    };
+  if (options.algorithm == "uv")
+    return [n](const std::vector<Value>& init) {
+      return make_uniform_voting_instance(n, init);
+    };
+  if (options.algorithm == "lastvoting")
+    return [n](const std::vector<Value>& init) {
+      return make_last_voting_instance(n, init);
+    };
+  if (options.algorithm == "phaseking") {
+    const PhaseKingParams params{n, alpha};
+    return [params](const std::vector<Value>& init) {
+      return make_phase_king_instance(params, init);
+    };
+  }
+  std::cerr << "unknown algorithm: " << options.algorithm << "\n";
+  std::exit(2);
+}
+
+AdversaryBuilder make_adversary_builder(const CliOptions& options) {
+  const int alpha = options.alpha;
+  AdversaryBuilder raw;
+  if (options.adversary == "none") {
+    raw = [] { return std::make_shared<IdentityAdversary>(); };
+  } else if (options.adversary == "corrupt") {
+    raw = [alpha] {
+      RandomCorruptionConfig config;
+      config.alpha = alpha;
+      return std::make_shared<RandomCorruptionAdversary>(config);
+    };
+  } else if (options.adversary == "omit") {
+    raw = [alpha] {
+      return std::make_shared<RandomOmissionAdversary>(0.2, alpha);
+    };
+  } else if (options.adversary == "block") {
+    raw = [] {
+      return std::make_shared<BlockFaultAdversary>(BlockFaultConfig{});
+    };
+  } else if (options.adversary == "byz") {
+    raw = [alpha] {
+      StaticByzantineConfig config;
+      config.f = alpha;
+      return std::make_shared<StaticByzantineAdversary>(config);
+    };
+  } else if (options.adversary == "split") {
+    raw = [alpha] {
+      SplitVoteConfig config;
+      config.alpha = alpha;
+      return std::make_shared<SplitVoteAdversary>(config);
+    };
+  } else {
+    std::cerr << "unknown adversary: " << options.adversary << "\n";
+    std::exit(2);
+  }
+
+  if (options.good_rounds <= 0) return raw;
+  const int period = options.good_rounds;
+  if (options.algorithm == "utea" || options.algorithm == "uv") {
+    return [raw, period] {
+      CleanPhaseConfig clean;
+      clean.period_phases = period;
+      return std::make_shared<CleanPhaseScheduler>(raw(), clean);
+    };
+  }
+  return [raw, period] {
+    GoodRoundConfig good;
+    good.period = period;
+    return std::make_shared<GoodRoundScheduler>(raw(), good);
+  };
+}
+
+ValueGenerator make_value_generator(const CliOptions& options) {
+  const int n = options.n;
+  if (options.values == "unanimous")
+    return [n](Rng&) { return unanimous_values(n, 1); };
+  if (options.values == "split")
+    return [n](Rng&) { return split_values(n, 0, 1); };
+  if (options.values == "distinct")
+    return [n](Rng&) { return distinct_values(n); };
+  if (options.values == "random")
+    return [n](Rng& rng) { return random_values(n, 3, rng); };
+  std::cerr << "unknown value pattern: " << options.values << "\n";
+  std::exit(2);
+}
+
+int run_single(const CliOptions& options) {
+  Rng value_rng(options.seed);
+  const auto initial = make_value_generator(options)(value_rng);
+  SimConfig config;
+  config.max_rounds = options.rounds;
+  config.seed = options.seed;
+
+  Simulator sim(make_instance_builder(options)(initial),
+                make_adversary_builder(options)(), config);
+  const RunResult result = sim.run();
+  const ConsensusReport report = check_consensus(initial, result);
+
+  std::cout << "rounds executed: " << result.rounds_executed << "\n";
+  for (ProcessId p = 0; p < result.n; ++p)
+    std::cout << "  p" << p << ": proposed " << initial[p] << " -> "
+              << (result.decisions[p]
+                      ? "decided " + std::to_string(*result.decisions[p]) +
+                            " @r" + std::to_string(*result.decision_rounds[p])
+                      : std::string("undecided"))
+              << "\n";
+  std::cout << report.summary() << "\n";
+  if (options.trace) std::cout << "\n" << render_summary(result.trace);
+  return report.safety_holds() ? 0 : 1;
+}
+
+int run_many(const CliOptions& options) {
+  CampaignConfig config;
+  config.runs = options.runs;
+  config.sim.max_rounds = options.rounds;
+  config.base_seed = options.seed;
+  const auto result =
+      run_campaign(make_value_generator(options), make_instance_builder(options),
+                   make_adversary_builder(options), config);
+  std::cout << result.summary() << "\n";
+  for (const auto& violation : result.violations)
+    std::cout << "  " << violation << "\n";
+  return result.safety_clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse(argc, argv);
+  try {
+    return options.runs <= 1 ? run_single(options) : run_many(options);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

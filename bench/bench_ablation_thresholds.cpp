@@ -65,7 +65,7 @@ void run() {
                                 static_cast<std::uint64_t>(choice.t * 100));
 
     // Liveness environment: corruption + good rounds every 6.
-    const auto live = run_campaign(
+    const auto live = bench::run_campaign_timed(
         bench::random_values_of(n), bench::ate_instance_builder(params),
         bench::good_round_builder(alpha, 6), config);
 
@@ -75,7 +75,7 @@ void run() {
     attack_config.runs = 80;
     attack_config.sim.max_rounds = 20;
     attack_config.base_seed = config.base_seed + 1;
-    const auto attacked = run_campaign(
+    const auto attacked = bench::run_campaign_timed(
         bench::split_of(n, 1, 9), bench::ate_instance_builder(params),
         [alpha] {
           SplitVoteConfig split;
@@ -96,7 +96,7 @@ void run() {
       lock_config.sim.max_rounds = 10;
       lock_config.sim.stop_when_all_decided = false;
       lock_config.base_seed = config.base_seed + 2;
-      const auto locked = run_campaign(
+      const auto locked = bench::run_campaign_timed(
           bench::split_of(n, 0, 1), bench::ate_instance_builder(params),
           [&] {
             LockInConfig lock;
@@ -137,6 +137,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("ablation_thresholds");
   hoval::run();
   return 0;
 }

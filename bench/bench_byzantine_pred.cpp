@@ -56,7 +56,7 @@ void run() {
       config.predicates.push_back(std::make_shared<PAlpha>(f));
       config.predicates.push_back(std::make_shared<PPermAlpha>(f));
 
-      const auto result = run_campaign(
+      const auto result = bench::run_campaign_timed(
           bench::random_values_of(n), bench::utea_instance_builder(params),
           [&] {
             StaticByzantineConfig byz;
@@ -103,6 +103,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("byzantine_pred");
   hoval::run();
   return 0;
 }

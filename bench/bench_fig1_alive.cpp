@@ -43,7 +43,7 @@ void run() {
       config.sim.max_rounds = 3 * gap + 20;
       config.base_seed = 0xF16A + static_cast<unsigned>(gap);
 
-      const auto result = run_campaign(
+      const auto result = bench::run_campaign_timed(
           bench::random_values_of(n), bench::ate_instance_builder(params),
           [&] {
             RandomCorruptionConfig corruption;
@@ -97,6 +97,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("fig1_alive");
   hoval::run();
   return 0;
 }

@@ -39,7 +39,7 @@ void scenario(const std::string& title, const UteaParams& params,
       config.sim.max_rounds = 6 * gap + 30;
       config.base_seed = 0xF26B + static_cast<unsigned>(gap * 100 + pi0);
 
-      const auto result = run_campaign(
+      const auto result = bench::run_campaign_timed(
           bench::random_values_of(params.n),
           bench::utea_instance_builder(params),
           [&] {
@@ -114,6 +114,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("fig2_ulive");
   hoval::run();
   return 0;
 }

@@ -123,7 +123,7 @@ void run() {
       config.base_seed =
           mix_seed(std::hash<std::string>{}(algorithm.name),
                    std::hash<std::string>{}(model.name));
-      const auto result = run_campaign(
+      const auto result = bench::run_campaign_timed(
           bench::random_values_of(algorithm.n), algorithm.instance,
           algorithm.with_liveness(model.build), config);
       std::string cell = result.safety_clean() ? "safe" : "UNSAFE";
@@ -160,6 +160,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("fig3_models");
   hoval::run();
   return 0;
 }

@@ -39,7 +39,7 @@ void run() {
       config.sim.max_rounds = 30;
       config.sim.stop_when_all_decided = false;
       config.base_seed = 0x1A3 + static_cast<unsigned>(n);
-      const auto result = run_campaign(
+      const auto result = bench::run_campaign_timed(
           bench::random_values_of(n), bench::utea_instance_builder(params),
           bench::usafe_builder(params), config);
       const int rhs = 2 * m;  // Q = F = 0
@@ -61,7 +61,7 @@ void run() {
       config.sim.max_rounds = 25;
       config.sim.stop_when_all_decided = false;
       config.base_seed = 0x1A4 + static_cast<unsigned>(n);
-      const auto safety = run_campaign(
+      const auto safety = bench::run_campaign_timed(
           bench::random_values_of(n), bench::ate_instance_builder(params),
           bench::corruption_builder(m), config);
 
@@ -99,6 +99,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("lamport");
   hoval::run();
   return 0;
 }

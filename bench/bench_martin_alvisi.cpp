@@ -47,7 +47,7 @@ void fast_path_table() {
     config.sim.max_rounds = 25;
     config.sim.stop_when_all_decided = false;
     config.base_seed = 0x3A + static_cast<unsigned>(n);
-    const auto hostile = run_campaign(
+    const auto hostile = bench::run_campaign_timed(
         bench::random_values_of(n), bench::ate_instance_builder(params),
         bench::corruption_builder(alpha), config);
 
@@ -141,6 +141,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("martin_alvisi");
   hoval::run();
   return 0;
 }

@@ -5,6 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
 #include "adversary/corruption.hpp"
 #include "adversary/wrappers.hpp"
 #include "core/factories.hpp"
@@ -12,11 +18,51 @@
 #include "predicates/safety.hpp"
 #include "runtime/crc32.hpp"
 #include "runtime/serialization.hpp"
+#include "sim/engine.hpp"
 #include "sim/initial_values.hpp"
 #include "sim/simulator.hpp"
 
 namespace hoval {
 namespace {
+
+/// The fixed campaign used for engine-throughput measurements: hostile
+/// enough to be representative, horizon-bound so every run costs the same.
+CampaignConfig throughput_config(int runs, int threads) {
+  CampaignConfig config;
+  config.runs = runs;
+  config.threads = threads;
+  config.sim.max_rounds = 30;
+  config.sim.stop_when_all_decided = false;
+  config.base_seed = 0xBE7C;
+  return config;
+}
+
+CampaignResult run_throughput_campaign(const CampaignConfig& config) {
+  const int n = 16;
+  const int alpha = 3;
+  RandomCorruptionConfig corruption;
+  corruption.alpha = alpha;
+  return CampaignEngine(config).run(
+      [n](Rng& rng) { return random_values(n, 3, rng); },
+      [n, alpha](const std::vector<Value>& init) {
+        return make_ate_instance(AteParams::canonical(n, alpha), init);
+      },
+      [corruption] {
+        return std::make_shared<RandomCorruptionAdversary>(corruption);
+      });
+}
+
+void BM_CampaignThroughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto result =
+        run_throughput_campaign(throughput_config(/*runs=*/64, threads));
+    benchmark::DoNotOptimize(result.terminated);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CampaignThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorRound_FaultFree(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -136,7 +182,61 @@ void BM_RngSample(benchmark::State& state) {
 }
 BENCHMARK(BM_RngSample);
 
+/// Times one campaign at the given thread count and returns runs/sec.
+double measured_runs_per_sec(int runs, int threads, int* executed) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = run_throughput_campaign(throughput_config(runs, threads));
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  *executed = result.runs;
+  return seconds > 0.0 ? result.runs / seconds : 0.0;
+}
+
 }  // namespace
+
+/// Seeds the perf trajectory: serial vs 8-thread campaign throughput on
+/// the fixed workload above, written as BENCH_micro.json for CI artifacts.
+void write_campaign_throughput_json() {
+  const int runs = 512;
+  int executed = 0;
+  const double serial = measured_runs_per_sec(runs, 1, &executed);
+  const double threaded = measured_runs_per_sec(runs, 8, &executed);
+  const double speedup = serial > 0.0 ? threaded / serial : 0.0;
+
+  std::ofstream out("BENCH_micro.json");
+  out << "{\n"
+      << "  \"bench\": \"micro\",\n"
+      << "  \"campaign_runs\": " << executed << ",\n"
+      << "  \"serial_runs_per_sec\": " << serial << ",\n"
+      << "  \"threads\": 8,\n"
+      << "  \"threaded_runs_per_sec\": " << threaded << ",\n"
+      << "  \"campaign_speedup_8_threads\": " << speedup << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << "\n"
+      << "}\n";
+}
+
 }  // namespace hoval
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The throughput JSON costs two extra 512-run campaigns; skip it when
+  // only listing benchmarks or when explicitly disabled.
+  bool write_json = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--benchmark_list_tests" ||
+        (arg.rfind("--benchmark_list_tests=", 0) == 0 &&
+         arg != "--benchmark_list_tests=false"))
+      write_json = false;
+  }
+  if (const char* env = std::getenv("HOVAL_MICRO_JSON"))
+    if (std::string(env) == "0") write_json = false;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (write_json) hoval::write_campaign_throughput_json();
+  return 0;
+}

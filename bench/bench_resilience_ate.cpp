@@ -24,7 +24,7 @@ bool validate(const AteParams& params, std::uint64_t seed) {
   safety.sim.max_rounds = 25;
   safety.sim.stop_when_all_decided = false;
   safety.base_seed = seed;
-  const auto unsafe_result = run_campaign(
+  const auto unsafe_result = bench::run_campaign_timed(
       bench::random_values_of(params.n), bench::ate_instance_builder(params),
       bench::corruption_builder(static_cast<int>(params.alpha)), safety);
   if (!unsafe_result.safety_clean()) return false;
@@ -33,7 +33,7 @@ bool validate(const AteParams& params, std::uint64_t seed) {
   live.runs = 40;
   live.sim.max_rounds = 40;
   live.base_seed = seed + 1;
-  const auto live_result = run_campaign(
+  const auto live_result = bench::run_campaign_timed(
       bench::random_values_of(params.n), bench::ate_instance_builder(params),
       bench::good_round_builder(static_cast<int>(params.alpha), 5), live);
   return live_result.safety_clean() && live_result.terminated == live_result.runs;
@@ -108,6 +108,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("resilience_ate");
   hoval::run();
   return 0;
 }

@@ -15,7 +15,7 @@ bool validate(const UteaParams& params, std::uint64_t seed) {
   safety.sim.max_rounds = 30;
   safety.sim.stop_when_all_decided = false;
   safety.base_seed = seed;
-  const auto unsafe_result = run_campaign(
+  const auto unsafe_result = bench::run_campaign_timed(
       bench::random_values_of(params.n), bench::utea_instance_builder(params),
       bench::usafe_builder(params), safety);
   if (!unsafe_result.safety_clean()) return false;
@@ -24,7 +24,7 @@ bool validate(const UteaParams& params, std::uint64_t seed) {
   live.runs = 40;
   live.sim.max_rounds = 60;
   live.base_seed = seed + 1;
-  const auto live_result = run_campaign(
+  const auto live_result = bench::run_campaign_timed(
       bench::random_values_of(params.n), bench::utea_instance_builder(params),
       bench::clean_phase_builder(params, 3), live);
   return live_result.safety_clean() && live_result.terminated == live_result.runs;
@@ -80,6 +80,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("resilience_utea");
   hoval::run();
   return 0;
 }

@@ -93,6 +93,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("runtime");
   hoval::run();
   return 0;
 }

@@ -43,7 +43,7 @@ void part_a_literal_pattern() {
       config.runs = 100;
       config.sim.max_rounds = 40;
       config.base_seed = 0x5A0 + static_cast<unsigned>(n);
-      const auto result = run_campaign(
+      const auto result = bench::run_campaign_timed(
           bench::random_values_of(n), bench::ate_instance_builder(params),
           [mode] {
             BlockFaultConfig block;
@@ -225,6 +225,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("santoro_widmayer");
   hoval::run();
   return 0;
 }

@@ -47,7 +47,7 @@ RowResult run_ate_row(int n, int alpha) {
   safety.base_seed = 1001;
   safety.predicates.push_back(std::make_shared<PAlpha>(alpha));
   row.safety_campaign =
-      run_campaign(bench::random_values_of(n), bench::ate_instance_builder(params),
+      bench::run_campaign_timed(bench::random_values_of(n), bench::ate_instance_builder(params),
                    bench::corruption_builder(alpha), safety);
   row.safety_pred_holds = row.safety_campaign.predicate_holds[0];
 
@@ -59,7 +59,7 @@ RowResult run_ate_row(int n, int alpha) {
   live.predicates.push_back(std::make_shared<PALive>(
       n, params.threshold_t, params.threshold_e, params.alpha));
   row.liveness_campaign =
-      run_campaign(bench::random_values_of(n), bench::ate_instance_builder(params),
+      bench::run_campaign_timed(bench::random_values_of(n), bench::ate_instance_builder(params),
                    bench::good_round_builder(alpha, 6), live);
   row.live_pred_holds = row.liveness_campaign.predicate_holds[0];
   return row;
@@ -84,7 +84,7 @@ RowResult run_utea_row(int n, int alpha) {
   safety.predicates.push_back(std::make_shared<PUSafe>(
       n, params.threshold_t, params.threshold_e, alpha));
   row.safety_campaign =
-      run_campaign(bench::random_values_of(n), bench::utea_instance_builder(params),
+      bench::run_campaign_timed(bench::random_values_of(n), bench::utea_instance_builder(params),
                    bench::usafe_builder(params), safety);
   row.safety_pred_holds = std::min(row.safety_campaign.predicate_holds[0],
                                    row.safety_campaign.predicate_holds[1]);
@@ -97,7 +97,7 @@ RowResult run_utea_row(int n, int alpha) {
   live.predicates.push_back(std::make_shared<PULive>(
       n, params.threshold_t, params.threshold_e, alpha));
   row.liveness_campaign =
-      run_campaign(bench::random_values_of(n), bench::utea_instance_builder(params),
+      bench::run_campaign_timed(bench::random_values_of(n), bench::utea_instance_builder(params),
                    bench::clean_phase_builder(params, 4), live);
   row.live_pred_holds = row.liveness_campaign.predicate_holds[0];
   return row;
@@ -141,7 +141,7 @@ void negative_section() {
     config.runs = 100;
     config.sim.max_rounds = 10;
     config.base_seed = 3001;
-    const auto result = run_campaign(
+    const auto result = bench::run_campaign_timed(
         bench::split_of(n, 1, 9), bench::ate_instance_builder(bad),
         [alpha] {
           SplitVoteConfig split;
@@ -170,7 +170,7 @@ void negative_section() {
     poison.alpha = 3;
     poison.policy.style = CorruptionStyle::kFixedValue;
     poison.policy.fixed_value = 0;
-    const auto undercut = run_campaign(
+    const auto undercut = bench::run_campaign_timed(
         bench::unanimous_of(n, 1), bench::ate_instance_builder(bad),
         [poison] { return std::make_shared<RandomCorruptionAdversary>(poison); },
         config);
@@ -188,7 +188,7 @@ void negative_section() {
     config.runs = 100;
     config.sim.max_rounds = 10;
     config.base_seed = 3003;
-    const auto result = run_campaign(
+    const auto result = bench::run_campaign_timed(
         bench::split_of(n, 1, 9), bench::utea_instance_builder(bad),
         [alpha] {
           SplitVoteConfig split;
@@ -238,6 +238,7 @@ void run() {
 }  // namespace hoval
 
 int main() {
+  hoval::bench::BenchRecorder recorder("table1");
   hoval::run();
   return 0;
 }

@@ -6,9 +6,13 @@
 /// it prints a paper-style table on stdout and drops a CSV next to the
 /// working directory for external re-plotting.
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "adversary/adversary.hpp"
 #include "adversary/corruption.hpp"
@@ -17,6 +21,7 @@
 #include "predicates/liveness.hpp"
 #include "predicates/safety.hpp"
 #include "sim/campaign.hpp"
+#include "sim/engine.hpp"
 #include "sim/initial_values.hpp"
 #include "stats/descriptive.hpp"
 #include "util/csv.hpp"
@@ -24,6 +29,91 @@
 #include "util/table.hpp"
 
 namespace hoval::bench {
+
+/// Bench-wide campaign thread knob: HOVAL_BENCH_THREADS overrides
+/// (0 = one worker per hardware thread), default 0.
+inline int campaign_threads() {
+  if (const char* env = std::getenv("HOVAL_BENCH_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 0) return parsed;
+  }
+  return 0;
+}
+
+/// Aggregates campaign wall time / run counts for one bench binary and
+/// writes machine-readable BENCH_<name>.json next to the CSVs (the perf
+/// trajectory consumed by CI as artifacts).  Construct one per binary at
+/// the top of its run() function.
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    active_ = this;
+  }
+  ~BenchRecorder() {
+    write();
+    active_ = nullptr;
+  }
+  BenchRecorder(const BenchRecorder&) = delete;
+  BenchRecorder& operator=(const BenchRecorder&) = delete;
+
+  static BenchRecorder* active() noexcept { return active_; }
+
+  void note_campaign(const CampaignResult& result, double seconds,
+                     int threads) {
+    ++campaigns_;
+    campaign_runs_ += result.runs;
+    campaign_seconds_ += seconds;
+    // Small campaigns get clamped pools; report the widest pool used.
+    if (threads > threads_) threads_ = threads;
+  }
+
+  void write() const {
+    const double total_seconds = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() - start_)
+                                     .count();
+    const double runs_per_sec =
+        campaign_seconds_ > 0.0 ? campaign_runs_ / campaign_seconds_ : 0.0;
+    std::ofstream out("BENCH_" + name_ + ".json");
+    out << "{\n"
+        << "  \"bench\": \"" << name_ << "\",\n"
+        << "  \"threads\": " << threads_ << ",\n"
+        << "  \"campaigns\": " << campaigns_ << ",\n"
+        << "  \"campaign_runs\": " << campaign_runs_ << ",\n"
+        << "  \"campaign_wall_seconds\": " << campaign_seconds_ << ",\n"
+        << "  \"runs_per_sec\": " << runs_per_sec << ",\n"
+        << "  \"total_wall_seconds\": " << total_seconds << "\n"
+        << "}\n";
+  }
+
+ private:
+  inline static BenchRecorder* active_ = nullptr;
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  int campaigns_ = 0;
+  long long campaign_runs_ = 0;
+  double campaign_seconds_ = 0.0;
+  int threads_ = 1;
+};
+
+/// Campaign entry point for bench drivers: applies the shared thread knob
+/// and accounts wall time into the active BenchRecorder.
+inline CampaignResult run_campaign_timed(const ValueGenerator& values,
+                                         const InstanceBuilder& instance,
+                                         const AdversaryBuilder& adversary,
+                                         CampaignConfig config) {
+  config.threads = campaign_threads();
+  const CampaignEngine engine(config);
+  const auto start = std::chrono::steady_clock::now();
+  CampaignResult result = engine.run(values, instance, adversary);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (BenchRecorder::active())
+    BenchRecorder::active()->note_campaign(result, seconds, engine.threads());
+  return result;
+}
 
 /// Renders a pass/fail verdict cell.
 inline std::string verdict(bool ok) { return ok ? "ok" : "VIOLATED"; }

@@ -50,6 +50,7 @@
 #include "predicates/safety.hpp"
 #include "runtime/runner.hpp"
 #include "sim/campaign.hpp"
+#include "sim/engine.hpp"
 #include "sim/initial_values.hpp"
 #include "sim/machine.hpp"
 #include "sim/properties.hpp"

@@ -2,14 +2,10 @@
 
 namespace hoval {
 
-std::strong_ordering operator<=>(const Msg& a, const Msg& b) {
-  if (auto c = a.kind <=> b.kind; c != 0) return c;
+bool operator<(const Msg& a, const Msg& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
   // nullopt sorts first; then by value.
-  const bool ha = a.payload.has_value();
-  const bool hb = b.payload.has_value();
-  if (auto c = ha <=> hb; c != 0) return c;
-  if (!ha) return std::strong_ordering::equal;
-  return *a.payload <=> *b.payload;
+  return a.payload < b.payload;
 }
 
 Msg make_estimate(Value v) { return Msg{MsgKind::kEstimate, v}; }

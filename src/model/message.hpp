@@ -10,7 +10,6 @@
 /// functions must therefore treat message contents defensively; the type
 /// deliberately allows every combination an adversary could fabricate.
 
-#include <compare>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -33,11 +32,14 @@ struct Msg {
   /// payload-less estimate, which no transition function will count).
   std::optional<Value> payload;
 
-  friend bool operator==(const Msg&, const Msg&) = default;
+  friend bool operator==(const Msg& a, const Msg& b) {
+    return a.kind == b.kind && a.payload == b.payload;
+  }
+  friend bool operator!=(const Msg& a, const Msg& b) { return !(a == b); }
   /// Total order (kind-major, then payload with nullopt first); lets
   /// messages be used as map keys and makes corruption strategies
   /// deterministic.
-  friend std::strong_ordering operator<=>(const Msg& a, const Msg& b);
+  friend bool operator<(const Msg& a, const Msg& b);
 };
 
 /// Constructs an estimate message carrying `v`.

@@ -64,7 +64,12 @@ class ProcessSet {
     }
   }
 
-  friend bool operator==(const ProcessSet&, const ProcessSet&) = default;
+  friend bool operator==(const ProcessSet& a, const ProcessSet& b) {
+    return a.n_ == b.n_ && a.blocks_ == b.blocks_;
+  }
+  friend bool operator!=(const ProcessSet& a, const ProcessSet& b) {
+    return !(a == b);
+  }
 
   /// Rendering like "{0, 2, 5}".
   std::string to_string() const;

@@ -21,13 +21,13 @@ constexpr std::array<std::uint32_t, 256> make_table() {
 constexpr auto kTable = make_table();
 }  // namespace
 
-void Crc32::update(std::span<const std::byte> data) noexcept {
+void Crc32::update(ByteSpan data) noexcept {
   for (std::byte b : data)
     state_ = (state_ >> 8) ^
              kTable[(state_ ^ static_cast<std::uint32_t>(b)) & 0xFFu];
 }
 
-std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+std::uint32_t crc32(ByteSpan data) noexcept {
   Crc32 crc;
   crc.update(data);
   return crc.value();

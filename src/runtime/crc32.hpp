@@ -14,17 +14,18 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <span>
+
+#include "util/bytes.hpp"
 
 namespace hoval {
 
 /// CRC-32 of a byte span (init 0xFFFFFFFF, reflected, final xor).
-std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+std::uint32_t crc32(ByteSpan data) noexcept;
 
 /// Incremental variant for framed encodings.
 class Crc32 {
  public:
-  void update(std::span<const std::byte> data) noexcept;
+  void update(ByteSpan data) noexcept;
   std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
 
  private:

@@ -31,11 +31,20 @@ RuntimeResult run_threaded_consensus(ProcessVector processes,
         std::make_unique<Node>(std::move(process), network, config.node));
 
   {
-    // jthreads join on scope exit (CP.25); one thread per node.
-    std::vector<std::jthread> threads;
+    // One thread per node; joined on scope exit (CP.25).
+    std::vector<std::thread> threads;
     threads.reserve(nodes.size());
-    for (auto& node : nodes)
-      threads.emplace_back([&node_ref = *node] { node_ref.run(); });
+    try {
+      for (auto& node : nodes)
+        threads.emplace_back([&node_ref = *node] { node_ref.run(); });
+    } catch (...) {
+      // Spawn failure: unblock and join the nodes already running before
+      // propagating, instead of terminating via ~thread on a joinable.
+      network.close_all();
+      for (auto& thread : threads) thread.join();
+      throw;
+    }
+    for (auto& thread : threads) thread.join();
   }
   network.close_all();
 

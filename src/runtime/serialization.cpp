@@ -17,7 +17,7 @@ void put_le(std::vector<std::byte>& out, T value) {
 }
 
 template <typename T>
-T get_le(std::span<const std::byte> in, std::size_t offset) {
+T get_le(ByteSpan in, std::size_t offset) {
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i)
     acc |= static_cast<std::uint64_t>(in[offset + i]) << (8 * i);
@@ -42,7 +42,7 @@ std::vector<std::byte> encode_packet(const WirePacket& packet, bool with_crc) {
   return out;
 }
 
-DecodeResult decode_packet(std::span<const std::byte> bytes, bool with_crc) {
+DecodeResult decode_packet(ByteSpan bytes, bool with_crc) {
   const std::size_t expected =
       kFrameBodySize + (with_crc ? kFrameCrcSize : 0);
   if (bytes.size() != expected) return {DecodeStatus::kMalformed, std::nullopt};

@@ -18,11 +18,11 @@
 
 #include <cstddef>
 #include <optional>
-#include <span>
 #include <vector>
 
 #include "model/message.hpp"
 #include "model/types.hpp"
+#include "util/bytes.hpp"
 
 namespace hoval {
 
@@ -32,7 +32,12 @@ struct WirePacket {
   ProcessId sender = 0;
   Msg msg;
 
-  friend bool operator==(const WirePacket&, const WirePacket&) = default;
+  friend bool operator==(const WirePacket& a, const WirePacket& b) {
+    return a.round == b.round && a.sender == b.sender && a.msg == b.msg;
+  }
+  friend bool operator!=(const WirePacket& a, const WirePacket& b) {
+    return !(a == b);
+  }
 };
 
 /// Frame sizes.
@@ -56,6 +61,6 @@ struct DecodeResult {
 };
 
 /// Decodes a frame; `with_crc` must match the encoder's setting.
-DecodeResult decode_packet(std::span<const std::byte> bytes, bool with_crc);
+DecodeResult decode_packet(ByteSpan bytes, bool with_crc);
 
 }  // namespace hoval

@@ -2,12 +2,13 @@
 
 #include <sstream>
 
-#include "util/check.hpp"
+#include "sim/engine.hpp"
 #include "util/format.hpp"
 
 namespace hoval {
 
 std::string CampaignResult::summary() const {
+  if (runs == 0) return "empty campaign (0 runs)";
   std::ostringstream os;
   os << runs << " runs: agreement "
      << (agreement_violations == 0
@@ -16,12 +17,18 @@ std::string CampaignResult::summary() const {
      << ", integrity "
      << (integrity_violations == 0
              ? "ok"
-             : std::to_string(integrity_violations) + " violations")
-     << ", terminated " << format_percent(termination_rate(), 1);
-  if (!last_decision_rounds.empty())
-    os << ", decided by round " << format_double(last_decision_rounds.mean(), 2)
-       << " (median " << format_double(last_decision_rounds.median(), 1)
-       << ", max " << format_double(last_decision_rounds.max(), 0) << ")";
+             : std::to_string(integrity_violations) + " violations");
+  if (terminated == 0) {
+    os << ", none terminated within the horizon";
+  } else {
+    os << ", terminated " << format_percent(termination_rate(), 1);
+    if (!last_decision_rounds.empty())
+      os << ", decided by round "
+         << format_double(last_decision_rounds.mean(), 2) << " (median "
+         << format_double(last_decision_rounds.median(), 1) << ", max "
+         << format_double(last_decision_rounds.max(), 0) << ")";
+  }
+  if (cancelled) os << " [cancelled]";
   return os.str();
 }
 
@@ -29,66 +36,7 @@ CampaignResult run_campaign(const ValueGenerator& values,
                             const InstanceBuilder& instance,
                             const AdversaryBuilder& adversary,
                             const CampaignConfig& config) {
-  HOVAL_EXPECTS_MSG(config.runs > 0, "campaign needs at least one run");
-  HOVAL_EXPECTS_MSG(values && instance && adversary,
-                    "campaign builders must all be set");
-
-  CampaignResult result;
-  result.predicate_holds.assign(config.predicates.size(), 0);
-
-  for (int run = 0; run < config.runs; ++run) {
-    Rng value_rng(mix_seed(config.base_seed, static_cast<std::uint64_t>(run), 1));
-    const std::vector<Value> initial = values(value_rng);
-
-    ProcessVector processes = instance(initial);
-    HOVAL_EXPECTS_MSG(processes.size() == initial.size(),
-                      "instance size must match initial values");
-
-    SimConfig sim = config.sim;
-    sim.seed = mix_seed(config.base_seed, static_cast<std::uint64_t>(run), 2);
-
-    Simulator simulator(std::move(processes), adversary(), sim);
-    const RunResult run_result = simulator.run();
-    const ConsensusReport report = check_consensus(initial, run_result);
-    const PropertyVerdict irrevocable = check_irrevocability(simulator.processes());
-
-    ++result.runs;
-    auto record_violation = [&](const std::string& kind, const std::string& detail) {
-      if (static_cast<int>(result.violations.size()) <
-          config.max_recorded_violations) {
-        std::ostringstream os;
-        os << "run " << run << " (seed " << sim.seed << "): " << kind << ": "
-           << detail;
-        result.violations.push_back(os.str());
-      }
-    };
-
-    if (!report.agreement.holds) {
-      ++result.agreement_violations;
-      record_violation("agreement", report.agreement.detail);
-    }
-    if (!report.integrity.holds) {
-      ++result.integrity_violations;
-      record_violation("integrity", report.integrity.detail);
-    }
-    if (!irrevocable.holds) {
-      ++result.irrevocability_violations;
-      record_violation("irrevocability", irrevocable.detail);
-    }
-    if (run_result.all_decided) {
-      ++result.terminated;
-      result.last_decision_rounds.add(
-          static_cast<double>(*run_result.last_decision_round));
-      result.first_decision_rounds.add(
-          static_cast<double>(*run_result.first_decision_round));
-    }
-
-    for (std::size_t i = 0; i < config.predicates.size(); ++i)
-      if (config.predicates[i]->evaluate(run_result.trace).holds)
-        ++result.predicate_holds[static_cast<std::size_t>(i)];
-  }
-
-  return result;
+  return CampaignEngine(config).run(values, instance, adversary);
 }
 
 }  // namespace hoval

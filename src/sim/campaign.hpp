@@ -29,6 +29,18 @@ using ValueGenerator = std::function<std::vector<Value>(Rng& rng)>;
 /// as forgery counters starts clean).
 using AdversaryBuilder = std::function<std::shared_ptr<Adversary>()>;
 
+/// Snapshot handed to the progress callback.
+struct CampaignProgress {
+  int completed = 0;  ///< runs finished so far
+  int total = 0;      ///< configured campaign size
+};
+
+/// Invoked at most once per `progress_batch` completed runs (plus a final
+/// flush, unless cancelled) while a campaign executes; may be called from
+/// worker threads, serialised by the engine.  Return false to cancel the
+/// remaining runs — no further invocations follow a cancellation.
+using ProgressCallback = std::function<bool(const CampaignProgress&)>;
+
 /// Campaign parameters.
 struct CampaignConfig {
   int runs = 100;
@@ -38,6 +50,15 @@ struct CampaignConfig {
   std::vector<std::shared_ptr<Predicate>> predicates;
   /// Keep at most this many violation descriptions for diagnostics.
   int max_recorded_violations = 5;
+  /// Worker threads sharding the runs.  0 = one per hardware thread; 1
+  /// reproduces the classic serial path.  Any value yields a bit-identical
+  /// CampaignResult: per-run seeds derive from the run index alone and the
+  /// reduction merges outcomes in run-index order.
+  int threads = 0;
+  /// Optional batched progress/cancellation hook for long sweeps.
+  ProgressCallback progress;
+  /// Completed-run granularity of `progress` invocations.
+  int progress_batch = 64;
 };
 
 /// Aggregated campaign outcome.
@@ -58,6 +79,10 @@ struct CampaignResult {
   /// Sample violation descriptions (capped).
   std::vector<std::string> violations;
 
+  /// True when a progress callback cancelled the campaign; only the runs
+  /// counted above were executed.
+  bool cancelled = false;
+
   bool safety_clean() const {
     return agreement_violations == 0 && integrity_violations == 0 &&
            irrevocability_violations == 0;
@@ -74,8 +99,15 @@ struct CampaignResult {
   std::string summary() const;
 };
 
-/// Runs the campaign.  Each run gets seeds derived from (base_seed, index)
-/// for the initial values and the fault schedule independently.
+/// Runs the campaign on a CampaignEngine worker pool (see sim/engine.hpp).
+/// Each run gets seeds derived from (base_seed, index) for the initial
+/// values and the fault schedule independently, so the result does not
+/// depend on config.threads.
+///
+/// Since config.threads defaults to all cores, the builders (and any
+/// predicates) are invoked concurrently and must be thread-safe — true of
+/// every builder in this library, which construct fresh per-run state.  A
+/// builder with shared mutable state must set config.threads = 1.
 CampaignResult run_campaign(const ValueGenerator& values,
                             const InstanceBuilder& instance,
                             const AdversaryBuilder& adversary,

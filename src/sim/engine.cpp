@@ -1,0 +1,202 @@
+#include "sim/engine.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+}  // namespace
+
+CampaignEngine::CampaignEngine(CampaignConfig config)
+    : config_(std::move(config)), threads_(resolve_threads(config_.threads)) {
+  HOVAL_EXPECTS_MSG(config_.runs > 0, "campaign needs at least one run");
+  HOVAL_EXPECTS_MSG(config_.threads >= 0,
+                    "threads must be >= 0 (0 = hardware concurrency)");
+  HOVAL_EXPECTS_MSG(config_.progress_batch > 0,
+                    "progress_batch must be positive");
+  // More workers than runs would idle; clamp so threads() reports the
+  // pool actually used.
+  if (threads_ > config_.runs) threads_ = config_.runs;
+}
+
+CampaignEngine::RunOutcome CampaignEngine::execute_run(
+    int run, const ValueGenerator& values, const InstanceBuilder& instance,
+    const AdversaryBuilder& adversary, int* violation_budget) const {
+  Rng value_rng(mix_seed(config_.base_seed, static_cast<std::uint64_t>(run), 1));
+  const std::vector<Value> initial = values(value_rng);
+
+  ProcessVector processes = instance(initial);
+  HOVAL_EXPECTS_MSG(processes.size() == initial.size(),
+                    "instance size must match initial values");
+
+  SimConfig sim = config_.sim;
+  sim.seed = mix_seed(config_.base_seed, static_cast<std::uint64_t>(run), 2);
+
+  Simulator simulator(std::move(processes), adversary(), sim);
+  const RunResult run_result = simulator.run();
+  const ConsensusReport report = check_consensus(initial, run_result);
+  const PropertyVerdict irrevocable = check_irrevocability(simulator.processes());
+
+  RunOutcome outcome;
+  outcome.executed = true;
+  auto record_violation = [&](const std::string& kind, const std::string& detail) {
+    // Per-worker string budget keeps campaign memory bounded at
+    // threads * max_recorded_violations strings.  Each worker executes
+    // strictly increasing run indices, so any string among the first
+    // max_recorded in global run order has fewer than that many worker-
+    // local predecessors and is always formatted — the reduction still
+    // sees exactly the strings the serial path would keep.
+    if (*violation_budget <= 0) return;
+    --*violation_budget;
+    std::ostringstream os;
+    os << "run " << run << " (seed " << sim.seed << "): " << kind << ": "
+       << detail;
+    outcome.violations.push_back(os.str());
+  };
+
+  if (!report.agreement.holds) {
+    outcome.agreement_violation = true;
+    record_violation("agreement", report.agreement.detail);
+  }
+  if (!report.integrity.holds) {
+    outcome.integrity_violation = true;
+    record_violation("integrity", report.integrity.detail);
+  }
+  if (!irrevocable.holds) {
+    outcome.irrevocability_violation = true;
+    record_violation("irrevocability", irrevocable.detail);
+  }
+  if (run_result.all_decided) {
+    outcome.terminated = true;
+    outcome.first_decision_round =
+        static_cast<double>(*run_result.first_decision_round);
+    outcome.last_decision_round =
+        static_cast<double>(*run_result.last_decision_round);
+  }
+
+  outcome.predicate_holds.reserve(config_.predicates.size());
+  for (const auto& predicate : config_.predicates)
+    outcome.predicate_holds.push_back(
+        predicate->evaluate(run_result.trace).holds ? 1 : 0);
+  return outcome;
+}
+
+CampaignResult CampaignEngine::reduce(
+    const std::vector<RunOutcome>& outcomes) const {
+  CampaignResult result;
+  result.predicate_holds.assign(config_.predicates.size(), 0);
+
+  for (const RunOutcome& outcome : outcomes) {
+    if (!outcome.executed) continue;
+    ++result.runs;
+    result.agreement_violations += outcome.agreement_violation ? 1 : 0;
+    result.integrity_violations += outcome.integrity_violation ? 1 : 0;
+    result.irrevocability_violations += outcome.irrevocability_violation ? 1 : 0;
+    for (const std::string& violation : outcome.violations)
+      if (static_cast<int>(result.violations.size()) <
+          config_.max_recorded_violations)
+        result.violations.push_back(violation);
+    if (outcome.terminated) {
+      ++result.terminated;
+      result.last_decision_rounds.add(outcome.last_decision_round);
+      result.first_decision_rounds.add(outcome.first_decision_round);
+    }
+    for (std::size_t i = 0; i < outcome.predicate_holds.size(); ++i)
+      result.predicate_holds[i] += outcome.predicate_holds[i];
+  }
+  return result;
+}
+
+CampaignResult CampaignEngine::run(const ValueGenerator& values,
+                                   const InstanceBuilder& instance,
+                                   const AdversaryBuilder& adversary) const {
+  HOVAL_EXPECTS_MSG(values && instance && adversary,
+                    "campaign builders must all be set");
+
+  const int total = config_.runs;
+  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(total));
+  std::atomic<int> next_run{0};
+  std::atomic<int> completed{0};
+  std::atomic<bool> cancelled{false};
+
+  // Guards the progress callback (invoked from whichever worker crosses a
+  // batch boundary) and the first captured exception.
+  std::mutex control_mutex;
+  int last_reported = 0;
+  std::exception_ptr first_error;
+
+  auto report_progress = [&](bool final_flush) {
+    if (!config_.progress) return;
+    std::lock_guard<std::mutex> lock(control_mutex);
+    // Honour the contract: nothing follows a cancellation.
+    if (cancelled.load(std::memory_order_acquire)) return;
+    const int done = completed.load(std::memory_order_acquire);
+    if (!final_flush && done - last_reported < config_.progress_batch) return;
+    if (final_flush && done == last_reported) return;
+    last_reported = done;
+    const bool keep_going = config_.progress(CampaignProgress{done, total});
+    // A veto on the final flush has nothing left to cancel.
+    if (!keep_going && !final_flush)
+      cancelled.store(true, std::memory_order_release);
+  };
+
+  auto worker = [&] {
+    int violation_budget = config_.max_recorded_violations;
+    for (;;) {
+      if (cancelled.load(std::memory_order_acquire)) return;
+      const int run = next_run.fetch_add(1, std::memory_order_relaxed);
+      if (run >= total) return;
+      try {
+        outcomes[static_cast<std::size_t>(run)] =
+            execute_run(run, values, instance, adversary, &violation_budget);
+        completed.fetch_add(1, std::memory_order_acq_rel);
+        report_progress(false);  // user callback may throw too
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(control_mutex);
+        if (!first_error) first_error = std::current_exception();
+        cancelled.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  };
+
+  const int pool_size = threads_;  // constructor clamped to [1, runs]
+  if (pool_size <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(pool_size));
+    try {
+      for (int t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+    } catch (...) {
+      // Thread spawn failed: stop the workers already running, join them,
+      // and propagate instead of terminating via ~thread on a joinable.
+      cancelled.store(true, std::memory_order_release);
+      for (std::thread& thread : pool) thread.join();
+      throw;
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  if (!cancelled.load(std::memory_order_acquire)) report_progress(true);
+
+  CampaignResult result = reduce(outcomes);
+  result.cancelled = cancelled.load(std::memory_order_acquire);
+  return result;
+}
+
+}  // namespace hoval

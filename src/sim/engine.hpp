@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file engine.hpp
+/// CampaignEngine: the parallel Monte-Carlo campaign executor.
+///
+/// A fixed-size worker pool shards the campaign's runs across threads.
+/// Each run derives its RNG streams from (base_seed, run index) exactly as
+/// the serial driver always did — mix_seed(base_seed, run, 1) for initial
+/// values, mix_seed(base_seed, run, 2) for the fault schedule — so the
+/// outcome of every individual run is independent of which worker executes
+/// it.  Workers deposit per-run outcomes into slots indexed by run; a
+/// deterministic reduction in run-index order then rebuilds the aggregate
+/// CampaignResult (violation strings, decision-round samples, predicate
+/// tallies).  A campaign is therefore bit-identical for any thread count,
+/// including the diagnostic ordering of recorded violations.
+///
+/// Long sweeps can observe progress and cancel midway through the batched
+/// ProgressCallback on CampaignConfig; cancellation skips runs that have
+/// not started yet (so a cancelled result covers a prefix-biased subset of
+/// runs and is no longer thread-count independent — it is marked
+/// CampaignResult::cancelled).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hpp"
+
+namespace hoval {
+
+/// Parallel campaign executor.  Construction validates the config and
+/// resolves the thread count; run() may be called repeatedly (each call
+/// spins up a fresh pool).
+class CampaignEngine {
+ public:
+  /// \throws PreconditionError on runs <= 0, threads < 0 or
+  ///         progress_batch <= 0.
+  explicit CampaignEngine(CampaignConfig config);
+
+  /// Executes every run and merges the outcomes.  The builders are invoked
+  /// concurrently from the pool, one complete run per invocation set, and
+  /// must therefore be safe to call from multiple threads (the stock
+  /// builders — value generators, instance factories, adversary factories
+  /// and stateless predicates — all are: each run constructs its own
+  /// processes, adversary and RNGs).
+  CampaignResult run(const ValueGenerator& values,
+                     const InstanceBuilder& instance,
+                     const AdversaryBuilder& adversary) const;
+
+  /// Resolved worker count: config.threads with 0 mapped to the hardware
+  /// concurrency, clamped to [1, config.runs] — the pool actually used.
+  int threads() const noexcept { return threads_; }
+
+  const CampaignConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Everything one run contributes to the aggregate, in a form that can
+  /// be merged in run order without losing information.
+  struct RunOutcome {
+    bool executed = false;  ///< false for runs skipped by cancellation
+    bool agreement_violation = false;
+    bool integrity_violation = false;
+    bool irrevocability_violation = false;
+    bool terminated = false;
+    double first_decision_round = 0.0;
+    double last_decision_round = 0.0;
+    /// Formatted violation descriptions, at most one per clause; the
+    /// reduction applies the global max_recorded_violations cap.
+    std::vector<std::string> violations;
+    /// 0/1 per configured predicate.
+    std::vector<std::uint8_t> predicate_holds;
+  };
+
+  /// `violation_budget` is the executing worker's remaining allowance of
+  /// formatted violation strings (bounds campaign memory at
+  /// threads * max_recorded_violations strings without affecting which
+  /// strings the reduction ultimately keeps).
+  RunOutcome execute_run(int run, const ValueGenerator& values,
+                         const InstanceBuilder& instance,
+                         const AdversaryBuilder& adversary,
+                         int* violation_budget) const;
+
+  /// Deterministic reduction in run-index order.
+  CampaignResult reduce(const std::vector<RunOutcome>& outcomes) const;
+
+  CampaignConfig config_;
+  int threads_ = 1;
+};
+
+}  // namespace hoval

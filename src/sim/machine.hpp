@@ -53,6 +53,9 @@ class HoMachine {
                       const SimConfig& config) const;
 
   /// Runs a Monte-Carlo campaign (predicates are appended to the config's).
+  /// Executes on the parallel campaign engine: unless config.threads is 1,
+  /// the machine's builders are invoked concurrently (see run_campaign's
+  /// thread-safety note in sim/campaign.hpp).
   CampaignResult campaign(const ValueGenerator& values,
                           CampaignConfig config) const;
 

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file bytes.hpp
+/// A minimal C++17 stand-in for std::span<const std::byte>: a non-owning
+/// view of a contiguous byte range, used by the CRC and wire-framing code.
+/// Only the read-only subset those callers need is provided.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+/// Non-owning view over contiguous bytes (cheap to copy, never owns).
+class ByteSpan {
+ public:
+  constexpr ByteSpan() noexcept = default;
+  constexpr ByteSpan(const std::byte* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+  /// Implicit view of a byte vector (mirrors std::span's container ctor).
+  ByteSpan(const std::vector<std::byte>& bytes) noexcept
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  constexpr const std::byte* data() const noexcept { return data_; }
+  constexpr std::size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr const std::byte& operator[](std::size_t i) const { return data_[i]; }
+  constexpr const std::byte* begin() const noexcept { return data_; }
+  constexpr const std::byte* end() const noexcept { return data_ + size_; }
+
+  /// View of [offset, offset + count); count defaults to "to the end".
+  ByteSpan subspan(std::size_t offset,
+                   std::size_t count = static_cast<std::size_t>(-1)) const {
+    HOVAL_EXPECTS_MSG(offset <= size_, "subspan offset out of range");
+    const std::size_t rest = size_ - offset;
+    return ByteSpan(data_ + offset, count > rest ? rest : count);
+  }
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Reinterprets any trivially-copyable buffer as bytes (std::as_bytes
+/// analogue for C++17).
+template <typename T>
+ByteSpan as_byte_span(const T* data, std::size_t count) noexcept {
+  return ByteSpan(reinterpret_cast<const std::byte*>(data), count * sizeof(T));
+}
+
+}  // namespace hoval

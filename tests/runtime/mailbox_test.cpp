@@ -39,7 +39,7 @@ TEST(Mailbox, TryPopNeverBlocks) {
 TEST(Mailbox, CloseUnblocksWaiters) {
   Mailbox<int> box;
   std::atomic<bool> unblocked{false};
-  std::jthread waiter([&] {
+  std::thread waiter([&] {
     (void)box.pop(5s);  // must return early on close
     unblocked = true;
   });
@@ -70,7 +70,7 @@ TEST(Mailbox, ManyProducersOneConsumer) {
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 500;
 
-  std::vector<std::jthread> producers;
+  std::vector<std::thread> producers;
   for (int producer = 0; producer < kProducers; ++producer) {
     producers.emplace_back([&box, producer] {
       for (int i = 0; i < kPerProducer; ++i)
@@ -78,14 +78,24 @@ TEST(Mailbox, ManyProducersOneConsumer) {
     });
   }
 
-  std::vector<bool> seen(kProducers * kPerProducer, false);
-  int received = 0;
-  while (received < kProducers * kPerProducer) {
+  // Collect first, join, then assert: an ASSERT must not unwind past
+  // still-joinable producer threads (that would std::terminate).
+  std::vector<int> received;
+  received.reserve(static_cast<std::size_t>(kProducers) * kPerProducer);
+  while (received.size() < static_cast<std::size_t>(kProducers) * kPerProducer) {
     const auto item = box.pop(1s);
-    ASSERT_TRUE(item.has_value()) << "lost messages under concurrency";
-    ASSERT_FALSE(seen[static_cast<std::size_t>(*item)]) << "duplicate delivery";
-    seen[static_cast<std::size_t>(*item)] = true;
-    ++received;
+    if (!item.has_value()) break;
+    received.push_back(*item);
+  }
+  for (auto& producer : producers) producer.join();
+
+  ASSERT_EQ(received.size(),
+            static_cast<std::size_t>(kProducers) * kPerProducer)
+      << "lost messages under concurrency";
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (const int item : received) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(item)]) << "duplicate delivery";
+    seen[static_cast<std::size_t>(item)] = true;
   }
   EXPECT_EQ(box.size(), 0u);
 }
@@ -93,9 +103,10 @@ TEST(Mailbox, ManyProducersOneConsumer) {
 TEST(Mailbox, FifoPerProducer) {
   Mailbox<int> box;
   {
-    std::jthread producer([&box] {
+    std::thread producer([&box] {
       for (int i = 0; i < 100; ++i) box.push(i);
     });
+    producer.join();
   }
   for (int i = 0; i < 100; ++i) ASSERT_EQ(box.pop(100ms), i);
 }

@@ -10,15 +10,14 @@ namespace {
 TEST(Crc32, KnownVectors) {
   // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
   const std::string check = "123456789";
-  EXPECT_EQ(crc32(std::as_bytes(std::span(check.data(), check.size()))),
-            0xCBF43926u);
+  EXPECT_EQ(crc32(as_byte_span(check.data(), check.size())), 0xCBF43926u);
 
   EXPECT_EQ(crc32({}), 0x00000000u);
 }
 
 TEST(Crc32, IncrementalMatchesOneShot) {
   const std::string data = "the quick brown fox jumps over the lazy dog";
-  const auto bytes = std::as_bytes(std::span(data.data(), data.size()));
+  const auto bytes = as_byte_span(data.data(), data.size());
   Crc32 incremental;
   incremental.update(bytes.subspan(0, 10));
   incremental.update(bytes.subspan(10));

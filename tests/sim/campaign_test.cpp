@@ -112,6 +112,29 @@ TEST(Campaign, SummaryMentionsCounts) {
   EXPECT_NE(s.find("agreement ok"), std::string::npos);
 }
 
+TEST(Campaign, SummaryHandlesEmptyResult) {
+  // A default-constructed result (0 runs) must not divide by zero or
+  // pretend statistics exist.
+  const CampaignResult empty;
+  EXPECT_EQ(empty.summary(), "empty campaign (0 runs)");
+}
+
+TEST(Campaign, SummaryHandlesNothingTerminated) {
+  CampaignResult result;
+  result.runs = 12;
+  const auto s = result.summary();
+  EXPECT_NE(s.find("12 runs"), std::string::npos);
+  EXPECT_NE(s.find("none terminated"), std::string::npos);
+  EXPECT_EQ(s.find("decided by round"), std::string::npos);
+}
+
+TEST(Campaign, SummaryMarksCancelledCampaigns) {
+  CampaignResult result;
+  result.runs = 3;
+  result.cancelled = true;
+  EXPECT_NE(result.summary().find("[cancelled]"), std::string::npos);
+}
+
 TEST(Campaign, RejectsEmptyConfig) {
   CampaignConfig config;
   config.runs = 0;

@@ -1,0 +1,203 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "adversary/corruption.hpp"
+#include "core/factories.hpp"
+#include "predicates/safety.hpp"
+#include "sim/initial_values.hpp"
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+ValueGenerator random_of(int n, int distinct) {
+  return [n, distinct](Rng& rng) { return random_values(n, distinct, rng); };
+}
+
+InstanceBuilder ate_instance(const AteParams& params) {
+  return [params](const std::vector<Value>& initial) {
+    return make_ate_instance(params, initial);
+  };
+}
+
+AdversaryBuilder corruption_of(int alpha) {
+  return [alpha] {
+    RandomCorruptionConfig config;
+    config.alpha = alpha;
+    return std::make_shared<RandomCorruptionAdversary>(config);
+  };
+}
+
+CampaignConfig base_config(int runs) {
+  CampaignConfig config;
+  config.runs = runs;
+  config.sim.max_rounds = 60;
+  config.base_seed = 0xEB61;
+  config.predicates.push_back(std::make_shared<PAlpha>(2));
+  config.predicates.push_back(std::make_shared<PBenign>());
+  return config;
+}
+
+/// Full structural equality, including the order of recorded diagnostics
+/// and of the decision-round samples (compared before any accessor sorts
+/// the sample store).
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.last_decision_rounds.samples(), b.last_decision_rounds.samples());
+  EXPECT_EQ(a.first_decision_rounds.samples(), b.first_decision_rounds.samples());
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.agreement_violations, b.agreement_violations);
+  EXPECT_EQ(a.integrity_violations, b.integrity_violations);
+  EXPECT_EQ(a.irrevocability_violations, b.irrevocability_violations);
+  EXPECT_EQ(a.terminated, b.terminated);
+  EXPECT_EQ(a.predicate_holds, b.predicate_holds);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.cancelled, b.cancelled);
+}
+
+CampaignResult run_with_threads(CampaignConfig config, int threads) {
+  config.threads = threads;
+  return CampaignEngine(config).run(random_of(9, 3),
+                                    ate_instance(AteParams::canonical(9, 2)),
+                                    corruption_of(2));
+}
+
+TEST(CampaignEngine, ResultIdenticalAcrossThreadCounts) {
+  const auto serial = run_with_threads(base_config(64), 1);
+  const auto two = run_with_threads(base_config(64), 2);
+  const auto eight = run_with_threads(base_config(64), 8);
+  expect_identical(serial, two);
+  expect_identical(serial, eight);
+  EXPECT_EQ(serial.runs, 64);
+}
+
+TEST(CampaignEngine, ViolationRecordingDeterministicNearCap) {
+  // Broken thresholds under a fixed-value poison produce integrity
+  // violations on most runs; the cap must keep exactly the first
+  // max_recorded_violations in run order for every thread count.
+  const AteParams bad{6, /*T=*/0.5, /*E=*/1.0, /*alpha=*/6};
+  RandomCorruptionConfig poison;
+  poison.alpha = 6;
+  poison.policy.style = CorruptionStyle::kFixedValue;
+  poison.policy.fixed_value = 999;
+
+  CampaignConfig config;
+  config.runs = 48;
+  config.sim.max_rounds = 30;
+  config.base_seed = 0xCA9;
+  config.max_recorded_violations = 4;
+
+  auto run_it = [&](int threads) {
+    config.threads = threads;
+    return CampaignEngine(config).run(
+        [](Rng&) { return unanimous_values(6, 1); }, ate_instance(bad),
+        [&] { return std::make_shared<RandomCorruptionAdversary>(poison); });
+  };
+  const auto serial = run_it(1);
+  const auto two = run_it(2);
+  const auto eight = run_it(8);
+
+  ASSERT_GT(serial.integrity_violations, 4);
+  EXPECT_EQ(serial.violations.size(), 4u);
+  expect_identical(serial, two);
+  expect_identical(serial, eight);
+}
+
+TEST(CampaignEngine, MatchesRunCampaignFacade) {
+  auto config = base_config(32);
+  config.threads = 8;
+  const auto engine = CampaignEngine(config).run(
+      random_of(9, 3), ate_instance(AteParams::canonical(9, 2)),
+      corruption_of(2));
+  config.threads = 1;
+  const auto facade =
+      run_campaign(random_of(9, 3), ate_instance(AteParams::canonical(9, 2)),
+                   corruption_of(2), config);
+  expect_identical(engine, facade);
+}
+
+TEST(CampaignEngine, ResolvesThreadCounts) {
+  auto config = base_config(4);
+  config.threads = 0;
+  EXPECT_GE(CampaignEngine(config).threads(), 1);
+  config.threads = 3;
+  EXPECT_EQ(CampaignEngine(config).threads(), 3);
+}
+
+TEST(CampaignEngine, ReportsBatchedProgress) {
+  auto config = base_config(50);
+  config.threads = 2;
+  config.progress_batch = 16;
+  std::atomic<int> calls{0};
+  std::atomic<int> final_completed{0};
+  config.progress = [&](const CampaignProgress& progress) {
+    ++calls;
+    final_completed = progress.completed;
+    EXPECT_EQ(progress.total, 50);
+    return true;
+  };
+  const auto result = CampaignEngine(config).run(
+      random_of(9, 3), ate_instance(AteParams::canonical(9, 2)),
+      corruption_of(2));
+  EXPECT_FALSE(result.cancelled);
+  EXPECT_EQ(result.runs, 50);
+  EXPECT_GE(calls.load(), 1);
+  EXPECT_EQ(final_completed.load(), 50);
+}
+
+TEST(CampaignEngine, ProgressCallbackCanCancel) {
+  auto config = base_config(400);
+  config.threads = 2;
+  config.progress_batch = 8;
+  config.progress = [](const CampaignProgress&) { return false; };
+  const auto result = CampaignEngine(config).run(
+      random_of(9, 3), ate_instance(AteParams::canonical(9, 2)),
+      corruption_of(2));
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_LT(result.runs, 400);
+  EXPECT_GT(result.runs, 0);
+}
+
+TEST(CampaignEngine, ValidatesConfig) {
+  auto config = base_config(10);
+  config.threads = -1;
+  EXPECT_THROW(CampaignEngine{config}, PreconditionError);
+  config.threads = 0;
+  config.progress_batch = 0;
+  EXPECT_THROW(CampaignEngine{config}, PreconditionError);
+  config.progress_batch = 64;
+  config.runs = 0;
+  EXPECT_THROW(CampaignEngine{config}, PreconditionError);
+}
+
+TEST(CampaignEngine, ProgressCallbackExceptionsPropagate) {
+  // A throwing progress sink must surface to the caller, not terminate a
+  // worker thread.
+  auto config = base_config(64);
+  config.threads = 4;
+  config.progress_batch = 4;
+  config.progress = [](const CampaignProgress&) -> bool {
+    throw std::runtime_error("progress sink failed");
+  };
+  EXPECT_THROW(CampaignEngine(config).run(
+                   random_of(9, 3), ate_instance(AteParams::canonical(9, 2)),
+                   corruption_of(2)),
+               std::runtime_error);
+}
+
+TEST(CampaignEngine, WorkerExceptionsPropagate) {
+  auto config = base_config(32);
+  config.threads = 4;
+  const auto throwing_instance = [](const std::vector<Value>&) {
+    return ProcessVector{};  // size mismatch trips the engine's precondition
+  };
+  EXPECT_THROW(CampaignEngine(config).run(random_of(9, 3), throwing_instance,
+                                          corruption_of(2)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hoval

@@ -52,13 +52,14 @@ TEST(Logger, DisabledLevelsDoNotEvaluate) {
 TEST(Logger, ConcurrentWritesDoNotCrash) {
   const LevelGuard guard;
   Logger::set_level(LogLevel::kOff);  // exercise the path without spamming
-  std::vector<std::jthread> threads;
+  std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([t] {
       for (int i = 0; i < 200; ++i)
         Logger::write(LogLevel::kError, "thread " + std::to_string(t));
     });
   }
+  for (auto& thread : threads) thread.join();
 }
 
 }  // namespace

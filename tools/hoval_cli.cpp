@@ -4,13 +4,15 @@
 ///   hoval_cli [--algorithm ate|utea|otr|uv|lastvoting|phaseking]
 ///             [--n N] [--alpha A] [--adversary none|corrupt|omit|block|byz|split]
 ///             [--good-rounds G] [--rounds R] [--runs K] [--seed S]
-///             [--values unanimous|split|distinct|random] [--trace]
+///             [--threads W] [--values unanimous|split|distinct|random]
+///             [--progress] [--trace]
 ///
 /// Examples:
 ///   hoval_cli --algorithm ate --n 12 --alpha 2 --adversary corrupt
 ///             --good-rounds 5 --runs 50     (single line in practice)
 ///   hoval_cli --algorithm utea --n 9 --alpha 4 --adversary byz --trace
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -31,7 +33,9 @@ struct CliOptions {
   Round rounds = 50;
   int runs = 1;
   std::uint64_t seed = 1;
+  int threads = 0;
   std::string values = "random";
+  bool progress = false;
   bool trace = false;
 };
 
@@ -46,7 +50,9 @@ struct CliOptions {
       << "  --rounds R       horizon                          (default 50)\n"
       << "  --runs K         Monte-Carlo campaign size        (default 1)\n"
       << "  --seed S         base seed                        (default 1)\n"
+      << "  --threads W      campaign worker threads, 0=all cores (default 0)\n"
       << "  --values unanimous|split|distinct|random          (default random)\n"
+      << "  --progress       report campaign progress on stderr\n"
       << "  --trace          print the per-round trace summary (single run)\n";
   std::exit(2);
 }
@@ -67,7 +73,9 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--rounds") options.rounds = std::stoi(next());
     else if (arg == "--runs") options.runs = std::stoi(next());
     else if (arg == "--seed") options.seed = std::stoull(next());
+    else if (arg == "--threads") options.threads = std::stoi(next());
     else if (arg == "--values") options.values = next();
+    else if (arg == "--progress") options.progress = true;
     else if (arg == "--trace") options.trace = true;
     else usage(argv[0]);
   }
@@ -213,10 +221,22 @@ int run_many(const CliOptions& options) {
   config.runs = options.runs;
   config.sim.max_rounds = options.rounds;
   config.base_seed = options.seed;
+  config.threads = options.threads;
+  if (options.progress) {
+    config.progress_batch = std::max(1, options.runs / 20);
+    config.progress = [](const CampaignProgress& progress) {
+      std::cerr << "\r" << progress.completed << "/" << progress.total
+                << " runs" << std::flush;
+      if (progress.completed == progress.total) std::cerr << "\n";
+      return true;
+    };
+  }
+  const CampaignEngine engine(config);
   const auto result =
-      run_campaign(make_value_generator(options), make_instance_builder(options),
-                   make_adversary_builder(options), config);
-  std::cout << result.summary() << "\n";
+      engine.run(make_value_generator(options), make_instance_builder(options),
+                 make_adversary_builder(options));
+  std::cout << result.summary() << " [" << engine.threads() << " thread"
+            << (engine.threads() == 1 ? "" : "s") << "]\n";
   for (const auto& violation : result.violations)
     std::cout << "  " << violation << "\n";
   return result.safety_clean() ? 0 : 1;
@@ -225,9 +245,12 @@ int run_many(const CliOptions& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions options = parse(argc, argv);
   try {
+    const CliOptions options = parse(argc, argv);
     return options.runs <= 1 ? run_single(options) : run_many(options);
+  } catch (const std::invalid_argument&) {
+    std::cerr << "error: malformed numeric option\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -74,7 +74,7 @@ void run() {
     CampaignConfig attack_config;
     attack_config.runs = 80;
     attack_config.sim.max_rounds = 20;
-    attack_config.base_seed = config.base_seed + 1;
+    attack_config.base_seed = derived_seed(config.base_seed, 1);
     const auto attacked = bench::run_campaign_timed(
         bench::split_of(n, 1, 9), bench::ate_instance_builder(params),
         [alpha] {
@@ -95,7 +95,7 @@ void run() {
       lock_config.runs = 80;
       lock_config.sim.max_rounds = 10;
       lock_config.sim.stop_when_all_decided = false;
-      lock_config.base_seed = config.base_seed + 2;
+      lock_config.base_seed = derived_seed(config.base_seed, 2);
       const auto locked = bench::run_campaign_timed(
           bench::split_of(n, 0, 1), bench::ate_instance_builder(params),
           [&] {

@@ -38,28 +38,21 @@ void run() {
 
   for (const int gap : {2, 5, 10, 20, 40}) {
     for (const bool minimal : {false, true}) {
-      CampaignConfig config;
-      config.runs = 150;
-      config.sim.max_rounds = 3 * gap + 20;
-      config.base_seed = 0xF16A + static_cast<unsigned>(gap);
+      // The whole experiment as data: worst-case P_alpha corruption with a
+      // P^{A,live} good round every `gap` rounds (the good-rounds layer
+      // derives the minimal Pi1/Pi2 sizes from the resolved thresholds).
+      ScenarioSpec spec;
+      spec.description = "Fig. 1: sporadic good rounds drive termination";
+      spec.algorithm = component("ate", {{"n", n}, {"alpha", alpha}});
+      spec.values = component("random", {{"distinct", 3}});
+      spec.adversaries = {
+          component("corrupt", {{"alpha", alpha}}),
+          component("good-rounds", {{"period", gap}, {"minimal", minimal}})};
+      spec.campaign.runs = 150;
+      spec.campaign.rounds = 3 * gap + 20;
+      spec.campaign.seed = derived_seed(0xF16A, static_cast<std::uint64_t>(gap));
 
-      const auto result = bench::run_campaign_timed(
-          bench::random_values_of(n), bench::ate_instance_builder(params),
-          [&] {
-            RandomCorruptionConfig corruption;
-            corruption.alpha = alpha;
-            GoodRoundConfig good;
-            good.period = gap;
-            good.minimal = minimal;
-            if (minimal) {
-              // |Pi1| > E - alpha and |Pi2| > T, as small as possible.
-              good.pi1_size = static_cast<int>(params.threshold_e - alpha) + 1;
-              good.pi2_size = static_cast<int>(params.threshold_t) + 1;
-            }
-            return std::make_shared<GoodRoundScheduler>(
-                std::make_shared<RandomCorruptionAdversary>(corruption), good);
-          },
-          config);
+      const auto result = bench::run_scenario_timed(spec);
 
       const std::string kind = minimal ? "minimal Pi1/Pi2" : "fully clean";
       if (result.last_decision_rounds.empty()) {

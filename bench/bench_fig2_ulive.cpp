@@ -37,7 +37,8 @@ void scenario(const std::string& title, const UteaParams& params,
       CampaignConfig config;
       config.runs = 150;
       config.sim.max_rounds = 6 * gap + 30;
-      config.base_seed = 0xF26B + static_cast<unsigned>(gap * 100 + pi0);
+      config.base_seed =
+          derived_seed(0xF26B, static_cast<std::uint64_t>(gap * 100 + pi0));
 
       const auto result = bench::run_campaign_timed(
           bench::random_values_of(params.n),

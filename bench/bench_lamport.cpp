@@ -38,7 +38,7 @@ void run() {
       config.runs = 80;
       config.sim.max_rounds = 30;
       config.sim.stop_when_all_decided = false;
-      config.base_seed = 0x1A3 + static_cast<unsigned>(n);
+      config.base_seed = derived_seed(0x1A3, static_cast<std::uint64_t>(n));
       const auto result = bench::run_campaign_timed(
           bench::random_values_of(n), bench::utea_instance_builder(params),
           bench::usafe_builder(params), config);
@@ -60,7 +60,7 @@ void run() {
       config.runs = 80;
       config.sim.max_rounds = 25;
       config.sim.stop_when_all_decided = false;
-      config.base_seed = 0x1A4 + static_cast<unsigned>(n);
+      config.base_seed = derived_seed(0x1A4, static_cast<std::uint64_t>(n));
       const auto safety = bench::run_campaign_timed(
           bench::random_values_of(n), bench::ate_instance_builder(params),
           bench::corruption_builder(m), config);

@@ -46,7 +46,7 @@ void fast_path_table() {
     config.runs = 80;
     config.sim.max_rounds = 25;
     config.sim.stop_when_all_decided = false;
-    config.base_seed = 0x3A + static_cast<unsigned>(n);
+    config.base_seed = derived_seed(0x3A, static_cast<std::uint64_t>(n));
     const auto hostile = bench::run_campaign_timed(
         bench::random_values_of(n), bench::ate_instance_builder(params),
         bench::corruption_builder(alpha), config);

@@ -16,26 +16,37 @@ namespace {
 using bench::banner;
 using bench::ratio;
 
+/// The scenario shared by both validation campaigns: the exact A_{T,E}
+/// choice under worst-case P_alpha corruption on random values.
+ScenarioSpec base_scenario(const AteParams& params) {
+  ScenarioSpec spec;
+  spec.algorithm = component("ate", {{"n", params.n},
+                                     {"alpha", params.alpha},
+                                     {"t", params.threshold_t},
+                                     {"e", params.threshold_e}});
+  spec.values = component("random", {{"distinct", 3}});
+  spec.adversaries = {
+      component("corrupt", {{"alpha", static_cast<int>(params.alpha)}})};
+  return spec;
+}
+
 /// Empirically validates one parameter choice; returns true when safety
 /// held in every run and termination was reached in every good-round run.
 bool validate(const AteParams& params, std::uint64_t seed) {
-  CampaignConfig safety;
-  safety.runs = 60;
-  safety.sim.max_rounds = 25;
-  safety.sim.stop_when_all_decided = false;
-  safety.base_seed = seed;
-  const auto unsafe_result = bench::run_campaign_timed(
-      bench::random_values_of(params.n), bench::ate_instance_builder(params),
-      bench::corruption_builder(static_cast<int>(params.alpha)), safety);
+  ScenarioSpec safety = base_scenario(params);
+  safety.campaign.runs = 60;
+  safety.campaign.rounds = 25;
+  safety.campaign.stop_when_all_decided = false;
+  safety.campaign.seed = seed;
+  const auto unsafe_result = bench::run_scenario_timed(safety);
   if (!unsafe_result.safety_clean()) return false;
 
-  CampaignConfig live;
-  live.runs = 40;
-  live.sim.max_rounds = 40;
-  live.base_seed = seed + 1;
-  const auto live_result = bench::run_campaign_timed(
-      bench::random_values_of(params.n), bench::ate_instance_builder(params),
-      bench::good_round_builder(static_cast<int>(params.alpha), 5), live);
+  ScenarioSpec live = base_scenario(params);
+  live.adversaries.push_back(component("good-rounds", {{"period", 5}}));
+  live.campaign.runs = 40;
+  live.campaign.rounds = 40;
+  live.campaign.seed = derived_seed(seed, 1);
+  const auto live_result = bench::run_scenario_timed(live);
   return live_result.safety_clean() && live_result.terminated == live_result.runs;
 }
 

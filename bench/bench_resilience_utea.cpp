@@ -23,7 +23,7 @@ bool validate(const UteaParams& params, std::uint64_t seed) {
   CampaignConfig live;
   live.runs = 40;
   live.sim.max_rounds = 60;
-  live.base_seed = seed + 1;
+  live.base_seed = derived_seed(seed, 1);
   const auto live_result = bench::run_campaign_timed(
       bench::random_values_of(params.n), bench::utea_instance_builder(params),
       bench::clean_phase_builder(params, 3), live);

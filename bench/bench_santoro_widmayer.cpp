@@ -42,7 +42,7 @@ void part_a_literal_pattern() {
       CampaignConfig config;
       config.runs = 100;
       config.sim.max_rounds = 40;
-      config.base_seed = 0x5A0 + static_cast<unsigned>(n);
+      config.base_seed = derived_seed(0x5A0, static_cast<std::uint64_t>(n));
       const auto result = bench::run_campaign_timed(
           bench::random_values_of(n), bench::ate_instance_builder(params),
           [mode] {

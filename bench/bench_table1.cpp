@@ -10,8 +10,6 @@
 
 #include "bench/common.hpp"
 
-#include "adversary/split_vote.hpp"
-
 namespace hoval {
 namespace {
 
@@ -40,27 +38,26 @@ RowResult run_ate_row(int n, int alpha) {
   row.conditions = std::string("n>E, n>T>=2(n+2a-E): ") +
                    (params.theorem1_conditions() ? "hold" : "FAIL");
 
-  CampaignConfig safety;
-  safety.runs = 200;
-  safety.sim.max_rounds = 40;
-  safety.sim.stop_when_all_decided = false;
-  safety.base_seed = 1001;
-  safety.predicates.push_back(std::make_shared<PAlpha>(alpha));
-  row.safety_campaign =
-      bench::run_campaign_timed(bench::random_values_of(n), bench::ate_instance_builder(params),
-                   bench::corruption_builder(alpha), safety);
+  // Both campaigns as scenario documents; the p-alpha / p-a-live
+  // evaluators default to the resolved algorithm's thresholds.
+  ScenarioSpec safety;
+  safety.algorithm = component("ate", {{"n", n}, {"alpha", alpha}});
+  safety.values = component("random", {{"distinct", 3}});
+  safety.adversaries = {component("corrupt", {{"alpha", alpha}})};
+  safety.predicates = {component("p-alpha")};
+  safety.campaign.runs = 200;
+  safety.campaign.rounds = 40;
+  safety.campaign.stop_when_all_decided = false;
+  safety.campaign.seed = 1001;
+  row.safety_campaign = bench::run_scenario_timed(safety);
   row.safety_pred_holds = row.safety_campaign.predicate_holds[0];
 
-  CampaignConfig live;
-  live.runs = 200;
-  live.sim.max_rounds = 60;
-  live.sim.stop_when_all_decided = false;
-  live.base_seed = 1002;
-  live.predicates.push_back(std::make_shared<PALive>(
-      n, params.threshold_t, params.threshold_e, params.alpha));
-  row.liveness_campaign =
-      bench::run_campaign_timed(bench::random_values_of(n), bench::ate_instance_builder(params),
-                   bench::good_round_builder(alpha, 6), live);
+  ScenarioSpec live = safety;
+  live.adversaries.push_back(component("good-rounds", {{"period", 6}}));
+  live.predicates = {component("p-a-live")};
+  live.campaign.rounds = 60;
+  live.campaign.seed = 1002;
+  row.liveness_campaign = bench::run_scenario_timed(live);
   row.live_pred_holds = row.liveness_campaign.predicate_holds[0];
   return row;
 }
@@ -75,30 +72,26 @@ RowResult run_utea_row(int n, int alpha) {
   row.conditions = std::string("n>E>=n/2+a, n>T>=n/2+a: ") +
                    (params.theorem2_conditions() ? "hold" : "FAIL");
 
-  CampaignConfig safety;
-  safety.runs = 200;
-  safety.sim.max_rounds = 40;
-  safety.sim.stop_when_all_decided = false;
-  safety.base_seed = 2001;
-  safety.predicates.push_back(std::make_shared<PAlpha>(alpha));
-  safety.predicates.push_back(std::make_shared<PUSafe>(
-      n, params.threshold_t, params.threshold_e, alpha));
-  row.safety_campaign =
-      bench::run_campaign_timed(bench::random_values_of(n), bench::utea_instance_builder(params),
-                   bench::usafe_builder(params), safety);
+  ScenarioSpec safety;
+  safety.algorithm = component("utea", {{"n", n}, {"alpha", alpha}});
+  safety.values = component("random", {{"distinct", 3}});
+  safety.adversaries = {component("corrupt", {{"alpha", alpha}}),
+                        component("usafe-clamp")};
+  safety.predicates = {component("p-alpha"), component("p-usafe")};
+  safety.campaign.runs = 200;
+  safety.campaign.rounds = 40;
+  safety.campaign.stop_when_all_decided = false;
+  safety.campaign.seed = 2001;
+  row.safety_campaign = bench::run_scenario_timed(safety);
   row.safety_pred_holds = std::min(row.safety_campaign.predicate_holds[0],
                                    row.safety_campaign.predicate_holds[1]);
 
-  CampaignConfig live;
-  live.runs = 200;
-  live.sim.max_rounds = 80;
-  live.sim.stop_when_all_decided = false;
-  live.base_seed = 2002;
-  live.predicates.push_back(std::make_shared<PULive>(
-      n, params.threshold_t, params.threshold_e, alpha));
-  row.liveness_campaign =
-      bench::run_campaign_timed(bench::random_values_of(n), bench::utea_instance_builder(params),
-                   bench::clean_phase_builder(params, 4), live);
+  ScenarioSpec live = safety;
+  live.adversaries.push_back(component("clean-phases", {{"period", 4}}));
+  live.predicates = {component("p-u-live")};
+  live.campaign.rounds = 80;
+  live.campaign.seed = 2002;
+  row.liveness_campaign = bench::run_scenario_timed(live);
   row.live_pred_holds = row.liveness_campaign.predicate_holds[0];
   return row;
 }
@@ -134,23 +127,17 @@ void negative_section() {
 
   // A with E < n/2 + alpha.
   {
-    const int n = 8;
-    const int alpha = 2;
-    const AteParams bad{n, 6.0, 5.0, static_cast<double>(alpha)};
-    CampaignConfig config;
-    config.runs = 100;
-    config.sim.max_rounds = 10;
-    config.base_seed = 3001;
-    const auto result = bench::run_campaign_timed(
-        bench::split_of(n, 1, 9), bench::ate_instance_builder(bad),
-        [alpha] {
-          SplitVoteConfig split;
-          split.alpha = alpha;
-          split.low_value = 1;
-          split.high_value = 9;
-          return std::make_shared<SplitVoteAdversary>(split);
-        },
-        config);
+    const AteParams bad{8, 6.0, 5.0, 2.0};
+    ScenarioSpec spec;
+    spec.algorithm = component("ate", {{"n", 8}, {"alpha", 2}, {"t", 6.0},
+                                       {"e", 5.0}});
+    spec.values = component("split", {{"lo", 1}, {"hi", 9}});
+    spec.adversaries = {component(
+        "split", {{"alpha", 2}, {"low_value", 1}, {"high_value", 9}})};
+    spec.campaign.runs = 100;
+    spec.campaign.rounds = 10;
+    spec.campaign.seed = 3001;
+    const auto result = bench::run_scenario_timed(spec);
     table.add_row({bad.to_string(), "E < n/2 + alpha", "split-vote",
                    ratio(result.agreement_violations, result.runs),
                    ratio(result.integrity_violations, result.runs)});
@@ -158,22 +145,19 @@ void negative_section() {
 
   // A with E < alpha (integrity attack).
   {
-    const int n = 8;
-    const AteParams bad{n, 6.0, 2.0, 3.0};
-    CampaignConfig config;
-    config.runs = 100;
-    config.sim.max_rounds = 10;
-    config.base_seed = 3002;
+    const AteParams bad{8, 6.0, 2.0, 3.0};
     // The poison must undercut the genuine value (the decision rule picks
     // the smallest qualifying value deterministically).
-    RandomCorruptionConfig poison;
-    poison.alpha = 3;
-    poison.policy.style = CorruptionStyle::kFixedValue;
-    poison.policy.fixed_value = 0;
-    const auto undercut = bench::run_campaign_timed(
-        bench::unanimous_of(n, 1), bench::ate_instance_builder(bad),
-        [poison] { return std::make_shared<RandomCorruptionAdversary>(poison); },
-        config);
+    ScenarioSpec spec;
+    spec.algorithm = component("ate", {{"n", 8}, {"alpha", 3}, {"t", 6.0},
+                                       {"e", 2.0}});
+    spec.values = component("unanimous", {{"value", 1}});
+    spec.adversaries = {component(
+        "corrupt", {{"alpha", 3}, {"style", "fixed"}, {"fixed_value", 0}})};
+    spec.campaign.runs = 100;
+    spec.campaign.rounds = 10;
+    spec.campaign.seed = 3002;
+    const auto undercut = bench::run_scenario_timed(spec);
     table.add_row({bad.to_string(), "E < alpha", "undercut-poison",
                    ratio(undercut.agreement_violations, undercut.runs),
                    ratio(undercut.integrity_violations, undercut.runs)});
@@ -181,23 +165,17 @@ void negative_section() {
 
   // U with T < n/2 + alpha.
   {
-    const int n = 8;
-    const int alpha = 2;
-    const UteaParams bad{n, 4.0, 4.0, alpha, 0};
-    CampaignConfig config;
-    config.runs = 100;
-    config.sim.max_rounds = 10;
-    config.base_seed = 3003;
-    const auto result = bench::run_campaign_timed(
-        bench::split_of(n, 1, 9), bench::utea_instance_builder(bad),
-        [alpha] {
-          SplitVoteConfig split;
-          split.alpha = alpha;
-          split.low_value = 1;
-          split.high_value = 9;
-          return std::make_shared<SplitVoteAdversary>(split);
-        },
-        config);
+    const UteaParams bad{8, 4.0, 4.0, 2, 0};
+    ScenarioSpec spec;
+    spec.algorithm = component("utea", {{"n", 8}, {"alpha", 2}, {"t", 4.0},
+                                        {"e", 4.0}});
+    spec.values = component("split", {{"lo", 1}, {"hi", 9}});
+    spec.adversaries = {component(
+        "split", {{"alpha", 2}, {"low_value", 1}, {"high_value", 9}})};
+    spec.campaign.runs = 100;
+    spec.campaign.rounds = 10;
+    spec.campaign.seed = 3003;
+    const auto result = bench::run_scenario_timed(spec);
     table.add_row({bad.to_string(), "T < n/2 + alpha (and E)", "split-vote",
                    ratio(result.agreement_violations, result.runs),
                    ratio(result.integrity_violations, result.runs)});

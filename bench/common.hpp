@@ -20,6 +20,8 @@
 #include "core/factories.hpp"
 #include "predicates/liveness.hpp"
 #include "predicates/safety.hpp"
+#include "scenario/run.hpp"
+#include "scenario/spec.hpp"
 #include "sim/campaign.hpp"
 #include "sim/engine.hpp"
 #include "sim/initial_values.hpp"
@@ -113,6 +115,17 @@ inline CampaignResult run_campaign_timed(const ValueGenerator& values,
   if (BenchRecorder::active())
     BenchRecorder::active()->note_campaign(result, seconds, engine.threads());
   return result;
+}
+
+/// Campaign entry point for declarative bench drivers: runs a ScenarioSpec
+/// through the registry-resolved path (scenario/run.hpp) on the shared
+/// thread knob, accounting wall time into the active BenchRecorder.  The
+/// result is bit-identical to run_campaign_timed with equivalent
+/// hand-built builders.
+inline CampaignResult run_scenario_timed(const ScenarioSpec& spec) {
+  const ResolvedScenario resolved = resolve_scenario(spec);
+  return run_campaign_timed(resolved.values, resolved.instance,
+                            resolved.adversary, resolved.config);
 }
 
 /// Renders a pass/fail verdict cell.

@@ -16,6 +16,8 @@
 ///               attackers, predicate-enforcing wrappers
 ///   predicates/ P_alpha, P^{A,live}, P^{U,safe}, P^{U,live}, classical
 ///               Byzantine encodings, combinators
+///   scenario/   declarative ScenarioSpec / SweepSpec documents, the
+///               string-keyed component registries and run_scenario()
 ///   sim/        deterministic round simulator, consensus checkers,
 ///               Monte-Carlo campaigns
 ///   runtime/    threaded message-passing substrate with wire-level
@@ -49,6 +51,9 @@
 #include "predicates/predicate.hpp"
 #include "predicates/safety.hpp"
 #include "runtime/runner.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/run.hpp"
+#include "scenario/spec.hpp"
 #include "sim/campaign.hpp"
 #include "sim/engine.hpp"
 #include "sim/initial_values.hpp"

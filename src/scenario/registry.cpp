@@ -1,0 +1,802 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "adversary/bivalence.hpp"
+#include "adversary/block_fault.hpp"
+#include "adversary/byzantine.hpp"
+#include "adversary/corruption.hpp"
+#include "adversary/lock_in.hpp"
+#include "adversary/omission.hpp"
+#include "adversary/split_vote.hpp"
+#include "adversary/wrappers.hpp"
+#include "core/factories.hpp"
+#include "core/last_voting.hpp"
+#include "core/params.hpp"
+#include "predicates/liveness.hpp"
+#include "predicates/safety.hpp"
+#include "sim/initial_values.hpp"
+
+namespace hoval {
+
+namespace {
+
+/// Levenshtein distance, small-string flavour (registry names are short).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string closest_name(const std::string& name,
+                         const std::vector<std::string>& known) {
+  std::string best;
+  std::size_t best_distance = name.size();  // anything worse is no typo
+  for (const std::string& candidate : known) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  // A suggestion further than 3 edits away (or than half the typed name)
+  // is noise, not help.
+  if (best_distance > 3 || 2 * best_distance > std::max<std::size_t>(name.size(), 2))
+    return {};
+  return best;
+}
+
+template <typename Factory>
+void ComponentRegistry<Factory>::add(std::string name, std::string summary,
+                                     Factory make) {
+  if (contains(name))
+    throw ScenarioError("duplicate registration of \"" + name + "\"");
+  entries_.push_back(Entry{std::move(name), std::move(summary), std::move(make)});
+}
+
+template <typename Factory>
+bool ComponentRegistry<Factory>::contains(const std::string& name) const {
+  for (const Entry& entry : entries_)
+    if (entry.name == name) return true;
+  return false;
+}
+
+template <typename Factory>
+const typename ComponentRegistry<Factory>::Entry&
+ComponentRegistry<Factory>::get(const std::string& name,
+                                const std::string& what) const {
+  for (const Entry& entry : entries_)
+    if (entry.name == name) return entry;
+  std::string message = "unknown " + what + " \"" + name + "\"";
+  const std::string suggestion = closest_name(name, names());
+  if (!suggestion.empty()) message += " — did you mean \"" + suggestion + "\"?";
+  message += " (known: " + join_names(names()) + ")";
+  throw ScenarioError(message);
+}
+
+template <typename Factory>
+std::vector<std::string> ComponentRegistry<Factory>::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+template class ComponentRegistry<AlgorithmFactory>;
+template class ComponentRegistry<AdversaryFactory>;
+template class ComponentRegistry<ValueGenFactory>;
+template class ComponentRegistry<PredicateFactory>;
+
+// --- ParamReader -----------------------------------------------------------
+
+ParamReader::ParamReader(const Json& params, std::string what)
+    : what_(std::move(what)) {
+  if (params.is_null()) return;
+  if (!params.is_object())
+    throw ScenarioError(what_ + ": params must be a JSON object");
+  params_ = &params;
+}
+
+const Json* ParamReader::value(const std::string& key) {
+  read_.push_back(key);
+  return params_ ? params_->find(key) : nullptr;
+}
+
+bool ParamReader::has(const std::string& key) const {
+  return params_ && params_->contains(key);
+}
+
+[[noreturn]] void ParamReader::fail_type(const std::string& key,
+                                         const char* want) const {
+  throw ScenarioError(what_ + ": parameter \"" + key + "\" must be " + want);
+}
+
+int ParamReader::get_int(const std::string& key, int fallback) {
+  const Json* v = value(key);
+  if (!v) return fallback;
+  try {
+    return v->as_int();
+  } catch (const JsonError&) {
+    fail_type(key, "an integer");
+  }
+}
+
+std::int64_t ParamReader::get_i64(const std::string& key, std::int64_t fallback) {
+  const Json* v = value(key);
+  if (!v) return fallback;
+  try {
+    return v->as_int64();
+  } catch (const JsonError&) {
+    fail_type(key, "an integer");
+  }
+}
+
+std::uint64_t ParamReader::get_u64(const std::string& key, std::uint64_t fallback) {
+  const Json* v = value(key);
+  if (!v) return fallback;
+  try {
+    return v->as_uint64();
+  } catch (const JsonError&) {
+    fail_type(key, "a non-negative integer");
+  }
+}
+
+double ParamReader::get_double(const std::string& key, double fallback) {
+  const Json* v = value(key);
+  if (!v) return fallback;
+  try {
+    return v->as_double();
+  } catch (const JsonError&) {
+    fail_type(key, "a number");
+  }
+}
+
+bool ParamReader::get_bool(const std::string& key, bool fallback) {
+  const Json* v = value(key);
+  if (!v) return fallback;
+  try {
+    return v->as_bool();
+  } catch (const JsonError&) {
+    fail_type(key, "a bool");
+  }
+}
+
+std::string ParamReader::get_string(const std::string& key, std::string fallback) {
+  const Json* v = value(key);
+  if (!v) return fallback;
+  try {
+    return v->as_string();
+  } catch (const JsonError&) {
+    fail_type(key, "a string");
+  }
+}
+
+int ParamReader::require_int(const std::string& key) {
+  if (!has(key))
+    throw ScenarioError(what_ + ": missing required parameter \"" + key + "\"");
+  return get_int(key, 0);
+}
+
+void ParamReader::done() const {
+  if (!params_) return;
+  for (const auto& member : params_->members()) {
+    if (std::find(read_.begin(), read_.end(), member.first) != read_.end())
+      continue;
+    std::string message =
+        what_ + ": unknown parameter \"" + member.first + "\"";
+    const std::string suggestion = closest_name(member.first, read_);
+    if (!suggestion.empty())
+      message += " — did you mean \"" + suggestion + "\"?";
+    message += " (understood: " + join_names(read_) + ")";
+    throw ScenarioError(message);
+  }
+}
+
+// --- built-in algorithms ---------------------------------------------------
+
+namespace {
+
+void fill_context(ResolveContext& ctx, int n, double t, double e, double alpha) {
+  ctx.n = n;
+  ctx.threshold_t = t;
+  ctx.threshold_e = e;
+  ctx.alpha = alpha;
+}
+
+/// Shared n/alpha/t/e parameter shape of the two threshold algorithms:
+/// defaults to the canonical Sec. 3.3 / 4.3 instantiation for (n, alpha),
+/// with explicit "t"/"e" overriding individual thresholds.
+AteParams ate_params_from(ParamReader& reader) {
+  const int n = reader.require_int("n");
+  const double alpha = reader.get_double("alpha", 0.0);
+  AteParams params = AteParams::canonical(n, alpha);
+  params.threshold_t = reader.get_double("t", params.threshold_t);
+  params.threshold_e = reader.get_double("e", params.threshold_e);
+  return params;
+}
+
+UteaParams utea_params_from(ParamReader& reader) {
+  const int n = reader.require_int("n");
+  const int alpha = reader.get_int("alpha", 0);
+  UteaParams params = UteaParams::canonical(n, alpha);
+  params.threshold_t = reader.get_double("t", params.threshold_t);
+  params.threshold_e = reader.get_double("e", params.threshold_e);
+  params.default_value = reader.get_i64("default_value", params.default_value);
+  return params;
+}
+
+void register_algorithms(AlgorithmRegistry& registry) {
+  registry.add(
+      "ate",
+      "A_{T,E} (Alg. 1); params: n, alpha=0, t/e (default canonical "
+      "E=T=2/3(n+2*alpha))",
+      [](const Json& json, ResolveContext& ctx) {
+        ParamReader reader(json, "algorithm \"ate\"");
+        const AteParams params = ate_params_from(reader);
+        reader.done();
+        fill_context(ctx, params.n, params.threshold_t, params.threshold_e,
+                     params.alpha);
+        return [params](const std::vector<Value>& init) {
+          return make_ate_instance(params, init);
+        };
+      });
+  registry.add(
+      "utea",
+      "U_{T,E,alpha} (Alg. 2); params: n, alpha=0, t/e (default canonical "
+      "E=T=n/2+alpha), default_value=0",
+      [](const Json& json, ResolveContext& ctx) {
+        ParamReader reader(json, "algorithm \"utea\"");
+        const UteaParams params = utea_params_from(reader);
+        reader.done();
+        fill_context(ctx, params.n, params.threshold_t, params.threshold_e,
+                     params.alpha);
+        return [params](const std::vector<Value>& init) {
+          return make_utea_instance(params, init);
+        };
+      });
+  registry.add(
+      "otr",
+      "OneThirdRule = A_{2n/3,2n/3}, alpha=0 (benign baseline of [6]); "
+      "params: n",
+      [](const Json& json, ResolveContext& ctx) {
+        ParamReader reader(json, "algorithm \"otr\"");
+        const int n = reader.require_int("n");
+        reader.done();
+        const AteParams params = AteParams::one_third_rule(n);
+        fill_context(ctx, n, params.threshold_t, params.threshold_e, 0.0);
+        return [n](const std::vector<Value>& init) {
+          return make_one_third_rule_instance(n, init);
+        };
+      });
+  registry.add(
+      "uv",
+      "UniformVoting = U with alpha=0 (benign baseline of [6]); params: n",
+      [](const Json& json, ResolveContext& ctx) {
+        ParamReader reader(json, "algorithm \"uv\"");
+        const int n = reader.require_int("n");
+        reader.done();
+        const UteaParams params = UteaParams::uniform_voting(n);
+        fill_context(ctx, n, params.threshold_t, params.threshold_e, 0.0);
+        return [n](const std::vector<Value>& init) {
+          return make_uniform_voting_instance(n, init);
+        };
+      });
+  registry.add(
+      "lastvoting",
+      "LastVoting — coordinator-based benign-case algorithm of [6]; params: n",
+      [](const Json& json, ResolveContext& ctx) {
+        ParamReader reader(json, "algorithm \"lastvoting\"");
+        const int n = reader.require_int("n");
+        reader.done();
+        fill_context(ctx, n, 0.0, 0.0, 0.0);
+        return [n](const std::vector<Value>& init) {
+          return make_last_voting_instance(n, init);
+        };
+      });
+  registry.add(
+      "phaseking",
+      "Phase King baseline (classical Byzantine rounds); params: n, alpha=0",
+      [](const Json& json, ResolveContext& ctx) {
+        ParamReader reader(json, "algorithm \"phaseking\"");
+        const PhaseKingParams params{reader.require_int("n"),
+                                     reader.get_int("alpha", 0)};
+        reader.done();
+        fill_context(ctx, params.n, 0.0, 0.0, params.t);
+        return [params](const std::vector<Value>& init) {
+          return make_phase_king_instance(params, init);
+        };
+      });
+}
+
+// --- built-in value generators ---------------------------------------------
+
+void register_value_gens(ValueGenRegistry& registry) {
+  registry.add("random",
+               "uniform values from {0, ..., distinct-1}; params: distinct=3",
+               [](const Json& json, const ResolveContext& ctx) {
+                 ParamReader reader(json, "values \"random\"");
+                 const int distinct = reader.get_int("distinct", 3);
+                 reader.done();
+                 const int n = ctx.n;
+                 return [n, distinct](Rng& rng) {
+                   return random_values(n, distinct, rng);
+                 };
+               });
+  registry.add("unanimous",
+               "every process proposes the same value; params: value=1",
+               [](const Json& json, const ResolveContext& ctx) {
+                 ParamReader reader(json, "values \"unanimous\"");
+                 const Value v = reader.get_i64("value", 1);
+                 reader.done();
+                 const int n = ctx.n;
+                 return [n, v](Rng&) { return unanimous_values(n, v); };
+               });
+  registry.add("split",
+               "first half proposes lo, second half hi; params: lo=0, hi=1",
+               [](const Json& json, const ResolveContext& ctx) {
+                 ParamReader reader(json, "values \"split\"");
+                 const Value lo = reader.get_i64("lo", 0);
+                 const Value hi = reader.get_i64("hi", 1);
+                 reader.done();
+                 const int n = ctx.n;
+                 return [n, lo, hi](Rng&) { return split_values(n, lo, hi); };
+               });
+  registry.add("distinct",
+               "every process proposes its own id (maximally divergent)",
+               [](const Json& json, const ResolveContext& ctx) {
+                 ParamReader reader(json, "values \"distinct\"");
+                 reader.done();
+                 const int n = ctx.n;
+                 return [n](Rng&) { return distinct_values(n); };
+               });
+}
+
+// --- built-in adversaries --------------------------------------------------
+
+CorruptionStyle style_from(ParamReader& reader) {
+  const std::string style = reader.get_string("style", "random");
+  if (style == "random") return CorruptionStyle::kRandomValue;
+  if (style == "garbage") return CorruptionStyle::kGarbage;
+  if (style == "offset") return CorruptionStyle::kOffsetValue;
+  if (style == "fixed") return CorruptionStyle::kFixedValue;
+  throw ScenarioError("unknown corruption style \"" + style +
+                      "\" (known: random, garbage, offset, fixed)");
+}
+
+CorruptionPolicy policy_from(ParamReader& reader) {
+  CorruptionPolicy policy;
+  policy.style = style_from(reader);
+  policy.fixed_value = reader.get_i64("fixed_value", policy.fixed_value);
+  policy.offset = reader.get_i64("offset", policy.offset);
+  policy.pool_lo = reader.get_i64("pool_lo", policy.pool_lo);
+  policy.pool_hi = reader.get_i64("pool_hi", policy.pool_hi);
+  return policy;
+}
+
+/// A base fault injector placed after earlier layers runs *in sequence*
+/// with them (ComposedAdversary); as the first layer it stands alone.
+AdversaryBuilder sequenced(AdversaryBuilder inner, AdversaryBuilder self) {
+  if (!inner) return self;
+  return [inner = std::move(inner), self = std::move(self)] {
+    return std::make_shared<ComposedAdversary>(
+        std::vector<std::shared_ptr<Adversary>>{inner(), self()});
+  };
+}
+
+/// Wrapper layers (schedulers, clamps) must have something to wrap.
+AdversaryBuilder require_inner(const AdversaryBuilder& inner, const char* name) {
+  if (!inner)
+    throw ScenarioError(std::string("adversary layer \"") + name +
+                        "\" wraps an earlier layer — put a base adversary "
+                        "(e.g. \"corrupt\") before it in the stack");
+  return inner;
+}
+
+void register_adversaries(AdversaryRegistry& registry) {
+  registry.add("identity", "faithful communication (no faults)",
+               [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+                 ParamReader reader(json, "adversary \"identity\"");
+                 reader.done();
+                 return sequenced(std::move(inner), [] {
+                   return std::make_shared<IdentityAdversary>();
+                 });
+               });
+  registry.add(
+      "corrupt",
+      "P_alpha-compliant random corruption; params: alpha=0, "
+      "attack_probability=1, always_max=true, style=random|garbage|offset|"
+      "fixed, fixed_value, offset, pool_lo, pool_hi",
+      [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"corrupt\"");
+        RandomCorruptionConfig config;
+        config.alpha = reader.get_int("alpha", config.alpha);
+        config.attack_probability =
+            reader.get_double("attack_probability", config.attack_probability);
+        config.always_max = reader.get_bool("always_max", config.always_max);
+        config.policy = policy_from(reader);
+        reader.done();
+        return sequenced(std::move(inner), [config] {
+          return std::make_shared<RandomCorruptionAdversary>(config);
+        });
+      });
+  registry.add(
+      "omit",
+      "independent message loss; params: drop_probability=0.2, "
+      "max_per_receiver=-1 (unlimited)",
+      [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"omit\"");
+        const double drop = reader.get_double("drop_probability", 0.2);
+        const int cap = reader.get_int("max_per_receiver", -1);
+        reader.done();
+        return sequenced(std::move(inner), [drop, cap] {
+          return std::make_shared<RandomOmissionAdversary>(drop, cap);
+        });
+      });
+  registry.add(
+      "crash",
+      "victims fall permanently silent; params: victims=1, crash_round=1",
+      [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"crash\"");
+        const int victims = reader.get_int("victims", 1);
+        const Round crash_round = reader.get_int("crash_round", 1);
+        reader.done();
+        return sequenced(std::move(inner), [victims, crash_round] {
+          return std::make_shared<CrashAdversary>(victims, crash_round);
+        });
+      });
+  registry.add(
+      "block",
+      "Santoro-Widmayer block faults on one victim sender per round; "
+      "params: budget=-1 (= floor(n/2)), mode=corrupt|omit, rotate=true, "
+      "+ corruption style params",
+      [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"block\"");
+        BlockFaultConfig config;
+        config.budget = reader.get_int("budget", config.budget);
+        const std::string mode = reader.get_string("mode", "corrupt");
+        if (mode == "corrupt") config.mode = BlockFaultMode::kCorrupt;
+        else if (mode == "omit") config.mode = BlockFaultMode::kOmit;
+        else
+          throw ScenarioError(
+              "adversary \"block\": unknown mode \"" + mode +
+              "\" (known: corrupt, omit)");
+        config.rotate = reader.get_bool("rotate", config.rotate);
+        config.policy = policy_from(reader);
+        reader.done();
+        return sequenced(std::move(inner), [config] {
+          return std::make_shared<BlockFaultAdversary>(config);
+        });
+      });
+  registry.add(
+      "byz",
+      "static Byzantine senders (Sec. 5.2); params: f=1, mode=equivocate|"
+      "poison|identical|garbage|crash, + corruption style params",
+      [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"byz\"");
+        StaticByzantineConfig config;
+        config.f = reader.get_int("f", 1);
+        const std::string mode = reader.get_string("mode", "equivocate");
+        if (mode == "equivocate") config.mode = ByzantineMode::kEquivocate;
+        else if (mode == "poison") config.mode = ByzantineMode::kFixedPoison;
+        else if (mode == "identical") config.mode = ByzantineMode::kIdentical;
+        else if (mode == "garbage") config.mode = ByzantineMode::kGarbage;
+        else if (mode == "crash") config.mode = ByzantineMode::kCrash;
+        else
+          throw ScenarioError(
+              "adversary \"byz\": unknown mode \"" + mode +
+              "\" (known: equivocate, poison, identical, garbage, crash)");
+        config.policy = policy_from(reader);
+        reader.done();
+        return sequenced(std::move(inner), [config] {
+          return std::make_shared<StaticByzantineAdversary>(config);
+        });
+      });
+  registry.add(
+      "split",
+      "split-vote agreement attacker (negative experiments); params: "
+      "alpha=0, low_value=0, high_value=1",
+      [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"split\"");
+        SplitVoteConfig config;
+        config.alpha = reader.get_int("alpha", config.alpha);
+        config.low_value = reader.get_i64("low_value", config.low_value);
+        config.high_value = reader.get_i64("high_value", config.high_value);
+        reader.done();
+        return sequenced(std::move(inner), [config] {
+          return std::make_shared<SplitVoteAdversary>(config);
+        });
+      });
+  registry.add(
+      "bivalence",
+      "termination-stalling estimate splitter (SW-style); params: alpha=2, "
+      "e (default: resolved algorithm's E)",
+      [](const Json& json, const ResolveContext& ctx, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"bivalence\"");
+        BivalenceConfig config;
+        config.alpha = reader.get_int("alpha", config.alpha);
+        config.threshold_e = reader.get_double("e", ctx.threshold_e);
+        reader.done();
+        return sequenced(std::move(inner), [config] {
+          return std::make_shared<BivalenceAdversary>(config);
+        });
+      });
+  registry.add(
+      "lockin",
+      "cross-round lock-in agreement attacker; params: alpha=2, low_value=0, "
+      "high_value=1, victim=0, e (default: resolved algorithm's E)",
+      [](const Json& json, const ResolveContext& ctx, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"lockin\"");
+        LockInConfig config;
+        config.alpha = reader.get_int("alpha", config.alpha);
+        config.low_value = reader.get_i64("low_value", config.low_value);
+        config.high_value = reader.get_i64("high_value", config.high_value);
+        config.victim = reader.get_int("victim", config.victim);
+        config.threshold_e = reader.get_double("e", ctx.threshold_e);
+        reader.done();
+        return sequenced(std::move(inner), [config] {
+          return std::make_shared<LockInAdversary>(config);
+        });
+      });
+  registry.add(
+      "good-rounds",
+      "wrapper: inject P^{A,live} good rounds every `period`; params: "
+      "period=5, offset=0, minimal=false, pi1_size/pi2_size (default: "
+      "smallest sizes satisfying Fig. 1 for the resolved algorithm)",
+      [](const Json& json, const ResolveContext& ctx, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"good-rounds\"");
+        GoodRoundConfig config;
+        config.period = reader.get_int("period", config.period);
+        config.offset = reader.get_int("offset", config.offset);
+        config.minimal = reader.get_bool("minimal", config.minimal);
+        // |Pi1| > E - alpha and |Pi2| > T, as small as possible.
+        config.pi1_size = reader.get_int(
+            "pi1_size", static_cast<int>(ctx.threshold_e - ctx.alpha) + 1);
+        config.pi2_size =
+            reader.get_int("pi2_size", static_cast<int>(ctx.threshold_t) + 1);
+        reader.done();
+        AdversaryBuilder wrapped = require_inner(inner, "good-rounds");
+        return AdversaryBuilder([wrapped, config] {
+          return std::make_shared<GoodRoundScheduler>(wrapped(), config);
+        });
+      });
+  registry.add(
+      "clean-phases",
+      "wrapper: inject P^{U,live} clean phases every `period` phases; "
+      "params: period=5, offset=0, pi0_size=0 (= all of Pi)",
+      [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"clean-phases\"");
+        CleanPhaseConfig config;
+        config.period_phases = reader.get_int("period", config.period_phases);
+        config.offset = reader.get_int("offset", config.offset);
+        config.pi0_size = reader.get_int("pi0_size", config.pi0_size);
+        reader.done();
+        AdversaryBuilder wrapped = require_inner(inner, "clean-phases");
+        return AdversaryBuilder([wrapped, config] {
+          return std::make_shared<CleanPhaseScheduler>(wrapped(), config);
+        });
+      });
+  registry.add(
+      "safety-clamp",
+      "wrapper: repair deliveries until |SHO| > min_sho and |AHO| <= "
+      "max_aho; params: min_sho=-1 (off), max_aho=-1 (off)",
+      [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"safety-clamp\"");
+        const double min_sho = reader.get_double("min_sho", -1.0);
+        const int max_aho = reader.get_int("max_aho", -1);
+        reader.done();
+        AdversaryBuilder wrapped = require_inner(inner, "safety-clamp");
+        return AdversaryBuilder([wrapped, min_sho, max_aho] {
+          return std::make_shared<SafetyClampAdversary>(wrapped(), min_sho,
+                                                        max_aho);
+        });
+      });
+  registry.add(
+      "usafe-clamp",
+      "wrapper: clamp to P^{U,safe} of the resolved U_{T,E,alpha} (Eq. 7); "
+      "params: alpha (default: resolved algorithm's alpha)",
+      [](const Json& json, const ResolveContext& ctx, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"usafe-clamp\"");
+        const int alpha =
+            reader.get_int("alpha", static_cast<int>(ctx.alpha));
+        reader.done();
+        const PUSafe bound(ctx.n, ctx.threshold_t, ctx.threshold_e, alpha);
+        const double min_sho = bound.bound();
+        AdversaryBuilder wrapped = require_inner(inner, "usafe-clamp");
+        return AdversaryBuilder([wrapped, min_sho, alpha] {
+          return std::make_shared<SafetyClampAdversary>(wrapped(), min_sho,
+                                                        alpha);
+        });
+      });
+  registry.add(
+      "transient-window",
+      "wrapper: inner adversary active only for rounds in [from, to]; "
+      "params: from=1, to=1",
+      [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"transient-window\"");
+        const Round from = reader.get_int("from", 1);
+        const Round to = reader.get_int("to", 1);
+        reader.done();
+        AdversaryBuilder wrapped = require_inner(inner, "transient-window");
+        return AdversaryBuilder([wrapped, from, to] {
+          return std::make_shared<TransientWindowAdversary>(wrapped(), from, to);
+        });
+      });
+  registry.add(
+      "periodic-burst",
+      "wrapper: inner adversary active in the first `burst` rounds of every "
+      "`period`-round cycle; params: period=10, burst=1",
+      [](const Json& json, const ResolveContext&, AdversaryBuilder inner) {
+        ParamReader reader(json, "adversary \"periodic-burst\"");
+        const int period = reader.get_int("period", 10);
+        const int burst = reader.get_int("burst", 1);
+        reader.done();
+        AdversaryBuilder wrapped = require_inner(inner, "periodic-burst");
+        return AdversaryBuilder([wrapped, period, burst] {
+          return std::make_shared<PeriodicBurstAdversary>(wrapped(), period,
+                                                          burst);
+        });
+      });
+}
+
+// --- built-in predicates ---------------------------------------------------
+
+void register_predicates(PredicateRegistry& registry) {
+  registry.add("p-alpha",
+               "P_alpha (Eq. 2): forall p, r: |AHO(p,r)| <= alpha; params: "
+               "alpha (default: resolved algorithm's alpha)",
+               [](const Json& json, const ResolveContext& ctx) {
+                 ParamReader reader(json, "predicate \"p-alpha\"");
+                 const double alpha = reader.get_double("alpha", ctx.alpha);
+                 reader.done();
+                 return std::static_pointer_cast<Predicate>(
+                     std::make_shared<PAlpha>(alpha));
+               });
+  registry.add("p-perm-alpha",
+               "P_alpha^perm (Eq. 1): |AS| <= alpha; params: alpha (default: "
+               "resolved algorithm's alpha)",
+               [](const Json& json, const ResolveContext& ctx) {
+                 ParamReader reader(json, "predicate \"p-perm-alpha\"");
+                 const double alpha = reader.get_double("alpha", ctx.alpha);
+                 reader.done();
+                 return std::static_pointer_cast<Predicate>(
+                     std::make_shared<PPermAlpha>(alpha));
+               });
+  registry.add("p-benign",
+               "P_benign: SHO = HO everywhere (the model of [6]); no params",
+               [](const Json& json, const ResolveContext&) {
+                 ParamReader reader(json, "predicate \"p-benign\"");
+                 reader.done();
+                 return std::static_pointer_cast<Predicate>(
+                     std::make_shared<PBenign>());
+               });
+  registry.add("p-usafe",
+               "P^{U,safe} (Eq. 7); params: n/t/e/alpha (default: resolved "
+               "algorithm's)",
+               [](const Json& json, const ResolveContext& ctx) {
+                 ParamReader reader(json, "predicate \"p-usafe\"");
+                 const int n = reader.get_int("n", ctx.n);
+                 const double t = reader.get_double("t", ctx.threshold_t);
+                 const double e = reader.get_double("e", ctx.threshold_e);
+                 const int alpha =
+                     reader.get_int("alpha", static_cast<int>(ctx.alpha));
+                 reader.done();
+                 return std::static_pointer_cast<Predicate>(
+                     std::make_shared<PUSafe>(n, t, e, alpha));
+               });
+  registry.add("p-a-live",
+               "P^{A,live} (Fig. 1); params: n/t/e/alpha (default: resolved "
+               "algorithm's)",
+               [](const Json& json, const ResolveContext& ctx) {
+                 ParamReader reader(json, "predicate \"p-a-live\"");
+                 const int n = reader.get_int("n", ctx.n);
+                 const double t = reader.get_double("t", ctx.threshold_t);
+                 const double e = reader.get_double("e", ctx.threshold_e);
+                 const double alpha = reader.get_double("alpha", ctx.alpha);
+                 reader.done();
+                 return std::static_pointer_cast<Predicate>(
+                     std::make_shared<PALive>(n, t, e, alpha));
+               });
+  registry.add("p-u-live",
+               "P^{U,live} (Fig. 2); params: n/t/e/alpha (default: resolved "
+               "algorithm's)",
+               [](const Json& json, const ResolveContext& ctx) {
+                 ParamReader reader(json, "predicate \"p-u-live\"");
+                 const int n = reader.get_int("n", ctx.n);
+                 const double t = reader.get_double("t", ctx.threshold_t);
+                 const double e = reader.get_double("e", ctx.threshold_e);
+                 const int alpha =
+                     reader.get_int("alpha", static_cast<int>(ctx.alpha));
+                 reader.done();
+                 return std::static_pointer_cast<Predicate>(
+                     std::make_shared<PULive>(n, t, e, alpha));
+               });
+  registry.add("sync-byz",
+               "synchronous Byzantine encoding (Sec. 5.2): |SK| >= n - f; "
+               "params: f",
+               [](const Json& json, const ResolveContext&) {
+                 ParamReader reader(json, "predicate \"sync-byz\"");
+                 const int f = reader.require_int("f");
+                 reader.done();
+                 return std::static_pointer_cast<Predicate>(
+                     std::make_shared<SyncByzantinePredicate>(f));
+               });
+  registry.add("async-byz",
+               "asynchronous Byzantine encoding (Sec. 5.2): |HO| >= n - f "
+               "and |AS| <= f; params: f",
+               [](const Json& json, const ResolveContext&) {
+                 ParamReader reader(json, "predicate \"async-byz\"");
+                 const int f = reader.require_int("f");
+                 reader.done();
+                 return std::static_pointer_cast<Predicate>(
+                     std::make_shared<AsyncByzantinePredicate>(f));
+               });
+}
+
+}  // namespace
+
+template <>
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry;
+    register_algorithms(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+template <>
+AdversaryRegistry& AdversaryRegistry::instance() {
+  static AdversaryRegistry* registry = [] {
+    auto* r = new AdversaryRegistry;
+    register_adversaries(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+template <>
+ValueGenRegistry& ValueGenRegistry::instance() {
+  static ValueGenRegistry* registry = [] {
+    auto* r = new ValueGenRegistry;
+    register_value_gens(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+template <>
+PredicateRegistry& PredicateRegistry::instance() {
+  static PredicateRegistry* registry = [] {
+    auto* r = new PredicateRegistry;
+    register_predicates(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace hoval

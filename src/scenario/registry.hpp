@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file registry.hpp
+/// String-keyed registries mapping component names to factories, the glue
+/// between declarative ScenarioSpec documents (spec.hpp) and the concrete
+/// implementations in core/, adversary/, sim/ and predicates/.  Four
+/// registries exist, one per component kind:
+///
+///   AlgorithmRegistry  — "ate", "utea", "otr", ...      -> InstanceBuilder
+///   AdversaryRegistry  — "corrupt", "good-rounds", ...  -> AdversaryBuilder
+///   ValueGenRegistry   — "random", "split", ...         -> ValueGenerator
+///   PredicateRegistry  — "p-alpha", "p-a-live", ...     -> Predicate
+///
+/// Every built-in implementation self-registers on first use of
+/// instance(); names() exposes the catalogue for discovery (`hoval_cli
+/// --list`), and get() fails unknown names with a "did you mean"
+/// suggestion instead of silently defaulting.  Extensions (new algorithms,
+/// bespoke adversaries) register through add() and become addressable from
+/// scenario JSON with no other plumbing.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predicates/predicate.hpp"
+#include "scenario/spec.hpp"
+#include "sim/campaign.hpp"
+
+namespace hoval {
+
+/// Context threaded through component factories while a spec resolves:
+/// the instance size and the resolved algorithm thresholds.  Filled by the
+/// algorithm factory first, so adversaries, value generators and
+/// predicates can default their parameters to "whatever the algorithm
+/// under test uses" (e.g. `p-a-live` with no params evaluates
+/// P^{A,live}(n, T, E, alpha) of the resolved A_{T,E}).
+struct ResolveContext {
+  int n = 0;
+  double threshold_t = 0.0;
+  double threshold_e = 0.0;
+  double alpha = 0.0;
+};
+
+/// Builds the per-run instance builder and fills the context.
+using AlgorithmFactory =
+    std::function<InstanceBuilder(const Json& params, ResolveContext& ctx)>;
+
+/// Builds one layer of the adversary stack.  `inner` is the stack built so
+/// far (null for the first layer): wrapper layers (schedulers, clamps)
+/// wrap it, base fault injectors compose with it in sequence.
+using AdversaryFactory = std::function<AdversaryBuilder(
+    const Json& params, const ResolveContext& ctx, AdversaryBuilder inner)>;
+
+/// Builds the initial-value generator.
+using ValueGenFactory =
+    std::function<ValueGenerator(const Json& params, const ResolveContext& ctx)>;
+
+/// Builds one trace predicate.
+using PredicateFactory = std::function<std::shared_ptr<Predicate>(
+    const Json& params, const ResolveContext& ctx)>;
+
+/// One registry of named component factories.  Entries keep registration
+/// order (names() reports them as registered); lookups are linear —
+/// registries are small and resolved once per campaign, not per run.
+template <typename Factory>
+class ComponentRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string summary;  ///< one-line catalogue description for --list
+    Factory make;
+  };
+
+  /// The process-wide registry of this component kind; the built-in
+  /// implementations are registered on first use.
+  static ComponentRegistry& instance();
+
+  /// Registers a factory.  \throws ScenarioError on a duplicate name.
+  void add(std::string name, std::string summary, Factory make);
+
+  bool contains(const std::string& name) const;
+
+  /// Looks up a factory.  \throws ScenarioError naming the `what` role,
+  /// with a "did you mean" suggestion when a registered name is close.
+  const Entry& get(const std::string& name, const std::string& what) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+using AlgorithmRegistry = ComponentRegistry<AlgorithmFactory>;
+using AdversaryRegistry = ComponentRegistry<AdversaryFactory>;
+using ValueGenRegistry = ComponentRegistry<ValueGenFactory>;
+using PredicateRegistry = ComponentRegistry<PredicateFactory>;
+
+/// The closest of `known` to `name` by edit distance, or empty when
+/// nothing is plausibly a typo.  Exposed for the CLI's error paths.
+std::string closest_name(const std::string& name,
+                         const std::vector<std::string>& known);
+
+/// Typed, typo-rejecting reader for a component's JSON params object.
+/// Factories read every parameter they understand (getters record the
+/// key) and call done(), which rejects any leftover key — so a misspelled
+/// parameter fails loudly instead of silently keeping its default.
+class ParamReader {
+ public:
+  /// `what` names the component in error messages ("adversary \"corrupt\"").
+  ParamReader(const Json& params, std::string what);
+
+  bool has(const std::string& key) const;
+
+  int get_int(const std::string& key, int fallback);
+  std::int64_t get_i64(const std::string& key, std::int64_t fallback);
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback);
+  double get_double(const std::string& key, double fallback);
+  bool get_bool(const std::string& key, bool fallback);
+  std::string get_string(const std::string& key, std::string fallback);
+
+  int require_int(const std::string& key);
+
+  /// \throws ScenarioError when a parameter key was never read by any
+  /// getter (i.e. the component does not understand it).
+  void done() const;
+
+ private:
+  const Json* value(const std::string& key);
+  [[noreturn]] void fail_type(const std::string& key, const char* want) const;
+
+  const Json* params_ = nullptr;  ///< null when the component got no params
+  std::string what_;
+  mutable std::vector<std::string> read_;
+};
+
+}  // namespace hoval

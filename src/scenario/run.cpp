@@ -1,0 +1,89 @@
+#include "scenario/run.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "adversary/adversary.hpp"
+
+namespace hoval {
+
+namespace {
+
+/// Mirrors the CampaignEngine preconditions so an infeasible spec (or
+/// sweep substitution) fails at resolve time, before any campaign starts.
+void validate_knobs(const CampaignKnobs& knobs) {
+  if (knobs.runs <= 0)
+    throw ScenarioError("campaign.runs must be >= 1");
+  if (knobs.rounds <= 0)
+    throw ScenarioError("campaign.rounds must be >= 1");
+  if (knobs.threads < 0)
+    throw ScenarioError("campaign.threads must be >= 0 (0 = all cores)");
+  if (knobs.max_recorded_violations < 0)
+    throw ScenarioError("campaign.max_recorded_violations must be >= 0");
+}
+
+}  // namespace
+
+ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
+  validate_knobs(spec.campaign);
+  ResolvedScenario resolved;
+
+  // The algorithm resolves first: it fills the context the remaining
+  // component factories default their parameters from.
+  const auto& algorithm =
+      AlgorithmRegistry::instance().get(spec.algorithm.name, "algorithm");
+  resolved.instance = algorithm.make(spec.algorithm.params, resolved.context);
+
+  resolved.values = ValueGenRegistry::instance()
+                        .get(spec.values.name, "value generator")
+                        .make(spec.values.params, resolved.context);
+
+  AdversaryBuilder stack;  // built inner-first; null until the first layer
+  for (const ComponentSpec& layer : spec.adversaries)
+    stack = AdversaryRegistry::instance()
+                .get(layer.name, "adversary")
+                .make(layer.params, resolved.context, std::move(stack));
+  if (!stack)
+    stack = [] { return std::make_shared<IdentityAdversary>(); };
+  resolved.adversary = std::move(stack);
+
+  for (const ComponentSpec& predicate : spec.predicates)
+    resolved.config.predicates.push_back(
+        PredicateRegistry::instance()
+            .get(predicate.name, "predicate")
+            .make(predicate.params, resolved.context));
+
+  resolved.config.runs = spec.campaign.runs;
+  resolved.config.sim.max_rounds = spec.campaign.rounds;
+  resolved.config.sim.stop_when_all_decided = spec.campaign.stop_when_all_decided;
+  resolved.config.base_seed = spec.campaign.seed;
+  resolved.config.threads = spec.campaign.threads;
+  resolved.config.max_recorded_violations = spec.campaign.max_recorded_violations;
+  return resolved;
+}
+
+CampaignResult run_scenario(const ScenarioSpec& spec) {
+  const ResolvedScenario resolved = resolve_scenario(spec);
+  return run_campaign(resolved.values, resolved.instance, resolved.adversary,
+                      resolved.config);
+}
+
+std::vector<CampaignResult> run_sweep(const SweepSpec& sweep,
+                                      const ProgressCallback& progress) {
+  const std::vector<ScenarioSpec> points = sweep.expand();
+  std::vector<ResolvedScenario> resolved;
+  resolved.reserve(points.size());
+  for (const ScenarioSpec& point : points)
+    resolved.push_back(resolve_scenario(point));
+
+  std::vector<CampaignResult> results;
+  results.reserve(resolved.size());
+  for (ResolvedScenario& point : resolved) {
+    point.config.progress = progress;
+    results.push_back(run_campaign(point.values, point.instance,
+                                   point.adversary, point.config));
+  }
+  return results;
+}
+
+}  // namespace hoval

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file run.hpp
+/// The one build path from a declarative ScenarioSpec to an executed
+/// campaign.  resolve_scenario() turns a spec into exactly the builders
+/// and CampaignConfig a hand-written harness would have constructed, and
+/// run_scenario() executes them on the same CampaignEngine path as
+/// run_campaign() — the result is bit-identical to the equivalent
+/// hand-rolled builders at any thread count.
+
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+#include "sim/campaign.hpp"
+
+namespace hoval {
+
+/// A scenario resolved against the registries: ready-to-run builders plus
+/// the CampaignConfig equivalent of the spec's campaign knobs.  Callers
+/// that need more than run_scenario() offers (progress hooks, single-run
+/// tracing, custom timing) resolve first and drive the engine themselves.
+struct ResolvedScenario {
+  ValueGenerator values;
+  InstanceBuilder instance;
+  AdversaryBuilder adversary;
+  CampaignConfig config;  ///< predicates populated from the spec
+  /// n and the algorithm thresholds the components resolved against.
+  ResolveContext context;
+};
+
+/// Resolves every component of the spec against the registries, fully
+/// validating parameters.  \throws ScenarioError on unknown names (with a
+/// "did you mean" suggestion) or invalid params.
+ResolvedScenario resolve_scenario(const ScenarioSpec& spec);
+
+/// resolve_scenario() + run_campaign().
+CampaignResult run_scenario(const ScenarioSpec& spec);
+
+/// Expands the sweep and resolves *every* grid point before running any
+/// of them, so an infeasible substitution fails before the first campaign
+/// starts.  Returns one CampaignResult per point, in expand() order.
+/// `progress`, when set, is attached to every point's campaign (batched
+/// per CampaignConfig::progress_batch; returning false cancels that
+/// point's remaining runs).
+std::vector<CampaignResult> run_sweep(const SweepSpec& sweep,
+                                      const ProgressCallback& progress = {});
+
+}  // namespace hoval

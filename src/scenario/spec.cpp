@@ -1,0 +1,367 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <initializer_list>
+#include <utility>
+
+#include "scenario/registry.hpp"
+#include "util/rng.hpp"
+
+namespace hoval {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw ScenarioError(what); }
+
+/// Unknown keys are rejected rather than ignored: a typo'd knob that
+/// silently keeps its default is the worst failure mode a spec file can
+/// have.
+void check_known_keys(const Json& object,
+                      std::initializer_list<const char*> known,
+                      const std::string& what) {
+  for (const auto& member : object.members()) {
+    if (std::any_of(known.begin(), known.end(),
+                    [&](const char* key) { return member.first == key; }))
+      continue;
+    std::string message =
+        "unknown key \"" + member.first + "\" in " + what + " (known:";
+    for (const char* key : known) message += std::string(" ") + key;
+    message += ")";
+    fail(message);
+  }
+}
+
+Json knobs_to_json(const CampaignKnobs& knobs) {
+  Json j = Json::object();
+  j.set("runs", knobs.runs);
+  j.set("rounds", knobs.rounds);
+  j.set("stop_when_all_decided", knobs.stop_when_all_decided);
+  j.set("seed", knobs.seed);
+  j.set("threads", knobs.threads);
+  j.set("max_recorded_violations", knobs.max_recorded_violations);
+  return j;
+}
+
+CampaignKnobs knobs_from_json(const Json& json) {
+  if (!json.is_object()) fail("\"campaign\" must be a JSON object");
+  check_known_keys(json,
+                   {"runs", "rounds", "stop_when_all_decided", "seed",
+                    "threads", "max_recorded_violations"},
+                   "\"campaign\"");
+  CampaignKnobs knobs;
+  if (const Json* v = json.find("runs")) knobs.runs = v->as_int();
+  if (const Json* v = json.find("rounds")) knobs.rounds = v->as_int();
+  if (const Json* v = json.find("stop_when_all_decided"))
+    knobs.stop_when_all_decided = v->as_bool();
+  if (const Json* v = json.find("seed")) knobs.seed = v->as_uint64();
+  if (const Json* v = json.find("threads")) knobs.threads = v->as_int();
+  if (const Json* v = json.find("max_recorded_violations"))
+    knobs.max_recorded_violations = v->as_int();
+  return knobs;
+}
+
+std::vector<ComponentSpec> components_from_json(const Json& json,
+                                                const std::string& what) {
+  std::vector<ComponentSpec> specs;
+  if (json.is_array()) {
+    for (const Json& item : json.items())
+      specs.push_back(ComponentSpec::from_json(item, what));
+  } else {
+    // Shorthand: a single component stands for a one-element list.
+    specs.push_back(ComponentSpec::from_json(json, what));
+  }
+  return specs;
+}
+
+}  // namespace
+
+// --- ComponentSpec ---------------------------------------------------------
+
+Json ComponentSpec::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+  if (params.size() > 0) j.set("params", params);
+  return j;
+}
+
+ComponentSpec ComponentSpec::from_json(const Json& json, const std::string& what) {
+  ComponentSpec spec;
+  if (json.is_string()) {
+    spec.name = json.as_string();
+    return spec;
+  }
+  if (!json.is_object())
+    fail(what + " must be a name string or an object {\"name\", \"params\"}");
+  check_known_keys(json, {"name", "params"}, what);
+  const Json* name = json.find("name");
+  if (!name || !name->is_string())
+    fail(what + " requires a string \"name\"");
+  spec.name = name->as_string();
+  if (const Json* params = json.find("params")) {
+    if (!params->is_object())
+      fail("\"params\" of " + what + " \"" + spec.name +
+           "\" must be a JSON object");
+    spec.params = *params;
+  }
+  return spec;
+}
+
+bool operator==(const ComponentSpec& a, const ComponentSpec& b) {
+  return a.name == b.name && a.params == b.params;
+}
+
+ComponentSpec component(std::string name, Json::Object params) {
+  ComponentSpec spec;
+  spec.name = std::move(name);
+  spec.params = Json::object(std::move(params));
+  return spec;
+}
+
+// --- ScenarioSpec ----------------------------------------------------------
+
+bool operator==(const CampaignKnobs& a, const CampaignKnobs& b) {
+  return a.runs == b.runs && a.rounds == b.rounds &&
+         a.stop_when_all_decided == b.stop_when_all_decided &&
+         a.seed == b.seed && a.threads == b.threads &&
+         a.max_recorded_violations == b.max_recorded_violations;
+}
+
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
+  return a.description == b.description && a.algorithm == b.algorithm &&
+         a.adversaries == b.adversaries && a.values == b.values &&
+         a.predicates == b.predicates && a.campaign == b.campaign;
+}
+
+Json ScenarioSpec::to_json() const {
+  Json j = Json::object();
+  if (!description.empty()) j.set("description", description);
+  j.set("algorithm", algorithm.to_json());
+  Json adversary = Json::array();
+  for (const ComponentSpec& layer : adversaries)
+    adversary.push_back(layer.to_json());
+  j.set("adversary", std::move(adversary));
+  j.set("values", values.to_json());
+  Json predicate_list = Json::array();
+  for (const ComponentSpec& predicate : predicates)
+    predicate_list.push_back(predicate.to_json());
+  j.set("predicates", std::move(predicate_list));
+  j.set("campaign", knobs_to_json(campaign));
+  return j;
+}
+
+std::string ScenarioSpec::to_json_text(int indent) const {
+  return to_json().dump(indent);
+}
+
+ScenarioSpec ScenarioSpec::from_json(const Json& json) {
+  try {
+    if (!json.is_object()) fail("scenario document must be a JSON object");
+    check_known_keys(json,
+                     {"description", "algorithm", "adversary", "values",
+                      "predicates", "campaign"},
+                     "scenario document");
+    ScenarioSpec spec;
+    if (const Json* description = json.find("description"))
+      spec.description = description->as_string();
+
+    const Json* algorithm = json.find("algorithm");
+    if (!algorithm) fail("scenario document requires an \"algorithm\"");
+    spec.algorithm = ComponentSpec::from_json(*algorithm, "\"algorithm\"");
+    AlgorithmRegistry::instance().get(spec.algorithm.name, "algorithm");
+
+    if (const Json* adversary = json.find("adversary")) {
+      spec.adversaries =
+          components_from_json(*adversary, "adversary layer");
+      for (const ComponentSpec& layer : spec.adversaries)
+        AdversaryRegistry::instance().get(layer.name, "adversary");
+    }
+
+    if (const Json* values = json.find("values"))
+      spec.values = ComponentSpec::from_json(*values, "\"values\"");
+    ValueGenRegistry::instance().get(spec.values.name, "value generator");
+
+    if (const Json* predicates = json.find("predicates")) {
+      spec.predicates = components_from_json(*predicates, "predicate");
+      for (const ComponentSpec& predicate : spec.predicates)
+        PredicateRegistry::instance().get(predicate.name, "predicate");
+    }
+
+    if (const Json* campaign = json.find("campaign"))
+      spec.campaign = knobs_from_json(*campaign);
+    return spec;
+  } catch (const JsonError& e) {
+    throw ScenarioError(std::string("invalid scenario document: ") + e.what());
+  }
+}
+
+ScenarioSpec ScenarioSpec::from_json_text(std::string_view text) {
+  Json document;
+  try {
+    document = Json::parse(text);
+  } catch (const JsonError& e) {
+    throw ScenarioError(std::string("malformed scenario JSON: ") + e.what());
+  }
+  return from_json(document);
+}
+
+// --- SweepSpec -------------------------------------------------------------
+
+namespace {
+
+/// Replaces the value at a dotted path ("algorithm.params.alpha",
+/// "adversary.0.params.period") in `doc`.  Intermediate object members may
+/// be created (a spec whose empty params were omitted from the JSON can
+/// still be swept); array indices must exist.
+void set_json_path(Json& doc, const std::string& path, const Json& value) {
+  if (path.empty()) fail("sweep axis path must not be empty");
+  Json* node = &doc;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t end = path.find('.', begin);
+    const std::string segment =
+        path.substr(begin, end == std::string::npos ? end : end - begin);
+    if (segment.empty())
+      fail("sweep axis path \"" + path + "\" has an empty segment");
+    const bool last = end == std::string::npos;
+
+    if (node->is_array()) {
+      const bool numeric =
+          !segment.empty() &&
+          std::all_of(segment.begin(), segment.end(),
+                      [](char c) { return c >= '0' && c <= '9'; });
+      std::size_t index = 0;
+      try {
+        if (!numeric) throw ScenarioError("not numeric");
+        index = static_cast<std::size_t>(std::stoul(segment));
+      } catch (...) {
+        fail("sweep axis path \"" + path + "\": \"" + segment +
+             "\" is not an array index");
+      }
+      if (index >= node->size())
+        fail("sweep axis path \"" + path + "\": index " + segment +
+             " out of range (size " + std::to_string(node->size()) + ")");
+      Json& slot = node->items()[index];
+      if (last) {
+        slot = value;
+        return;
+      }
+      node = &slot;
+    } else if (node->is_object()) {
+      if (last) {
+        node->set(segment, value);
+        return;
+      }
+      Json* next = node->find(segment);
+      if (!next) {
+        node->set(segment, Json::object());
+        next = node->find(segment);
+      }
+      node = next;
+    } else {
+      fail("sweep axis path \"" + path + "\": cannot descend into \"" +
+           segment + "\" (not an object or array)");
+    }
+    begin = end + 1;
+  }
+}
+
+}  // namespace
+
+std::size_t SweepSpec::point_count() const {
+  std::size_t count = 1;
+  for (const SweepAxis& axis : axes) count *= axis.points.size();
+  return count;
+}
+
+std::vector<std::size_t> SweepSpec::point_coordinates(std::size_t index) const {
+  std::vector<std::size_t> coordinates(axes.size(), 0);
+  for (std::size_t a = axes.size(); a-- > 0;) {  // last axis fastest
+    if (axes[a].points.empty()) continue;
+    coordinates[a] = index % axes[a].points.size();
+    index /= axes[a].points.size();
+  }
+  return coordinates;
+}
+
+std::vector<ScenarioSpec> SweepSpec::expand() const {
+  for (const SweepAxis& axis : axes) {
+    if (axis.points.empty())
+      fail("sweep axis \"" + axis.path + "\" has no points");
+    if (reseed_per_point && axis.path == "campaign.seed")
+      fail("a \"campaign.seed\" axis cannot be combined with "
+           "reseed_per_point (the reseed would overwrite the swept seeds)");
+  }
+  const Json base_document = base.to_json();
+  const std::size_t count = point_count();
+  std::vector<ScenarioSpec> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Json document = base_document;
+    const std::vector<std::size_t> coordinates = point_coordinates(i);
+    for (std::size_t a = 0; a < axes.size(); ++a)
+      set_json_path(document, axes[a].path, axes[a].points[coordinates[a]]);
+    if (reseed_per_point)
+      set_json_path(document, "campaign.seed",
+                    Json(derived_seed(base.campaign.seed, i)));
+    points.push_back(ScenarioSpec::from_json(document));
+  }
+  return points;
+}
+
+Json SweepSpec::to_json() const {
+  Json j = Json::object();
+  j.set("scenario", base.to_json());
+  Json axis_list = Json::array();
+  for (const SweepAxis& axis : axes) {
+    Json a = Json::object();
+    a.set("path", axis.path);
+    Json points = Json::array();
+    for (const Json& point : axis.points) points.push_back(point);
+    a.set("points", std::move(points));
+    axis_list.push_back(std::move(a));
+  }
+  j.set("axes", std::move(axis_list));
+  j.set("reseed_per_point", reseed_per_point);
+  return j;
+}
+
+SweepSpec SweepSpec::from_json(const Json& json) {
+  try {
+    if (!json.is_object()) fail("sweep document must be a JSON object");
+    check_known_keys(json, {"scenario", "axes", "reseed_per_point"},
+                     "sweep document");
+    const Json* scenario = json.find("scenario");
+    if (!scenario) fail("sweep document requires a \"scenario\"");
+    SweepSpec sweep;
+    sweep.base = ScenarioSpec::from_json(*scenario);
+    if (const Json* axes = json.find("axes")) {
+      for (const Json& axis_json : axes->items()) {
+        if (!axis_json.is_object())
+          fail("each sweep axis must be an object {\"path\", \"points\"}");
+        check_known_keys(axis_json, {"path", "points"}, "sweep axis");
+        SweepAxis axis;
+        axis.path = axis_json.at("path").as_string();
+        for (const Json& point : axis_json.at("points").items())
+          axis.points.push_back(point);
+        sweep.axes.push_back(std::move(axis));
+      }
+    }
+    if (const Json* reseed = json.find("reseed_per_point"))
+      sweep.reseed_per_point = reseed->as_bool();
+    return sweep;
+  } catch (const JsonError& e) {
+    throw ScenarioError(std::string("invalid sweep document: ") + e.what());
+  }
+}
+
+SweepSpec SweepSpec::from_json_text(std::string_view text) {
+  Json document;
+  try {
+    document = Json::parse(text);
+  } catch (const JsonError& e) {
+    throw ScenarioError(std::string("malformed sweep JSON: ") + e.what());
+  }
+  return from_json(document);
+}
+
+}  // namespace hoval

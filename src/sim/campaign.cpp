@@ -28,6 +28,17 @@ std::string CampaignResult::summary() const {
          << format_double(last_decision_rounds.median(), 1) << ", max "
          << format_double(last_decision_rounds.max(), 0) << ")";
   }
+  if (!predicate_holds.empty()) {
+    os << ", predicates:";
+    for (std::size_t i = 0; i < predicate_holds.size(); ++i) {
+      const std::string name = i < predicate_names.size() &&
+                                       !predicate_names[i].empty()
+                                   ? predicate_names[i]
+                                   : "#" + std::to_string(i);
+      os << (i == 0 ? " " : "; ") << name << " " << predicate_holds[i] << "/"
+         << runs;
+    }
+  }
   if (cancelled) os << " [cancelled]";
   return os.str();
 }

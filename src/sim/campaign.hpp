@@ -75,6 +75,9 @@ struct CampaignResult {
 
   /// Per-predicate hold counts, aligned with CampaignConfig::predicates.
   std::vector<int> predicate_holds;
+  /// Names of the configured predicates (Predicate::name()), aligned with
+  /// predicate_holds, so summaries can say *which* predicate held.
+  std::vector<std::string> predicate_names;
 
   /// Sample violation descriptions (capped).
   std::vector<std::string> violations;

@@ -98,6 +98,9 @@ CampaignResult CampaignEngine::reduce(
     const std::vector<RunOutcome>& outcomes) const {
   CampaignResult result;
   result.predicate_holds.assign(config_.predicates.size(), 0);
+  result.predicate_names.reserve(config_.predicates.size());
+  for (const auto& predicate : config_.predicates)
+    result.predicate_names.push_back(predicate->name());
 
   for (const RunOutcome& outcome : outcomes) {
     if (!outcome.executed) continue;

@@ -1,0 +1,493 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace hoval {
+
+namespace {
+
+/// Parser recursion guard: scenario documents are shallow; anything deeper
+/// is hostile or corrupt input, not data.
+constexpr int kMaxDepth = 128;
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* const kNames[] = {"null",   "bool",  "int",   "uint",
+                                       "double", "string", "array", "object"};
+  throw JsonError(std::string("expected ") + want + ", got " +
+                  kNames[static_cast<int>(got)]);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Shortest decimal representation of `v` that strtod parses back to the
+/// same bits (tried at increasing precision; 17 digits always suffices).
+std::string shortest_double(double v) {
+  if (!std::isfinite(v))
+    throw JsonError("cannot serialise non-finite double to JSON");
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  std::string out = buf;
+  // Keep the number recognisably a double so it round-trips to kDouble.
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("malformed JSON at offset " + std::to_string(pos_) + ": " +
+                    what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting exceeds depth limit");
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json::Object members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Json::object();
+    }
+    for (;;) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Json::object(std::move(members));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json::Array items;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Json::array();
+    }
+    for (;;) {
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Json::array(std::move(items));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_codepoint(out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  void append_codepoint(std::string& out) {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: pair required
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u')
+        fail("unpaired surrogate in \\u escape");
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired surrogate in \\u escape");
+    }
+    // Encode as UTF-8.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      fail("invalid number");
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+      fail("leading zeros are not allowed");
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("digits required after decimal point");
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("digits required in exponent");
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      if (token[0] == '-') {
+        char* end = nullptr;
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno != ERANGE && end == token.c_str() + token.size())
+          return Json(static_cast<std::int64_t>(v));
+      } else {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno != ERANGE && end == token.c_str() + token.size())
+          return Json(static_cast<std::uint64_t>(v));
+      }
+      // Integer literal out of 64-bit range: fall through to double.
+    }
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    if (!std::isfinite(v)) fail("number out of range");
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::array(Array items) {
+  Json j;
+  j.type_ = Type::kArray;
+  j.array_ = std::move(items);
+  return j;
+}
+
+Json Json::object(Object members) {
+  Json j;
+  j.type_ = Type::kObject;
+  j.object_ = std::move(members);
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_double() const {
+  switch (type_) {
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kDouble: return double_;
+    default: type_error("number", type_);
+  }
+}
+
+std::int64_t Json::as_int64() const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kUint) {
+    if (uint_ > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+      throw JsonError("integer out of int64 range");
+    return static_cast<std::int64_t>(uint_);
+  }
+  type_error("integer", type_);
+}
+
+std::uint64_t Json::as_uint64() const {
+  if (type_ == Type::kUint) return uint_;
+  if (type_ == Type::kInt) throw JsonError("negative integer where unsigned expected");
+  type_error("integer", type_);
+}
+
+int Json::as_int() const {
+  const std::int64_t v = as_int64();
+  if (v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max())
+    throw JsonError("integer out of int range");
+  return static_cast<int>(v);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const Json::Array& Json::items() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+Json::Array& Json::items() {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  type_error("array or object", type_);
+}
+
+const Json& Json::operator[](std::size_t index) const {
+  const Array& a = items();
+  if (index >= a.size()) throw JsonError("array index out of range");
+  return a[index];
+}
+
+void Json::push_back(Json value) { items().push_back(std::move(value)); }
+
+const Json::Object& Json::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+Json::Object& Json::members() {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+bool Json::contains(const std::string& key) const { return find(key) != nullptr; }
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& member : object_)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+Json* Json::find(const std::string& key) {
+  if (type_ != Type::kObject) return nullptr;
+  for (Member& member : object_)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (const Json* value = find(key)) return *value;
+  if (type_ != Type::kObject) type_error("object", type_);
+  throw JsonError("missing key \"" + key + "\"");
+}
+
+void Json::set(const std::string& key, Json value) {
+  if (Json* existing = find(key)) {
+    *existing = std::move(value);
+    return;
+  }
+  members().emplace_back(key, std::move(value));
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int level) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(level), ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(int_); break;
+    case Type::kUint: out += std::to_string(uint_); break;
+    case Type::kDouble: out += shortest_double(double_); break;
+    case Type::kString: append_escaped(out, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(depth + 1);
+        append_escaped(out, object_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+bool operator==(const Json& a, const Json& b) {
+  // kInt is always negative and kUint non-negative (constructor/parser
+  // normalisation), so mixed int/uint pairs can never be equal and the
+  // type tags themselves are comparable.
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull: return true;
+    case Json::Type::kBool: return a.bool_ == b.bool_;
+    case Json::Type::kInt: return a.int_ == b.int_;
+    case Json::Type::kUint: return a.uint_ == b.uint_;
+    case Json::Type::kDouble: return a.double_ == b.double_;
+    case Json::Type::kString: return a.string_ == b.string_;
+    case Json::Type::kArray: return a.array_ == b.array_;
+    case Json::Type::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+}  // namespace hoval

@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file json.hpp
+/// A small, dependency-free JSON document model used by the declarative
+/// scenario layer (scenario/spec.hpp).  Design constraints, in order:
+///
+///  * lossless round-trips — objects preserve insertion order, integers
+///    are stored exactly (up to 64 bits) rather than as doubles, and
+///    doubles serialise with the shortest representation that parses back
+///    to the same value, so `parse(dump(j)) == j` always holds;
+///  * diagnosable failures — parse errors throw JsonError with the byte
+///    offset and what was expected, never a best-effort value;
+///  * no surprises — this is a document model, not a serialisation
+///    framework: the scenario layer maps specs to/from Json explicitly.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hoval {
+
+/// Thrown on malformed JSON text and on type-mismatched accessor use.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One JSON value: null, bool, integer (signed or unsigned 64-bit),
+/// double, string, array or object.  Non-negative integers normalise to
+/// the unsigned representation so equal numbers compare equal regardless
+/// of how they were constructed.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  /// Insertion-ordered members (no hashing; scenario objects are small).
+  using Object = std::vector<Member>;
+
+  Json() = default;  ///< null
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) { assign_signed(v); }
+  Json(long v) { assign_signed(v); }
+  Json(long long v) { assign_signed(v); }
+  Json(unsigned v) { assign_unsigned(v); }
+  Json(unsigned long v) { assign_unsigned(v); }
+  Json(unsigned long long v) { assign_unsigned(v); }
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::kString), string_(s) {}
+
+  static Json array(Array items = {});
+  static Json object(Object members = {});
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kUint || type_ == Type::kDouble;
+  }
+  bool is_integer() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kUint;
+  }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw JsonError on type (or range) mismatch.
+  bool as_bool() const;
+  double as_double() const;  ///< any number
+  std::int64_t as_int64() const;
+  std::uint64_t as_uint64() const;
+  int as_int() const;  ///< range-checked to int
+  const std::string& as_string() const;
+
+  // --- array interface -----------------------------------------------------
+  const Array& items() const;
+  Array& items();
+  std::size_t size() const;  ///< array length or object member count
+  const Json& operator[](std::size_t index) const;
+  void push_back(Json value);
+
+  // --- object interface ----------------------------------------------------
+  const Object& members() const;
+  Object& members();
+  bool contains(const std::string& key) const;
+  /// Pointer to the member value, or nullptr when absent (objects only).
+  const Json* find(const std::string& key) const;
+  Json* find(const std::string& key);
+  /// Member lookup; throws JsonError when absent.
+  const Json& at(const std::string& key) const;
+  /// Replaces the member's value, or appends a new member.
+  void set(const std::string& key, Json value);
+
+  /// Serialises the document.  indent < 0 produces one compact line;
+  /// indent >= 0 pretty-prints with that many spaces per level.  Object
+  /// members appear in insertion order.  Throws JsonError on non-finite
+  /// doubles (JSON cannot represent them).
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; rejects trailing garbage.
+  /// \throws JsonError with the byte offset on malformed input.
+  static Json parse(std::string_view text);
+
+  /// Deep structural equality.  Numbers compare by value within the
+  /// integer types (kInt vs kUint with equal value are equal); doubles
+  /// compare exactly and never equal an integer-typed number.
+  friend bool operator==(const Json& a, const Json& b);
+  friend bool operator!=(const Json& a, const Json& b) { return !(a == b); }
+
+ private:
+  void assign_signed(std::int64_t v) noexcept {
+    if (v < 0) {
+      type_ = Type::kInt;
+      int_ = v;
+    } else {
+      type_ = Type::kUint;
+      uint_ = static_cast<std::uint64_t>(v);
+    }
+  }
+  void assign_unsigned(std::uint64_t v) noexcept {
+    type_ = Type::kUint;
+    uint_ = v;
+  }
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;    ///< kInt (always negative after normalisation)
+  std::uint64_t uint_ = 0;  ///< kUint
+  double double_ = 0.0;     ///< kDouble
+  std::string string_;      ///< kString
+  Array array_;             ///< kArray
+  Object object_;           ///< kObject
+};
+
+}  // namespace hoval

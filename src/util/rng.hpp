@@ -37,6 +37,18 @@ class SplitMix64 {
 std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0,
                        std::uint64_t d = 0) noexcept;
 
+/// The one blessed derivation of a *campaign base seed* from a base seed
+/// and a small label (phase index, sweep point, table row, ...).  Benches
+/// and the CLI used to hand-roll `base + k` arithmetic at every call site;
+/// routing it through here keeps the convention in one place (and keeps
+/// historical campaign results bit-identical, hence the plain addition).
+/// Per-run streams are a different concern — the CampaignEngine derives
+/// those via mix_seed(base, run, stream).
+constexpr std::uint64_t derived_seed(std::uint64_t base,
+                                     std::uint64_t label) noexcept {
+  return base + label;
+}
+
 /// xoshiro256**: public-domain generator by Blackman & Vigna.  Fast,
 /// 256-bit state, passes BigCrush; more than adequate for fault-injection
 /// schedules.  Satisfies the UniformRandomBitGenerator concept so it can

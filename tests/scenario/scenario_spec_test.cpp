@@ -1,0 +1,241 @@
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/registry.hpp"
+#include "util/rng.hpp"
+
+namespace hoval {
+namespace {
+
+/// A spec exercising every field: multi-layer adversary stack, multiple
+/// predicates, non-default campaign knobs.
+ScenarioSpec full_spec() {
+  ScenarioSpec spec;
+  spec.description = "round-trip fixture";
+  spec.algorithm = component("ate", {{"n", 12}, {"alpha", 2}});
+  spec.adversaries = {component("corrupt", {{"alpha", 2}, {"style", "fixed"},
+                                            {"fixed_value", 7}}),
+                      component("good-rounds", {{"period", 5}})};
+  spec.values = component("split", {{"lo", 0}, {"hi", 9}});
+  spec.predicates = {component("p-alpha"), component("p-a-live")};
+  spec.campaign.runs = 33;
+  spec.campaign.rounds = 44;
+  spec.campaign.stop_when_all_decided = false;
+  spec.campaign.seed = 0xDEADBEEFCAFE;
+  spec.campaign.threads = 4;
+  spec.campaign.max_recorded_violations = 2;
+  return spec;
+}
+
+TEST(ScenarioSpec, RoundTripsThroughJsonLosslessly) {
+  const ScenarioSpec spec = full_spec();
+  const ScenarioSpec reparsed = ScenarioSpec::from_json_text(spec.to_json_text());
+  EXPECT_TRUE(reparsed == spec);
+  // Text-level fixpoint too: dumping again yields the same document.
+  EXPECT_EQ(reparsed.to_json_text(), spec.to_json_text());
+}
+
+TEST(ScenarioSpec, DefaultSpecFieldsRoundTrip) {
+  ScenarioSpec spec;
+  spec.algorithm = component("otr", {{"n", 9}});
+  const ScenarioSpec reparsed = ScenarioSpec::from_json_text(spec.to_json_text());
+  EXPECT_TRUE(reparsed == spec);
+  EXPECT_EQ(reparsed.values.name, "random");
+  EXPECT_TRUE(reparsed.adversaries.empty());
+}
+
+TEST(ScenarioSpec, AcceptsComponentShorthand) {
+  const ScenarioSpec spec = ScenarioSpec::from_json_text(R"({
+    "algorithm": {"name": "uv", "params": {"n": 6}},
+    "adversary": "identity",
+    "values": "distinct"
+  })");
+  ASSERT_EQ(spec.adversaries.size(), 1u);
+  EXPECT_EQ(spec.adversaries[0].name, "identity");
+  EXPECT_EQ(spec.values.name, "distinct");
+  EXPECT_EQ(spec.campaign.runs, CampaignKnobs{}.runs);
+}
+
+TEST(ScenarioSpec, MissingAlgorithmFails) {
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({"values": "random"})"),
+               ScenarioError);
+}
+
+TEST(ScenarioSpec, UnknownDocumentKeyFails) {
+  try {
+    ScenarioSpec::from_json_text(R"({
+      "algorithm": {"name": "ate", "params": {"n": 9}},
+      "adversries": []
+    })");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("adversries"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpec, UnknownCampaignKnobFails) {
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({
+    "algorithm": {"name": "ate", "params": {"n": 9}},
+    "campaign": {"run": 5}
+  })"),
+               ScenarioError);
+}
+
+TEST(ScenarioSpec, UnknownAlgorithmNameSuggestsClosest) {
+  try {
+    ScenarioSpec::from_json_text(R"({"algorithm": "atee"})");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean"), std::string::npos) << what;
+    EXPECT_NE(what.find("\"ate\""), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioSpec, UnknownAdversaryAndPredicateNamesFail) {
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({
+    "algorithm": {"name": "ate", "params": {"n": 9}},
+    "adversary": ["corupt"]
+  })"),
+               ScenarioError);
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({
+    "algorithm": {"name": "ate", "params": {"n": 9}},
+    "predicates": ["p-alpa"]
+  })"),
+               ScenarioError);
+}
+
+TEST(ScenarioSpec, MalformedJsonTextFails) {
+  for (const char* text :
+       {"", "not json", "{\"algorithm\": ", "[]", "{\"algorithm\": 3}",
+        "{\"algorithm\": {\"name\": \"ate\"}} trailing"}) {
+    EXPECT_THROW(ScenarioSpec::from_json_text(text), ScenarioError)
+        << "input: " << text;
+  }
+}
+
+TEST(ScenarioSpec, MistypedFieldsFail) {
+  // runs as string
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({
+    "algorithm": {"name": "ate", "params": {"n": 9}},
+    "campaign": {"runs": "many"}
+  })"),
+               ScenarioError);
+  // params as array
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({
+    "algorithm": {"name": "ate", "params": [9]}
+  })"),
+               ScenarioError);
+  // component without a name
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({
+    "algorithm": {"params": {"n": 9}}
+  })"),
+               ScenarioError);
+}
+
+// --- SweepSpec -------------------------------------------------------------
+
+SweepSpec demo_sweep() {
+  SweepSpec sweep;
+  sweep.base = ScenarioSpec();
+  sweep.base.algorithm = component("ate", {{"n", 8}, {"alpha", 1}});
+  sweep.axes.push_back(SweepAxis{"algorithm.params.alpha", {Json(0), Json(1)}});
+  sweep.axes.push_back(SweepAxis{"campaign.runs", {Json(10), Json(20), Json(30)}});
+  return sweep;
+}
+
+TEST(SweepSpec, PointCountIsAxisProduct) {
+  EXPECT_EQ(demo_sweep().point_count(), 6u);
+  SweepSpec no_axes;
+  no_axes.base.algorithm = component("otr", {{"n", 6}});
+  EXPECT_EQ(no_axes.point_count(), 1u);
+  EXPECT_EQ(no_axes.expand().size(), 1u);
+}
+
+TEST(SweepSpec, ExpandSubstitutesLastAxisFastest) {
+  const auto points = demo_sweep().expand();
+  ASSERT_EQ(points.size(), 6u);
+  // Point order: (alpha 0, runs 10), (alpha 0, runs 20), (alpha 0, runs 30),
+  // then alpha 1.
+  EXPECT_EQ(points[0].campaign.runs, 10);
+  EXPECT_EQ(points[2].campaign.runs, 30);
+  EXPECT_EQ(points[0].algorithm.params.at("alpha").as_int(), 0);
+  EXPECT_EQ(points[3].algorithm.params.at("alpha").as_int(), 1);
+  EXPECT_EQ(points[5].campaign.runs, 30);
+  // Unswept fields carry over.
+  EXPECT_EQ(points[5].algorithm.params.at("n").as_int(), 8);
+}
+
+TEST(SweepSpec, ReseedPerPointDerivesDistinctSeeds) {
+  SweepSpec sweep = demo_sweep();
+  sweep.base.campaign.seed = 100;
+  sweep.reseed_per_point = true;
+  const auto points = sweep.expand();
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].campaign.seed, derived_seed(100, i));
+}
+
+TEST(SweepSpec, ExpandCanCreateOmittedParamMembers) {
+  // "otr" has empty params in this base, so to_json omits the params
+  // object entirely; sweeping a path through it must still work.
+  SweepSpec sweep;
+  sweep.base.algorithm = component("otr");
+  sweep.axes.push_back(SweepAxis{"algorithm.params.n", {Json(6), Json(9)}});
+  const auto points = sweep.expand();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[1].algorithm.params.at("n").as_int(), 9);
+}
+
+TEST(SweepSpec, BadPathsFail) {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 8}});
+  sweep.axes.push_back(SweepAxis{"adversary.3.params.alpha", {Json(1)}});
+  EXPECT_THROW(sweep.expand(), ScenarioError);  // index out of range
+
+  sweep.axes[0] = SweepAxis{"algorithm.name.deeper", {Json(1)}};
+  EXPECT_THROW(sweep.expand(), ScenarioError);  // descend into a scalar
+
+  sweep.axes[0] = SweepAxis{"adversary.1x.params.alpha", {Json(1)}};
+  EXPECT_THROW(sweep.expand(), ScenarioError);  // "1x" is not an array index
+
+  sweep.axes[0] = SweepAxis{"algorithm.params.alpha", {}};
+  EXPECT_THROW(sweep.expand(), ScenarioError);  // empty axis
+}
+
+TEST(SweepSpec, SeedAxisConflictsWithReseedPerPoint) {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 8}});
+  sweep.axes.push_back(
+      SweepAxis{"campaign.seed", {Json(1), Json(2), Json(3)}});
+  EXPECT_EQ(sweep.expand().size(), 3u);  // fine without reseeding
+  sweep.reseed_per_point = true;
+  EXPECT_THROW(sweep.expand(), ScenarioError);
+}
+
+TEST(SweepSpec, SubstitutionsAreRevalidated) {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 8}});
+  // Substituting an unknown algorithm name must fail at expansion.
+  sweep.axes.push_back(SweepAxis{"algorithm.name", {Json("utea"), Json("nope")}});
+  EXPECT_THROW(sweep.expand(), ScenarioError);
+}
+
+TEST(SweepSpec, RoundTripsThroughJson) {
+  SweepSpec sweep = demo_sweep();
+  sweep.reseed_per_point = true;
+  const SweepSpec reparsed = SweepSpec::from_json_text(sweep.to_json().dump(2));
+  EXPECT_TRUE(reparsed.base == sweep.base);
+  ASSERT_EQ(reparsed.axes.size(), sweep.axes.size());
+  for (std::size_t i = 0; i < sweep.axes.size(); ++i) {
+    EXPECT_EQ(reparsed.axes[i].path, sweep.axes[i].path);
+    EXPECT_EQ(reparsed.axes[i].points, sweep.axes[i].points);
+  }
+  EXPECT_EQ(reparsed.reseed_per_point, true);
+  EXPECT_EQ(reparsed.to_json().dump(), sweep.to_json().dump());
+}
+
+}  // namespace
+}  // namespace hoval

@@ -1,0 +1,132 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hoval {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  const Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_EQ(Json(42).as_int(), 42);
+  EXPECT_EQ(Json(-42).as_int64(), -42);
+  EXPECT_DOUBLE_EQ(Json(1.5).as_double(), 1.5);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+}
+
+TEST(Json, NonNegativeIntegersNormaliseToUnsigned) {
+  // Equal numbers compare equal regardless of how they were constructed.
+  EXPECT_EQ(Json(7), Json(std::uint64_t{7}));
+  EXPECT_EQ(Json(7).as_uint64(), 7u);
+  EXPECT_NE(Json(7), Json(7.0));  // doubles never equal integer-typed numbers
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json("x").as_int(), JsonError);
+  EXPECT_THROW(Json(1).as_string(), JsonError);
+  EXPECT_THROW(Json(-1).as_uint64(), JsonError);
+  EXPECT_THROW(Json(1).items(), JsonError);
+  EXPECT_THROW(Json(1).members(), JsonError);
+}
+
+TEST(Json, IntRangeChecked) {
+  const Json big(std::int64_t{1} << 40);
+  EXPECT_EQ(big.as_int64(), std::int64_t{1} << 40);
+  EXPECT_THROW(big.as_int(), JsonError);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j.set("zebra", 1);
+  j.set("alpha", 2);
+  j.set("zebra", 3);  // replaces in place, does not move to the back
+  EXPECT_EQ(j.dump(), R"({"zebra":3,"alpha":2})");
+  EXPECT_EQ(j.at("zebra").as_int(), 3);
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_THROW(j.at("missing"), JsonError);
+}
+
+TEST(Json, ParseRoundTripsDocuments) {
+  const std::string text =
+      R"({"a":[1,-2,3.5,true,false,null],"b":{"nested":"x"},"c":18446744073709551615})";
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed.dump(), text);
+  EXPECT_EQ(Json::parse(parsed.dump()), parsed);
+  EXPECT_EQ(parsed.at("c").as_uint64(),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Json, PrettyPrintReparsesEqual) {
+  const Json parsed = Json::parse(R"({"a":[1,2],"b":{"c":[]}})");
+  const std::string pretty = parsed.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), parsed);
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e-300, 6.62607015e-34, 2.0 / 3.0 * 14}) {
+    const Json j(v);
+    EXPECT_DOUBLE_EQ(Json::parse(j.dump()).as_double(), v);
+    EXPECT_EQ(Json::parse(j.dump()), j);
+  }
+  // Whole-valued doubles keep a marker so they reparse as doubles.
+  EXPECT_EQ(Json(4.0).dump(), "4.0");
+  EXPECT_TRUE(Json::parse("4.0").type() == Json::Type::kDouble);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string text = "quote\" backslash\\ newline\n tab\t bell\x07 unicode\xC3\xA9";
+  const Json j(text);
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), text);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xC3\xA9");
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_THROW(Json::parse(R"("\ud83d")"), JsonError);   // unpaired high
+  EXPECT_THROW(Json::parse(R"("\ude00")"), JsonError);   // unpaired low
+  EXPECT_THROW(Json::parse(R"("\uZZZZ")"), JsonError);   // not hex
+}
+
+TEST(Json, MalformedDocumentsThrowWithOffset) {
+  for (const char* text :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "01", "1.",
+        "1e", "[1] trailing", "{\"a\" 1}", "nan", "-", "\"bad\\q\""}) {
+    EXPECT_THROW(Json::parse(text), JsonError) << "input: " << text;
+  }
+  try {
+    Json::parse("[1, 2, oops]");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, DepthLimitRejectsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_THROW(Json::parse(deep), JsonError);
+}
+
+TEST(Json, NonFiniteDoublesCannotSerialise) {
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).dump(), JsonError);
+  EXPECT_THROW(Json(std::numeric_limits<double>::quiet_NaN()).dump(), JsonError);
+}
+
+TEST(Json, HugeIntegerLiteralsFallBackToDouble) {
+  const Json j = Json::parse("123456789012345678901234567890");
+  EXPECT_TRUE(j.type() == Json::Type::kDouble);
+}
+
+}  // namespace
+}  // namespace hoval

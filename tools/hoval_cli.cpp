@@ -1,6 +1,15 @@
-/// hoval_cli — command-line front end for single runs and quick campaigns.
+/// hoval_cli — command-line front end for single runs, quick campaigns and
+/// declarative scenario files.
+///
+/// Every invocation builds a ScenarioSpec — either from a JSON document
+/// (--scenario) or from the classic flags — and runs it through the same
+/// registry-resolved path as the bench harnesses (scenario/run.hpp).
 ///
 /// Usage:
+///   hoval_cli --list
+///   hoval_cli [flags] --dump-scenario > my.json
+///   hoval_cli --scenario my.json [--runs K --seed S --threads W --rounds R]
+///   hoval_cli --sweep sweep.json
 ///   hoval_cli [--algorithm ate|utea|otr|uv|lastvoting|phaseking]
 ///             [--n N] [--alpha A] [--adversary none|corrupt|omit|block|byz|split]
 ///             [--good-rounds G] [--rounds R] [--runs K] [--seed S]
@@ -11,12 +20,15 @@
 ///   hoval_cli --algorithm ate --n 12 --alpha 2 --adversary corrupt
 ///             --good-rounds 5 --runs 50     (single line in practice)
 ///   hoval_cli --algorithm utea --n 9 --alpha 4 --adversary byz --trace
+///   hoval_cli --dump-scenario | tee s.json && hoval_cli --scenario s.json
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
-#include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "hoval.hpp"
 
@@ -25,6 +37,11 @@ namespace {
 using namespace hoval;
 
 struct CliOptions {
+  std::string scenario_file;
+  std::string sweep_file;
+  bool list = false;
+  bool dump = false;
+
   std::string algorithm = "ate";
   int n = 9;
   int alpha = 1;
@@ -37,11 +54,27 @@ struct CliOptions {
   std::string values = "random";
   bool progress = false;
   bool trace = false;
+
+  // Which campaign knobs were given explicitly (they override a loaded
+  // --scenario document; the rest of the document wins otherwise).
+  bool runs_set = false;
+  bool seed_set = false;
+  bool threads_set = false;
+  bool rounds_set = false;
+  // Spec-shaping flags given explicitly (--algorithm, --n, ...).  These
+  // cannot override a loaded document — combining them with --scenario or
+  // --sweep is an error, not a silent ignore.
+  std::vector<std::string> shape_flags;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
+      << "  --list           print the registered algorithms/adversaries/\n"
+      << "                   value-gens/predicates and exit\n"
+      << "  --scenario FILE  run a scenario JSON document\n"
+      << "  --sweep FILE     run a sweep JSON document (one campaign per point)\n"
+      << "  --dump-scenario  print the scenario the flags describe as JSON\n"
       << "  --algorithm ate|utea|otr|uv|lastvoting|phaseking   (default ate)\n"
       << "  --n N            processes                        (default 9)\n"
       << "  --alpha A        corruption budget / fault degree (default 1)\n"
@@ -65,16 +98,20 @@ CliOptions parse(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--algorithm") options.algorithm = next();
-    else if (arg == "--n") options.n = std::stoi(next());
-    else if (arg == "--alpha") options.alpha = std::stoi(next());
-    else if (arg == "--adversary") options.adversary = next();
-    else if (arg == "--good-rounds") options.good_rounds = std::stoi(next());
-    else if (arg == "--rounds") options.rounds = std::stoi(next());
-    else if (arg == "--runs") options.runs = std::stoi(next());
-    else if (arg == "--seed") options.seed = std::stoull(next());
-    else if (arg == "--threads") options.threads = std::stoi(next());
-    else if (arg == "--values") options.values = next();
+    if (arg == "--scenario") options.scenario_file = next();
+    else if (arg == "--sweep") options.sweep_file = next();
+    else if (arg == "--list") options.list = true;
+    else if (arg == "--dump-scenario") options.dump = true;
+    else if (arg == "--algorithm") { options.algorithm = next(); options.shape_flags.push_back(arg); }
+    else if (arg == "--n") { options.n = std::stoi(next()); options.shape_flags.push_back(arg); }
+    else if (arg == "--alpha") { options.alpha = std::stoi(next()); options.shape_flags.push_back(arg); }
+    else if (arg == "--adversary") { options.adversary = next(); options.shape_flags.push_back(arg); }
+    else if (arg == "--good-rounds") { options.good_rounds = std::stoi(next()); options.shape_flags.push_back(arg); }
+    else if (arg == "--rounds") { options.rounds = std::stoi(next()); options.rounds_set = true; }
+    else if (arg == "--runs") { options.runs = std::stoi(next()); options.runs_set = true; }
+    else if (arg == "--seed") { options.seed = std::stoull(next()); options.seed_set = true; }
+    else if (arg == "--threads") { options.threads = std::stoi(next()); options.threads_set = true; }
+    else if (arg == "--values") { options.values = next(); options.shape_flags.push_back(arg); }
     else if (arg == "--progress") options.progress = true;
     else if (arg == "--trace") options.trace = true;
     else usage(argv[0]);
@@ -82,124 +119,136 @@ CliOptions parse(int argc, char** argv) {
   return options;
 }
 
-InstanceBuilder make_instance_builder(const CliOptions& options) {
-  const int n = options.n;
-  const int alpha = options.alpha;
-  if (options.algorithm == "ate") {
-    const auto params = AteParams::canonical(n, alpha);
+/// Translates the classic flags into a scenario document — the flags are
+/// just a spec builder now.
+ScenarioSpec spec_from_flags(const CliOptions& options) {
+  ScenarioSpec spec;
+
+  Json::Object algorithm_params{{"n", options.n}};
+  // Only the threshold algorithms take a fault degree; the benign
+  // baselines (otr, uv, lastvoting) would reject the parameter.
+  if (options.algorithm == "ate" || options.algorithm == "utea" ||
+      options.algorithm == "phaseking")
+    algorithm_params.emplace_back("alpha", options.alpha);
+  spec.algorithm = component(options.algorithm, std::move(algorithm_params));
+
+  if (options.adversary == "none") {
+    // empty stack = faithful communication
+  } else if (options.adversary == "corrupt") {
+    spec.adversaries.push_back(
+        component("corrupt", {{"alpha", options.alpha}}));
+  } else if (options.adversary == "omit") {
+    spec.adversaries.push_back(
+        component("omit", {{"drop_probability", 0.2},
+                           {"max_per_receiver", options.alpha}}));
+  } else if (options.adversary == "byz") {
+    spec.adversaries.push_back(component("byz", {{"f", options.alpha}}));
+  } else if (options.adversary == "split") {
+    spec.adversaries.push_back(component("split", {{"alpha", options.alpha}}));
+  } else {
+    // Everything else ("block", typos, future names) passes through to the
+    // registry, which accepts it or fails with a "did you mean" hint.
+    spec.adversaries.push_back(component(options.adversary));
+  }
+  if (options.good_rounds > 0 && !spec.adversaries.empty()) {
+    // The two-round algorithms need whole clean phases, not single rounds.
+    const bool phase_based =
+        options.algorithm == "utea" || options.algorithm == "uv";
+    spec.adversaries.push_back(
+        component(phase_based ? "clean-phases" : "good-rounds",
+                  {{"period", options.good_rounds}}));
+  }
+
+  if (options.values == "unanimous")
+    spec.values = component("unanimous", {{"value", 1}});
+  else if (options.values == "split")
+    spec.values = component("split", {{"lo", 0}, {"hi", 1}});
+  else if (options.values == "random")
+    spec.values = component("random", {{"distinct", 3}});
+  else
+    spec.values = component(options.values);
+
+  spec.campaign.runs = options.runs;
+  spec.campaign.rounds = options.rounds;
+  spec.campaign.seed = options.seed;
+  spec.campaign.threads = options.threads;
+  return spec;
+}
+
+std::string read_file(const std::string& path, const char* what) {
+  std::ifstream in(path);
+  if (!in)
+    throw ScenarioError(std::string("cannot read ") + what + " file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Explicit campaign-knob flags override a loaded document's knobs; the
+/// rest of the document wins.
+void apply_overrides(const CliOptions& options, CampaignKnobs& knobs) {
+  if (options.runs_set) knobs.runs = options.runs;
+  if (options.seed_set) knobs.seed = options.seed;
+  if (options.threads_set) knobs.threads = options.threads;
+  if (options.rounds_set) knobs.rounds = options.rounds;
+}
+
+ScenarioSpec load_scenario(const CliOptions& options) {
+  ScenarioSpec spec = ScenarioSpec::from_json_text(
+      read_file(options.scenario_file, "scenario"));
+  apply_overrides(options, spec.campaign);
+  return spec;
+}
+
+/// The old CLI warned when the flags described a parameter choice outside
+/// the paper's theorems; the registries resolve thresholds now, so the
+/// check runs on the resolved context (covers --scenario documents too).
+void warn_if_infeasible(const ScenarioSpec& spec, const ResolveContext& ctx) {
+  if (spec.algorithm.name == "ate") {
+    const AteParams params{ctx.n, ctx.threshold_t, ctx.threshold_e, ctx.alpha};
     if (!params.theorem1_conditions())
       std::cerr << "warning: " << params.to_string()
                 << " violates Theorem 1 (alpha >= n/4?) — running anyway\n";
-    return [params](const std::vector<Value>& init) {
-      return make_ate_instance(params, init);
-    };
-  }
-  if (options.algorithm == "utea") {
-    const auto params = UteaParams::canonical(n, alpha);
+  } else if (spec.algorithm.name == "utea") {
+    const UteaParams params{ctx.n, ctx.threshold_t, ctx.threshold_e,
+                            static_cast<int>(ctx.alpha), 0};
     if (!params.theorem2_conditions())
       std::cerr << "warning: " << params.to_string()
                 << " violates Theorem 2 (alpha >= n/2?) — running anyway\n";
-    return [params](const std::vector<Value>& init) {
-      return make_utea_instance(params, init);
-    };
   }
-  if (options.algorithm == "otr")
-    return [n](const std::vector<Value>& init) {
-      return make_one_third_rule_instance(n, init);
-    };
-  if (options.algorithm == "uv")
-    return [n](const std::vector<Value>& init) {
-      return make_uniform_voting_instance(n, init);
-    };
-  if (options.algorithm == "lastvoting")
-    return [n](const std::vector<Value>& init) {
-      return make_last_voting_instance(n, init);
-    };
-  if (options.algorithm == "phaseking") {
-    const PhaseKingParams params{n, alpha};
-    return [params](const std::vector<Value>& init) {
-      return make_phase_king_instance(params, init);
-    };
-  }
-  std::cerr << "unknown algorithm: " << options.algorithm << "\n";
-  std::exit(2);
 }
 
-AdversaryBuilder make_adversary_builder(const CliOptions& options) {
-  const int alpha = options.alpha;
-  AdversaryBuilder raw;
-  if (options.adversary == "none") {
-    raw = [] { return std::make_shared<IdentityAdversary>(); };
-  } else if (options.adversary == "corrupt") {
-    raw = [alpha] {
-      RandomCorruptionConfig config;
-      config.alpha = alpha;
-      return std::make_shared<RandomCorruptionAdversary>(config);
-    };
-  } else if (options.adversary == "omit") {
-    raw = [alpha] {
-      return std::make_shared<RandomOmissionAdversary>(0.2, alpha);
-    };
-  } else if (options.adversary == "block") {
-    raw = [] {
-      return std::make_shared<BlockFaultAdversary>(BlockFaultConfig{});
-    };
-  } else if (options.adversary == "byz") {
-    raw = [alpha] {
-      StaticByzantineConfig config;
-      config.f = alpha;
-      return std::make_shared<StaticByzantineAdversary>(config);
-    };
-  } else if (options.adversary == "split") {
-    raw = [alpha] {
-      SplitVoteConfig config;
-      config.alpha = alpha;
-      return std::make_shared<SplitVoteAdversary>(config);
-    };
-  } else {
-    std::cerr << "unknown adversary: " << options.adversary << "\n";
-    std::exit(2);
-  }
-
-  if (options.good_rounds <= 0) return raw;
-  const int period = options.good_rounds;
-  if (options.algorithm == "utea" || options.algorithm == "uv") {
-    return [raw, period] {
-      CleanPhaseConfig clean;
-      clean.period_phases = period;
-      return std::make_shared<CleanPhaseScheduler>(raw(), clean);
-    };
-  }
-  return [raw, period] {
-    GoodRoundConfig good;
-    good.period = period;
-    return std::make_shared<GoodRoundScheduler>(raw(), good);
-  };
+template <typename Registry>
+void print_catalogue(const std::string& title, const Registry& registry) {
+  std::cout << title << ":\n";
+  std::size_t width = 0;
+  for (const auto& entry : registry.entries())
+    width = std::max(width, entry.name.size());
+  for (const auto& entry : registry.entries())
+    std::cout << "  " << entry.name
+              << std::string(width - entry.name.size() + 2, ' ')
+              << entry.summary << "\n";
 }
 
-ValueGenerator make_value_generator(const CliOptions& options) {
-  const int n = options.n;
-  if (options.values == "unanimous")
-    return [n](Rng&) { return unanimous_values(n, 1); };
-  if (options.values == "split")
-    return [n](Rng&) { return split_values(n, 0, 1); };
-  if (options.values == "distinct")
-    return [n](Rng&) { return distinct_values(n); };
-  if (options.values == "random")
-    return [n](Rng& rng) { return random_values(n, 3, rng); };
-  std::cerr << "unknown value pattern: " << options.values << "\n";
-  std::exit(2);
+int list_registries() {
+  print_catalogue("algorithms", AlgorithmRegistry::instance());
+  std::cout << "\n";
+  print_catalogue("adversaries (stackable, inner-first)",
+                  AdversaryRegistry::instance());
+  std::cout << "\n";
+  print_catalogue("value generators", ValueGenRegistry::instance());
+  std::cout << "\n";
+  print_catalogue("predicates", PredicateRegistry::instance());
+  return 0;
 }
 
-int run_single(const CliOptions& options) {
-  Rng value_rng(options.seed);
-  const auto initial = make_value_generator(options)(value_rng);
-  SimConfig config;
-  config.max_rounds = options.rounds;
-  config.seed = options.seed;
+int run_single(const ResolvedScenario& resolved, bool trace) {
+  Rng value_rng(resolved.config.base_seed);
+  const auto initial = resolved.values(value_rng);
+  SimConfig config = resolved.config.sim;
+  config.seed = resolved.config.base_seed;
 
-  Simulator sim(make_instance_builder(options)(initial),
-                make_adversary_builder(options)(), config);
+  Simulator sim(resolved.instance(initial), resolved.adversary(), config);
   const RunResult result = sim.run();
   const ConsensusReport report = check_consensus(initial, result);
 
@@ -212,29 +261,28 @@ int run_single(const CliOptions& options) {
                       : std::string("undecided"))
               << "\n";
   std::cout << report.summary() << "\n";
-  if (options.trace) std::cout << "\n" << render_summary(result.trace);
+  for (const auto& predicate : resolved.config.predicates) {
+    const PredicateVerdict verdict = predicate->evaluate(result.trace);
+    std::cout << "predicate " << predicate->name() << ": "
+              << (verdict.holds ? "holds" : "fails") << "\n";
+  }
+  if (trace) std::cout << "\n" << render_summary(result.trace);
   return report.safety_holds() ? 0 : 1;
 }
 
-int run_many(const CliOptions& options) {
-  CampaignConfig config;
-  config.runs = options.runs;
-  config.sim.max_rounds = options.rounds;
-  config.base_seed = options.seed;
-  config.threads = options.threads;
-  if (options.progress) {
-    config.progress_batch = std::max(1, options.runs / 20);
-    config.progress = [](const CampaignProgress& progress) {
-      std::cerr << "\r" << progress.completed << "/" << progress.total
-                << " runs" << std::flush;
-      if (progress.completed == progress.total) std::cerr << "\n";
+int run_many(ResolvedScenario resolved, bool progress) {
+  if (progress) {
+    resolved.config.progress_batch = std::max(1, resolved.config.runs / 20);
+    resolved.config.progress = [](const CampaignProgress& state) {
+      std::cerr << "\r" << state.completed << "/" << state.total << " runs"
+                << std::flush;
+      if (state.completed == state.total) std::cerr << "\n";
       return true;
     };
   }
-  const CampaignEngine engine(config);
+  const CampaignEngine engine(resolved.config);
   const auto result =
-      engine.run(make_value_generator(options), make_instance_builder(options),
-                 make_adversary_builder(options));
+      engine.run(resolved.values, resolved.instance, resolved.adversary);
   std::cout << result.summary() << " [" << engine.threads() << " thread"
             << (engine.threads() == 1 ? "" : "s") << "]\n";
   for (const auto& violation : result.violations)
@@ -242,12 +290,86 @@ int run_many(const CliOptions& options) {
   return result.safety_clean() ? 0 : 1;
 }
 
+int run_sweep_file(const CliOptions& options) {
+  SweepSpec sweep =
+      SweepSpec::from_json_text(read_file(options.sweep_file, "sweep"));
+  apply_overrides(options, sweep.base.campaign);
+
+  ProgressCallback progress;
+  if (options.progress) {
+    progress = [](const CampaignProgress& state) {
+      std::cerr << "\r" << state.completed << "/" << state.total << " runs"
+                << std::flush;
+      if (state.completed == state.total) std::cerr << "\n";
+      return true;
+    };
+  }
+  const auto results = run_sweep(sweep, progress);
+  bool all_clean = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::vector<std::size_t> coordinate = sweep.point_coordinates(i);
+    std::cout << "[" << i + 1 << "/" << results.size() << "]";
+    for (std::size_t a = 0; a < sweep.axes.size(); ++a)
+      std::cout << " " << sweep.axes[a].path << "="
+                << sweep.axes[a].points[coordinate[a]].dump();
+    std::cout << ": " << results[i].summary() << "\n";
+    all_clean = all_clean && results[i].safety_clean();
+  }
+  return all_clean ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const CliOptions options = parse(argc, argv);
-    return options.runs <= 1 ? run_single(options) : run_many(options);
+    if (options.list) return list_registries();
+    if (!options.sweep_file.empty() && !options.scenario_file.empty()) {
+      std::cerr << "error: --scenario and --sweep are mutually exclusive\n";
+      return 2;
+    }
+    if ((!options.scenario_file.empty() || !options.sweep_file.empty()) &&
+        !options.shape_flags.empty()) {
+      // Only campaign knobs (--runs/--seed/--threads/--rounds) override a
+      // document; shaping flags would be silently dead weight, so reject.
+      std::cerr << "error:";
+      for (const std::string& flag : options.shape_flags)
+        std::cerr << " " << flag;
+      std::cerr << " cannot override a scenario/sweep document — edit the "
+                   "JSON (start from --dump-scenario) instead\n";
+      return 2;
+    }
+    if (!options.sweep_file.empty()) {
+      if (options.dump) {
+        std::cerr << "error: --dump-scenario does not apply to --sweep "
+                     "(the document is already on disk)\n";
+        return 2;
+      }
+      if (options.trace) {
+        std::cerr << "error: --trace is a single-run flag and does not "
+                     "apply to --sweep\n";
+        return 2;
+      }
+      return run_sweep_file(options);
+    }
+
+    const ScenarioSpec spec = !options.scenario_file.empty()
+                                  ? load_scenario(options)
+                                  : spec_from_flags(options);
+    // Resolving validates the whole document (names *and* params) up
+    // front, so both --dump-scenario output and typo'd flags fail with a
+    // precise message before anything runs.
+    const ResolvedScenario resolved = resolve_scenario(spec);
+    if (options.dump) {
+      std::cout << spec.to_json_text() << "\n";
+      return 0;
+    }
+    warn_if_infeasible(spec, resolved.context);
+    return spec.campaign.runs <= 1 ? run_single(resolved, options.trace)
+                                   : run_many(resolved, options.progress);
+  } catch (const ScenarioError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::invalid_argument&) {
     std::cerr << "error: malformed numeric option\n";
     return 2;

@@ -9,11 +9,16 @@
 ///   * smaller E -> decisions cheaper but T grows towards n.
 /// Safety must hold everywhere on/above the frontier; below it, the split
 /// adversary constructs violations.
+///
+/// The (T, E) choice list drives three SweepSpecs — a liveness sweep
+/// (corruption + good rounds), a same-round split-attack sweep, and a
+/// cross-round lock-in sweep over the choices where the attack script
+/// applies — each as one linked axis carrying the per-point thresholds
+/// and historical seeds.
 
 #include "bench/common.hpp"
 
 #include "adversary/lock_in.hpp"
-#include "adversary/split_vote.hpp"
 
 namespace hoval {
 namespace {
@@ -22,6 +27,30 @@ using bench::banner;
 using bench::latency_cell;
 using bench::ratio;
 using bench::verdict;
+
+struct Choice {
+  double e;
+  double t;
+  std::string kind;
+};
+
+/// One linked (T, E, seed) axis over `choices` on top of `base`.
+SweepSpec threshold_sweep(ScenarioSpec base, const std::vector<Choice>& choices,
+                          std::uint64_t seed_offset) {
+  SweepSpec sweep;
+  sweep.base = std::move(base);
+  SweepAxis axis;
+  axis.paths = {"algorithm.params.t", "algorithm.params.e", "campaign.seed"};
+  for (const Choice& choice : choices) {
+    const std::uint64_t seed =
+        mix_seed(static_cast<std::uint64_t>(choice.e * 100),
+                 static_cast<std::uint64_t>(choice.t * 100));
+    axis.points.push_back(
+        {Json(choice.t), Json(choice.e), Json(derived_seed(seed, seed_offset))});
+  }
+  sweep.axes.push_back(std::move(axis));
+  return sweep;
+}
 
 void run() {
   banner("Threshold ablation — the T vs E trade of Sec. 3.3",
@@ -38,11 +67,6 @@ void run() {
                 {"e", "t", "frontier", "theorem1", "agreement_violations",
                  "terminated", "runs", "mean_decision_round"});
 
-  struct Choice {
-    double e;
-    double t;
-    std::string kind;
-  };
   std::vector<Choice> choices;
   for (const double e : {8.5, 9.5, 10.0, 10.67, 11.5}) {
     const double frontier_t = 2.0 * (n + 2.0 * alpha - e);
@@ -56,57 +80,55 @@ void run() {
   choices.push_back({7.0, 9.0, "below (E < n/2+a)"});
   choices.push_back({7.5, 11.0, "below (E < n/2+a)"});
 
-  for (const auto& choice : choices) {
+  // Liveness environment: corruption + good rounds every 6.
+  ScenarioSpec live_base;
+  live_base.algorithm = component("ate", {{"n", n}, {"alpha", alpha}});
+  live_base.adversaries = {component("corrupt", {{"alpha", alpha}}),
+                           component("good-rounds", {{"period", 6}})};
+  live_base.values = component("random", {{"distinct", 3}});
+  live_base.campaign.runs = 80;
+  live_base.campaign.rounds = 60;
+  const auto live_results =
+      bench::run_sweep_timed(threshold_sweep(live_base, choices, 0));
+
+  // Safety environment 1: the same-round split attack (kills E below
+  // n/2 + alpha).
+  ScenarioSpec attack_base;
+  attack_base.algorithm = component("ate", {{"n", n}, {"alpha", alpha}});
+  attack_base.adversaries = {component(
+      "split", {{"alpha", alpha}, {"low_value", 1}, {"high_value", 9}})};
+  attack_base.values = component("split", {{"lo", 1}, {"hi", 9}});
+  attack_base.campaign.runs = 80;
+  attack_base.campaign.rounds = 20;
+  const auto attack_results =
+      bench::run_sweep_timed(threshold_sweep(attack_base, choices, 1));
+
+  // Safety environment 2: the cross-round lock-in attack (kills T below
+  // the 2(n + 2*alpha - E) frontier even when E is fine), where its
+  // script applies.
+  std::vector<Choice> lock_choices;
+  for (const Choice& choice : choices)
+    if (lock_in_feasible(n, choice.t, choice.e, alpha))
+      lock_choices.push_back(choice);
+  ScenarioSpec lock_base;
+  lock_base.algorithm = component("ate", {{"n", n}, {"alpha", alpha}});
+  lock_base.adversaries = {component("lockin", {{"alpha", alpha}})};
+  lock_base.values = component("split", {{"lo", 0}, {"hi", 1}});
+  lock_base.campaign.runs = 80;
+  lock_base.campaign.rounds = 10;
+  lock_base.campaign.stop_when_all_decided = false;
+  const auto lock_results =
+      bench::run_sweep_timed(threshold_sweep(lock_base, lock_choices, 2));
+
+  std::size_t next_lock = 0;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    const Choice& choice = choices[i];
     const AteParams params{n, choice.t, choice.e, static_cast<double>(alpha)};
-    CampaignConfig config;
-    config.runs = 80;
-    config.sim.max_rounds = 60;
-    config.base_seed = mix_seed(static_cast<std::uint64_t>(choice.e * 100),
-                                static_cast<std::uint64_t>(choice.t * 100));
-
-    // Liveness environment: corruption + good rounds every 6.
-    const auto live = bench::run_campaign_timed(
-        bench::random_values_of(n), bench::ate_instance_builder(params),
-        bench::good_round_builder(alpha, 6), config);
-
-    // Safety environment 1: the same-round split attack (kills E below
-    // n/2 + alpha).
-    CampaignConfig attack_config;
-    attack_config.runs = 80;
-    attack_config.sim.max_rounds = 20;
-    attack_config.base_seed = derived_seed(config.base_seed, 1);
-    const auto attacked = bench::run_campaign_timed(
-        bench::split_of(n, 1, 9), bench::ate_instance_builder(params),
-        [alpha] {
-          SplitVoteConfig split;
-          split.alpha = alpha;
-          split.low_value = 1;
-          split.high_value = 9;
-          return std::make_shared<SplitVoteAdversary>(split);
-        },
-        attack_config);
-
-    // Safety environment 2: the cross-round lock-in attack (kills T below
-    // the 2(n + 2*alpha - E) frontier even when E is fine), where its
-    // script applies.
+    const CampaignResult& live = live_results[i];
+    const CampaignResult& attacked = attack_results[i];
     int lock_in_violations = 0;
-    if (lock_in_feasible(n, params.threshold_t, params.threshold_e, alpha)) {
-      CampaignConfig lock_config;
-      lock_config.runs = 80;
-      lock_config.sim.max_rounds = 10;
-      lock_config.sim.stop_when_all_decided = false;
-      lock_config.base_seed = derived_seed(config.base_seed, 2);
-      const auto locked = bench::run_campaign_timed(
-          bench::split_of(n, 0, 1), bench::ate_instance_builder(params),
-          [&] {
-            LockInConfig lock;
-            lock.alpha = alpha;
-            lock.threshold_e = params.threshold_e;
-            return std::make_shared<LockInAdversary>(lock);
-          },
-          lock_config);
-      lock_in_violations = locked.agreement_violations;
-    }
+    if (lock_in_feasible(n, params.threshold_t, params.threshold_e, alpha))
+      lock_in_violations = lock_results[next_lock++].agreement_violations;
 
     const int violations = live.agreement_violations +
                            attacked.agreement_violations + lock_in_violations;

@@ -15,6 +15,10 @@
 ///     P^{U,live} windows are clean.  Here the decision lands exactly at
 ///     round 2*phi0 + 2 of the first clean phase — the schedule binds,
 ///     and latency tracks the gap.
+///
+/// Each regime is one SweepSpec: the (gap, |Pi0|) grid is a single linked
+/// axis whose tuples co-vary the clean-phase knobs with the per-point
+/// horizon and seed, exactly reproducing the historical hand-rolled loop.
 
 #include "bench/common.hpp"
 
@@ -24,45 +28,59 @@ namespace {
 using bench::banner;
 using bench::ratio;
 
+constexpr std::uint64_t kSeedBase = 0xF26B;
+
+const int kGaps[] = {2, 4, 8, 16};
+
 void scenario(const std::string& title, const UteaParams& params,
-              const AdversaryBuilder& interim, CsvWriter& csv,
+              std::vector<ComponentSpec> interim, CsvWriter& csv,
               const std::string& tag) {
   std::cout << "--- " << title << " ---\n";
+
+  // The whole grid as data: base scenario plus one linked axis over
+  // (clean-phase gap, |Pi0|, horizon, seed).
+  SweepSpec sweep;
+  sweep.base.algorithm =
+      component("utea", {{"n", params.n}, {"alpha", params.alpha}});
+  sweep.base.adversaries = std::move(interim);
+  sweep.base.adversaries.push_back(component("clean-phases"));
+  sweep.base.values = component("random", {{"distinct", 3}});
+  sweep.base.campaign.runs = 150;
+  const std::string clean_phases =
+      "adversary." + std::to_string(sweep.base.adversaries.size() - 1) +
+      ".params";
+  SweepAxis grid;
+  grid.paths = {clean_phases + ".period", clean_phases + ".pi0_size",
+                "campaign.rounds", "campaign.seed"};
+  for (const int gap : kGaps)
+    for (const int pi0 : {params.n, params.n - 2})
+      grid.points.push_back(
+          {Json(gap), Json(pi0), Json(6 * gap + 30),
+           Json(derived_seed(kSeedBase,
+                             static_cast<std::uint64_t>(gap * 100 + pi0)))});
+  sweep.axes.push_back(std::move(grid));
+
+  const auto results = bench::run_sweep_timed(sweep);
+
   TablePrinter table({"clean-phase gap", "|Pi0|", "terminated",
                       "mean decision round", "max"},
                      {Align::kRight, Align::kRight, Align::kRight, Align::kRight,
                       Align::kRight});
-  for (const int gap : {2, 4, 8, 16}) {
-    for (const int pi0 : {params.n, params.n - 2}) {
-      CampaignConfig config;
-      config.runs = 150;
-      config.sim.max_rounds = 6 * gap + 30;
-      config.base_seed =
-          derived_seed(0xF26B, static_cast<std::uint64_t>(gap * 100 + pi0));
-
-      const auto result = bench::run_campaign_timed(
-          bench::random_values_of(params.n),
-          bench::utea_instance_builder(params),
-          [&] {
-            CleanPhaseConfig clean;
-            clean.period_phases = gap;
-            clean.pi0_size = pi0;
-            return std::make_shared<CleanPhaseScheduler>(interim(), clean);
-          },
-          config);
-
-      const bool decided = !result.last_decision_rounds.empty();
-      table.add_row({std::to_string(gap), std::to_string(pi0),
-                     ratio(result.terminated, result.runs),
-                     decided ? format_double(result.last_decision_rounds.mean(), 1)
-                             : "-",
-                     decided ? format_double(result.last_decision_rounds.max(), 0)
-                             : "-"});
-      csv.add_row({tag, std::to_string(gap), std::to_string(pi0),
-                   std::to_string(result.terminated), std::to_string(result.runs),
-                   decided ? format_double(result.last_decision_rounds.mean(), 3)
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const int gap = sweep.axes[0].points[i][0].as_int();
+    const int pi0 = sweep.axes[0].points[i][1].as_int();
+    const CampaignResult& result = results[i];
+    const bool decided = !result.last_decision_rounds.empty();
+    table.add_row({std::to_string(gap), std::to_string(pi0),
+                   ratio(result.terminated, result.runs),
+                   decided ? format_double(result.last_decision_rounds.mean(), 1)
+                           : "-",
+                   decided ? format_double(result.last_decision_rounds.max(), 0)
                            : "-"});
-    }
+    csv.add_row({tag, std::to_string(gap), std::to_string(pi0),
+                 std::to_string(result.terminated), std::to_string(result.runs),
+                 decided ? format_double(result.last_decision_rounds.mean(), 3)
+                         : "-"});
   }
   table.print(std::cout);
 }
@@ -82,7 +100,9 @@ void run() {
     const auto params = UteaParams::canonical(n, alpha);
     std::cout << "algorithm: " << params.to_string() << "\n\n";
     scenario("(a) P_alpha /\\ P^{U,safe} on every round", params,
-             bench::usafe_builder(params), csv, "within");
+             {component("corrupt", {{"alpha", alpha}}),
+              component("usafe-clamp")},
+             csv, "within");
     std::cout
         << "\n(P^{U,safe} with canonical T = E is already termination-grade:\n"
            " the default-value rule converges within two phases, so the\n"
@@ -98,7 +118,8 @@ void run() {
     std::cout << "algorithm: " << params.to_string() << "\n\n";
     scenario("(b) most rounds corrupted beyond n/4 (P_alpha only), clean "
              "windows sporadic",
-             params, bench::corruption_builder(alpha, CorruptionStyle::kGarbage),
+             params,
+             {component("corrupt", {{"alpha", alpha}, {"style", "garbage"}})},
              csv, "tradeoff");
     std::cout
         << "\nReading: votes are suppressed everywhere except the clean\n"

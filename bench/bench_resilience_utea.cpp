@@ -1,5 +1,10 @@
 /// Experiment E2 — Sec. 4.3: U_{T,E,alpha} solves consensus iff alpha < n/2,
 /// and the who-wins comparison against A_{T,E} (n/4 wall vs n/2 wall).
+///
+/// The (n, alpha) grid runs as two SweepSpecs — a safety sweep (clamped
+/// corruption, no clean phases, fixed horizon) and a liveness sweep (clean
+/// phases every 3) — each with one linked axis enumerating the
+/// theorem-feasible points with their historical per-point seeds.
 
 #include "bench/common.hpp"
 
@@ -9,30 +14,61 @@ namespace {
 using bench::banner;
 using bench::ratio;
 
-bool validate(const UteaParams& params, std::uint64_t seed) {
-  CampaignConfig safety;
-  safety.runs = 60;
-  safety.sim.max_rounds = 30;
-  safety.sim.stop_when_all_decided = false;
-  safety.base_seed = seed;
-  const auto unsafe_result = bench::run_campaign_timed(
-      bench::random_values_of(params.n), bench::utea_instance_builder(params),
-      bench::usafe_builder(params), safety);
-  if (!unsafe_result.safety_clean()) return false;
+struct GridPoint {
+  int n = 0;
+  int alpha = 0;
+  std::uint64_t seed = 0;
+};
 
-  CampaignConfig live;
-  live.runs = 40;
-  live.sim.max_rounds = 60;
-  live.base_seed = derived_seed(seed, 1);
-  const auto live_result = bench::run_campaign_timed(
-      bench::random_values_of(params.n), bench::utea_instance_builder(params),
-      bench::clean_phase_builder(params, 3), live);
-  return live_result.safety_clean() && live_result.terminated == live_result.runs;
+const int kSizes[] = {8, 12, 16, 24, 32};
+
+/// Scenario base shared by both sweeps: canonical U(n, alpha) under
+/// P^{U,safe}-clamped worst-case corruption.
+SweepSpec clamped_sweep(const std::vector<GridPoint>& grid,
+                        std::uint64_t seed_offset) {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("utea");
+  sweep.base.adversaries = {component("corrupt"), component("usafe-clamp")};
+  sweep.base.values = component("random", {{"distinct", 3}});
+  SweepAxis axis;
+  axis.paths = {"algorithm.params.n", "algorithm.params.alpha",
+                "adversary.0.params.alpha", "campaign.seed"};
+  for (const GridPoint& point : grid)
+    axis.points.push_back({Json(point.n), Json(point.alpha), Json(point.alpha),
+                           Json(derived_seed(point.seed, seed_offset))});
+  sweep.axes.push_back(std::move(axis));
+  return sweep;
 }
 
 void run() {
   banner("Resilience of U_{T,E,alpha} — the alpha < n/2 crossover",
          "Biely et al., PODC'07, Sec. 4.3 (inequalities (9)-(11))");
+
+  // The theorem-feasible grid, with the historical per-point base seeds.
+  std::vector<GridPoint> grid;
+  for (const int n : kSizes)
+    for (int alpha = 0; alpha <= n; ++alpha) {
+      if (!UteaParams::feasible(n, alpha)) continue;
+      grid.push_back({n, alpha,
+                      mix_seed(static_cast<std::uint64_t>(n),
+                               static_cast<std::uint64_t>(alpha), 99)});
+    }
+
+  // Safety: worst-case clamped corruption on every round, no termination
+  // aid, long enough to surface an agreement split if one exists.
+  SweepSpec safety = clamped_sweep(grid, 0);
+  safety.base.campaign.runs = 60;
+  safety.base.campaign.rounds = 30;
+  safety.base.campaign.stop_when_all_decided = false;
+  const auto safety_results = bench::run_sweep_timed(safety);
+
+  // Liveness: the same adversary with P^{U,live} clean phases every 3.
+  SweepSpec live = clamped_sweep(grid, 1);
+  live.base.adversaries.push_back(
+      component("clean-phases", {{"period", 3}}));
+  live.base.campaign.runs = 40;
+  live.base.campaign.rounds = 60;
+  const auto live_results = bench::run_sweep_timed(live);
 
   TablePrinter table({"n", "paper bound ceil(n/2)-1", "measured max alpha",
                       "A's wall ceil(n/4)-1", "U beats A by"},
@@ -41,20 +77,24 @@ void run() {
   CsvWriter csv("bench_resilience_utea.csv",
                 {"n", "alpha", "feasible_by_theorem", "empirically_valid"});
 
-  for (const int n : {8, 12, 16, 24, 32}) {
+  std::size_t next_point = 0;
+  for (const int n : kSizes) {
     int measured_max = -1;
     for (int alpha = 0; alpha <= n; ++alpha) {
-      const auto params = UteaParams::feasible(n, alpha);
+      const bool feasible = UteaParams::feasible(n, alpha).has_value();
       bool empirical = false;
-      if (params)
-        empirical = validate(*params, mix_seed(static_cast<std::uint64_t>(n),
-                                               static_cast<std::uint64_t>(alpha),
-                                               99));
+      if (feasible) {
+        const CampaignResult& unsafe_result = safety_results[next_point];
+        const CampaignResult& live_result = live_results[next_point];
+        ++next_point;
+        empirical = unsafe_result.safety_clean() &&
+                    live_result.safety_clean() &&
+                    live_result.terminated == live_result.runs;
+      }
       csv.add_row({std::to_string(n), std::to_string(alpha),
-                   std::to_string(params.has_value()),
-                   std::to_string(empirical)});
-      if (params && empirical) measured_max = alpha;
-      if (!params && alpha > UteaParams::max_tolerated_alpha(n)) break;
+                   std::to_string(feasible), std::to_string(empirical)});
+      if (feasible && empirical) measured_max = alpha;
+      if (!feasible && alpha > UteaParams::max_tolerated_alpha(n)) break;
     }
 
     const int paper_bound = UteaParams::max_tolerated_alpha(n);

@@ -65,9 +65,18 @@ class BenchRecorder {
                      int threads) {
     ++campaigns_;
     campaign_runs_ += result.runs;
+    campaign_runs_requested_ +=
+        result.runs_requested > 0 ? result.runs_requested : result.runs;
     campaign_seconds_ += seconds;
     // Small campaigns get clamped pools; report the widest pool used.
     if (threads > threads_) threads_ = threads;
+    if (result.ci_confidence > 0.0) {
+      ++adaptive_campaigns_;
+      if (result.stopped_early) ++stopped_early_;
+      for (const ConfidenceInterval& interval : result.predicate_intervals)
+        max_ci_half_width_ =
+            std::max(max_ci_half_width_, interval.half_width());
+    }
   }
 
   void write() const {
@@ -76,12 +85,22 @@ class BenchRecorder {
                                      .count();
     const double runs_per_sec =
         campaign_seconds_ > 0.0 ? campaign_runs_ / campaign_seconds_ : 0.0;
+    const double savings =
+        campaign_runs_requested_ > 0
+            ? 1.0 - static_cast<double>(campaign_runs_) /
+                        static_cast<double>(campaign_runs_requested_)
+            : 0.0;
     std::ofstream out("BENCH_" + name_ + ".json");
     out << "{\n"
         << "  \"bench\": \"" << name_ << "\",\n"
         << "  \"threads\": " << threads_ << ",\n"
         << "  \"campaigns\": " << campaigns_ << ",\n"
         << "  \"campaign_runs\": " << campaign_runs_ << ",\n"
+        << "  \"campaign_runs_requested\": " << campaign_runs_requested_ << ",\n"
+        << "  \"adaptive_campaigns\": " << adaptive_campaigns_ << ",\n"
+        << "  \"stopped_early\": " << stopped_early_ << ",\n"
+        << "  \"early_stop_savings\": " << savings << ",\n"
+        << "  \"max_ci_half_width\": " << max_ci_half_width_ << ",\n"
         << "  \"campaign_wall_seconds\": " << campaign_seconds_ << ",\n"
         << "  \"runs_per_sec\": " << runs_per_sec << ",\n"
         << "  \"total_wall_seconds\": " << total_seconds << "\n"
@@ -95,6 +114,10 @@ class BenchRecorder {
   std::chrono::steady_clock::time_point start_;
   int campaigns_ = 0;
   long long campaign_runs_ = 0;
+  long long campaign_runs_requested_ = 0;
+  int adaptive_campaigns_ = 0;
+  int stopped_early_ = 0;
+  double max_ci_half_width_ = 0.0;
   double campaign_seconds_ = 0.0;
   int threads_ = 1;
 };
@@ -126,6 +149,22 @@ inline CampaignResult run_scenario_timed(const ScenarioSpec& spec) {
   const ResolvedScenario resolved = resolve_scenario(spec);
   return run_campaign_timed(resolved.values, resolved.instance,
                             resolved.adversary, resolved.config);
+}
+
+/// Sweep entry point for declarative bench drivers: expands and resolves
+/// *every* grid point up front (an infeasible substitution fails before
+/// the first campaign starts), then runs each point through
+/// run_scenario_timed.  One CampaignResult per point, in expand() order.
+inline std::vector<CampaignResult> run_sweep_timed(const SweepSpec& sweep) {
+  std::vector<ResolvedScenario> resolved;
+  for (const ScenarioSpec& point : sweep.expand())
+    resolved.push_back(resolve_scenario(point));
+  std::vector<CampaignResult> results;
+  results.reserve(resolved.size());
+  for (const ResolvedScenario& point : resolved)
+    results.push_back(run_campaign_timed(point.values, point.instance,
+                                         point.adversary, point.config));
+  return results;
 }
 
 /// Renders a pass/fail verdict cell.

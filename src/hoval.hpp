@@ -62,6 +62,7 @@
 #include "sim/simulator.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/histogram.hpp"
+#include "stats/interval.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"

@@ -20,6 +20,21 @@ void validate_knobs(const CampaignKnobs& knobs) {
     throw ScenarioError("campaign.threads must be >= 0 (0 = all cores)");
   if (knobs.max_recorded_violations < 0)
     throw ScenarioError("campaign.max_recorded_violations must be >= 0");
+  if (knobs.batch_size < 0)
+    throw ScenarioError("campaign.batch_size must be >= 0 (0 = auto)");
+  if (knobs.adaptive.enabled) {
+    if (knobs.adaptive.min_runs <= 0)
+      throw ScenarioError("campaign.adaptive.min_runs must be >= 1");
+    if (knobs.adaptive.max_runs < 0)
+      throw ScenarioError(
+          "campaign.adaptive.max_runs must be >= 0 (0 = campaign.runs)");
+    if (knobs.adaptive.ci_epsilon <= 0.0)
+      throw ScenarioError("campaign.adaptive.ci_epsilon must be > 0");
+    if (knobs.adaptive.ci_confidence <= 0.0 ||
+        knobs.adaptive.ci_confidence >= 1.0)
+      throw ScenarioError(
+          "campaign.adaptive.ci_confidence must be in (0, 1)");
+  }
 }
 
 }  // namespace
@@ -59,6 +74,8 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
   resolved.config.base_seed = spec.campaign.seed;
   resolved.config.threads = spec.campaign.threads;
   resolved.config.max_recorded_violations = spec.campaign.max_recorded_violations;
+  resolved.config.batch_size = spec.campaign.batch_size;
+  resolved.config.adaptive = spec.campaign.adaptive;
   return resolved;
 }
 

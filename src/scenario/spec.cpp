@@ -31,6 +31,34 @@ void check_known_keys(const Json& object,
   }
 }
 
+Json adaptive_to_json(const StoppingRule& rule) {
+  Json j = Json::object();
+  j.set("enabled", rule.enabled);
+  j.set("min_runs", rule.min_runs);
+  j.set("max_runs", rule.max_runs);
+  j.set("ci_epsilon", rule.ci_epsilon);
+  j.set("ci_confidence", rule.ci_confidence);
+  return j;
+}
+
+StoppingRule adaptive_from_json(const Json& json) {
+  if (!json.is_object()) fail("\"campaign.adaptive\" must be a JSON object");
+  check_known_keys(
+      json, {"enabled", "min_runs", "max_runs", "ci_epsilon", "ci_confidence"},
+      "\"campaign.adaptive\"");
+  StoppingRule rule;
+  // Writing an adaptive object means opting in; "enabled": false keeps the
+  // tuned knobs in the document while running the fixed budget.
+  rule.enabled = true;
+  if (const Json* v = json.find("enabled")) rule.enabled = v->as_bool();
+  if (const Json* v = json.find("min_runs")) rule.min_runs = v->as_int();
+  if (const Json* v = json.find("max_runs")) rule.max_runs = v->as_int();
+  if (const Json* v = json.find("ci_epsilon")) rule.ci_epsilon = v->as_double();
+  if (const Json* v = json.find("ci_confidence"))
+    rule.ci_confidence = v->as_double();
+  return rule;
+}
+
 Json knobs_to_json(const CampaignKnobs& knobs) {
   Json j = Json::object();
   j.set("runs", knobs.runs);
@@ -39,6 +67,12 @@ Json knobs_to_json(const CampaignKnobs& knobs) {
   j.set("seed", knobs.seed);
   j.set("threads", knobs.threads);
   j.set("max_recorded_violations", knobs.max_recorded_violations);
+  // Defaulted knobs stay out of the document (and out of --dump-scenario
+  // output); the round trip is still lossless because the parser defaults
+  // them right back.
+  if (knobs.batch_size != 0) j.set("batch_size", knobs.batch_size);
+  if (knobs.adaptive != StoppingRule{})
+    j.set("adaptive", adaptive_to_json(knobs.adaptive));
   return j;
 }
 
@@ -46,7 +80,8 @@ CampaignKnobs knobs_from_json(const Json& json) {
   if (!json.is_object()) fail("\"campaign\" must be a JSON object");
   check_known_keys(json,
                    {"runs", "rounds", "stop_when_all_decided", "seed",
-                    "threads", "max_recorded_violations"},
+                    "threads", "max_recorded_violations", "batch_size",
+                    "adaptive"},
                    "\"campaign\"");
   CampaignKnobs knobs;
   if (const Json* v = json.find("runs")) knobs.runs = v->as_int();
@@ -57,6 +92,9 @@ CampaignKnobs knobs_from_json(const Json& json) {
   if (const Json* v = json.find("threads")) knobs.threads = v->as_int();
   if (const Json* v = json.find("max_recorded_violations"))
     knobs.max_recorded_violations = v->as_int();
+  if (const Json* v = json.find("batch_size")) knobs.batch_size = v->as_int();
+  if (const Json* v = json.find("adaptive"))
+    knobs.adaptive = adaptive_from_json(*v);
   return knobs;
 }
 
@@ -123,7 +161,8 @@ bool operator==(const CampaignKnobs& a, const CampaignKnobs& b) {
   return a.runs == b.runs && a.rounds == b.rounds &&
          a.stop_when_all_decided == b.stop_when_all_decided &&
          a.seed == b.seed && a.threads == b.threads &&
-         a.max_recorded_violations == b.max_recorded_violations;
+         a.max_recorded_violations == b.max_recorded_violations &&
+         a.batch_size == b.batch_size && a.adaptive == b.adaptive;
 }
 
 bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
@@ -267,30 +306,68 @@ void set_json_path(Json& doc, const std::string& path, const Json& value) {
 
 }  // namespace
 
+SweepAxis SweepAxis::single(std::string path, std::vector<Json> values) {
+  SweepAxis axis;
+  axis.paths.push_back(std::move(path));
+  axis.points.reserve(values.size());
+  for (Json& value : values) axis.points.push_back({std::move(value)});
+  return axis;
+}
+
+SweepAxis SweepAxis::linked(std::vector<std::string> paths,
+                            std::vector<std::vector<Json>> tuples) {
+  SweepAxis axis;
+  axis.paths = std::move(paths);
+  axis.points = std::move(tuples);
+  return axis;
+}
+
+namespace {
+
+std::string axis_label(const SweepAxis& axis) {
+  std::string label;
+  for (const std::string& path : axis.paths) {
+    if (!label.empty()) label += "+";
+    label += path;
+  }
+  return label;
+}
+
+void validate_axis(const SweepAxis& axis, bool reseed_per_point) {
+  if (axis.paths.empty()) fail("sweep axis has no paths");
+  if (axis.points.empty())
+    fail("sweep axis \"" + axis_label(axis) + "\" has no points");
+  for (const std::vector<Json>& tuple : axis.points)
+    if (tuple.size() != axis.paths.size())
+      fail("sweep axis \"" + axis_label(axis) + "\": every point must have " +
+           std::to_string(axis.paths.size()) + " value(s), got " +
+           std::to_string(tuple.size()));
+  for (const std::string& path : axis.paths)
+    if (reseed_per_point && path == "campaign.seed")
+      fail("a \"campaign.seed\" axis cannot be combined with "
+           "reseed_per_point (the reseed would overwrite the swept seeds)");
+}
+
+}  // namespace
+
 std::size_t SweepSpec::point_count() const {
   std::size_t count = 1;
-  for (const SweepAxis& axis : axes) count *= axis.points.size();
+  for (const SweepAxis& axis : axes) count *= axis.size();
   return count;
 }
 
 std::vector<std::size_t> SweepSpec::point_coordinates(std::size_t index) const {
   std::vector<std::size_t> coordinates(axes.size(), 0);
   for (std::size_t a = axes.size(); a-- > 0;) {  // last axis fastest
-    if (axes[a].points.empty()) continue;
-    coordinates[a] = index % axes[a].points.size();
-    index /= axes[a].points.size();
+    if (axes[a].size() == 0) continue;
+    coordinates[a] = index % axes[a].size();
+    index /= axes[a].size();
   }
   return coordinates;
 }
 
 std::vector<ScenarioSpec> SweepSpec::expand() const {
-  for (const SweepAxis& axis : axes) {
-    if (axis.points.empty())
-      fail("sweep axis \"" + axis.path + "\" has no points");
-    if (reseed_per_point && axis.path == "campaign.seed")
-      fail("a \"campaign.seed\" axis cannot be combined with "
-           "reseed_per_point (the reseed would overwrite the swept seeds)");
-  }
+  for (const SweepAxis& axis : axes) validate_axis(axis, reseed_per_point);
   const Json base_document = base.to_json();
   const std::size_t count = point_count();
   std::vector<ScenarioSpec> points;
@@ -298,8 +375,11 @@ std::vector<ScenarioSpec> SweepSpec::expand() const {
   for (std::size_t i = 0; i < count; ++i) {
     Json document = base_document;
     const std::vector<std::size_t> coordinates = point_coordinates(i);
-    for (std::size_t a = 0; a < axes.size(); ++a)
-      set_json_path(document, axes[a].path, axes[a].points[coordinates[a]]);
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const std::vector<Json>& tuple = axes[a].points[coordinates[a]];
+      for (std::size_t j = 0; j < axes[a].paths.size(); ++j)
+        set_json_path(document, axes[a].paths[j], tuple[j]);
+    }
     if (reseed_per_point)
       set_json_path(document, "campaign.seed",
                     Json(derived_seed(base.campaign.seed, i)));
@@ -314,10 +394,26 @@ Json SweepSpec::to_json() const {
   Json axis_list = Json::array();
   for (const SweepAxis& axis : axes) {
     Json a = Json::object();
-    a.set("path", axis.path);
-    Json points = Json::array();
-    for (const Json& point : axis.points) points.push_back(point);
-    a.set("points", std::move(points));
+    if (axis.paths.size() == 1) {
+      // The classic scalar form: {"path": ..., "points": [v, ...]}.
+      a.set("path", axis.paths[0]);
+      Json points = Json::array();
+      for (const std::vector<Json>& tuple : axis.points)
+        points.push_back(tuple.empty() ? Json() : tuple[0]);
+      a.set("points", std::move(points));
+    } else {
+      // Linked form: {"paths": [...], "points": [[v, ...], ...]}.
+      Json paths = Json::array();
+      for (const std::string& path : axis.paths) paths.push_back(path);
+      a.set("paths", std::move(paths));
+      Json points = Json::array();
+      for (const std::vector<Json>& tuple : axis.points) {
+        Json row = Json::array();
+        for (const Json& value : tuple) row.push_back(value);
+        points.push_back(std::move(row));
+      }
+      a.set("points", std::move(points));
+    }
     axis_list.push_back(std::move(a));
   }
   j.set("axes", std::move(axis_list));
@@ -337,12 +433,33 @@ SweepSpec SweepSpec::from_json(const Json& json) {
     if (const Json* axes = json.find("axes")) {
       for (const Json& axis_json : axes->items()) {
         if (!axis_json.is_object())
-          fail("each sweep axis must be an object {\"path\", \"points\"}");
-        check_known_keys(axis_json, {"path", "points"}, "sweep axis");
+          fail("each sweep axis must be an object {\"path\"|\"paths\", "
+               "\"points\"}");
+        check_known_keys(axis_json, {"path", "paths", "points"}, "sweep axis");
         SweepAxis axis;
-        axis.path = axis_json.at("path").as_string();
-        for (const Json& point : axis_json.at("points").items())
-          axis.points.push_back(point);
+        const Json* path = axis_json.find("path");
+        const Json* paths = axis_json.find("paths");
+        if (path && paths)
+          fail("sweep axis: \"path\" and \"paths\" are mutually exclusive");
+        if (path) {
+          axis.paths.push_back(path->as_string());
+          for (const Json& point : axis_json.at("points").items())
+            axis.points.push_back({point});
+        } else if (paths) {
+          for (const Json& p : paths->items())
+            axis.paths.push_back(p.as_string());
+          for (const Json& row : axis_json.at("points").items()) {
+            if (!row.is_array())
+              fail("sweep axis with \"paths\": each point must be an array "
+                   "of one value per path");
+            std::vector<Json> tuple;
+            for (const Json& value : row.items()) tuple.push_back(value);
+            axis.points.push_back(std::move(tuple));
+          }
+        } else {
+          fail("sweep axis requires \"path\" or \"paths\"");
+        }
+        validate_axis(axis, /*reseed_per_point=*/false);
         sweep.axes.push_back(std::move(axis));
       }
     }

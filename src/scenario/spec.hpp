@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "model/types.hpp"
+#include "stats/interval.hpp"
 #include "util/json.hpp"
 
 namespace hoval {
@@ -67,6 +68,11 @@ struct CampaignKnobs {
   std::uint64_t seed = 0xC0FFEE;     ///< campaign base seed
   int threads = 0;                   ///< 0 = hardware concurrency
   int max_recorded_violations = 5;
+  int batch_size = 0;                ///< runs claimed per pool task; 0 = auto
+  /// Sequential confidence-interval stopping (stats/interval.hpp).
+  /// Serialised as the "adaptive" object of the campaign document; absent
+  /// means disabled (the classic fixed budget).
+  StoppingRule adaptive;
 };
 
 bool operator==(const CampaignKnobs& a, const CampaignKnobs& b);
@@ -103,11 +109,24 @@ inline bool operator!=(const ScenarioSpec& a, const ScenarioSpec& b) {
   return !(a == b);
 }
 
-/// One sweep dimension: the dotted JSON path of a scalar field in the
-/// scenario document and the values it takes.
+/// One sweep dimension: one or more dotted JSON paths in the scenario
+/// document and the value tuples they take.  The common case is a single
+/// path with scalar points ({"path": "algorithm.params.alpha", "points":
+/// [0, 1, 2]}); *linked* axes name several paths that advance together
+/// ({"paths": [...], "points": [[...], ...]}), which expresses grids whose
+/// fields co-vary — per-point horizons, per-point seeds, or an explicit
+/// point list (the natural unit for sharding a sweep across workers).
 struct SweepAxis {
-  std::string path;          ///< e.g. "algorithm.params.alpha"
-  std::vector<Json> points;  ///< scalar substitutions, in sweep order
+  std::vector<std::string> paths;        ///< >= 1 dotted paths
+  std::vector<std::vector<Json>> points; ///< points[i] aligned with paths
+
+  /// Convenience for the single-path case.
+  static SweepAxis single(std::string path, std::vector<Json> values);
+  /// Convenience for a linked axis; each tuple must match paths.size().
+  static SweepAxis linked(std::vector<std::string> paths,
+                          std::vector<std::vector<Json>> tuples);
+
+  std::size_t size() const noexcept { return points.size(); }
 };
 
 /// A grid sweep over a base scenario.  expand() yields the cartesian

@@ -9,8 +9,18 @@ namespace hoval {
 
 std::string CampaignResult::summary() const {
   if (runs == 0) return "empty campaign (0 runs)";
+  const bool adaptive = ci_confidence > 0.0;
   std::ostringstream os;
-  os << runs << " runs: agreement "
+  // Every rate below divides by `runs` — the runs actually executed — so
+  // an early-stopped campaign reports correct rates, not rates diluted by
+  // the requested budget.
+  if (adaptive) {
+    os << runs << "/" << runs_requested << " runs (adaptive"
+       << (stopped_early ? ", stopped early" : "") << ")";
+  } else {
+    os << runs << " runs";
+  }
+  os << ": agreement "
      << (agreement_violations == 0
              ? "ok"
              : std::to_string(agreement_violations) + " violations")
@@ -37,6 +47,8 @@ std::string CampaignResult::summary() const {
                                    : "#" + std::to_string(i);
       os << (i == 0 ? " " : "; ") << name << " " << predicate_holds[i] << "/"
          << runs;
+      if (i < predicate_intervals.size())
+        os << " " << predicate_intervals[i].to_string();
     }
   }
   if (cancelled) os << " [cancelled]";

@@ -15,6 +15,7 @@
 #include "sim/properties.hpp"
 #include "sim/simulator.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/interval.hpp"
 
 namespace hoval {
 
@@ -59,11 +60,30 @@ struct CampaignConfig {
   ProgressCallback progress;
   /// Completed-run granularity of `progress` invocations.
   int progress_batch = 64;
+  /// Contiguous run-index block a worker claims per pool task.  Batching
+  /// cuts dispatch overhead on small-per-run campaigns without affecting
+  /// the result: outcomes land in per-run slots and the reduction order is
+  /// fixed, so any batch size is bit-identical.  0 = auto (sized from the
+  /// campaign and pool), 1 = the classic one-run-per-task path.
+  int batch_size = 0;
+  /// Sequential confidence-interval stopping (stats/interval.hpp).  When
+  /// adaptive.enabled, the engine executes runs in deterministic waves and
+  /// stops at the first wave boundary where every monitored proportion
+  /// (agreement-violation rate, termination rate, each predicate's hold
+  /// rate) has a Wilson half-width <= adaptive.ci_epsilon — spending at
+  /// most adaptive.cap(runs) and at least min(adaptive.min_runs, cap)
+  /// runs.  Boundaries depend only on run outcomes, never on thread
+  /// timing, so adaptive campaigns stay bit-identical at any thread
+  /// count.  Disabled (the default) reproduces the classic fixed budget.
+  StoppingRule adaptive;
 };
 
 /// Aggregated campaign outcome.
 struct CampaignResult {
-  int runs = 0;
+  int runs = 0;  ///< runs actually executed (every rate divides by this)
+  /// The configured budget (or adaptive cap): runs == runs_requested unless
+  /// the campaign stopped early or was cancelled.
+  int runs_requested = 0;
   int agreement_violations = 0;
   int integrity_violations = 0;
   int irrevocability_violations = 0;
@@ -79,12 +99,23 @@ struct CampaignResult {
   /// predicate_holds, so summaries can say *which* predicate held.
   std::vector<std::string> predicate_names;
 
+  /// Per-predicate Wilson intervals for the hold rates, aligned with
+  /// predicate_holds; filled (at ci_confidence) only for adaptive
+  /// campaigns.
+  std::vector<ConfidenceInterval> predicate_intervals;
+  /// Confidence level of predicate_intervals; 0 for fixed-budget
+  /// campaigns (no intervals computed).
+  double ci_confidence = 0.0;
+
   /// Sample violation descriptions (capped).
   std::vector<std::string> violations;
 
   /// True when a progress callback cancelled the campaign; only the runs
   /// counted above were executed.
   bool cancelled = false;
+  /// True when the adaptive stopping rule converged before the cap: every
+  /// monitored interval reached half-width <= ci_epsilon.
+  bool stopped_early = false;
 
   bool safety_clean() const {
     return agreement_violations == 0 && integrity_violations == 0 &&

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -27,9 +28,31 @@ CampaignEngine::CampaignEngine(CampaignConfig config)
                     "threads must be >= 0 (0 = hardware concurrency)");
   HOVAL_EXPECTS_MSG(config_.progress_batch > 0,
                     "progress_batch must be positive");
+  HOVAL_EXPECTS_MSG(config_.batch_size >= 0,
+                    "batch_size must be >= 0 (0 = auto)");
+  if (config_.adaptive.enabled) {
+    HOVAL_EXPECTS_MSG(config_.adaptive.min_runs > 0,
+                      "adaptive.min_runs must be positive");
+    HOVAL_EXPECTS_MSG(config_.adaptive.max_runs >= 0,
+                      "adaptive.max_runs must be >= 0 (0 = campaign runs)");
+    HOVAL_EXPECTS_MSG(config_.adaptive.ci_epsilon > 0.0,
+                      "adaptive.ci_epsilon must be positive");
+    HOVAL_EXPECTS_MSG(config_.adaptive.ci_confidence > 0.0 &&
+                          config_.adaptive.ci_confidence < 1.0,
+                      "adaptive.ci_confidence must be in (0, 1)");
+  }
+  cap_ = config_.adaptive.enabled ? config_.adaptive.cap(config_.runs)
+                                  : config_.runs;
   // More workers than runs would idle; clamp so threads() reports the
   // pool actually used.
-  if (threads_ > config_.runs) threads_ = config_.runs;
+  if (threads_ > cap_) threads_ = cap_;
+  if (config_.batch_size > 0) {
+    batch_ = config_.batch_size;
+  } else {
+    // Auto: roughly eight tasks per worker so the pool stays balanced even
+    // when per-run cost varies, clamped to something worth dispatching.
+    batch_ = std::clamp(cap_ / (threads_ * 8), 1, 64);
+  }
 }
 
 CampaignEngine::RunOutcome CampaignEngine::execute_run(
@@ -53,12 +76,11 @@ CampaignEngine::RunOutcome CampaignEngine::execute_run(
   RunOutcome outcome;
   outcome.executed = true;
   auto record_violation = [&](const std::string& kind, const std::string& detail) {
-    // Per-worker string budget keeps campaign memory bounded at
-    // threads * max_recorded_violations strings.  Each worker executes
-    // strictly increasing run indices, so any string among the first
-    // max_recorded in global run order has fewer than that many worker-
-    // local predecessors and is always formatted — the reduction still
-    // sees exactly the strings the serial path would keep.
+    // Per-worker string budget keeps campaign memory bounded.  Each worker
+    // claims strictly increasing run indices within a wave, so any string
+    // among the first max_recorded in global run order has fewer than that
+    // many worker-local predecessors and is always formatted — the
+    // reduction still sees exactly the strings the serial path would keep.
     if (*violation_budget <= 0) return;
     --*violation_budget;
     std::ostringstream os;
@@ -97,6 +119,7 @@ CampaignEngine::RunOutcome CampaignEngine::execute_run(
 CampaignResult CampaignEngine::reduce(
     const std::vector<RunOutcome>& outcomes) const {
   CampaignResult result;
+  result.runs_requested = cap_;
   result.predicate_holds.assign(config_.predicates.size(), 0);
   result.predicate_names.reserve(config_.predicates.size());
   for (const auto& predicate : config_.predicates)
@@ -120,7 +143,50 @@ CampaignResult CampaignEngine::reduce(
     for (std::size_t i = 0; i < outcome.predicate_holds.size(); ++i)
       result.predicate_holds[i] += outcome.predicate_holds[i];
   }
+
+  if (config_.adaptive.enabled) {
+    result.ci_confidence = config_.adaptive.ci_confidence;
+    result.predicate_intervals.reserve(result.predicate_holds.size());
+    for (const int holds : result.predicate_holds)
+      result.predicate_intervals.push_back(
+          wilson_interval(holds, result.runs, config_.adaptive.ci_confidence));
+  }
   return result;
+}
+
+bool CampaignEngine::converged_at(const std::vector<RunOutcome>& outcomes,
+                                  int boundary) const {
+  long long agreement_violations = 0;
+  long long terminated = 0;
+  std::vector<long long> predicate_holds(config_.predicates.size(), 0);
+  for (int run = 0; run < boundary; ++run) {
+    const RunOutcome& outcome = outcomes[static_cast<std::size_t>(run)];
+    agreement_violations += outcome.agreement_violation ? 1 : 0;
+    terminated += outcome.terminated ? 1 : 0;
+    for (std::size_t i = 0; i < outcome.predicate_holds.size(); ++i)
+      predicate_holds[i] += outcome.predicate_holds[i];
+  }
+  const StoppingRule& rule = config_.adaptive;
+  if (!rule.converged(agreement_violations, boundary)) return false;
+  if (!rule.converged(terminated, boundary)) return false;
+  for (const long long holds : predicate_holds)
+    if (!rule.converged(holds, boundary)) return false;
+  return true;
+}
+
+std::vector<int> CampaignEngine::wave_boundaries() const {
+  if (!config_.adaptive.enabled) return {cap_};
+  std::vector<int> boundaries;
+  int boundary = std::min(cap_, config_.adaptive.min_runs);
+  boundaries.push_back(boundary);
+  // Doubling keeps the number of barriers (and convergence checks)
+  // logarithmic while the sample size grows fast enough that a check that
+  // just missed converging is not re-run on a near-identical prefix.
+  while (boundary < cap_) {
+    boundary = boundary > cap_ / 2 ? cap_ : boundary * 2;
+    boundaries.push_back(boundary);
+  }
+  return boundaries;
 }
 
 CampaignResult CampaignEngine::run(const ValueGenerator& values,
@@ -129,7 +195,7 @@ CampaignResult CampaignEngine::run(const ValueGenerator& values,
   HOVAL_EXPECTS_MSG(values && instance && adversary,
                     "campaign builders must all be set");
 
-  const int total = config_.runs;
+  const int total = cap_;
   std::vector<RunOutcome> outcomes(static_cast<std::size_t>(total));
   std::atomic<int> next_run{0};
   std::atomic<int> completed{0};
@@ -156,34 +222,54 @@ CampaignResult CampaignEngine::run(const ValueGenerator& values,
       cancelled.store(true, std::memory_order_release);
   };
 
-  auto worker = [&] {
+  // Executes runs up to (excluding) wave_end, claiming contiguous blocks
+  // of `claim_size` run indices per dispatch.
+  auto worker = [&](int wave_end, int claim_size) {
     int violation_budget = config_.max_recorded_violations;
     for (;;) {
       if (cancelled.load(std::memory_order_acquire)) return;
-      const int run = next_run.fetch_add(1, std::memory_order_relaxed);
-      if (run >= total) return;
-      try {
-        outcomes[static_cast<std::size_t>(run)] =
-            execute_run(run, values, instance, adversary, &violation_budget);
-        completed.fetch_add(1, std::memory_order_acq_rel);
-        report_progress(false);  // user callback may throw too
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(control_mutex);
-        if (!first_error) first_error = std::current_exception();
-        cancelled.store(true, std::memory_order_release);
-        return;
+      int claim_begin = 0;
+      int current = next_run.load(std::memory_order_relaxed);
+      do {
+        if (current >= wave_end) return;
+        claim_begin = current;
+      } while (!next_run.compare_exchange_weak(
+          current, std::min(wave_end, current + claim_size),
+          std::memory_order_relaxed));
+      const int claim_end = std::min(wave_end, claim_begin + claim_size);
+      for (int run = claim_begin; run < claim_end; ++run) {
+        if (cancelled.load(std::memory_order_acquire)) return;
+        try {
+          outcomes[static_cast<std::size_t>(run)] =
+              execute_run(run, values, instance, adversary, &violation_budget);
+          completed.fetch_add(1, std::memory_order_acq_rel);
+          report_progress(false);  // user callback may throw too
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(control_mutex);
+          if (!first_error) first_error = std::current_exception();
+          cancelled.store(true, std::memory_order_release);
+          return;
+        }
       }
     }
   };
 
-  const int pool_size = threads_;  // constructor clamped to [1, runs]
-  if (pool_size <= 1) {
-    worker();
-  } else {
+  auto run_wave = [&](int wave_end) {
+    // Early adaptive waves can be much smaller than the cap; clamp the
+    // claim size so every worker gets at least one block per wave (batch
+    // size never affects results, only dispatch granularity).
+    const int wave_size = wave_end - next_run.load(std::memory_order_relaxed);
+    const int claim_size =
+        std::min(batch_, std::max(1, wave_size / threads_));
+    if (threads_ <= 1) {
+      worker(wave_end, claim_size);
+      return;
+    }
     std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(pool_size));
+    pool.reserve(static_cast<std::size_t>(threads_));
     try {
-      for (int t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+      for (int t = 0; t < threads_; ++t)
+        pool.emplace_back(worker, wave_end, claim_size);
     } catch (...) {
       // Thread spawn failed: stop the workers already running, join them,
       // and propagate instead of terminating via ~thread on a joinable.
@@ -192,13 +278,28 @@ CampaignResult CampaignEngine::run(const ValueGenerator& values,
       throw;
     }
     for (std::thread& thread : pool) thread.join();
+  };
+
+  bool stopped_early = false;
+  for (const int boundary : wave_boundaries()) {
+    run_wave(boundary);
+    if (first_error) std::rethrow_exception(first_error);
+    if (cancelled.load(std::memory_order_acquire)) break;
+    // Every run below `boundary` has completed: the convergence check sees
+    // a fixed prefix of outcomes, so the stop decision is a pure function
+    // of the config — identical at any thread count and batch size.
+    if (config_.adaptive.enabled && boundary < total &&
+        converged_at(outcomes, boundary)) {
+      stopped_early = true;
+      break;
+    }
   }
 
-  if (first_error) std::rethrow_exception(first_error);
   if (!cancelled.load(std::memory_order_acquire)) report_progress(true);
 
   CampaignResult result = reduce(outcomes);
   result.cancelled = cancelled.load(std::memory_order_acquire);
+  result.stopped_early = stopped_early;
   return result;
 }
 

@@ -8,11 +8,25 @@
 /// the serial driver always did — mix_seed(base_seed, run, 1) for initial
 /// values, mix_seed(base_seed, run, 2) for the fault schedule — so the
 /// outcome of every individual run is independent of which worker executes
-/// it.  Workers deposit per-run outcomes into slots indexed by run; a
-/// deterministic reduction in run-index order then rebuilds the aggregate
-/// CampaignResult (violation strings, decision-round samples, predicate
-/// tallies).  A campaign is therefore bit-identical for any thread count,
-/// including the diagnostic ordering of recorded violations.
+/// it.  Workers claim *contiguous blocks* of run indices per pool task
+/// (CampaignConfig::batch_size; 0 sizes the block automatically), which
+/// cuts dispatch overhead on cheap-per-run campaigns without affecting the
+/// result: outcomes land in slots indexed by run, and a deterministic
+/// reduction in run-index order rebuilds the aggregate CampaignResult
+/// (violation strings, decision-round samples, predicate tallies).  A
+/// campaign is therefore bit-identical for any thread count and any batch
+/// size, including the diagnostic ordering of recorded violations.
+///
+/// Adaptive sizing (CampaignConfig::adaptive, stats/interval.hpp) executes
+/// the run-index space in *waves* whose boundaries double from
+/// adaptive.min_runs up to the cap.  Every run below a boundary completes
+/// before the stopping rule is evaluated on exactly that prefix, so the
+/// stop decision — and with it the executed run set — depends only on run
+/// outcomes, never on thread timing: adaptive campaigns keep the same
+/// bit-identity guarantee.  The monitored proportions are the
+/// agreement-violation rate, the termination rate and each configured
+/// predicate's hold rate; the campaign stops at the first boundary where
+/// all of their Wilson intervals have half-width <= adaptive.ci_epsilon.
 ///
 /// Long sweeps can observe progress and cancel midway through the batched
 /// ProgressCallback on CampaignConfig; cancellation skips runs that have
@@ -33,8 +47,10 @@ namespace hoval {
 /// spins up a fresh pool).
 class CampaignEngine {
  public:
-  /// \throws PreconditionError on runs <= 0, threads < 0 or
-  ///         progress_batch <= 0.
+  /// \throws PreconditionError on runs <= 0, threads < 0, progress_batch
+  ///         <= 0, batch_size < 0, or invalid adaptive knobs (min_runs
+  ///         <= 0, max_runs < 0, ci_epsilon <= 0, ci_confidence outside
+  ///         (0, 1)).
   explicit CampaignEngine(CampaignConfig config);
 
   /// Executes every run and merges the outcomes.  The builders are invoked
@@ -48,8 +64,16 @@ class CampaignEngine {
                      const AdversaryBuilder& adversary) const;
 
   /// Resolved worker count: config.threads with 0 mapped to the hardware
-  /// concurrency, clamped to [1, config.runs] — the pool actually used.
+  /// concurrency, clamped to [1, run cap] — the pool actually used.
   int threads() const noexcept { return threads_; }
+
+  /// Resolved per-task block size: config.batch_size with 0 mapped to an
+  /// automatic size (roughly cap / (threads * 8), clamped to [1, 64]).
+  int batch_size() const noexcept { return batch_; }
+
+  /// The run cap this campaign may spend: config.runs, or
+  /// config.adaptive.cap(config.runs) when adaptive sizing is enabled.
+  int run_cap() const noexcept { return cap_; }
 
   const CampaignConfig& config() const noexcept { return config_; }
 
@@ -73,8 +97,8 @@ class CampaignEngine {
 
   /// `violation_budget` is the executing worker's remaining allowance of
   /// formatted violation strings (bounds campaign memory at
-  /// threads * max_recorded_violations strings without affecting which
-  /// strings the reduction ultimately keeps).
+  /// waves * threads * max_recorded_violations strings without affecting
+  /// which strings the reduction ultimately keeps).
   RunOutcome execute_run(int run, const ValueGenerator& values,
                          const InstanceBuilder& instance,
                          const AdversaryBuilder& adversary,
@@ -83,8 +107,18 @@ class CampaignEngine {
   /// Deterministic reduction in run-index order.
   CampaignResult reduce(const std::vector<RunOutcome>& outcomes) const;
 
+  /// Stopping-rule check on the fully-executed prefix [0, boundary).
+  bool converged_at(const std::vector<RunOutcome>& outcomes,
+                    int boundary) const;
+
+  /// The deterministic wave boundaries: {cap} for fixed-budget campaigns;
+  /// min_runs doubling up to the cap for adaptive ones.
+  std::vector<int> wave_boundaries() const;
+
   CampaignConfig config_;
   int threads_ = 1;
+  int cap_ = 0;
+  int batch_ = 1;
 };
 
 }  // namespace hoval

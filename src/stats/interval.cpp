@@ -1,0 +1,108 @@
+#include "stats/interval.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace hoval {
+
+std::string ConfidenceInterval::to_string(int precision) const {
+  std::ostringstream os;
+  os << "[" << format_double(lower, precision) << ", "
+     << format_double(upper, precision) << "]";
+  return os.str();
+}
+
+namespace {
+
+/// Acklam's rational approximation to the standard normal quantile,
+/// |relative error| < 1.15e-9 over (0, 1).
+double acklam(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+double normal_quantile(double p) {
+  HOVAL_EXPECTS_MSG(p > 0.0 && p < 1.0,
+                    "normal_quantile requires p in (0, 1)");
+  double x = acklam(p);
+  // One Halley refinement against the exact CDF (via erfc) pushes the
+  // approximation error below 1e-12.
+  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * 3.14159265358979323846) *
+                   std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double two_sided_z(double confidence) {
+  HOVAL_EXPECTS_MSG(confidence > 0.0 && confidence < 1.0,
+                    "confidence level must be in (0, 1)");
+  return normal_quantile(0.5 + confidence / 2.0);
+}
+
+ConfidenceInterval wilson_interval(long long successes, long long trials,
+                                   double confidence) {
+  HOVAL_EXPECTS_MSG(successes >= 0 && successes <= trials,
+                    "successes must be in [0, trials]");
+  if (trials == 0) return ConfidenceInterval{};  // vacuous [0, 1]
+  const double z = two_sided_z(confidence);
+  const double n = static_cast<double>(trials);
+  const double p_hat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p_hat + z2 / (2.0 * n)) / denom;
+  const double spread =
+      (z / denom) * std::sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n));
+  ConfidenceInterval interval;
+  // Clamp exactly at the all/none extremes: the analytic bound is 0 resp.
+  // 1 there, and floating-point residue must not leak a bound like 1e-17
+  // into reports.
+  interval.lower =
+      successes == 0 ? 0.0 : std::max(0.0, center - spread);
+  interval.upper =
+      successes == trials ? 1.0 : std::min(1.0, center + spread);
+  return interval;
+}
+
+bool StoppingRule::converged(long long successes, long long trials) const {
+  return wilson_interval(successes, trials, ci_confidence).half_width() <=
+         ci_epsilon;
+}
+
+bool operator==(const StoppingRule& a, const StoppingRule& b) noexcept {
+  return a.enabled == b.enabled && a.min_runs == b.min_runs &&
+         a.max_runs == b.max_runs && a.ci_epsilon == b.ci_epsilon &&
+         a.ci_confidence == b.ci_confidence;
+}
+
+}  // namespace hoval

@@ -1,0 +1,145 @@
+/// Deterministic fuzzing of the util/json.hpp parser: seeded mutations of
+/// the checked-in scenario corpus (plus purely random documents) must
+/// never crash the parser, and anything it *accepts* must be internally
+/// consistent — dump() must re-parse to an equal document (no
+/// accept-then-misparse).  Runs under the regular ctest invocation, so the
+/// ASan/UBSan CI jobs exercise exactly these inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace hoval {
+namespace {
+
+std::vector<std::string> corpus_documents() {
+  std::vector<std::string> documents;
+  const std::filesystem::path corpus =
+      std::filesystem::path(HOVAL_SOURCE_DIR) / "examples" / "scenarios";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus))
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  // directory_iterator order is unspecified; sort for a deterministic
+  // mutation schedule.
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    documents.push_back(text.str());
+  }
+  return documents;
+}
+
+/// Parse must either throw JsonError or produce a document whose dump
+/// re-parses to an equal value.  Returns true when the input was accepted.
+bool parse_never_misbehaves(const std::string& text) {
+  Json document;
+  try {
+    document = Json::parse(text);
+  } catch (const JsonError&) {
+    return false;  // rejection is always fine
+  }
+  // Accepted: the document must survive its own serialisation, compact
+  // and pretty-printed.
+  const Json compact = Json::parse(document.dump());
+  EXPECT_TRUE(compact == document) << "compact dump re-parsed differently";
+  const Json pretty = Json::parse(document.dump(2));
+  EXPECT_TRUE(pretty == document) << "pretty dump re-parsed differently";
+  return true;
+}
+
+std::string mutate(const std::string& base, Rng& rng) {
+  std::string text = base;
+  const int edits = 1 + static_cast<int>(rng.below(8));
+  for (int edit = 0; edit < edits && !text.empty(); ++edit) {
+    const auto position = static_cast<std::size_t>(rng.below(text.size()));
+    switch (rng.below(5)) {
+      case 0:  // flip a bit
+        text[position] = static_cast<char>(
+            static_cast<unsigned char>(text[position]) ^ (1u << rng.below(8)));
+        break;
+      case 1:  // overwrite with a random byte
+        text[position] = static_cast<char>(rng.below(256));
+        break;
+      case 2:  // delete a byte
+        text.erase(position, 1);
+        break;
+      case 3:  // insert a structural character (most likely to confuse)
+        text.insert(position, 1, "{}[],:\"\\0123456789eE+-."[rng.below(23)]);
+        break;
+      case 4:  // truncate
+        text.resize(position);
+        break;
+    }
+  }
+  return text;
+}
+
+TEST(JsonFuzz, MutatedScenarioCorpusNeverCrashesOrMisparses) {
+  const std::vector<std::string> corpus = corpus_documents();
+  ASSERT_GE(corpus.size(), 5u) << "scenario corpus missing?";
+  Rng rng(0xF0021);
+  long long accepted = 0;
+  for (int round = 0; round < 400; ++round)
+    for (const std::string& document : corpus)
+      if (parse_never_misbehaves(mutate(document, rng))) ++accepted;
+  // Single-byte-ish mutations of valid JSON frequently stay valid (e.g. a
+  // digit flip inside a number); if nothing was accepted the mutator is
+  // broken and the round-trip arm above never ran.
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(JsonFuzz, RandomBytesNeverCrash) {
+  Rng rng(0xF0022);
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string text(rng.below(64), '\0');
+    for (char& c : text) c = static_cast<char>(rng.below(256));
+    parse_never_misbehaves(text);
+  }
+}
+
+TEST(JsonFuzz, StructuredGarbageNeverCrashes) {
+  // Sequences over JSON's own alphabet reach deeper parser states than
+  // uniformly random bytes.
+  static constexpr char kAlphabet[] = "{}[],:\"tfn\\ue0123456789 .+-x";
+  Rng rng(0xF0023);
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string text(rng.below(48), '\0');
+    for (char& c : text) c = kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+    parse_never_misbehaves(text);
+  }
+}
+
+TEST(JsonFuzz, MutatedCorpusThroughScenarioLayerNeverCrashes) {
+  // One layer up: whatever still parses as JSON is fed to the scenario
+  // validator, which must either throw ScenarioError or yield a spec that
+  // round-trips losslessly.
+  const std::vector<std::string> corpus = corpus_documents();
+  Rng rng(0xF0024);
+  for (int round = 0; round < 60; ++round) {
+    for (const std::string& document : corpus) {
+      const std::string text = mutate(document, rng);
+      try {
+        const ScenarioSpec spec = ScenarioSpec::from_json_text(text);
+        const ScenarioSpec reparsed =
+            ScenarioSpec::from_json_text(spec.to_json_text());
+        EXPECT_TRUE(reparsed == spec) << "scenario round trip diverged";
+      } catch (const ScenarioError&) {
+        // rejection with a diagnostic is the expected common case
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hoval

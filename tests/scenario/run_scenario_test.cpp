@@ -215,7 +215,7 @@ TEST(RunScenario, SweepRunsOneCampaignPerPoint) {
   sweep.base = fig1_spec(1);
   sweep.base.campaign.runs = 10;
   sweep.axes.push_back(
-      SweepAxis{"algorithm.params.alpha", {Json(0), Json(1), Json(2)}});
+      SweepAxis::single("algorithm.params.alpha", {Json(0), Json(1), Json(2)}));
   sweep.reseed_per_point = true;
   const auto results = run_sweep(sweep);
   ASSERT_EQ(results.size(), 3u);
@@ -236,7 +236,7 @@ TEST(RunScenario, SweepFailsBeforeRunningOnBadSubstitution) {
   sweep.base = fig1_spec(1);
   // Substituting a negative run count must fail at resolve time — for
   // *every* point, before any campaign runs.
-  sweep.axes.push_back(SweepAxis{"campaign.runs", {Json(10), Json(-1)}});
+  sweep.axes.push_back(SweepAxis::single("campaign.runs", {Json(10), Json(-1)}));
   EXPECT_THROW(run_sweep(sweep), ScenarioError);
 }
 

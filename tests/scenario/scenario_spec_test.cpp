@@ -27,6 +27,12 @@ ScenarioSpec full_spec() {
   spec.campaign.seed = 0xDEADBEEFCAFE;
   spec.campaign.threads = 4;
   spec.campaign.max_recorded_violations = 2;
+  spec.campaign.batch_size = 16;
+  spec.campaign.adaptive.enabled = true;
+  spec.campaign.adaptive.min_runs = 20;
+  spec.campaign.adaptive.max_runs = 500;
+  spec.campaign.adaptive.ci_epsilon = 0.015;
+  spec.campaign.adaptive.ci_confidence = 0.99;
   return spec;
 }
 
@@ -45,6 +51,44 @@ TEST(ScenarioSpec, DefaultSpecFieldsRoundTrip) {
   EXPECT_TRUE(reparsed == spec);
   EXPECT_EQ(reparsed.values.name, "random");
   EXPECT_TRUE(reparsed.adversaries.empty());
+}
+
+TEST(ScenarioSpec, AdaptiveKnobsRoundTrip) {
+  // Non-default adaptive knobs with enabled = false must survive the trip
+  // too (the document keeps the tuning while running the fixed budget).
+  ScenarioSpec spec;
+  spec.algorithm = component("otr", {{"n", 9}});
+  spec.campaign.adaptive.ci_epsilon = 0.005;
+  const ScenarioSpec reparsed = ScenarioSpec::from_json_text(spec.to_json_text());
+  EXPECT_TRUE(reparsed == spec);
+  EXPECT_FALSE(reparsed.campaign.adaptive.enabled);
+  EXPECT_DOUBLE_EQ(reparsed.campaign.adaptive.ci_epsilon, 0.005);
+}
+
+TEST(ScenarioSpec, AdaptiveObjectPresenceImpliesEnabled) {
+  const ScenarioSpec spec = ScenarioSpec::from_json_text(R"({
+    "algorithm": {"name": "ate", "params": {"n": 9}},
+    "campaign": {"runs": 400, "adaptive": {"ci_epsilon": 0.01}}
+  })");
+  EXPECT_TRUE(spec.campaign.adaptive.enabled);
+  EXPECT_DOUBLE_EQ(spec.campaign.adaptive.ci_epsilon, 0.01);
+  EXPECT_EQ(spec.campaign.adaptive.min_runs, StoppingRule{}.min_runs);
+}
+
+TEST(ScenarioSpec, DefaultedAdaptiveAndBatchSizeStayOutOfTheDocument) {
+  ScenarioSpec spec;
+  spec.algorithm = component("otr", {{"n", 9}});
+  const std::string text = spec.to_json_text();
+  EXPECT_EQ(text.find("adaptive"), std::string::npos);
+  EXPECT_EQ(text.find("batch_size"), std::string::npos);
+}
+
+TEST(ScenarioSpec, UnknownAdaptiveKnobFails) {
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({
+    "algorithm": {"name": "ate", "params": {"n": 9}},
+    "campaign": {"adaptive": {"ci_epsilom": 0.01}}
+  })"),
+               ScenarioError);
 }
 
 TEST(ScenarioSpec, AcceptsComponentShorthand) {
@@ -142,8 +186,8 @@ SweepSpec demo_sweep() {
   SweepSpec sweep;
   sweep.base = ScenarioSpec();
   sweep.base.algorithm = component("ate", {{"n", 8}, {"alpha", 1}});
-  sweep.axes.push_back(SweepAxis{"algorithm.params.alpha", {Json(0), Json(1)}});
-  sweep.axes.push_back(SweepAxis{"campaign.runs", {Json(10), Json(20), Json(30)}});
+  sweep.axes.push_back(SweepAxis::single("algorithm.params.alpha", {Json(0), Json(1)}));
+  sweep.axes.push_back(SweepAxis::single("campaign.runs", {Json(10), Json(20), Json(30)}));
   return sweep;
 }
 
@@ -183,7 +227,7 @@ TEST(SweepSpec, ExpandCanCreateOmittedParamMembers) {
   // object entirely; sweeping a path through it must still work.
   SweepSpec sweep;
   sweep.base.algorithm = component("otr");
-  sweep.axes.push_back(SweepAxis{"algorithm.params.n", {Json(6), Json(9)}});
+  sweep.axes.push_back(SweepAxis::single("algorithm.params.n", {Json(6), Json(9)}));
   const auto points = sweep.expand();
   ASSERT_EQ(points.size(), 2u);
   EXPECT_EQ(points[1].algorithm.params.at("n").as_int(), 9);
@@ -192,16 +236,16 @@ TEST(SweepSpec, ExpandCanCreateOmittedParamMembers) {
 TEST(SweepSpec, BadPathsFail) {
   SweepSpec sweep;
   sweep.base.algorithm = component("ate", {{"n", 8}});
-  sweep.axes.push_back(SweepAxis{"adversary.3.params.alpha", {Json(1)}});
+  sweep.axes.push_back(SweepAxis::single("adversary.3.params.alpha", {Json(1)}));
   EXPECT_THROW(sweep.expand(), ScenarioError);  // index out of range
 
-  sweep.axes[0] = SweepAxis{"algorithm.name.deeper", {Json(1)}};
+  sweep.axes[0] = SweepAxis::single("algorithm.name.deeper", {Json(1)});
   EXPECT_THROW(sweep.expand(), ScenarioError);  // descend into a scalar
 
-  sweep.axes[0] = SweepAxis{"adversary.1x.params.alpha", {Json(1)}};
+  sweep.axes[0] = SweepAxis::single("adversary.1x.params.alpha", {Json(1)});
   EXPECT_THROW(sweep.expand(), ScenarioError);  // "1x" is not an array index
 
-  sweep.axes[0] = SweepAxis{"algorithm.params.alpha", {}};
+  sweep.axes[0] = SweepAxis::single("algorithm.params.alpha", {});
   EXPECT_THROW(sweep.expand(), ScenarioError);  // empty axis
 }
 
@@ -209,7 +253,7 @@ TEST(SweepSpec, SeedAxisConflictsWithReseedPerPoint) {
   SweepSpec sweep;
   sweep.base.algorithm = component("ate", {{"n", 8}});
   sweep.axes.push_back(
-      SweepAxis{"campaign.seed", {Json(1), Json(2), Json(3)}});
+      SweepAxis::single("campaign.seed", {Json(1), Json(2), Json(3)}));
   EXPECT_EQ(sweep.expand().size(), 3u);  // fine without reseeding
   sweep.reseed_per_point = true;
   EXPECT_THROW(sweep.expand(), ScenarioError);
@@ -219,8 +263,96 @@ TEST(SweepSpec, SubstitutionsAreRevalidated) {
   SweepSpec sweep;
   sweep.base.algorithm = component("ate", {{"n", 8}});
   // Substituting an unknown algorithm name must fail at expansion.
-  sweep.axes.push_back(SweepAxis{"algorithm.name", {Json("utea"), Json("nope")}});
+  sweep.axes.push_back(SweepAxis::single("algorithm.name", {Json("utea"), Json("nope")}));
   EXPECT_THROW(sweep.expand(), ScenarioError);
+}
+
+TEST(SweepSpec, LinkedAxisSubstitutesAllPathsTogether) {
+  // A linked axis co-varies several fields per point — the shape the bench
+  // grids need (per-point horizons and seeds).
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 8}, {"alpha", 1}});
+  sweep.axes.push_back(SweepAxis::linked(
+      {"algorithm.params.alpha", "campaign.rounds", "campaign.seed"},
+      {{Json(0), Json(20), Json(100)},
+       {Json(1), Json(40), Json(200)},
+       {Json(2), Json(80), Json(300)}}));
+  const auto points = sweep.expand();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].algorithm.params.at("alpha").as_int(), 0);
+  EXPECT_EQ(points[0].campaign.rounds, 20);
+  EXPECT_EQ(points[0].campaign.seed, 100u);
+  EXPECT_EQ(points[2].algorithm.params.at("alpha").as_int(), 2);
+  EXPECT_EQ(points[2].campaign.rounds, 80);
+  EXPECT_EQ(points[2].campaign.seed, 300u);
+}
+
+TEST(SweepSpec, LinkedAxisComposesWithScalarAxes) {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 8}, {"alpha", 1}});
+  sweep.axes.push_back(SweepAxis::linked(
+      {"algorithm.params.alpha", "campaign.seed"},
+      {{Json(0), Json(10)}, {Json(1), Json(20)}}));
+  sweep.axes.push_back(
+      SweepAxis::single("campaign.runs", {Json(5), Json(7), Json(9)}));
+  const auto points = sweep.expand();
+  ASSERT_EQ(points.size(), 6u);  // 2 linked tuples x 3 runs (last fastest)
+  EXPECT_EQ(points[0].campaign.seed, 10u);
+  EXPECT_EQ(points[0].campaign.runs, 5);
+  EXPECT_EQ(points[4].campaign.seed, 20u);
+  EXPECT_EQ(points[4].campaign.runs, 7);
+}
+
+TEST(SweepSpec, LinkedAxisValidatesTupleArity) {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 8}});
+  sweep.axes.push_back(SweepAxis::linked(
+      {"algorithm.params.alpha", "campaign.seed"}, {{Json(0)}}));
+  EXPECT_THROW(sweep.expand(), ScenarioError);  // tuple shorter than paths
+}
+
+TEST(SweepSpec, LinkedSeedPathConflictsWithReseedPerPoint) {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 8}});
+  sweep.axes.push_back(SweepAxis::linked(
+      {"algorithm.params.alpha", "campaign.seed"},
+      {{Json(0), Json(1)}, {Json(1), Json(2)}}));
+  sweep.reseed_per_point = true;
+  EXPECT_THROW(sweep.expand(), ScenarioError);
+}
+
+TEST(SweepSpec, LinkedAxisRoundTripsThroughJson) {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 8}, {"alpha", 1}});
+  sweep.axes.push_back(SweepAxis::linked(
+      {"algorithm.params.alpha", "campaign.seed"},
+      {{Json(0), Json(7)}, {Json(2), Json(9)}}));
+  sweep.axes.push_back(SweepAxis::single("campaign.runs", {Json(5)}));
+  const SweepSpec reparsed = SweepSpec::from_json_text(sweep.to_json().dump(2));
+  ASSERT_EQ(reparsed.axes.size(), 2u);
+  EXPECT_EQ(reparsed.axes[0].paths, sweep.axes[0].paths);
+  EXPECT_EQ(reparsed.axes[0].points, sweep.axes[0].points);
+  EXPECT_EQ(reparsed.axes[1].paths, sweep.axes[1].paths);
+  EXPECT_EQ(reparsed.to_json().dump(), sweep.to_json().dump());
+  // The document uses the linked form for axis 0, the scalar form for
+  // axis 1.
+  const std::string text = sweep.to_json().dump();
+  EXPECT_NE(text.find("\"paths\""), std::string::npos);
+  EXPECT_NE(text.find("\"path\""), std::string::npos);
+}
+
+TEST(SweepSpec, AxisRejectsPathAndPathsTogether) {
+  EXPECT_THROW(SweepSpec::from_json_text(R"({
+    "scenario": {"algorithm": {"name": "ate", "params": {"n": 8}}},
+    "axes": [{"path": "campaign.runs", "paths": ["campaign.runs"],
+              "points": [5]}]
+  })"),
+               ScenarioError);
+  EXPECT_THROW(SweepSpec::from_json_text(R"({
+    "scenario": {"algorithm": {"name": "ate", "params": {"n": 8}}},
+    "axes": [{"points": [5]}]
+  })"),
+               ScenarioError);
 }
 
 TEST(SweepSpec, RoundTripsThroughJson) {
@@ -230,7 +362,7 @@ TEST(SweepSpec, RoundTripsThroughJson) {
   EXPECT_TRUE(reparsed.base == sweep.base);
   ASSERT_EQ(reparsed.axes.size(), sweep.axes.size());
   for (std::size_t i = 0; i < sweep.axes.size(); ++i) {
-    EXPECT_EQ(reparsed.axes[i].path, sweep.axes[i].path);
+    EXPECT_EQ(reparsed.axes[i].paths, sweep.axes[i].paths);
     EXPECT_EQ(reparsed.axes[i].points, sweep.axes[i].points);
   }
   EXPECT_EQ(reparsed.reseed_per_point, true);

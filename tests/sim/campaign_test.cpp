@@ -135,6 +135,46 @@ TEST(Campaign, SummaryMarksCancelledCampaigns) {
   EXPECT_NE(result.summary().find("[cancelled]"), std::string::npos);
 }
 
+TEST(Campaign, RatesDivideByRunsExecutedNotRequested) {
+  // An early-stopped adaptive campaign executed fewer runs than requested;
+  // every rate (and every "x/y" in the summary) must divide by the runs
+  // that actually happened, or the report understates them 4x here.
+  CampaignResult result;
+  result.runs = 50;
+  result.runs_requested = 200;
+  result.terminated = 25;
+  result.agreement_violations = 5;
+  result.predicate_holds = {40};
+  result.predicate_names = {"p-alpha"};
+  result.ci_confidence = 0.95;
+  result.stopped_early = true;
+  result.predicate_intervals = {wilson_interval(40, 50, 0.95)};
+
+  EXPECT_DOUBLE_EQ(result.termination_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(result.agreement_rate(), 0.9);
+  const auto s = result.summary();
+  EXPECT_NE(s.find("50/200 runs (adaptive, stopped early)"), std::string::npos);
+  EXPECT_NE(s.find("terminated 50.0%"), std::string::npos);
+  EXPECT_NE(s.find("p-alpha 40/50"), std::string::npos);
+  EXPECT_EQ(s.find("40/200"), std::string::npos);
+}
+
+TEST(Campaign, FixedBudgetSummaryUnchangedByNewFields) {
+  // The classic rendering is a stability contract: fixed-budget campaigns
+  // must summarise exactly as they did before adaptive sizing existed.
+  CampaignResult result;
+  result.runs = 12;
+  result.runs_requested = 12;
+  result.terminated = 12;
+  result.last_decision_rounds.add(4.0);
+  result.predicate_holds = {12};
+  result.predicate_names = {"p-alpha"};
+  EXPECT_EQ(result.summary(),
+            "12 runs: agreement ok, integrity ok, terminated 100.0%, "
+            "decided by round 4.00 (median 4.0, max 4), predicates: "
+            "p-alpha 12/12");
+}
+
 TEST(Campaign, RejectsEmptyConfig) {
   CampaignConfig config;
   config.runs = 0;

@@ -49,6 +49,7 @@ void expect_identical(const CampaignResult& a, const CampaignResult& b) {
   EXPECT_EQ(a.last_decision_rounds.samples(), b.last_decision_rounds.samples());
   EXPECT_EQ(a.first_decision_rounds.samples(), b.first_decision_rounds.samples());
   EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.runs_requested, b.runs_requested);
   EXPECT_EQ(a.agreement_violations, b.agreement_violations);
   EXPECT_EQ(a.integrity_violations, b.integrity_violations);
   EXPECT_EQ(a.irrevocability_violations, b.irrevocability_violations);
@@ -56,6 +57,14 @@ void expect_identical(const CampaignResult& a, const CampaignResult& b) {
   EXPECT_EQ(a.predicate_holds, b.predicate_holds);
   EXPECT_EQ(a.violations, b.violations);
   EXPECT_EQ(a.cancelled, b.cancelled);
+  EXPECT_EQ(a.stopped_early, b.stopped_early);
+  EXPECT_EQ(a.ci_confidence, b.ci_confidence);
+  ASSERT_EQ(a.predicate_intervals.size(), b.predicate_intervals.size());
+  for (std::size_t i = 0; i < a.predicate_intervals.size(); ++i) {
+    EXPECT_EQ(a.predicate_intervals[i].lower, b.predicate_intervals[i].lower);
+    EXPECT_EQ(a.predicate_intervals[i].upper, b.predicate_intervals[i].upper);
+  }
+  EXPECT_EQ(a.summary(), b.summary());
 }
 
 CampaignResult run_with_threads(CampaignConfig config, int threads) {
@@ -72,6 +81,127 @@ TEST(CampaignEngine, ResultIdenticalAcrossThreadCounts) {
   expect_identical(serial, two);
   expect_identical(serial, eight);
   EXPECT_EQ(serial.runs, 64);
+  EXPECT_EQ(serial.runs_requested, 64);
+}
+
+TEST(CampaignEngine, ResultIdenticalAcrossBatchSizes) {
+  // Batched task claims must not change anything — not the tallies, not
+  // the sample order, not the recorded violation strings.
+  auto run_with_batch = [](int batch_size, int threads) {
+    auto config = base_config(64);
+    config.batch_size = batch_size;
+    return run_with_threads(config, threads);
+  };
+  const auto reference = run_with_threads(base_config(64), 1);
+  for (const int batch_size : {1, 7, 64}) {
+    for (const int threads : {1, 2, 8}) {
+      const auto batched = run_with_batch(batch_size, threads);
+      expect_identical(reference, batched);
+    }
+  }
+}
+
+TEST(CampaignEngine, ResolvesBatchSize) {
+  auto config = base_config(640);
+  config.threads = 4;
+  config.batch_size = 0;  // auto: 640 / (4 * 8) = 20
+  EXPECT_EQ(CampaignEngine(config).batch_size(), 20);
+  config.batch_size = 7;
+  EXPECT_EQ(CampaignEngine(config).batch_size(), 7);
+  config.runs = 4;
+  config.batch_size = 0;  // tiny campaign: auto clamps to 1
+  EXPECT_EQ(CampaignEngine(config).batch_size(), 1);
+}
+
+CampaignConfig adaptive_config(int cap, double epsilon) {
+  auto config = base_config(cap);
+  config.adaptive.enabled = true;
+  config.adaptive.min_runs = 32;
+  config.adaptive.ci_epsilon = epsilon;
+  config.adaptive.ci_confidence = 0.95;
+  return config;
+}
+
+TEST(CampaignEngine, AdaptiveResultIdenticalAcrossThreadsAndBatches) {
+  // The stopping decision is evaluated on fully-executed deterministic
+  // prefixes, so the executed run set — and the whole result — must be
+  // bit-identical at any thread count and batch size.
+  const auto reference = run_with_threads(adaptive_config(512, 0.04), 1);
+  for (const int threads : {1, 2, 8}) {
+    for (const int batch_size : {1, 7, 64}) {
+      auto config = adaptive_config(512, 0.04);
+      config.batch_size = batch_size;
+      expect_identical(reference, run_with_threads(config, threads));
+    }
+  }
+}
+
+TEST(CampaignEngine, AdaptiveStopsEarlyOnConvergedIntervals) {
+  // This workload terminates essentially always and holds both predicates,
+  // so every monitored proportion converges fast.
+  const auto result = run_with_threads(adaptive_config(4096, 0.05), 4);
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_LT(result.runs, 4096);
+  EXPECT_GE(result.runs, 32);  // min_runs floor
+  EXPECT_EQ(result.runs_requested, 4096);
+  EXPECT_DOUBLE_EQ(result.ci_confidence, 0.95);
+  ASSERT_EQ(result.predicate_intervals.size(), 2u);
+  for (const auto& interval : result.predicate_intervals)
+    EXPECT_LE(interval.half_width(), 0.05);
+  // The summary reports runs-executed over runs-requested.
+  EXPECT_NE(result.summary().find("(adaptive, stopped early)"),
+            std::string::npos);
+}
+
+TEST(CampaignEngine, AdaptiveNeverStopsBelowMinRuns) {
+  auto config = adaptive_config(256, 0.5);  // epsilon so loose any n works
+  config.adaptive.min_runs = 48;
+  const auto result = run_with_threads(config, 2);
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_EQ(result.runs, 48);
+}
+
+TEST(CampaignEngine, AdaptiveRunsToCapWhenEpsilonUnreachable) {
+  // An impossibly tight target degenerates to the fixed budget: every run
+  // executes and the result matches the non-adaptive campaign run for run.
+  const auto fixed = run_with_threads(base_config(96), 2);
+  auto config = adaptive_config(96, 1e-9);
+  const auto adaptive = run_with_threads(config, 8);
+  EXPECT_FALSE(adaptive.stopped_early);
+  EXPECT_EQ(adaptive.runs, 96);
+  EXPECT_EQ(adaptive.runs_requested, 96);
+  EXPECT_EQ(adaptive.predicate_holds, fixed.predicate_holds);
+  EXPECT_EQ(adaptive.terminated, fixed.terminated);
+  EXPECT_EQ(adaptive.violations, fixed.violations);
+  EXPECT_EQ(adaptive.last_decision_rounds.samples(),
+            fixed.last_decision_rounds.samples());
+}
+
+TEST(CampaignEngine, AdaptiveMaxRunsExtendsBeyondCampaignRuns) {
+  // max_runs > runs lets one config serve as both the fixed budget and a
+  // larger adaptive cap.
+  auto config = adaptive_config(64, 1e-9);
+  config.adaptive.max_runs = 160;
+  const auto result = run_with_threads(config, 4);
+  EXPECT_EQ(result.runs, 160);
+  EXPECT_EQ(result.runs_requested, 160);
+}
+
+TEST(CampaignEngine, ValidatesAdaptiveConfig) {
+  auto config = adaptive_config(64, 0.05);
+  config.adaptive.min_runs = 0;
+  EXPECT_THROW(CampaignEngine{config}, PreconditionError);
+  config = adaptive_config(64, 0.0);
+  EXPECT_THROW(CampaignEngine{config}, PreconditionError);
+  config = adaptive_config(64, 0.05);
+  config.adaptive.ci_confidence = 1.0;
+  EXPECT_THROW(CampaignEngine{config}, PreconditionError);
+  config = adaptive_config(64, 0.05);
+  config.adaptive.max_runs = -1;
+  EXPECT_THROW(CampaignEngine{config}, PreconditionError);
+  config = base_config(64);
+  config.batch_size = -1;
+  EXPECT_THROW(CampaignEngine{config}, PreconditionError);
 }
 
 TEST(CampaignEngine, ViolationRecordingDeterministicNearCap) {

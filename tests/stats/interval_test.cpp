@@ -1,0 +1,150 @@
+#include "stats/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+// Reference values computed independently (Python statistics.NormalDist
+// inverse CDF + the Wilson score formula, double precision).
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.9599639845400536, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.995), 2.5758293035489, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.9), 1.2815515655446008, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.6), 0.2533471031357998, 1e-9);
+  // Symmetry: Phi^{-1}(p) = -Phi^{-1}(1 - p).
+  EXPECT_NEAR(normal_quantile(0.025), -normal_quantile(0.975), 1e-9);
+  // The tail branches of the approximation.
+  EXPECT_NEAR(normal_quantile(0.0001), -normal_quantile(0.9999), 1e-9);
+}
+
+TEST(NormalQuantile, RejectsOutOfDomain) {
+  EXPECT_THROW(normal_quantile(0.0), PreconditionError);
+  EXPECT_THROW(normal_quantile(1.0), PreconditionError);
+  EXPECT_THROW(normal_quantile(-0.5), PreconditionError);
+}
+
+TEST(TwoSidedZ, MatchesTextbookValues) {
+  EXPECT_NEAR(two_sided_z(0.95), 1.9599639845400536, 1e-9);
+  EXPECT_NEAR(two_sided_z(0.99), 2.5758293035489, 1e-9);
+  EXPECT_THROW(two_sided_z(0.0), PreconditionError);
+  EXPECT_THROW(two_sided_z(1.0), PreconditionError);
+}
+
+TEST(WilsonInterval, KnownValues) {
+  const auto mid = wilson_interval(8, 10, 0.95);
+  EXPECT_NEAR(mid.lower, 0.49016247153664183, 1e-9);
+  EXPECT_NEAR(mid.upper, 0.9433178485456247, 1e-9);
+  EXPECT_NEAR(mid.half_width(), 0.22657768850449145, 1e-9);
+
+  const auto half = wilson_interval(50, 100, 0.95);
+  EXPECT_NEAR(half.lower, 0.4038315303659957, 1e-9);
+  EXPECT_NEAR(half.upper, 0.5961684696340044, 1e-9);
+
+  const auto rare = wilson_interval(1, 30, 0.99);
+  EXPECT_NEAR(rare.lower, 0.003925688565395324, 1e-9);
+  EXPECT_NEAR(rare.upper, 0.23177571643817468, 1e-9);
+
+  const auto big = wilson_interval(493, 1000, 0.9);
+  EXPECT_NEAR(big.lower, 0.4670491177235912, 1e-9);
+  EXPECT_NEAR(big.upper, 0.5189886576817654, 1e-9);
+}
+
+TEST(WilsonInterval, ExtremesStayInsideUnitInterval) {
+  // The Wald interval degenerates to a point at p-hat = 0 / 1; Wilson must
+  // not (that honesty is why adaptive campaigns can trust it).
+  const auto none = wilson_interval(0, 20, 0.95);
+  EXPECT_DOUBLE_EQ(none.lower, 0.0);
+  EXPECT_NEAR(none.upper, 0.1611251580528193, 1e-9);
+  EXPECT_GT(none.half_width(), 0.0);
+
+  const auto all = wilson_interval(20, 20, 0.95);
+  EXPECT_NEAR(all.lower, 0.8388748419471808, 1e-9);
+  EXPECT_DOUBLE_EQ(all.upper, 1.0);
+
+  const auto single = wilson_interval(1, 1, 0.95);
+  EXPECT_NEAR(single.lower, 0.20654931437723745, 1e-9);
+  EXPECT_DOUBLE_EQ(single.upper, 1.0);
+}
+
+TEST(WilsonInterval, ZeroTrialsIsVacuous) {
+  const auto vacuous = wilson_interval(0, 0, 0.95);
+  EXPECT_DOUBLE_EQ(vacuous.lower, 0.0);
+  EXPECT_DOUBLE_EQ(vacuous.upper, 1.0);
+  EXPECT_DOUBLE_EQ(vacuous.half_width(), 0.5);
+}
+
+TEST(WilsonInterval, WidthShrinksWithSampleSize) {
+  double previous = 1.0;
+  for (const long long n : {10LL, 40LL, 160LL, 640LL, 2560LL}) {
+    const double width = wilson_interval(n / 2, n, 0.95).half_width();
+    EXPECT_LT(width, previous);
+    previous = width;
+  }
+  // Roughly 1/sqrt(n): quadrupling n about halves the width.
+  EXPECT_NEAR(wilson_interval(320, 640, 0.95).half_width() /
+                  wilson_interval(1280, 2560, 0.95).half_width(),
+              2.0, 0.1);
+}
+
+TEST(WilsonInterval, WidthGrowsWithConfidence) {
+  EXPECT_LT(wilson_interval(30, 100, 0.9).half_width(),
+            wilson_interval(30, 100, 0.95).half_width());
+  EXPECT_LT(wilson_interval(30, 100, 0.95).half_width(),
+            wilson_interval(30, 100, 0.999).half_width());
+}
+
+TEST(WilsonInterval, RejectsBadArguments) {
+  EXPECT_THROW(wilson_interval(-1, 10, 0.95), PreconditionError);
+  EXPECT_THROW(wilson_interval(11, 10, 0.95), PreconditionError);
+  EXPECT_THROW(wilson_interval(5, 10, 0.0), PreconditionError);
+  EXPECT_THROW(wilson_interval(5, 10, 1.0), PreconditionError);
+}
+
+TEST(ConfidenceIntervalRendering, ToString) {
+  ConfidenceInterval interval;
+  interval.lower = 0.25;
+  interval.upper = 0.75;
+  EXPECT_EQ(interval.to_string(2), "[0.25, 0.75]");
+  EXPECT_DOUBLE_EQ(interval.center(), 0.5);
+}
+
+TEST(StoppingRule, ConvergedTracksEpsilon) {
+  StoppingRule rule;
+  rule.enabled = true;
+  rule.ci_epsilon = 0.05;
+  rule.ci_confidence = 0.95;
+  // p-hat = 1 at n = 100: half-width ~0.0185 <= 0.05.
+  EXPECT_TRUE(rule.converged(100, 100));
+  // p-hat = 0.5 at n = 100: half-width ~0.096 > 0.05.
+  EXPECT_FALSE(rule.converged(50, 100));
+  // ... but converged by n = 400 (half-width ~0.048).
+  EXPECT_TRUE(rule.converged(200, 400));
+  // No data: the vacuous [0, 1] never converges.
+  EXPECT_FALSE(rule.converged(0, 0));
+}
+
+TEST(StoppingRule, CapPrefersMaxRuns) {
+  StoppingRule rule;
+  EXPECT_EQ(rule.cap(500), 500);  // max_runs = 0 -> campaign budget
+  rule.max_runs = 2000;
+  EXPECT_EQ(rule.cap(500), 2000);
+}
+
+TEST(StoppingRule, EqualityComparesAllKnobs) {
+  StoppingRule a;
+  StoppingRule b;
+  EXPECT_TRUE(a == b);
+  b.ci_epsilon = 0.01;
+  EXPECT_TRUE(a != b);
+  b = a;
+  b.enabled = true;
+  EXPECT_TRUE(a != b);
+}
+
+}  // namespace
+}  // namespace hoval

@@ -54,6 +54,9 @@ struct CliOptions {
   std::string values = "random";
   bool progress = false;
   bool trace = false;
+  bool adaptive = false;
+  double ci_epsilon = 0.0;
+  int batch_size = 0;
 
   // Which campaign knobs were given explicitly (they override a loaded
   // --scenario document; the rest of the document wins otherwise).
@@ -61,6 +64,8 @@ struct CliOptions {
   bool seed_set = false;
   bool threads_set = false;
   bool rounds_set = false;
+  bool ci_epsilon_set = false;
+  bool batch_size_set = false;
   // Spec-shaping flags given explicitly (--algorithm, --n, ...).  These
   // cannot override a loaded document — combining them with --scenario or
   // --sweep is an error, not a silent ignore.
@@ -84,6 +89,10 @@ struct CliOptions {
       << "  --runs K         Monte-Carlo campaign size        (default 1)\n"
       << "  --seed S         base seed                        (default 1)\n"
       << "  --threads W      campaign worker threads, 0=all cores (default 0)\n"
+      << "  --batch-size B   runs claimed per pool task, 0=auto (default 0)\n"
+      << "  --adaptive       stop when all Wilson intervals converge\n"
+      << "  --ci-epsilon E   target CI half-width, implies --adaptive\n"
+      << "                   (default 0.02)\n"
       << "  --values unanimous|split|distinct|random          (default random)\n"
       << "  --progress       report campaign progress on stderr\n"
       << "  --trace          print the per-round trace summary (single run)\n";
@@ -111,6 +120,9 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--runs") { options.runs = std::stoi(next()); options.runs_set = true; }
     else if (arg == "--seed") { options.seed = std::stoull(next()); options.seed_set = true; }
     else if (arg == "--threads") { options.threads = std::stoi(next()); options.threads_set = true; }
+    else if (arg == "--batch-size") { options.batch_size = std::stoi(next()); options.batch_size_set = true; }
+    else if (arg == "--adaptive") options.adaptive = true;
+    else if (arg == "--ci-epsilon") { options.ci_epsilon = std::stod(next()); options.ci_epsilon_set = true; options.adaptive = true; }
     else if (arg == "--values") { options.values = next(); options.shape_flags.push_back(arg); }
     else if (arg == "--progress") options.progress = true;
     else if (arg == "--trace") options.trace = true;
@@ -172,6 +184,10 @@ ScenarioSpec spec_from_flags(const CliOptions& options) {
   spec.campaign.rounds = options.rounds;
   spec.campaign.seed = options.seed;
   spec.campaign.threads = options.threads;
+  spec.campaign.batch_size = options.batch_size;
+  spec.campaign.adaptive.enabled = options.adaptive;
+  if (options.ci_epsilon_set)
+    spec.campaign.adaptive.ci_epsilon = options.ci_epsilon;
   return spec;
 }
 
@@ -191,6 +207,9 @@ void apply_overrides(const CliOptions& options, CampaignKnobs& knobs) {
   if (options.seed_set) knobs.seed = options.seed;
   if (options.threads_set) knobs.threads = options.threads;
   if (options.rounds_set) knobs.rounds = options.rounds;
+  if (options.batch_size_set) knobs.batch_size = options.batch_size;
+  if (options.adaptive) knobs.adaptive.enabled = true;
+  if (options.ci_epsilon_set) knobs.adaptive.ci_epsilon = options.ci_epsilon;
 }
 
 ScenarioSpec load_scenario(const CliOptions& options) {
@@ -306,14 +325,28 @@ int run_sweep_file(const CliOptions& options) {
   }
   const auto results = run_sweep(sweep, progress);
   bool all_clean = true;
+  long long executed = 0;
+  long long requested = 0;
+  bool any_adaptive = false;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const std::vector<std::size_t> coordinate = sweep.point_coordinates(i);
     std::cout << "[" << i + 1 << "/" << results.size() << "]";
     for (std::size_t a = 0; a < sweep.axes.size(); ++a)
-      std::cout << " " << sweep.axes[a].path << "="
-                << sweep.axes[a].points[coordinate[a]].dump();
+      for (std::size_t j = 0; j < sweep.axes[a].paths.size(); ++j)
+        std::cout << " " << sweep.axes[a].paths[j] << "="
+                  << sweep.axes[a].points[coordinate[a]][j].dump();
     std::cout << ": " << results[i].summary() << "\n";
     all_clean = all_clean && results[i].safety_clean();
+    executed += results[i].runs;
+    requested += results[i].runs_requested;
+    any_adaptive = any_adaptive || results[i].ci_confidence > 0.0;
+  }
+  if (any_adaptive && requested > 0) {
+    const double saved =
+        100.0 * static_cast<double>(requested - executed) / requested;
+    std::cout << "adaptive sweep total: " << executed << "/" << requested
+              << " runs executed (saved " << format_double(saved, 1)
+              << "%)\n";
   }
   return all_clean ? 0 : 1;
 }

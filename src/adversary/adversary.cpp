@@ -13,14 +13,30 @@ const Msg& IntendedRound::intended(ProcessId sender, ProcessId receiver) const {
   return row[static_cast<std::size_t>(receiver)];
 }
 
+void IntendedRound::resize(int n) {
+  HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
+  by_sender.resize(static_cast<std::size_t>(n));
+  for (auto& row : by_sender) row.resize(static_cast<std::size_t>(n));
+}
+
 DeliveredRound DeliveredRound::faithful(const IntendedRound& intended) {
   DeliveredRound out;
-  const int n = intended.n();
-  out.by_receiver.assign(static_cast<std::size_t>(n), ReceptionVector(n));
-  for (ProcessId q = 0; q < n; ++q)
-    for (ProcessId p = 0; p < n; ++p)
-      out.by_receiver[static_cast<std::size_t>(p)].set(q, intended.intended(q, p));
+  out.assign_faithful(intended);
   return out;
+}
+
+void DeliveredRound::assign_faithful(const IntendedRound& intended) {
+  const int n = intended.n();
+  for (const auto& row : intended.by_sender)
+    HOVAL_EXPECTS_MSG(static_cast<int>(row.size()) == n,
+                      "intended matrix must be square");
+  if (this->n() != n)
+    by_receiver.assign(static_cast<std::size_t>(n), ReceptionVector(n));
+  for (ProcessId p = 0; p < n; ++p) {
+    ReceptionVector& mu = by_receiver[static_cast<std::size_t>(p)];
+    if (mu.universe_size() != n) mu.reset(n);
+    mu.fill_faithful(intended.by_sender, p);
+  }
 }
 
 void DeliveredRound::put(ProcessId sender, ProcessId receiver, Msg m) {

@@ -35,6 +35,10 @@ struct IntendedRound {
 
   int n() const noexcept { return static_cast<int>(by_sender.size()); }
 
+  /// Resizes the matrix to n x n, reusing row storage where possible so a
+  /// workspace-held instance allocates only on the first run of a size.
+  void resize(int n);
+
   /// The message `sender` ought to send to `receiver`.
   const Msg& intended(ProcessId sender, ProcessId receiver) const;
 };
@@ -48,6 +52,10 @@ struct DeliveredRound {
   /// Faithful delivery of every intended message (the adversary's
   /// starting point; also the behaviour of the identity adversary).
   static DeliveredRound faithful(const IntendedRound& intended);
+
+  /// In-place faithful delivery: overwrites every link with the intended
+  /// message, reusing the reception-vector storage across rounds and runs.
+  void assign_faithful(const IntendedRound& intended);
 
   /// Replaces what `receiver` gets from `sender`.
   void put(ProcessId sender, ProcessId receiver, Msg m);

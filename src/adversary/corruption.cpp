@@ -33,8 +33,9 @@ void RandomCorruptionAdversary::apply(const IntendedRound& intended,
         config_.always_max
             ? budget
             : static_cast<int>(rng.range(1, static_cast<std::int64_t>(budget)));
-    for (std::size_t sender_idx : rng.sample(static_cast<std::size_t>(n),
-                                             static_cast<std::size_t>(count))) {
+    rng.sample_into(static_cast<std::size_t>(n), static_cast<std::size_t>(count),
+                    victim_scratch_);
+    for (std::size_t sender_idx : victim_scratch_) {
       const auto sender = static_cast<ProcessId>(sender_idx);
       delivered.put(sender, p,
                     corrupt_message(intended.intended(sender, p), config_.policy, rng));

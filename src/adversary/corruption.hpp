@@ -39,6 +39,8 @@ class RandomCorruptionAdversary final : public Adversary {
 
  private:
   RandomCorruptionConfig config_;
+  /// Scratch for the per-receiver victim draw, reused across rounds.
+  std::vector<std::size_t> victim_scratch_;
 };
 
 }  // namespace hoval

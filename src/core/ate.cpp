@@ -14,20 +14,25 @@ Msg AteProcess::message_for(Round /*r*/, ProcessId /*dest*/) const {
 }
 
 void AteProcess::transition(Round r, const ReceptionVector& mu) {
+  // Both rules below read the same estimate histogram; build it once and
+  // consume it immediately through the histogram helpers.
+  const PayloadHistogram& hist =
+      mu.payload_histogram_scratch(MsgKind::kEstimate);
+  const std::optional<Value> most_frequent = smallest_most_frequent(hist);
+  const std::optional<Value> decided =
+      payload_exceeding(hist, params_.threshold_e);
+
   // Line 7-8: adopt the smallest most often received value when more than
   // T messages (of any content — corrupted ones count towards |HO|) came in.
-  if (mu.count_received() > params_.threshold_t) {
-    if (const auto most_frequent = mu.smallest_most_frequent(MsgKind::kEstimate))
-      x_ = *most_frequent;
-    // All received messages corrupted beyond recognition (no well-formed
-    // estimate at all): keep the current estimate.  Unreachable under
-    // P_alpha with T >= 2*alpha, but the adversary may violate P_alpha in
-    // the negative experiments.
-  }
+  // All received messages corrupted beyond recognition (no well-formed
+  // estimate at all): keep the current estimate.  Unreachable under
+  // P_alpha with T >= 2*alpha, but the adversary may violate P_alpha in
+  // the negative experiments.
+  if (mu.count_received() > params_.threshold_t && most_frequent)
+    x_ = *most_frequent;
 
   // Line 9-10: decide on any value received strictly more than E times.
-  if (const auto decided = mu.payload_exceeding(MsgKind::kEstimate, params_.threshold_e))
-    decide(*decided, r);
+  if (decided) decide(*decided, r);
 }
 
 std::string AteProcess::name() const { return params_.to_string(); }

@@ -37,19 +37,23 @@ void UteaProcess::second_round_transition(Round r, const ReceptionVector& mu) {
   // least one process genuinely voted v.  Pick the best-supported value
   // (smallest on ties); under Lemma 8's conditions at most one value can
   // clear the alpha+1 bar anyway.
+  // Adoption and decision both read the vote histogram; build it once and
+  // consume it immediately.
+  const PayloadHistogram& hist = mu.payload_histogram_scratch(MsgKind::kVote);
   std::optional<Value> adopted;
   int adopted_count = 0;
-  for (const auto& [value, count] : mu.payload_histogram(MsgKind::kVote)) {
+  for (const auto& [value, count] : hist) {
     if (count >= params_.alpha + 1 && count > adopted_count) {
       adopted = value;
       adopted_count = count;
     }
   }
-  x_ = adopted ? *adopted : params_.default_value;
-
   // Lines 18-19: decide on strictly more than E true votes for one value.
-  if (const auto v = mu.payload_exceeding(MsgKind::kVote, params_.threshold_e))
-    decide(*v, r);
+  const std::optional<Value> decided =
+      payload_exceeding(hist, params_.threshold_e);
+
+  x_ = adopted ? *adopted : params_.default_value;
+  if (decided) decide(*decided, r);
 
   // Line 20: reset the vote for the next phase.
   vote_.reset();

@@ -60,6 +60,8 @@
 #include "sim/machine.hpp"
 #include "sim/properties.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace_retention.hpp"
+#include "sim/workspace.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/histogram.hpp"
 #include "stats/interval.hpp"

@@ -5,19 +5,15 @@
 
 namespace hoval {
 
-namespace {
-constexpr std::size_t blocks_for(int n) {
-  return static_cast<std::size_t>((n + 63) / 64);
-}
-}  // namespace
-
-ProcessSet::ProcessSet(int n) : n_(n), blocks_(blocks_for(n), 0) {
+ProcessSet::ProcessSet(int n) : n_(n) {
   HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
+  if (!is_inline()) spill_.assign(block_count(), 0);
 }
 
 ProcessSet ProcessSet::universe(int n) {
   ProcessSet s(n);
-  for (auto& block : s.blocks_) block = ~std::uint64_t{0};
+  std::uint64_t* words = s.blocks();
+  for (std::size_t i = 0; i < s.block_count(); ++i) words[i] = ~std::uint64_t{0};
   s.trim_tail();
   return s;
 }
@@ -29,68 +25,111 @@ ProcessSet ProcessSet::of(int n, const std::vector<ProcessId>& members) {
 }
 
 int ProcessSet::count() const noexcept {
+  const std::uint64_t* words = blocks();
   int total = 0;
-  for (std::uint64_t block : blocks_) total += __builtin_popcountll(block);
+  for (std::size_t i = 0; i < block_count(); ++i)
+    total += __builtin_popcountll(words[i]);
   return total;
 }
 
 bool ProcessSet::contains(ProcessId p) const {
   HOVAL_EXPECTS_MSG(p >= 0 && p < n_, "process id out of universe");
-  return (blocks_[static_cast<std::size_t>(p) / 64] >>
+  return (blocks()[static_cast<std::size_t>(p) / 64] >>
           (static_cast<std::size_t>(p) % 64)) & 1u;
 }
 
 void ProcessSet::insert(ProcessId p) {
   HOVAL_EXPECTS_MSG(p >= 0 && p < n_, "process id out of universe");
-  blocks_[static_cast<std::size_t>(p) / 64] |=
+  blocks()[static_cast<std::size_t>(p) / 64] |=
       std::uint64_t{1} << (static_cast<std::size_t>(p) % 64);
 }
 
 void ProcessSet::erase(ProcessId p) {
   HOVAL_EXPECTS_MSG(p >= 0 && p < n_, "process id out of universe");
-  blocks_[static_cast<std::size_t>(p) / 64] &=
+  blocks()[static_cast<std::size_t>(p) / 64] &=
       ~(std::uint64_t{1} << (static_cast<std::size_t>(p) % 64));
 }
 
 void ProcessSet::clear() noexcept {
-  for (auto& block : blocks_) block = 0;
+  inline_ = 0;
+  for (auto& block : spill_) block = 0;
 }
 
 ProcessSet ProcessSet::intersect(const ProcessSet& other) const {
-  check_same_universe(other);
-  ProcessSet out(n_);
-  for (std::size_t i = 0; i < blocks_.size(); ++i)
-    out.blocks_[i] = blocks_[i] & other.blocks_[i];
+  ProcessSet out = *this;
+  out.intersect_with(other);
   return out;
 }
 
 ProcessSet ProcessSet::unite(const ProcessSet& other) const {
-  check_same_universe(other);
-  ProcessSet out(n_);
-  for (std::size_t i = 0; i < blocks_.size(); ++i)
-    out.blocks_[i] = blocks_[i] | other.blocks_[i];
+  ProcessSet out = *this;
+  out.unite_with(other);
   return out;
 }
 
 ProcessSet ProcessSet::subtract(const ProcessSet& other) const {
-  check_same_universe(other);
-  ProcessSet out(n_);
-  for (std::size_t i = 0; i < blocks_.size(); ++i)
-    out.blocks_[i] = blocks_[i] & ~other.blocks_[i];
+  ProcessSet out = *this;
+  out.subtract_with(other);
   return out;
 }
 
 ProcessSet ProcessSet::complement() const {
   ProcessSet out(n_);
-  for (std::size_t i = 0; i < blocks_.size(); ++i) out.blocks_[i] = ~blocks_[i];
+  const std::uint64_t* words = blocks();
+  std::uint64_t* result = out.blocks();
+  for (std::size_t i = 0; i < block_count(); ++i) result[i] = ~words[i];
   out.trim_tail();
   return out;
 }
 
+void ProcessSet::intersect_with(const ProcessSet& other) {
+  check_same_universe(other);
+  std::uint64_t* words = blocks();
+  const std::uint64_t* theirs = other.blocks();
+  for (std::size_t i = 0; i < block_count(); ++i) words[i] &= theirs[i];
+}
+
+void ProcessSet::unite_with(const ProcessSet& other) {
+  check_same_universe(other);
+  std::uint64_t* words = blocks();
+  const std::uint64_t* theirs = other.blocks();
+  for (std::size_t i = 0; i < block_count(); ++i) words[i] |= theirs[i];
+}
+
+void ProcessSet::subtract_with(const ProcessSet& other) {
+  check_same_universe(other);
+  std::uint64_t* words = blocks();
+  const std::uint64_t* theirs = other.blocks();
+  for (std::size_t i = 0; i < block_count(); ++i) words[i] &= ~theirs[i];
+}
+
+void ProcessSet::unite_with_difference(const ProcessSet& a,
+                                       const ProcessSet& b) {
+  check_same_universe(a);
+  check_same_universe(b);
+  std::uint64_t* words = blocks();
+  const std::uint64_t* first = a.blocks();
+  const std::uint64_t* second = b.blocks();
+  for (std::size_t i = 0; i < block_count(); ++i)
+    words[i] |= first[i] & ~second[i];
+}
+
+int ProcessSet::subtract_count(const ProcessSet& other) const {
+  check_same_universe(other);
+  const std::uint64_t* words = blocks();
+  const std::uint64_t* theirs = other.blocks();
+  int total = 0;
+  for (std::size_t i = 0; i < block_count(); ++i)
+    total += __builtin_popcountll(words[i] & ~theirs[i]);
+  return total;
+}
+
 bool ProcessSet::is_subset_of(const ProcessSet& other) const {
   check_same_universe(other);
-  for (std::size_t i = 0; i < blocks_.size(); ++i)
-    if ((blocks_[i] & ~other.blocks_[i]) != 0) return false;
+  const std::uint64_t* words = blocks();
+  const std::uint64_t* theirs = other.blocks();
+  for (std::size_t i = 0; i < block_count(); ++i)
+    if ((words[i] & ~theirs[i]) != 0) return false;
   return true;
 }
 
@@ -113,8 +152,8 @@ void ProcessSet::check_same_universe(const ProcessSet& other) const {
 
 void ProcessSet::trim_tail() noexcept {
   const int tail_bits = n_ % 64;
-  if (tail_bits != 0 && !blocks_.empty())
-    blocks_.back() &= (std::uint64_t{1} << tail_bits) - 1;
+  if (tail_bits != 0 && block_count() > 0)
+    blocks()[block_count() - 1] &= (std::uint64_t{1} << tail_bits) - 1;
 }
 
 }  // namespace hoval

@@ -5,6 +5,13 @@
 /// AHO, kernel and altered-span computations.  Implemented as a packed
 /// bitset over 64-bit blocks; all operations require both operands to be
 /// over the same universe size n.
+///
+/// Universes up to 64 processes — every campaign this repository runs —
+/// are stored inline in a single word, so constructing, copying and
+/// combining the sets on the simulation hot path never touches the heap;
+/// larger universes spill to a block vector transparently.  The in-place
+/// mutators (intersect_with & co.) are the allocation-free counterparts of
+/// the value-returning algebra and should be preferred in loops.
 
 #include <cstdint>
 #include <string>
@@ -45,6 +52,19 @@ class ProcessSet {
   ProcessSet subtract(const ProcessSet& other) const;
   ProcessSet complement() const;
 
+  /// In-place set algebra: *this becomes the intersection/union/difference
+  /// with `other` without constructing a new set.
+  void intersect_with(const ProcessSet& other);
+  void unite_with(const ProcessSet& other);
+  void subtract_with(const ProcessSet& other);
+
+  /// *this ∪= (a \ b) in one word-parallel pass, without materialising the
+  /// difference — the AHO-accumulation primitive (see HoRecord::aho()).
+  void unite_with_difference(const ProcessSet& a, const ProcessSet& b);
+
+  /// |*this \ other| without materialising the difference.
+  int subtract_count(const ProcessSet& other) const;
+
   /// True when every member of *this is a member of `other`.
   bool is_subset_of(const ProcessSet& other) const;
 
@@ -54,8 +74,10 @@ class ProcessSet {
   /// Applies `fn(ProcessId)` to each member in increasing order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (int b = 0; b < static_cast<int>(blocks_.size()); ++b) {
-      std::uint64_t word = blocks_[static_cast<std::size_t>(b)];
+    const std::uint64_t* words = blocks();
+    const int total = static_cast<int>(block_count());
+    for (int b = 0; b < total; ++b) {
+      std::uint64_t word = words[b];
       while (word != 0) {
         const int bit = __builtin_ctzll(word);
         fn(static_cast<ProcessId>(b * 64 + bit));
@@ -65,7 +87,7 @@ class ProcessSet {
   }
 
   friend bool operator==(const ProcessSet& a, const ProcessSet& b) {
-    return a.n_ == b.n_ && a.blocks_ == b.blocks_;
+    return a.n_ == b.n_ && a.inline_ == b.inline_ && a.spill_ == b.spill_;
   }
   friend bool operator!=(const ProcessSet& a, const ProcessSet& b) {
     return !(a == b);
@@ -75,11 +97,26 @@ class ProcessSet {
   std::string to_string() const;
 
  private:
+  /// Largest universe stored in the inline word.
+  static constexpr int kInlineBits = 64;
+
+  bool is_inline() const noexcept { return n_ <= kInlineBits; }
+  std::size_t block_count() const noexcept {
+    return static_cast<std::size_t>((n_ + 63) / 64);
+  }
+  const std::uint64_t* blocks() const noexcept {
+    return is_inline() ? &inline_ : spill_.data();
+  }
+  std::uint64_t* blocks() noexcept {
+    return is_inline() ? &inline_ : spill_.data();
+  }
+
   void check_same_universe(const ProcessSet& other) const;
   void trim_tail() noexcept;
 
   int n_ = 0;
-  std::vector<std::uint64_t> blocks_;
+  std::uint64_t inline_ = 0;           ///< the only storage when n <= 64
+  std::vector<std::uint64_t> spill_;   ///< blocks when n > 64, else empty
 };
 
 }  // namespace hoval

@@ -1,16 +1,67 @@
 #include "model/reception.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace hoval {
+
+namespace {
+
+/// Per-thread scratch for the histogram queries.  Transition functions run
+/// one of these per process per round, so the sorted flat vector reuses
+/// its capacity across calls instead of allocating map nodes every time.
+thread_local PayloadHistogram histogram_scratch;
+
+}  // namespace
 
 ReceptionVector::ReceptionVector(int n) : slots_(static_cast<std::size_t>(n)) {
   HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
 }
 
+void ReceptionVector::reset(int n) {
+  HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
+  if (static_cast<int>(slots_.size()) == n) {
+    for (auto& slot : slots_) slot.reset();
+  } else {
+    slots_.assign(static_cast<std::size_t>(n), std::nullopt);
+  }
+}
+
 void ReceptionVector::set(ProcessId q, Msg m) {
   HOVAL_EXPECTS_MSG(q >= 0 && q < universe_size(), "sender id out of universe");
   slots_[static_cast<std::size_t>(q)] = m;
+}
+
+void ReceptionVector::fill_faithful(
+    const std::vector<std::vector<Msg>>& by_sender, ProcessId receiver) {
+  const std::size_t n = slots_.size();
+  HOVAL_EXPECTS_MSG(by_sender.size() == n &&
+                        receiver >= 0 && static_cast<std::size_t>(receiver) < n,
+                    "faithful fill needs an n x n matrix over this universe");
+  for (std::size_t q = 0; q < n; ++q)
+    slots_[q] = by_sender[q][static_cast<std::size_t>(receiver)];
+}
+
+void ReceptionVector::ground_truth_into(
+    const std::vector<std::vector<Msg>>& by_sender, ProcessId receiver,
+    ProcessSet& ho, ProcessSet& sho) const {
+  const std::size_t n = slots_.size();
+  HOVAL_EXPECTS_MSG(by_sender.size() == n &&
+                        receiver >= 0 && static_cast<std::size_t>(receiver) < n,
+                    "ground truth needs an n x n matrix over this universe");
+  HOVAL_EXPECTS_MSG(ho.universe_size() == static_cast<int>(n) &&
+                        sho.universe_size() == static_cast<int>(n),
+                    "ground-truth sets must be over the same universe");
+  ho.clear();
+  sho.clear();
+  for (std::size_t q = 0; q < n; ++q) {
+    const std::optional<Msg>& got = slots_[q];
+    if (!got) continue;
+    ho.insert(static_cast<ProcessId>(q));
+    if (*got == by_sender[q][static_cast<std::size_t>(receiver)])
+      sho.insert(static_cast<ProcessId>(q));
+  }
 }
 
 void ReceptionVector::unset(ProcessId q) {
@@ -25,9 +76,16 @@ const std::optional<Msg>& ReceptionVector::get(ProcessId q) const {
 
 ProcessSet ReceptionVector::support() const {
   ProcessSet s(universe_size());
-  for (int q = 0; q < universe_size(); ++q)
-    if (slots_[static_cast<std::size_t>(q)]) s.insert(q);
+  support_into(s);
   return s;
+}
+
+void ReceptionVector::support_into(ProcessSet& out) const {
+  HOVAL_EXPECTS_MSG(out.universe_size() == universe_size(),
+                    "support target must be over the same universe");
+  out.clear();
+  for (int q = 0; q < universe_size(); ++q)
+    if (slots_[static_cast<std::size_t>(q)]) out.insert(q);
 }
 
 int ReceptionVector::count_received() const noexcept {
@@ -58,21 +116,35 @@ int ReceptionVector::count_question_votes() const noexcept {
   return total;
 }
 
-std::map<Value, int> ReceptionVector::payload_histogram(MsgKind kind) const {
-  std::map<Value, int> hist;
-  for (const auto& slot : slots_)
-    if (slot && slot->kind == kind && slot->payload) ++hist[*slot->payload];
+PayloadHistogram ReceptionVector::payload_histogram(MsgKind kind) const {
+  return payload_histogram_scratch(kind);  // copies the scratch out
+}
+
+const PayloadHistogram& ReceptionVector::payload_histogram_scratch(
+    MsgKind kind) const {
+  PayloadHistogram& hist = histogram_scratch;
+  hist.clear();
+  for (const auto& slot : slots_) {
+    if (!slot || slot->kind != kind || !slot->payload) continue;
+    const Value v = *slot->payload;
+    auto it = std::lower_bound(
+        hist.begin(), hist.end(), v,
+        [](const std::pair<Value, int>& entry, Value value) {
+          return entry.first < value;
+        });
+    if (it != hist.end() && it->first == v)
+      ++it->second;
+    else
+      hist.insert(it, {v, 1});
+  }
   return hist;
 }
 
-std::optional<Value> ReceptionVector::smallest_most_frequent(MsgKind kind) const {
-  const auto hist = payload_histogram(kind);
+std::optional<Value> smallest_most_frequent(const PayloadHistogram& hist) {
   std::optional<Value> best;
   int best_count = 0;
-  // std::map iterates in increasing value order, so on ties the smallest
-  // value is kept — exactly "the smallest most often received value".
   for (const auto& [value, count] : hist) {
-    if (count > best_count) {
+    if (count > best_count) {  // ascending values: ties keep the smallest
       best = value;
       best_count = count;
     }
@@ -80,11 +152,20 @@ std::optional<Value> ReceptionVector::smallest_most_frequent(MsgKind kind) const
   return best;
 }
 
-std::optional<Value> ReceptionVector::payload_exceeding(MsgKind kind,
-                                                        double threshold) const {
-  for (const auto& [value, count] : payload_histogram(kind))
+std::optional<Value> payload_exceeding(const PayloadHistogram& hist,
+                                       double threshold) {
+  for (const auto& [value, count] : hist)
     if (static_cast<double>(count) > threshold) return value;
   return std::nullopt;
+}
+
+std::optional<Value> ReceptionVector::smallest_most_frequent(MsgKind kind) const {
+  return hoval::smallest_most_frequent(payload_histogram_scratch(kind));
+}
+
+std::optional<Value> ReceptionVector::payload_exceeding(MsgKind kind,
+                                                        double threshold) const {
+  return hoval::payload_exceeding(payload_histogram_scratch(kind), threshold);
 }
 
 ProcessSet ReceptionVector::senders_of(const Msg& m) const {

@@ -6,8 +6,8 @@
 /// the only view an algorithm gets of a round — algorithms cannot observe
 /// which entries were corrupted (SHO is known to the analysis, not to p).
 
-#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "model/message.hpp"
@@ -15,6 +15,21 @@
 #include "model/types.hpp"
 
 namespace hoval {
+
+/// Multiset of payloads as (value, multiplicity) pairs sorted by value
+/// ascending — the flat-vector replacement for the old std::map histogram.
+using PayloadHistogram = std::vector<std::pair<Value, int>>;
+
+/// "The smallest most often received value" over a histogram: the value
+/// with the highest multiplicity, ties resolved downward (the ascending
+/// order makes the first maximum the smallest).  The one implementation of
+/// this tie-break — ReceptionVector and the transition functions that
+/// batch several queries over one histogram all delegate here.
+std::optional<Value> smallest_most_frequent(const PayloadHistogram& hist);
+
+/// The smallest value with multiplicity strictly above `threshold`.
+std::optional<Value> payload_exceeding(const PayloadHistogram& hist,
+                                       double threshold);
 
 /// Partial vector of messages indexed by sender.
 class ReceptionVector {
@@ -24,8 +39,26 @@ class ReceptionVector {
 
   int universe_size() const noexcept { return static_cast<int>(slots_.size()); }
 
+  /// Re-targets the vector to a universe of `n` processes with every entry
+  /// undefined, reusing the slot storage when the size already matches.
+  void reset(int n);
+
   /// Records that the message from `q` was received as `m` (overwrites).
   void set(ProcessId q, Msg m);
+
+  /// Bulk faithful fill for the simulation hot path: slot q becomes
+  /// by_sender[q][receiver] for every q.  `by_sender` must be an n×n
+  /// matrix over this vector's universe (the caller validates once per
+  /// round; this loop skips the per-link bounds checks of set()).
+  void fill_faithful(const std::vector<std::vector<Msg>>& by_sender,
+                     ProcessId receiver);
+
+  /// Ground truth of the simulation hot path, in one pass: `ho` becomes
+  /// the support and `sho` the senders whose delivered entry equals
+  /// by_sender[q][receiver] (both sets must be over this universe).
+  void ground_truth_into(const std::vector<std::vector<Msg>>& by_sender,
+                         ProcessId receiver, ProcessSet& ho,
+                         ProcessSet& sho) const;
 
   /// Removes the entry for `q` (models omission).
   void unset(ProcessId q);
@@ -35,6 +68,10 @@ class ReceptionVector {
 
   /// The support of the vector — exactly HO(p, r).
   ProcessSet support() const;
+
+  /// Writes the support into `out` (which must be over the same universe)
+  /// without constructing a new set — the hot-path variant of support().
+  void support_into(ProcessSet& out) const;
 
   /// |HO(p, r)|: number of defined entries.
   int count_received() const noexcept;
@@ -49,9 +86,18 @@ class ReceptionVector {
   /// Number of received '?' votes.
   int count_question_votes() const noexcept;
 
-  /// Multiset of payloads among received messages of `kind`, as a sorted
-  /// histogram value -> multiplicity.
-  std::map<Value, int> payload_histogram(MsgKind kind) const;
+  /// Multiset of payloads among received messages of `kind`, sorted by
+  /// value ascending.
+  PayloadHistogram payload_histogram(MsgKind kind) const;
+
+  /// Zero-allocation variant for transition functions: the histogram is
+  /// built into a per-thread scratch buffer that is reused across calls.
+  /// The reference is invalidated by the next histogram *build* on any
+  /// ReceptionVector in the same thread (this method, payload_histogram(),
+  /// smallest_most_frequent(MsgKind), payload_exceeding(MsgKind, ...)) —
+  /// consume it immediately, e.g. via the free helpers above, and don't
+  /// run another query while holding it.
+  const PayloadHistogram& payload_histogram_scratch(MsgKind kind) const;
 
   /// "The smallest most often received value": among messages of `kind`
   /// that carry a payload, the value with the highest multiplicity,

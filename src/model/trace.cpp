@@ -8,6 +8,41 @@ ComputationTrace::ComputationTrace(int n) : n_(n) {
   HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
 }
 
+ComputationTrace::ComputationTrace(const ComputationTrace& other)
+    : n_(other.n_),
+      rounds_(other.rounds_.begin(),
+              other.rounds_.begin() + static_cast<std::ptrdiff_t>(other.used_)),
+      used_(other.used_) {}
+
+ComputationTrace& ComputationTrace::operator=(const ComputationTrace& other) {
+  if (this == &other) return *this;
+  n_ = other.n_;
+  used_ = other.used_;
+  rounds_.assign(other.rounds_.begin(),
+                 other.rounds_.begin() + static_cast<std::ptrdiff_t>(other.used_));
+  return *this;
+}
+
+ComputationTrace::ComputationTrace(ComputationTrace&& other) noexcept
+    : n_(other.n_), rounds_(std::move(other.rounds_)), used_(other.used_) {
+  other.used_ = 0;  // keep used_ <= rounds_.size() on the moved-from trace
+}
+
+ComputationTrace& ComputationTrace::operator=(ComputationTrace&& other) noexcept {
+  if (this == &other) return *this;
+  n_ = other.n_;
+  rounds_ = std::move(other.rounds_);
+  used_ = other.used_;
+  other.used_ = 0;
+  return *this;
+}
+
+void ComputationTrace::reset(int n) {
+  HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
+  n_ = n;
+  used_ = 0;
+}
+
 void ComputationTrace::append_round(std::vector<HoRecord> per_process) {
   HOVAL_EXPECTS_MSG(static_cast<int>(per_process.size()) == n_,
                     "round record must cover every process");
@@ -16,10 +51,30 @@ void ComputationTrace::append_round(std::vector<HoRecord> per_process) {
                       "record sets must be over the trace universe");
     HOVAL_EXPECTS_MSG(rec.sho.is_subset_of(rec.ho), "SHO must be a subset of HO");
   }
-  RoundRecord rr;
-  rr.round = round_count() + 1;
+  if (used_ == rounds_.size()) rounds_.emplace_back();
+  RoundRecord& rr = rounds_[used_];
   rr.per_process = std::move(per_process);
-  rounds_.push_back(std::move(rr));
+  rr.round = static_cast<Round>(++used_);
+}
+
+std::vector<HoRecord>& ComputationTrace::begin_round() {
+  if (used_ == rounds_.size()) rounds_.emplace_back();
+  RoundRecord& rr = rounds_[used_];
+  rr.round = static_cast<Round>(++used_);
+  std::vector<HoRecord>& records = rr.per_process;
+  const bool reusable =
+      static_cast<int>(records.size()) == n_ &&
+      (n_ == 0 || records.front().ho.universe_size() == n_);
+  if (reusable) {
+    for (HoRecord& rec : records) {
+      rec.ho.clear();
+      rec.sho.clear();
+    }
+  } else {
+    records.assign(static_cast<std::size_t>(n_),
+                   HoRecord{ProcessSet(n_), ProcessSet(n_)});
+  }
+  return records;
 }
 
 const HoRecord& ComputationTrace::record(ProcessId p, Round r) const {
@@ -34,11 +89,16 @@ const RoundRecord& ComputationTrace::round(Round r) const {
   return rounds_[static_cast<std::size_t>(r - 1)];
 }
 
+const RoundRecord& ComputationTrace::last_round() const {
+  HOVAL_EXPECTS_MSG(used_ > 0, "trace has no recorded round");
+  return rounds_[used_ - 1];
+}
+
 ProcessSet ComputationTrace::kernel(Round r) const {
   check_round(r);
   ProcessSet k = ProcessSet::universe(n_);
   for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
-    k = k.intersect(rec.ho);
+    k.intersect_with(rec.ho);
   return k;
 }
 
@@ -46,7 +106,7 @@ ProcessSet ComputationTrace::safe_kernel(Round r) const {
   check_round(r);
   ProcessSet k = ProcessSet::universe(n_);
   for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
-    k = k.intersect(rec.sho);
+    k.intersect_with(rec.sho);
   return k;
 }
 
@@ -54,25 +114,32 @@ ProcessSet ComputationTrace::altered_span(Round r) const {
   check_round(r);
   ProcessSet span(n_);
   for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
-    span = span.unite(rec.aho());
+    span.unite_with_difference(rec.ho, rec.sho);
   return span;
 }
 
 ProcessSet ComputationTrace::kernel() const {
+  // ∩_r ∩_p HO(p, r) folded in one pass (no per-round temporary).
   ProcessSet k = ProcessSet::universe(n_);
-  for (Round r = 1; r <= round_count(); ++r) k = k.intersect(kernel(r));
+  for (Round r = 1; r <= round_count(); ++r)
+    for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
+      k.intersect_with(rec.ho);
   return k;
 }
 
 ProcessSet ComputationTrace::safe_kernel() const {
   ProcessSet k = ProcessSet::universe(n_);
-  for (Round r = 1; r <= round_count(); ++r) k = k.intersect(safe_kernel(r));
+  for (Round r = 1; r <= round_count(); ++r)
+    for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
+      k.intersect_with(rec.sho);
   return k;
 }
 
 ProcessSet ComputationTrace::altered_span() const {
   ProcessSet span(n_);
-  for (Round r = 1; r <= round_count(); ++r) span = span.unite(altered_span(r));
+  for (Round r = 1; r <= round_count(); ++r)
+    for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
+      span.unite_with_difference(rec.ho, rec.sho);
   return span;
 }
 
@@ -80,7 +147,7 @@ int ComputationTrace::alteration_count(Round r) const {
   check_round(r);
   int total = 0;
   for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
-    total += rec.aho().count();
+    total += rec.aho_count();
   return total;
 }
 
@@ -88,7 +155,7 @@ int ComputationTrace::max_aho(Round r) const {
   check_round(r);
   int worst = 0;
   for (const auto& rec : rounds_[static_cast<std::size_t>(r - 1)].per_process)
-    worst = std::max(worst, rec.aho().count());
+    worst = std::max(worst, rec.aho_count());
   return worst;
 }
 

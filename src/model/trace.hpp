@@ -20,6 +20,9 @@ struct HoRecord {
 
   /// AHO(p, r) = HO(p, r) \ SHO(p, r): the altered heard-of set.
   ProcessSet aho() const { return ho.subtract(sho); }
+
+  /// |AHO(p, r)| without materialising the set.
+  int aho_count() const { return ho.subtract_count(sho); }
 };
 
 /// All records of one round, indexed by receiving process.
@@ -33,23 +36,50 @@ struct RoundRecord {
 /// Rounds are numbered from 1; the trace stores rounds 1..round_count()
 /// contiguously.  All whole-run aggregates (K, SK, AS) are over the
 /// recorded prefix.
+///
+/// The trace is resettable so hot loops (sim/workspace.hpp) can reuse one
+/// instance across runs: reset() rewinds the recorded prefix while keeping
+/// the round storage, and begin_round() hands out recycled records to fill
+/// in place.  Copies only ever carry the recorded prefix, never the cached
+/// spare storage.
 class ComputationTrace {
  public:
   /// Trace over `n` processes.
   explicit ComputationTrace(int n = 0);
 
+  ComputationTrace(const ComputationTrace& other);
+  ComputationTrace& operator=(const ComputationTrace& other);
+  // Moves rewind the source so it never reports rounds its (moved-out)
+  // storage no longer holds.
+  ComputationTrace(ComputationTrace&& other) noexcept;
+  ComputationTrace& operator=(ComputationTrace&& other) noexcept;
+
   int universe_size() const noexcept { return n_; }
-  Round round_count() const noexcept { return static_cast<Round>(rounds_.size()); }
+  Round round_count() const noexcept { return static_cast<Round>(used_); }
+
+  /// Rewinds to an empty trace over `n` processes, keeping the storage of
+  /// previously recorded rounds for reuse by begin_round().
+  void reset(int n);
 
   /// Appends the record of round round_count()+1.  Each HoRecord must have
   /// sets over universe n and satisfy SHO ⊆ HO.
   void append_round(std::vector<HoRecord> per_process);
+
+  /// In-place variant for hot paths: starts the record of round
+  /// round_count()+1 and returns its per-process records (sized n, sets
+  /// over universe n, cleared), reusing storage cached by reset().  The
+  /// caller fills HO/SHO and must uphold the append_round() invariants
+  /// (SHO ⊆ HO) — this path does not re-validate them.
+  std::vector<HoRecord>& begin_round();
 
   /// Record of process `p` at round `r` (1-based, r <= round_count()).
   const HoRecord& record(ProcessId p, Round r) const;
 
   /// The full record of round `r`.
   const RoundRecord& round(Round r) const;
+
+  /// The most recently recorded round (round_count() >= 1).
+  const RoundRecord& last_round() const;
 
   /// K(r) = ∩_p HO(p, r): processes heard by all at round r.
   ProcessSet kernel(Round r) const;
@@ -85,7 +115,10 @@ class ComputationTrace {
   void check_round(Round r) const;
 
   int n_ = 0;
+  /// Round storage; only the first `used_` entries are part of the trace,
+  /// the tail is capacity cached by reset() for begin_round() to recycle.
   std::vector<RoundRecord> rounds_;
+  std::size_t used_ = 0;
 };
 
 }  // namespace hoval

@@ -34,6 +34,59 @@ PredicateVerdict AndPredicate::evaluate(const ComputationTrace& trace) const {
   return ok;
 }
 
+namespace {
+
+/// Streams a conjunction by feeding every part's stream; finish() reports
+/// the first failing part exactly like AndPredicate::evaluate().
+class AndStream final : public PredicateStream {
+ public:
+  AndStream(std::vector<std::string> names,
+            std::vector<std::unique_ptr<PredicateStream>> parts)
+      : names_(std::move(names)), parts_(std::move(parts)) {}
+
+  void reset(int n) override {
+    for (auto& part : parts_) part->reset(n);
+  }
+
+  void on_round(const RoundRecord& round) override {
+    for (auto& part : parts_) part->on_round(round);
+  }
+
+  PredicateVerdict finish() override {
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      PredicateVerdict verdict = parts_[i]->finish();
+      if (!verdict.holds) {
+        verdict.detail = names_[i] + " failed: " + verdict.detail;
+        return verdict;
+      }
+    }
+    PredicateVerdict ok;
+    ok.holds = true;
+    ok.detail = "all conjuncts hold";
+    return ok;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<PredicateStream>> parts_;
+};
+
+}  // namespace
+
+std::unique_ptr<PredicateStream> AndPredicate::make_stream() const {
+  std::vector<std::string> names;
+  std::vector<std::unique_ptr<PredicateStream>> streams;
+  names.reserve(parts_.size());
+  streams.reserve(parts_.size());
+  for (const auto& part : parts_) {
+    auto stream = part->make_stream();
+    if (!stream) return nullptr;  // a non-streaming part forces the fallback
+    names.push_back(part->name());
+    streams.push_back(std::move(stream));
+  }
+  return std::make_unique<AndStream>(std::move(names), std::move(streams));
+}
+
 std::shared_ptr<Predicate> conjunction(
     std::vector<std::shared_ptr<Predicate>> parts) {
   return std::make_shared<AndPredicate>(std::move(parts));

@@ -34,6 +34,29 @@ struct PredicateVerdict {
   std::string detail;
 };
 
+/// Incremental (streaming) evaluator of a predicate, fed one round at a
+/// time while a run executes so campaign workers never need a second pass
+/// over the trace.  Protocol per run: reset(n), then on_round() for every
+/// recorded round in order, then finish() — the verdict is identical to
+/// evaluate() on the same prefix (locked by tests/predicates/
+/// streaming_test.cpp).  Streams are created by Predicate::make_stream()
+/// and owned by the caller (one per worker), which keeps the shared
+/// Predicate object stateless and thread-safe; one stream instance is
+/// reusable across runs via reset().
+class PredicateStream {
+ public:
+  virtual ~PredicateStream() = default;
+
+  /// Rewinds the stream for a fresh run over `n` processes.
+  virtual void reset(int n) = 0;
+
+  /// Consumes the next recorded round (rounds arrive in order from 1).
+  virtual void on_round(const RoundRecord& round) = 0;
+
+  /// The verdict over the rounds consumed since the last reset().
+  virtual PredicateVerdict finish() = 0;
+};
+
 /// A communication predicate evaluated against ground-truth traces.
 class Predicate {
  public:
@@ -44,16 +67,23 @@ class Predicate {
 
   /// Evaluates the predicate on the recorded prefix.
   virtual PredicateVerdict evaluate(const ComputationTrace& trace) const = 0;
+
+  /// A streaming evaluator, or nullptr when this predicate only supports
+  /// whole-trace evaluate() (the default) — callers must fall back.
+  virtual std::unique_ptr<PredicateStream> make_stream() const {
+    return nullptr;
+  }
 };
 
 /// Conjunction of predicates; holds iff all parts hold.  The verdict
-/// reports the first failing part.
+/// reports the first failing part.  Streams iff every part streams.
 class AndPredicate final : public Predicate {
  public:
   explicit AndPredicate(std::vector<std::shared_ptr<Predicate>> parts);
 
   std::string name() const override;
   PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+  std::unique_ptr<PredicateStream> make_stream() const override;
 
  private:
   std::vector<std::shared_ptr<Predicate>> parts_;

@@ -23,6 +23,258 @@ PredicateVerdict fails_at(Round r, std::string detail) {
   v.detail = std::move(detail);
   return v;
 }
+
+// The streams below must produce verdicts *identical* to the whole-trace
+// evaluate() of their predicate — same holds, same violation round, same
+// detail text (locked by tests/predicates/streaming_test.cpp).  They share
+// the formatting helpers with evaluate() and defer all string building to
+// finish(), so feeding a round allocates nothing.
+
+PredicateVerdict palpha_fail(Round r, ProcessId p, int aho, double alpha) {
+  std::ostringstream os;
+  os << "|AHO(" << p << "," << r << ")| = " << aho << " > alpha = "
+     << format_double(alpha, 2);
+  return fails_at(r, os.str());
+}
+
+PredicateVerdict palpha_hold(double alpha) {
+  return holds_verdict("every |AHO(p,r)| <= " + format_double(alpha, 2));
+}
+
+class PAlphaStream final : public PredicateStream {
+ public:
+  explicit PAlphaStream(double alpha) : alpha_(alpha) {}
+
+  void reset(int) override { failed_ = false; }
+
+  void on_round(const RoundRecord& round) override {
+    if (failed_) return;
+    for (std::size_t p = 0; p < round.per_process.size(); ++p) {
+      const int aho = round.per_process[p].aho_count();
+      if (static_cast<double>(aho) > alpha_) {
+        failed_ = true;
+        fail_round_ = round.round;
+        fail_process_ = static_cast<ProcessId>(p);
+        fail_aho_ = aho;
+        return;
+      }
+    }
+  }
+
+  PredicateVerdict finish() override {
+    if (failed_) return palpha_fail(fail_round_, fail_process_, fail_aho_, alpha_);
+    return palpha_hold(alpha_);
+  }
+
+ private:
+  double alpha_;
+  bool failed_ = false;
+  Round fail_round_ = 0;
+  ProcessId fail_process_ = 0;
+  int fail_aho_ = 0;
+};
+
+PredicateVerdict pperm_verdict(int as, double alpha) {
+  if (static_cast<double>(as) > alpha) {
+    std::ostringstream os;
+    os << "|AS| = " << as << " > alpha = " << format_double(alpha, 2);
+    PredicateVerdict v;
+    v.holds = false;
+    v.detail = os.str();
+    return v;
+  }
+  return holds_verdict("|AS| = " + std::to_string(as) +
+                       " <= " + format_double(alpha, 2));
+}
+
+class PPermAlphaStream final : public PredicateStream {
+ public:
+  explicit PPermAlphaStream(double alpha) : alpha_(alpha) {}
+
+  void reset(int n) override { as_ = ProcessSet(n); }
+
+  void on_round(const RoundRecord& round) override {
+    for (const HoRecord& rec : round.per_process)
+      as_.unite_with_difference(rec.ho, rec.sho);
+  }
+
+  PredicateVerdict finish() override { return pperm_verdict(as_.count(), alpha_); }
+
+ private:
+  double alpha_;
+  ProcessSet as_;
+};
+
+PredicateVerdict pbenign_fail(Round r, ProcessId p) {
+  std::ostringstream os;
+  os << "SHO(" << p << "," << r << ") != HO(" << p << "," << r << ")";
+  return fails_at(r, os.str());
+}
+
+class PBenignStream final : public PredicateStream {
+ public:
+  void reset(int) override { failed_ = false; }
+
+  void on_round(const RoundRecord& round) override {
+    if (failed_) return;
+    for (std::size_t p = 0; p < round.per_process.size(); ++p) {
+      const HoRecord& rec = round.per_process[p];
+      if (!(rec.sho == rec.ho)) {
+        failed_ = true;
+        fail_round_ = round.round;
+        fail_process_ = static_cast<ProcessId>(p);
+        return;
+      }
+    }
+  }
+
+  PredicateVerdict finish() override {
+    if (failed_) return pbenign_fail(fail_round_, fail_process_);
+    return holds_verdict("no corrupted transmission in the prefix");
+  }
+
+ private:
+  bool failed_ = false;
+  Round fail_round_ = 0;
+  ProcessId fail_process_ = 0;
+};
+
+PredicateVerdict pusafe_fail(Round r, ProcessId p, int sho, double bound) {
+  std::ostringstream os;
+  os << "|SHO(" << p << "," << r << ")| = " << sho
+     << " not > " << format_double(bound, 2);
+  return fails_at(r, os.str());
+}
+
+class PUSafeStream final : public PredicateStream {
+ public:
+  explicit PUSafeStream(double bound) : bound_(bound) {}
+
+  void reset(int) override { failed_ = false; }
+
+  void on_round(const RoundRecord& round) override {
+    if (failed_) return;
+    for (std::size_t p = 0; p < round.per_process.size(); ++p) {
+      const int sho = round.per_process[p].sho.count();
+      if (!(static_cast<double>(sho) > bound_)) {
+        failed_ = true;
+        fail_round_ = round.round;
+        fail_process_ = static_cast<ProcessId>(p);
+        fail_sho_ = sho;
+        return;
+      }
+    }
+  }
+
+  PredicateVerdict finish() override {
+    if (failed_) return pusafe_fail(fail_round_, fail_process_, fail_sho_, bound_);
+    return holds_verdict("every |SHO(p,r)| > " + format_double(bound_, 2));
+  }
+
+ private:
+  double bound_;
+  bool failed_ = false;
+  Round fail_round_ = 0;
+  ProcessId fail_process_ = 0;
+  int fail_sho_ = 0;
+};
+
+PredicateVerdict sync_byz_verdict(int sk, int need) {
+  if (sk < need) {
+    PredicateVerdict v;
+    v.holds = false;
+    v.detail = "|SK| = " + std::to_string(sk) + " < n - f = " + std::to_string(need);
+    return v;
+  }
+  return holds_verdict("|SK| = " + std::to_string(sk) +
+                       " >= " + std::to_string(need));
+}
+
+class SyncByzantineStream final : public PredicateStream {
+ public:
+  explicit SyncByzantineStream(int f) : f_(f) {}
+
+  void reset(int n) override {
+    n_ = n;
+    sk_ = ProcessSet::universe(n);
+  }
+
+  void on_round(const RoundRecord& round) override {
+    for (const HoRecord& rec : round.per_process) sk_.intersect_with(rec.sho);
+  }
+
+  PredicateVerdict finish() override {
+    return sync_byz_verdict(sk_.count(), n_ - f_);
+  }
+
+ private:
+  int f_;
+  int n_ = 0;
+  ProcessSet sk_;
+};
+
+PredicateVerdict async_byz_ho_fail(Round r, ProcessId p, int ho, int need) {
+  std::ostringstream os;
+  os << "|HO(" << p << "," << r << ")| = " << ho << " < n - f = " << need;
+  return fails_at(r, os.str());
+}
+
+PredicateVerdict async_byz_as_verdict(int as, int f) {
+  if (as > f) {
+    PredicateVerdict v;
+    v.holds = false;
+    v.detail = "|AS| = " + std::to_string(as) + " > f = " + std::to_string(f);
+    return v;
+  }
+  return holds_verdict("liveness and |AS| <= f both hold");
+}
+
+class AsyncByzantineStream final : public PredicateStream {
+ public:
+  explicit AsyncByzantineStream(int f) : f_(f) {}
+
+  void reset(int n) override {
+    n_ = n;
+    ho_failed_ = false;
+    as_ = ProcessSet(n);
+  }
+
+  void on_round(const RoundRecord& round) override {
+    if (!ho_failed_) {
+      const int need = n_ - f_;
+      for (std::size_t p = 0; p < round.per_process.size(); ++p) {
+        const int ho = round.per_process[p].ho.count();
+        if (ho < need) {
+          ho_failed_ = true;
+          fail_round_ = round.round;
+          fail_process_ = static_cast<ProcessId>(p);
+          fail_ho_ = ho;
+          break;
+        }
+      }
+    }
+    // AS accumulates regardless: evaluate() checks every round's HO before
+    // the whole-prefix AS bound, and the HO failure takes precedence.
+    for (const HoRecord& rec : round.per_process)
+      as_.unite_with_difference(rec.ho, rec.sho);
+  }
+
+  PredicateVerdict finish() override {
+    if (ho_failed_)
+      return async_byz_ho_fail(fail_round_, fail_process_, fail_ho_, n_ - f_);
+    return async_byz_as_verdict(as_.count(), f_);
+  }
+
+ private:
+  int f_;
+  int n_ = 0;
+  bool ho_failed_ = false;
+  Round fail_round_ = 0;
+  ProcessId fail_process_ = 0;
+  int fail_ho_ = 0;
+  ProcessSet as_;
+};
+
 }  // namespace
 
 // ------------------------------------------------------------------ PAlpha
@@ -38,16 +290,16 @@ std::string PAlpha::name() const {
 PredicateVerdict PAlpha::evaluate(const ComputationTrace& trace) const {
   for (Round r = 1; r <= trace.round_count(); ++r) {
     for (ProcessId p = 0; p < trace.universe_size(); ++p) {
-      const int aho = trace.record(p, r).aho().count();
-      if (static_cast<double>(aho) > alpha_) {
-        std::ostringstream os;
-        os << "|AHO(" << p << "," << r << ")| = " << aho << " > alpha = "
-           << format_double(alpha_, 2);
-        return fails_at(r, os.str());
-      }
+      const int aho = trace.record(p, r).aho_count();
+      if (static_cast<double>(aho) > alpha_)
+        return palpha_fail(r, p, aho, alpha_);
     }
   }
-  return holds_verdict("every |AHO(p,r)| <= " + format_double(alpha_, 2));
+  return palpha_hold(alpha_);
+}
+
+std::unique_ptr<PredicateStream> PAlpha::make_stream() const {
+  return std::make_unique<PAlphaStream>(alpha_);
 }
 
 // -------------------------------------------------------------- PPermAlpha
@@ -61,17 +313,11 @@ std::string PPermAlpha::name() const {
 }
 
 PredicateVerdict PPermAlpha::evaluate(const ComputationTrace& trace) const {
-  const int as = trace.altered_span().count();
-  if (static_cast<double>(as) > alpha_) {
-    std::ostringstream os;
-    os << "|AS| = " << as << " > alpha = " << format_double(alpha_, 2);
-    PredicateVerdict v;
-    v.holds = false;
-    v.detail = os.str();
-    return v;
-  }
-  return holds_verdict("|AS| = " + std::to_string(as) +
-                       " <= " + format_double(alpha_, 2));
+  return pperm_verdict(trace.altered_span().count(), alpha_);
+}
+
+std::unique_ptr<PredicateStream> PPermAlpha::make_stream() const {
+  return std::make_unique<PPermAlphaStream>(alpha_);
 }
 
 // ----------------------------------------------------------------- PBenign
@@ -82,14 +328,14 @@ PredicateVerdict PBenign::evaluate(const ComputationTrace& trace) const {
   for (Round r = 1; r <= trace.round_count(); ++r) {
     for (ProcessId p = 0; p < trace.universe_size(); ++p) {
       const auto& rec = trace.record(p, r);
-      if (!(rec.sho == rec.ho)) {
-        std::ostringstream os;
-        os << "SHO(" << p << "," << r << ") != HO(" << p << "," << r << ")";
-        return fails_at(r, os.str());
-      }
+      if (!(rec.sho == rec.ho)) return pbenign_fail(r, p);
     }
   }
   return holds_verdict("no corrupted transmission in the prefix");
+}
+
+std::unique_ptr<PredicateStream> PBenign::make_stream() const {
+  return std::make_unique<PBenignStream>();
 }
 
 // ------------------------------------------------------------------ PUSafe
@@ -113,15 +359,14 @@ PredicateVerdict PUSafe::evaluate(const ComputationTrace& trace) const {
   for (Round r = 1; r <= trace.round_count(); ++r) {
     for (ProcessId p = 0; p < trace.universe_size(); ++p) {
       const int sho = trace.record(p, r).sho.count();
-      if (!(static_cast<double>(sho) > b)) {
-        std::ostringstream os;
-        os << "|SHO(" << p << "," << r << ")| = " << sho
-           << " not > " << format_double(b, 2);
-        return fails_at(r, os.str());
-      }
+      if (!(static_cast<double>(sho) > b)) return pusafe_fail(r, p, sho, b);
     }
   }
   return holds_verdict("every |SHO(p,r)| > " + format_double(b, 2));
+}
+
+std::unique_ptr<PredicateStream> PUSafe::make_stream() const {
+  return std::make_unique<PUSafeStream>(bound());
 }
 
 // ---------------------------------------------------------- SyncByzantine
@@ -136,16 +381,12 @@ std::string SyncByzantinePredicate::name() const {
 
 PredicateVerdict SyncByzantinePredicate::evaluate(
     const ComputationTrace& trace) const {
-  const int sk = trace.safe_kernel().count();
-  const int need = trace.universe_size() - f_;
-  if (sk < need) {
-    PredicateVerdict v;
-    v.holds = false;
-    v.detail = "|SK| = " + std::to_string(sk) + " < n - f = " + std::to_string(need);
-    return v;
-  }
-  return holds_verdict("|SK| = " + std::to_string(sk) +
-                       " >= " + std::to_string(need));
+  return sync_byz_verdict(trace.safe_kernel().count(),
+                          trace.universe_size() - f_);
+}
+
+std::unique_ptr<PredicateStream> SyncByzantinePredicate::make_stream() const {
+  return std::make_unique<SyncByzantineStream>(f_);
 }
 
 // --------------------------------------------------------- AsyncByzantine
@@ -165,21 +406,14 @@ PredicateVerdict AsyncByzantinePredicate::evaluate(
   for (Round r = 1; r <= trace.round_count(); ++r) {
     for (ProcessId p = 0; p < trace.universe_size(); ++p) {
       const int ho = trace.record(p, r).ho.count();
-      if (ho < need) {
-        std::ostringstream os;
-        os << "|HO(" << p << "," << r << ")| = " << ho << " < n - f = " << need;
-        return fails_at(r, os.str());
-      }
+      if (ho < need) return async_byz_ho_fail(r, p, ho, need);
     }
   }
-  const int as = trace.altered_span().count();
-  if (as > f_) {
-    PredicateVerdict v;
-    v.holds = false;
-    v.detail = "|AS| = " + std::to_string(as) + " > f = " + std::to_string(f_);
-    return v;
-  }
-  return holds_verdict("liveness and |AS| <= f both hold");
+  return async_byz_as_verdict(trace.altered_span().count(), f_);
+}
+
+std::unique_ptr<PredicateStream> AsyncByzantinePredicate::make_stream() const {
+  return std::make_unique<AsyncByzantineStream>(f_);
 }
 
 }  // namespace hoval

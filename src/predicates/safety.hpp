@@ -20,6 +20,7 @@ class PAlpha final : public Predicate {
   explicit PAlpha(double alpha);
   std::string name() const override;
   PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+  std::unique_ptr<PredicateStream> make_stream() const override;
 
  private:
   double alpha_;
@@ -32,6 +33,7 @@ class PPermAlpha final : public Predicate {
   explicit PPermAlpha(double alpha);
   std::string name() const override;
   PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+  std::unique_ptr<PredicateStream> make_stream() const override;
 
  private:
   double alpha_;
@@ -42,6 +44,7 @@ class PBenign final : public Predicate {
  public:
   std::string name() const override;
   PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+  std::unique_ptr<PredicateStream> make_stream() const override;
 };
 
 /// P^{U,safe} :: ∀p, r: |SHO(p,r)| > max(n + 2*alpha - E - 1, T, alpha).
@@ -50,6 +53,7 @@ class PUSafe final : public Predicate {
   PUSafe(int n, double threshold_t, double threshold_e, int alpha);
   std::string name() const override;
   PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+  std::unique_ptr<PredicateStream> make_stream() const override;
 
   /// The bound max(n + 2*alpha - E - 1, T, alpha).
   double bound() const noexcept;
@@ -67,6 +71,7 @@ class SyncByzantinePredicate final : public Predicate {
   explicit SyncByzantinePredicate(int f);
   std::string name() const override;
   PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+  std::unique_ptr<PredicateStream> make_stream() const override;
 
  private:
   int f_;
@@ -79,6 +84,7 @@ class AsyncByzantinePredicate final : public Predicate {
   explicit AsyncByzantinePredicate(int f);
   std::string name() const override;
   PredicateVerdict evaluate(const ComputationTrace& trace) const override;
+  std::unique_ptr<PredicateStream> make_stream() const override;
 
  private:
   int f_;

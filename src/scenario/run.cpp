@@ -76,6 +76,7 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
   resolved.config.max_recorded_violations = spec.campaign.max_recorded_violations;
   resolved.config.batch_size = spec.campaign.batch_size;
   resolved.config.adaptive = spec.campaign.adaptive;
+  resolved.config.keep_traces = spec.campaign.keep_traces;
   return resolved;
 }
 

@@ -73,7 +73,17 @@ Json knobs_to_json(const CampaignKnobs& knobs) {
   if (knobs.batch_size != 0) j.set("batch_size", knobs.batch_size);
   if (knobs.adaptive != StoppingRule{})
     j.set("adaptive", adaptive_to_json(knobs.adaptive));
+  if (knobs.keep_traces != TraceRetention::kNone)
+    j.set("keep_traces", std::string(to_string(knobs.keep_traces)));
   return j;
+}
+
+TraceRetention keep_traces_from_json(const Json& json) {
+  if (!json.is_string())
+    fail("\"campaign.keep_traces\" must be a string "
+         "(\"none\", \"violations\" or \"all\")");
+  return parse_trace_retention_or_throw(json.as_string(),
+                                        "\"campaign.keep_traces\"");
 }
 
 CampaignKnobs knobs_from_json(const Json& json) {
@@ -81,7 +91,7 @@ CampaignKnobs knobs_from_json(const Json& json) {
   check_known_keys(json,
                    {"runs", "rounds", "stop_when_all_decided", "seed",
                     "threads", "max_recorded_violations", "batch_size",
-                    "adaptive"},
+                    "adaptive", "keep_traces"},
                    "\"campaign\"");
   CampaignKnobs knobs;
   if (const Json* v = json.find("runs")) knobs.runs = v->as_int();
@@ -95,6 +105,8 @@ CampaignKnobs knobs_from_json(const Json& json) {
   if (const Json* v = json.find("batch_size")) knobs.batch_size = v->as_int();
   if (const Json* v = json.find("adaptive"))
     knobs.adaptive = adaptive_from_json(*v);
+  if (const Json* v = json.find("keep_traces"))
+    knobs.keep_traces = keep_traces_from_json(*v);
   return knobs;
 }
 
@@ -155,6 +167,16 @@ ComponentSpec component(std::string name, Json::Object params) {
   return spec;
 }
 
+TraceRetention parse_trace_retention_or_throw(const std::string& text,
+                                              const std::string& what) {
+  if (const auto retention = parse_trace_retention(text)) return *retention;
+  std::string message = "unknown " + what + " value \"" + text +
+                        "\" (known: none violations all)";
+  const std::string suggestion = closest_name(text, known_trace_retentions());
+  if (!suggestion.empty()) message += " — did you mean \"" + suggestion + "\"?";
+  fail(message);
+}
+
 // --- ScenarioSpec ----------------------------------------------------------
 
 bool operator==(const CampaignKnobs& a, const CampaignKnobs& b) {
@@ -162,7 +184,8 @@ bool operator==(const CampaignKnobs& a, const CampaignKnobs& b) {
          a.stop_when_all_decided == b.stop_when_all_decided &&
          a.seed == b.seed && a.threads == b.threads &&
          a.max_recorded_violations == b.max_recorded_violations &&
-         a.batch_size == b.batch_size && a.adaptive == b.adaptive;
+         a.batch_size == b.batch_size && a.adaptive == b.adaptive &&
+         a.keep_traces == b.keep_traces;
 }
 
 bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {

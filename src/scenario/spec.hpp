@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "model/types.hpp"
+#include "sim/trace_retention.hpp"
 #include "stats/interval.hpp"
 #include "util/json.hpp"
 
@@ -58,6 +59,13 @@ inline bool operator!=(const ComponentSpec& a, const ComponentSpec& b) {
 /// Convenience constructor for building specs in code.
 ComponentSpec component(std::string name, Json::Object params = {});
 
+/// Parses a trace-retention spelling ("none"/"violations"/"all"),
+/// throwing ScenarioError with a "did you mean" suggestion on anything
+/// else.  `what` names the knob in the message ("\"campaign.keep_traces\"",
+/// "--keep-traces"); shared by the JSON parser and the CLI flag.
+TraceRetention parse_trace_retention_or_throw(const std::string& text,
+                                              const std::string& what);
+
 /// Campaign knobs of a scenario; mirrors the scalar fields of
 /// CampaignConfig / SimConfig (threads stays a knob so one spec file can
 /// serve serial repro runs and saturating sweeps alike).
@@ -73,6 +81,10 @@ struct CampaignKnobs {
   /// Serialised as the "adaptive" object of the campaign document; absent
   /// means disabled (the classic fixed budget).
   StoppingRule adaptive;
+  /// Trace retention (sim/trace_retention.hpp): which runs' traces the
+  /// campaign keeps.  Serialised as the "keep_traces" string ("none" /
+  /// "violations" / "all"); absent means none.
+  TraceRetention keep_traces = TraceRetention::kNone;
 };
 
 bool operator==(const CampaignKnobs& a, const CampaignKnobs& b);

@@ -14,6 +14,7 @@
 #include "predicates/predicate.hpp"
 #include "sim/properties.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace_retention.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/interval.hpp"
 
@@ -76,6 +77,20 @@ struct CampaignConfig {
   /// timing, so adaptive campaigns stay bit-identical at any thread
   /// count.  Disabled (the default) reproduces the classic fixed budget.
   StoppingRule adaptive;
+  /// Which runs' ground-truth traces to copy into CampaignResult::traces.
+  /// The default (kNone) keeps the hot path copy-free: the engine
+  /// evaluates predicates against the worker's workspace trace in place
+  /// and nothing is deep-copied per run.  kViolations retains the traces
+  /// of runs violating agreement/integrity/irrevocability; kAll retains
+  /// everything (memory scales with runs × rounds × n — use small
+  /// campaigns).  Aggregate statistics are identical under every policy.
+  TraceRetention keep_traces = TraceRetention::kNone;
+};
+
+/// One retained ground-truth trace (see CampaignConfig::keep_traces).
+struct RetainedTrace {
+  int run = 0;  ///< run index within the campaign
+  ComputationTrace trace;
 };
 
 /// Aggregated campaign outcome.
@@ -109,6 +124,10 @@ struct CampaignResult {
 
   /// Sample violation descriptions (capped).
   std::vector<std::string> violations;
+
+  /// Ground-truth traces retained per CampaignConfig::keep_traces, in run
+  /// order (empty for the default kNone policy).
+  std::vector<RetainedTrace> traces;
 
   /// True when a progress callback cancelled the campaign; only the runs
   /// counted above were executed.

@@ -55,21 +55,45 @@ CampaignEngine::CampaignEngine(CampaignConfig config)
   }
 }
 
+CampaignEngine::WorkerState CampaignEngine::make_worker_state() const {
+  WorkerState state;
+  state.streams.reserve(config_.predicates.size());
+  for (const auto& predicate : config_.predicates) {
+    state.streams.push_back(predicate->make_stream());
+    state.any_stream = state.any_stream || state.streams.back() != nullptr;
+  }
+  return state;
+}
+
 CampaignEngine::RunOutcome CampaignEngine::execute_run(
     int run, const ValueGenerator& values, const InstanceBuilder& instance,
-    const AdversaryBuilder& adversary, int* violation_budget) const {
+    const AdversaryBuilder& adversary, WorkerState& state,
+    int* violation_budget) const {
   Rng value_rng(mix_seed(config_.base_seed, static_cast<std::uint64_t>(run), 1));
   const std::vector<Value> initial = values(value_rng);
 
   ProcessVector processes = instance(initial);
   HOVAL_EXPECTS_MSG(processes.size() == initial.size(),
                     "instance size must match initial values");
+  const int n = static_cast<int>(processes.size());
 
   SimConfig sim = config_.sim;
   sim.seed = mix_seed(config_.base_seed, static_cast<std::uint64_t>(run), 2);
 
-  Simulator simulator(std::move(processes), adversary(), sim);
-  const RunResult run_result = simulator.run();
+  Simulator simulator(std::move(processes), adversary(), sim,
+                      &state.workspace);
+  for (const auto& stream : state.streams)
+    if (stream) stream->reset(n);
+  while (simulator.step()) {
+    if (!state.any_stream) continue;
+    const RoundRecord& round = state.workspace.trace.last_round();
+    for (const auto& stream : state.streams)
+      if (stream) stream->on_round(round);
+  }
+
+  // Snapshot without the trace copy; retention below copies it only for
+  // the runs the policy keeps.
+  RunResult run_result = simulator.snapshot(/*include_trace=*/false);
   const ConsensusReport report = check_consensus(initial, run_result);
   const PropertyVerdict irrevocable = check_irrevocability(simulator.processes());
 
@@ -110,14 +134,26 @@ CampaignEngine::RunOutcome CampaignEngine::execute_run(
   }
 
   outcome.predicate_holds.reserve(config_.predicates.size());
-  for (const auto& predicate : config_.predicates)
-    outcome.predicate_holds.push_back(
-        predicate->evaluate(run_result.trace).holds ? 1 : 0);
+  for (std::size_t i = 0; i < config_.predicates.size(); ++i) {
+    // Streamed verdicts are identical to evaluate()'s; the fallback reads
+    // the workspace trace in place, so neither path copies the trace.
+    const bool holds =
+        state.streams[i]
+            ? state.streams[i]->finish().holds
+            : config_.predicates[i]->evaluate(state.workspace.trace).holds;
+    outcome.predicate_holds.push_back(holds ? 1 : 0);
+  }
+
+  const bool violated = outcome.agreement_violation ||
+                        outcome.integrity_violation ||
+                        outcome.irrevocability_violation;
+  if (config_.keep_traces == TraceRetention::kAll ||
+      (config_.keep_traces == TraceRetention::kViolations && violated))
+    outcome.trace = state.workspace.trace;  // deep copy of the prefix
   return outcome;
 }
 
-CampaignResult CampaignEngine::reduce(
-    const std::vector<RunOutcome>& outcomes) const {
+CampaignResult CampaignEngine::reduce(std::vector<RunOutcome>& outcomes) const {
   CampaignResult result;
   result.runs_requested = cap_;
   result.predicate_holds.assign(config_.predicates.size(), 0);
@@ -125,9 +161,13 @@ CampaignResult CampaignEngine::reduce(
   for (const auto& predicate : config_.predicates)
     result.predicate_names.push_back(predicate->name());
 
-  for (const RunOutcome& outcome : outcomes) {
+  for (std::size_t run = 0; run < outcomes.size(); ++run) {
+    RunOutcome& outcome = outcomes[run];
     if (!outcome.executed) continue;
     ++result.runs;
+    if (outcome.trace)
+      result.traces.push_back(
+          RetainedTrace{static_cast<int>(run), std::move(*outcome.trace)});
     result.agreement_violations += outcome.agreement_violation ? 1 : 0;
     result.integrity_violations += outcome.integrity_violation ? 1 : 0;
     result.irrevocability_violations += outcome.irrevocability_violation ? 1 : 0;
@@ -226,6 +266,9 @@ CampaignResult CampaignEngine::run(const ValueGenerator& values,
   // of `claim_size` run indices per dispatch.
   auto worker = [&](int wave_end, int claim_size) {
     int violation_budget = config_.max_recorded_violations;
+    // One workspace and one set of predicate streams per worker: every run
+    // this worker claims reuses the same buffers.
+    WorkerState state = make_worker_state();
     for (;;) {
       if (cancelled.load(std::memory_order_acquire)) return;
       int claim_begin = 0;
@@ -240,8 +283,8 @@ CampaignResult CampaignEngine::run(const ValueGenerator& values,
       for (int run = claim_begin; run < claim_end; ++run) {
         if (cancelled.load(std::memory_order_acquire)) return;
         try {
-          outcomes[static_cast<std::size_t>(run)] =
-              execute_run(run, values, instance, adversary, &violation_budget);
+          outcomes[static_cast<std::size_t>(run)] = execute_run(
+              run, values, instance, adversary, state, &violation_budget);
           completed.fetch_add(1, std::memory_order_acq_rel);
           report_progress(false);  // user callback may throw too
         } catch (...) {

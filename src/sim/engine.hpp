@@ -33,12 +33,25 @@
 /// not started yet (so a cancelled result covers a prefix-biased subset of
 /// runs and is no longer thread-count independent — it is marked
 /// CampaignResult::cancelled).
+///
+/// The run hot path is allocation-free: every worker owns one RunWorkspace
+/// (sim/workspace.hpp) whose round buffers and trace storage are reused
+/// across all the runs it executes, predicates are evaluated through
+/// per-worker streaming evaluators (Predicate::make_stream(); whole-trace
+/// evaluate() against the in-place workspace trace is the fallback), and a
+/// run's trace is deep-copied only when CampaignConfig::keep_traces
+/// retains it.  None of this changes any statistic: a streamed verdict is
+/// identical to evaluate()'s, so results stay bit-identical to the serial
+/// reference at every thread count, batch size and retention policy.
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/campaign.hpp"
+#include "sim/workspace.hpp"
 
 namespace hoval {
 
@@ -93,7 +106,22 @@ class CampaignEngine {
     std::vector<std::string> violations;
     /// 0/1 per configured predicate.
     std::vector<std::uint8_t> predicate_holds;
+    /// The run's trace when CampaignConfig::keep_traces retains it.
+    std::optional<ComputationTrace> trace;
   };
+
+  /// Per-worker reusable state: the run workspace (buffers shared by every
+  /// run the worker executes) and one predicate stream per configured
+  /// predicate (null where the predicate only supports whole-trace
+  /// evaluation — execute_run falls back to evaluate() on the workspace
+  /// trace, still without copying it).
+  struct WorkerState {
+    RunWorkspace workspace;
+    std::vector<std::unique_ptr<PredicateStream>> streams;
+    bool any_stream = false;
+  };
+
+  WorkerState make_worker_state() const;
 
   /// `violation_budget` is the executing worker's remaining allowance of
   /// formatted violation strings (bounds campaign memory at
@@ -101,11 +129,12 @@ class CampaignEngine {
   /// which strings the reduction ultimately keeps).
   RunOutcome execute_run(int run, const ValueGenerator& values,
                          const InstanceBuilder& instance,
-                         const AdversaryBuilder& adversary,
+                         const AdversaryBuilder& adversary, WorkerState& state,
                          int* violation_budget) const;
 
-  /// Deterministic reduction in run-index order.
-  CampaignResult reduce(const std::vector<RunOutcome>& outcomes) const;
+  /// Deterministic reduction in run-index order; moves retained traces out
+  /// of the outcomes.
+  CampaignResult reduce(std::vector<RunOutcome>& outcomes) const;
 
   /// Stopping-rule check on the fully-executed prefix [0, boundary).
   bool converged_at(const std::vector<RunOutcome>& outcomes,

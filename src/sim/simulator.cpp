@@ -13,11 +13,14 @@ int RunResult::decided_count() const {
 
 Simulator::Simulator(ProcessVector processes, std::shared_ptr<Adversary> adversary,
                      SimConfig config)
+    : Simulator(std::move(processes), std::move(adversary), config, nullptr) {}
+
+Simulator::Simulator(ProcessVector processes, std::shared_ptr<Adversary> adversary,
+                     SimConfig config, RunWorkspace* workspace)
     : processes_(std::move(processes)),
       adversary_(std::move(adversary)),
       config_(config),
-      rng_(config.seed),
-      trace_(static_cast<int>(processes_.size())) {
+      rng_(config.seed) {
   HOVAL_EXPECTS_MSG(!processes_.empty(), "need at least one process");
   HOVAL_EXPECTS_MSG(adversary_ != nullptr, "adversary must not be null");
   HOVAL_EXPECTS_MSG(config.max_rounds >= 1, "horizon must be positive");
@@ -29,6 +32,12 @@ Simulator::Simulator(ProcessVector processes, std::shared_ptr<Adversary> adversa
                           static_cast<int>(processes_.size()),
                       "every process must agree on n");
   }
+  if (workspace == nullptr) {
+    owned_workspace_ = std::make_unique<RunWorkspace>();
+    workspace = owned_workspace_.get();
+  }
+  workspace_ = workspace;
+  workspace_->reset(static_cast<int>(processes_.size()));
 }
 
 bool Simulator::everyone_decided() const {
@@ -52,34 +61,30 @@ bool Simulator::step() {
   const int n = static_cast<int>(processes_.size());
   const Round r = next_round_++;
 
-  // (1) Sending functions.
-  IntendedRound intended;
+  // (1) Sending functions, into the workspace's reusable matrix.
+  IntendedRound& intended = workspace_->intended;
   intended.round = r;
-  intended.by_sender.resize(static_cast<std::size_t>(n));
   for (ProcessId q = 0; q < n; ++q) {
     auto& row = intended.by_sender[static_cast<std::size_t>(q)];
-    row.reserve(static_cast<std::size_t>(n));
     for (ProcessId p = 0; p < n; ++p)
-      row.push_back(processes_[static_cast<std::size_t>(q)]->message_for(r, p));
+      row[static_cast<std::size_t>(p)] =
+          processes_[static_cast<std::size_t>(q)]->message_for(r, p);
   }
 
   // (2) Adversary transforms the faithful delivery.
-  DeliveredRound delivered = DeliveredRound::faithful(intended);
+  DeliveredRound& delivered = workspace_->delivered;
+  delivered.assign_faithful(intended);
   adversary_->apply(intended, delivered, rng_);
 
-  // (3) Ground truth: HO from the support, SHO by comparing against intent.
-  std::vector<HoRecord> records;
-  records.reserve(static_cast<std::size_t>(n));
+  // (3) Ground truth: HO from the support, SHO by comparing against
+  // intent, recorded straight into the trace's recycled round records
+  // (SHO ⊆ HO holds by construction — a safe link is a delivered link).
+  std::vector<HoRecord>& records = workspace_->trace.begin_round();
   for (ProcessId p = 0; p < n; ++p) {
-    const auto& mu = delivered.by_receiver[static_cast<std::size_t>(p)];
-    HoRecord rec{mu.support(), ProcessSet(n)};
-    for (ProcessId q = 0; q < n; ++q) {
-      const auto& got = mu.get(q);
-      if (got && *got == intended.intended(q, p)) rec.sho.insert(q);
-    }
-    records.push_back(std::move(rec));
+    HoRecord& rec = records[static_cast<std::size_t>(p)];
+    delivered.by_receiver[static_cast<std::size_t>(p)].ground_truth_into(
+        intended.by_sender, p, rec.ho, rec.sho);
   }
-  trace_.append_round(std::move(records));
 
   // (4) Transition functions.
   for (ProcessId p = 0; p < n; ++p)
@@ -95,11 +100,14 @@ RunResult Simulator::run() {
   return snapshot();
 }
 
-RunResult Simulator::snapshot() const {
+RunResult Simulator::snapshot(bool include_trace) const {
   RunResult result;
   result.n = static_cast<int>(processes_.size());
-  result.rounds_executed = trace_.round_count();
-  result.trace = trace_;
+  result.rounds_executed = workspace_->trace.round_count();
+  if (include_trace)
+    result.trace = workspace_->trace;
+  else
+    result.trace = ComputationTrace(result.n);
   result.decisions.reserve(processes_.size());
   result.decision_rounds.reserve(processes_.size());
   for (const auto& p : processes_) {

@@ -8,6 +8,11 @@
 /// sets for the trace, and (4) applies the transition functions T_p^r.
 /// The round structure imposes no synchrony assumption — it is exactly
 /// the communication-closed layering of the paper.
+///
+/// All per-round storage lives in a RunWorkspace (sim/workspace.hpp).  A
+/// Simulator constructed without one owns a private workspace — the
+/// classic single-run API; campaign drivers pass a per-worker workspace
+/// in so back-to-back runs reuse buffers instead of reallocating.
 
 #include <memory>
 #include <optional>
@@ -16,6 +21,7 @@
 #include "adversary/adversary.hpp"
 #include "model/process.hpp"
 #include "model/trace.hpp"
+#include "sim/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace hoval {
@@ -41,7 +47,10 @@ struct RunResult {
   /// min/max decision round over deciding processes, if any decided.
   std::optional<Round> first_decision_round;
   std::optional<Round> last_decision_round;
-  /// Ground-truth communication trace of the executed prefix.
+  /// Ground-truth communication trace of the executed prefix.  Empty (zero
+  /// rounds) when the snapshot was taken with include_trace = false —
+  /// campaign aggregation reads the workspace trace directly instead of
+  /// copying it here.
   ComputationTrace trace;
 
   /// Number of processes that decided.
@@ -53,8 +62,16 @@ class Simulator {
  public:
   /// Takes ownership of the processes; the adversary is shared so callers
   /// can inspect adversary state (e.g. forgery counters) after the run.
+  /// Owns a private RunWorkspace.
   Simulator(ProcessVector processes, std::shared_ptr<Adversary> adversary,
             SimConfig config);
+
+  /// Same, but borrows `workspace` for all per-round storage (the hot
+  /// path: one workspace per campaign worker).  The workspace is reset for
+  /// this run and must outlive the Simulator; it must not be shared with
+  /// another live Simulator.
+  Simulator(ProcessVector processes, std::shared_ptr<Adversary> adversary,
+            SimConfig config, RunWorkspace* workspace);
 
   /// Executes rounds until everyone decided (if configured) or the horizon
   /// is reached, and returns the result.  Callable once.
@@ -66,10 +83,15 @@ class Simulator {
 
   Round current_round() const noexcept { return next_round_ - 1; }
   const ProcessVector& processes() const noexcept { return processes_; }
-  const ComputationTrace& trace() const noexcept { return trace_; }
 
-  /// Builds the result snapshot for the rounds executed so far.
-  RunResult snapshot() const;
+  /// The run's ground-truth trace (living in the workspace: valid until
+  /// the workspace is reset for another run).
+  const ComputationTrace& trace() const noexcept { return workspace_->trace; }
+
+  /// Builds the result snapshot for the rounds executed so far.  With
+  /// include_trace = false the (potentially large) trace copy is skipped —
+  /// use trace() to inspect it in place.
+  RunResult snapshot(bool include_trace = true) const;
 
  private:
   bool everyone_decided() const;
@@ -78,7 +100,8 @@ class Simulator {
   std::shared_ptr<Adversary> adversary_;
   SimConfig config_;
   Rng rng_;
-  ComputationTrace trace_;
+  std::unique_ptr<RunWorkspace> owned_workspace_;  ///< null when borrowed
+  RunWorkspace* workspace_ = nullptr;
   Round next_round_ = 1;
   bool started_ = false;
   bool finished_ = false;

@@ -1,0 +1,26 @@
+#include "sim/trace_retention.hpp"
+
+namespace hoval {
+
+const char* to_string(TraceRetention retention) noexcept {
+  switch (retention) {
+    case TraceRetention::kNone: return "none";
+    case TraceRetention::kViolations: return "violations";
+    case TraceRetention::kAll: return "all";
+  }
+  return "none";
+}
+
+std::optional<TraceRetention> parse_trace_retention(const std::string& text) {
+  if (text == "none") return TraceRetention::kNone;
+  if (text == "violations") return TraceRetention::kViolations;
+  if (text == "all") return TraceRetention::kAll;
+  return std::nullopt;
+}
+
+const std::vector<std::string>& known_trace_retentions() {
+  static const std::vector<std::string> names{"none", "violations", "all"};
+  return names;
+}
+
+}  // namespace hoval

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file trace_retention.hpp
+/// The campaign trace-retention policy: which runs' ground-truth traces a
+/// Monte-Carlo campaign copies out of the per-worker workspace into its
+/// CampaignResult.  Kept in its own small header so the declarative
+/// scenario layer (scenario/spec.hpp) can name the policy without pulling
+/// in the whole campaign machinery.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hoval {
+
+/// Which runs' traces a campaign retains (CampaignResult::traces).  The
+/// default keeps none: aggregates (violation counts, latencies, predicate
+/// hold rates) never need the trace after the run, so the workspace copy
+/// is pure overhead for the common case.
+enum class TraceRetention {
+  kNone,        ///< aggregates only — no trace ever leaves the workspace
+  kViolations,  ///< traces of runs that violated agreement, integrity or
+                ///< irrevocability (diagnostic replays)
+  kAll,         ///< every executed run's trace — memory grows with runs!
+};
+
+/// Canonical spelling: "none", "violations", "all".
+const char* to_string(TraceRetention retention) noexcept;
+
+/// Parses a canonical spelling; nullopt for anything else (callers build
+/// their own did-you-mean error from known_trace_retentions()).
+std::optional<TraceRetention> parse_trace_retention(const std::string& text);
+
+/// The canonical spellings, for error messages and catalogues.
+const std::vector<std::string>& known_trace_retentions();
+
+}  // namespace hoval

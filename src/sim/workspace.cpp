@@ -1,0 +1,16 @@
+#include "sim/workspace.hpp"
+
+#include "util/check.hpp"
+
+namespace hoval {
+
+void RunWorkspace::reset(int n) {
+  HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
+  intended.round = 0;
+  intended.resize(n);
+  // `delivered` is fully overwritten by assign_faithful() at the start of
+  // every round, so only the trace needs an explicit rewind here.
+  trace.reset(n);
+}
+
+}  // namespace hoval

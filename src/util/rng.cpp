@@ -72,15 +72,21 @@ bool Rng::chance(double p) noexcept {
 }
 
 std::vector<std::size_t> Rng::sample(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> pool;
+  sample_into(n, k, pool);
+  return pool;
+}
+
+void Rng::sample_into(std::size_t n, std::size_t k,
+                      std::vector<std::size_t>& out) {
   HOVAL_EXPECTS_MSG(k <= n, "cannot sample more elements than the population");
-  std::vector<std::size_t> pool(n);
-  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j = i + static_cast<std::size_t>(below(n - i));
-    std::swap(pool[i], pool[j]);
+    std::swap(out[i], out[j]);
   }
-  pool.resize(k);
-  return pool;
+  out.resize(k);
 }
 
 Rng Rng::fork(std::uint64_t label) noexcept {

@@ -85,6 +85,12 @@ class Rng {
   /// partial Fisher–Yates).  Requires k <= n.
   std::vector<std::size_t> sample(std::size_t n, std::size_t k);
 
+  /// sample() into a caller-provided buffer (left holding exactly the k
+  /// chosen indices), reusing its capacity — the allocation-free variant
+  /// for hot loops.  Consumes identical draws and produces identical
+  /// results to sample().
+  void sample_into(std::size_t n, std::size_t k, std::vector<std::size_t>& out);
+
   /// In-place Fisher–Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& items) noexcept {

@@ -120,5 +120,134 @@ TEST(ProcessSet, ClearEmptiesTheSet) {
   EXPECT_EQ(s.universe_size(), 9);
 }
 
+// --- storage boundaries ----------------------------------------------------
+//
+// n <= 64 lives in the inline word, n > 64 spills to the block vector; the
+// sizes below straddle every boundary (empty universe, single process, the
+// last inline sizes, the first spilled size, a two-block universe).  Each
+// size exercises the full algebra and checks the in-place mutators against
+// their value-returning counterparts.
+
+class ProcessSetStorageBoundary : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, ProcessSetStorageBoundary,
+                         ::testing::Values(0, 1, 63, 64, 65, 128));
+
+namespace {
+
+/// A deterministic pseudo-random subset of {0, ..., n-1}.
+ProcessSet patterned_set(int n, unsigned salt) {
+  ProcessSet s(n);
+  for (ProcessId p = 0; p < n; ++p)
+    if (((static_cast<unsigned>(p) * 2654435761u + salt) >> 7) % 3 == 0)
+      s.insert(p);
+  return s;
+}
+
+}  // namespace
+
+TEST_P(ProcessSetStorageBoundary, UniverseAndComplement) {
+  const int n = GetParam();
+  const ProcessSet empty(n);
+  const ProcessSet all = ProcessSet::universe(n);
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_EQ(all.count(), n);
+  EXPECT_EQ(empty.complement(), all);
+  EXPECT_EQ(all.complement(), empty);
+  for (ProcessId p = 0; p < n; ++p) {
+    EXPECT_TRUE(all.contains(p));
+    EXPECT_FALSE(empty.contains(p));
+  }
+}
+
+TEST_P(ProcessSetStorageBoundary, InsertEraseAtEdges) {
+  const int n = GetParam();
+  if (n == 0) return;  // no valid ids
+  ProcessSet s(n);
+  const std::vector<ProcessId> edges{0, n - 1, n / 2};
+  for (ProcessId p : edges) s.insert(p);
+  for (ProcessId p : edges) EXPECT_TRUE(s.contains(p));
+  s.erase(n - 1);
+  EXPECT_FALSE(s.contains(n - 1));
+  EXPECT_THROW(s.insert(n), PreconditionError);
+  EXPECT_THROW(s.contains(n), PreconditionError);
+}
+
+TEST_P(ProcessSetStorageBoundary, AlgebraAndSubsets) {
+  const int n = GetParam();
+  const ProcessSet a = patterned_set(n, 17);
+  const ProcessSet b = patterned_set(n, 2029);
+  const ProcessSet inter = a.intersect(b);
+  const ProcessSet uni = a.unite(b);
+  const ProcessSet diff = a.subtract(b);
+  EXPECT_EQ(inter.count() + uni.count(), a.count() + b.count());
+  EXPECT_EQ(diff.count(), a.count() - inter.count());
+  EXPECT_EQ(a.subtract_count(b), diff.count());
+  EXPECT_TRUE(inter.is_subset_of(a));
+  EXPECT_TRUE(inter.is_subset_of(b));
+  EXPECT_TRUE(a.is_subset_of(uni));
+  EXPECT_TRUE(diff.is_subset_of(a));
+  EXPECT_EQ(diff.intersect(b).count(), 0);
+  EXPECT_EQ(a.subtract(a), ProcessSet(n));
+  EXPECT_EQ(uni.subtract(b).unite(inter), a);
+  // De Morgan over the fixed universe.
+  EXPECT_EQ(uni.complement(), a.complement().intersect(b.complement()));
+}
+
+TEST_P(ProcessSetStorageBoundary, InPlaceMutatorsMatchValueAlgebra) {
+  const int n = GetParam();
+  const ProcessSet a = patterned_set(n, 41);
+  const ProcessSet b = patterned_set(n, 977);
+
+  ProcessSet x = a;
+  x.intersect_with(b);
+  EXPECT_EQ(x, a.intersect(b));
+
+  x = a;
+  x.unite_with(b);
+  EXPECT_EQ(x, a.unite(b));
+
+  x = a;
+  x.subtract_with(b);
+  EXPECT_EQ(x, a.subtract(b));
+
+  // The fused AHO fold: acc ∪= (a \ b) matches the two-step algebra.
+  x = patterned_set(n, 311);
+  ProcessSet fused = x;
+  fused.unite_with_difference(a, b);
+  EXPECT_EQ(fused, x.unite(a.subtract(b)));
+
+  // Self-application degenerates correctly.
+  x = a;
+  x.intersect_with(x);
+  EXPECT_EQ(x, a);
+  x.subtract_with(x);
+  EXPECT_EQ(x, ProcessSet(n));
+}
+
+TEST_P(ProcessSetStorageBoundary, MembersRoundTrip) {
+  const int n = GetParam();
+  const ProcessSet a = patterned_set(n, 5);
+  EXPECT_EQ(ProcessSet::of(n, a.members()), a);
+  int visited = 0;
+  ProcessId last = -1;
+  a.for_each([&](ProcessId p) {
+    EXPECT_GT(p, last);
+    last = p;
+    ++visited;
+  });
+  EXPECT_EQ(visited, a.count());
+}
+
+TEST(ProcessSet, InPlaceMutatorsRejectCrossUniverse) {
+  ProcessSet a(64);
+  const ProcessSet b(65);
+  EXPECT_THROW(a.intersect_with(b), PreconditionError);
+  EXPECT_THROW(a.unite_with(b), PreconditionError);
+  EXPECT_THROW(a.subtract_with(b), PreconditionError);
+  EXPECT_THROW((void)a.subtract_count(b), PreconditionError);
+  EXPECT_THROW(a.unite_with_difference(b, b), PreconditionError);
+}
+
 }  // namespace
 }  // namespace hoval

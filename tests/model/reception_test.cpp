@@ -56,12 +56,12 @@ TEST(Reception, CountsByKindAndPayload) {
 TEST(Reception, Histogram) {
   const auto mu = make_vector();
   const auto est_hist = mu.payload_histogram(MsgKind::kEstimate);
-  ASSERT_EQ(est_hist.size(), 2u);
-  EXPECT_EQ(est_hist.at(5), 2);
-  EXPECT_EQ(est_hist.at(7), 1);
+  const PayloadHistogram expected_est{{5, 2}, {7, 1}};
+  EXPECT_EQ(est_hist, expected_est);
   const auto vote_hist = mu.payload_histogram(MsgKind::kVote);
-  ASSERT_EQ(vote_hist.size(), 1u);  // '?' votes carry no payload
-  EXPECT_EQ(vote_hist.at(5), 1);
+  // '?' votes carry no payload.
+  const PayloadHistogram expected_votes{{5, 1}};
+  EXPECT_EQ(vote_hist, expected_votes);
 }
 
 TEST(Reception, SmallestMostFrequentPicksPlurality) {

@@ -240,6 +240,20 @@ TEST(RunScenario, SweepFailsBeforeRunningOnBadSubstitution) {
   EXPECT_THROW(run_sweep(sweep), ScenarioError);
 }
 
+TEST(RunScenario, KeepTracesKnobReachesTheEngine) {
+  ScenarioSpec spec;
+  spec.algorithm = component("otr", {{"n", 9}});
+  spec.values = component("unanimous", {{"value", 3}});
+  spec.campaign.runs = 4;
+  spec.campaign.rounds = 10;
+  spec.campaign.threads = 1;
+  spec.campaign.keep_traces = TraceRetention::kAll;
+  EXPECT_EQ(resolve_scenario(spec).config.keep_traces, TraceRetention::kAll);
+  const CampaignResult result = run_scenario(spec);
+  ASSERT_EQ(result.traces.size(), 4u);
+  EXPECT_EQ(result.traces[0].trace.universe_size(), 9);
+}
+
 TEST(RunScenario, EmptyAdversaryStackIsFaithful) {
   ScenarioSpec spec;
   spec.algorithm = component("otr", {{"n", 9}});

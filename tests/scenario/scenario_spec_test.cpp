@@ -33,6 +33,7 @@ ScenarioSpec full_spec() {
   spec.campaign.adaptive.max_runs = 500;
   spec.campaign.adaptive.ci_epsilon = 0.015;
   spec.campaign.adaptive.ci_confidence = 0.99;
+  spec.campaign.keep_traces = TraceRetention::kViolations;
   return spec;
 }
 
@@ -81,6 +82,44 @@ TEST(ScenarioSpec, DefaultedAdaptiveAndBatchSizeStayOutOfTheDocument) {
   const std::string text = spec.to_json_text();
   EXPECT_EQ(text.find("adaptive"), std::string::npos);
   EXPECT_EQ(text.find("batch_size"), std::string::npos);
+}
+
+TEST(ScenarioSpec, KeepTracesRoundTripsAndDefaultsStayOut) {
+  for (const TraceRetention retention :
+       {TraceRetention::kViolations, TraceRetention::kAll}) {
+    ScenarioSpec spec;
+    spec.algorithm = component("otr", {{"n", 9}});
+    spec.campaign.keep_traces = retention;
+    const ScenarioSpec reparsed =
+        ScenarioSpec::from_json_text(spec.to_json_text());
+    EXPECT_TRUE(reparsed == spec);
+    EXPECT_EQ(reparsed.campaign.keep_traces, retention);
+  }
+  // The default policy stays out of the document entirely.
+  ScenarioSpec spec;
+  spec.algorithm = component("otr", {{"n", 9}});
+  EXPECT_EQ(spec.to_json_text().find("keep_traces"), std::string::npos);
+}
+
+TEST(ScenarioSpec, KeepTracesRejectsUnknownValueWithSuggestion) {
+  try {
+    ScenarioSpec::from_json_text(R"({
+      "algorithm": {"name": "ate", "params": {"n": 9}},
+      "campaign": {"keep_traces": "violatons"}
+    })");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("keep_traces"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean \"violations\""), std::string::npos)
+        << what;
+  }
+  // Non-string values are rejected too.
+  EXPECT_THROW(ScenarioSpec::from_json_text(R"({
+    "algorithm": {"name": "ate", "params": {"n": 9}},
+    "campaign": {"keep_traces": 2}
+  })"),
+               ScenarioError);
 }
 
 TEST(ScenarioSpec, UnknownAdaptiveKnobFails) {

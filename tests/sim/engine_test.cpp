@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "adversary/corruption.hpp"
+#include "adversary/wrappers.hpp"
 #include "core/factories.hpp"
+#include "predicates/liveness.hpp"
 #include "predicates/safety.hpp"
 #include "sim/initial_values.hpp"
 #include "util/check.hpp"
@@ -234,6 +236,174 @@ TEST(CampaignEngine, ViolationRecordingDeterministicNearCap) {
   EXPECT_EQ(serial.violations.size(), 4u);
   expect_identical(serial, two);
   expect_identical(serial, eight);
+}
+
+// --- pre-refactor golden lock ----------------------------------------------
+//
+// The numbers below were produced by the engine *before* the zero-allocation
+// run hot path landed (workspace reuse, inline ProcessSet storage, streaming
+// predicates, trace retention).  Fixed-seed campaign statistics must stay
+// bit-identical to that baseline at every thread count and batch size — a
+// regression here means the hot path changed simulation semantics, not just
+// speed.
+
+TEST(CampaignEngine, GoldenStatsBitIdenticalToPreRefactorBaseline) {
+  CampaignConfig config;
+  config.runs = 96;
+  config.sim.max_rounds = 60;
+  config.base_seed = 0xEB61;
+  config.predicates.push_back(std::make_shared<PAlpha>(2));
+  config.predicates.push_back(std::make_shared<PBenign>());
+  config.predicates.push_back(std::make_shared<PALive>(9, 6.0, 7.0, 2.0));
+
+  auto run_it = [&](int threads, int batch_size) {
+    config.threads = threads;
+    config.batch_size = batch_size;
+    RandomCorruptionConfig corruption;
+    corruption.alpha = 2;
+    return CampaignEngine(config).run(
+        random_of(9, 3), ate_instance(AteParams::canonical(9, 2)),
+        [corruption] {
+          GoodRoundConfig good;
+          good.period = 5;
+          return std::make_shared<GoodRoundScheduler>(
+              std::make_shared<RandomCorruptionAdversary>(corruption), good);
+        });
+  };
+
+  for (const int threads : {1, 2, 8}) {
+    for (const int batch_size : {1, 7, 64}) {
+      const auto result = run_it(threads, batch_size);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch_size));
+      EXPECT_EQ(result.runs, 96);
+      EXPECT_EQ(result.agreement_violations, 0);
+      EXPECT_EQ(result.integrity_violations, 0);
+      EXPECT_EQ(result.irrevocability_violations, 0);
+      EXPECT_EQ(result.terminated, 96);
+      ASSERT_EQ(result.predicate_holds.size(), 3u);
+      EXPECT_EQ(result.predicate_holds[0], 96);  // P_alpha(2)
+      EXPECT_EQ(result.predicate_holds[1], 0);   // P_benign
+      EXPECT_EQ(result.predicate_holds[2], 96);  // P^{A,live}
+      EXPECT_DOUBLE_EQ(result.last_decision_rounds.mean(), 490.0 / 96.0);
+      EXPECT_DOUBLE_EQ(result.first_decision_rounds.mean(), 490.0 / 96.0);
+      EXPECT_DOUBLE_EQ(result.last_decision_rounds.max(), 10.0);
+      EXPECT_EQ(result.summary(),
+                "96 runs: agreement ok, integrity ok, terminated 100.0%, "
+                "decided by round 5.10 (median 5.0, max 10), predicates: "
+                "P_alpha(2.00) 96/96; P_benign 0/96; "
+                "P^{A,live}(T=6.00,E=7.00,alpha=2.00) 96/96");
+    }
+  }
+}
+
+TEST(CampaignEngine, GoldenViolationStringsBitIdenticalToPreRefactorBaseline) {
+  const AteParams bad{6, /*T=*/0.5, /*E=*/1.0, /*alpha=*/6};
+  RandomCorruptionConfig poison;
+  poison.alpha = 6;
+  poison.policy.style = CorruptionStyle::kFixedValue;
+  poison.policy.fixed_value = 999;
+
+  CampaignConfig config;
+  config.runs = 32;
+  config.sim.max_rounds = 30;
+  config.base_seed = 0xCA9;
+  config.max_recorded_violations = 3;
+
+  auto run_it = [&](int threads, int batch_size) {
+    config.threads = threads;
+    config.batch_size = batch_size;
+    return CampaignEngine(config).run(
+        [](Rng&) { return unanimous_values(6, 1); }, ate_instance(bad),
+        [&] { return std::make_shared<RandomCorruptionAdversary>(poison); });
+  };
+
+  const std::vector<std::string> expected{
+      "run 0 (seed 17598398370492718545): integrity: unanimous initial "
+      "value 1 but process 0 decided 999",
+      "run 1 (seed 11655005971879502238): integrity: unanimous initial "
+      "value 1 but process 0 decided 999",
+      "run 2 (seed 9255834610867408370): integrity: unanimous initial "
+      "value 1 but process 0 decided 999"};
+  for (const int threads : {1, 2, 8}) {
+    for (const int batch_size : {1, 7, 64}) {
+      const auto result = run_it(threads, batch_size);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch_size));
+      EXPECT_EQ(result.integrity_violations, 32);
+      EXPECT_EQ(result.terminated, 32);
+      EXPECT_DOUBLE_EQ(result.last_decision_rounds.mean(), 1.0);
+      EXPECT_EQ(result.violations, expected);
+    }
+  }
+}
+
+// --- trace retention --------------------------------------------------------
+
+TEST(CampaignEngine, KeepsNoTracesByDefault) {
+  const auto result = run_with_threads(base_config(16), 2);
+  EXPECT_TRUE(result.traces.empty());
+}
+
+TEST(CampaignEngine, KeepTracesAllRetainsEveryRunInOrder) {
+  auto config = base_config(24);
+  config.keep_traces = TraceRetention::kAll;
+  const auto result = run_with_threads(config, 4);
+  ASSERT_EQ(result.traces.size(), 24u);
+  for (int run = 0; run < 24; ++run) {
+    EXPECT_EQ(result.traces[static_cast<std::size_t>(run)].run, run);
+    const ComputationTrace& trace =
+        result.traces[static_cast<std::size_t>(run)].trace;
+    EXPECT_EQ(trace.universe_size(), 9);
+    EXPECT_GE(trace.round_count(), 1);
+  }
+  // Retained traces are real per-run traces: the predicate verdicts they
+  // produce agree with the campaign tallies.
+  int palpha_holds = 0;
+  for (const auto& retained : result.traces)
+    palpha_holds += PAlpha(2).evaluate(retained.trace).holds ? 1 : 0;
+  EXPECT_EQ(palpha_holds, result.predicate_holds[0]);
+}
+
+TEST(CampaignEngine, KeepTracesViolationsRetainsExactlyTheViolatingRuns) {
+  // The poison workload violates integrity on every run.
+  const AteParams bad{6, /*T=*/0.5, /*E=*/1.0, /*alpha=*/6};
+  RandomCorruptionConfig poison;
+  poison.alpha = 6;
+  poison.policy.style = CorruptionStyle::kFixedValue;
+  poison.policy.fixed_value = 999;
+
+  CampaignConfig config;
+  config.runs = 12;
+  config.sim.max_rounds = 30;
+  config.base_seed = 0xCA9;
+  config.keep_traces = TraceRetention::kViolations;
+  config.threads = 2;
+  const auto violating = CampaignEngine(config).run(
+      [](Rng&) { return unanimous_values(6, 1); }, ate_instance(bad),
+      [&] { return std::make_shared<RandomCorruptionAdversary>(poison); });
+  EXPECT_EQ(violating.integrity_violations, 12);
+  ASSERT_EQ(violating.traces.size(), 12u);
+  EXPECT_EQ(violating.traces.front().run, 0);
+
+  // A clean workload under the same policy retains nothing.
+  auto clean_config = base_config(16);
+  clean_config.keep_traces = TraceRetention::kViolations;
+  const auto clean = run_with_threads(clean_config, 2);
+  EXPECT_TRUE(clean.safety_clean());
+  EXPECT_TRUE(clean.traces.empty());
+}
+
+TEST(CampaignEngine, RetentionPolicyDoesNotChangeStatistics) {
+  const auto reference = run_with_threads(base_config(48), 1);
+  for (const TraceRetention policy :
+       {TraceRetention::kViolations, TraceRetention::kAll}) {
+    for (const int threads : {1, 4}) {
+      auto config = base_config(48);
+      config.keep_traces = policy;
+      expect_identical(reference, run_with_threads(config, threads));
+    }
+  }
 }
 
 TEST(CampaignEngine, MatchesRunCampaignFacade) {

@@ -1,0 +1,176 @@
+/// RunWorkspace reuse must be invisible: a Simulator borrowing a workspace
+/// that previous runs dirtied produces exactly the results of a fresh
+/// Simulator, for any interleaving of universe sizes; resettable traces
+/// only ever expose (and copy) the recorded prefix.
+
+#include "sim/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/corruption.hpp"
+#include "core/factories.hpp"
+#include "predicates/safety.hpp"
+#include "sim/initial_values.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace hoval {
+namespace {
+
+SimConfig config_with_seed(std::uint64_t seed, Round horizon = 40) {
+  SimConfig config;
+  config.max_rounds = horizon;
+  config.seed = seed;
+  return config;
+}
+
+Simulator make_simulator(int n, std::uint64_t seed, RunWorkspace* workspace) {
+  const int alpha = n >= 9 ? 2 : 1;  // canonical A_{T,E} needs alpha < n/4
+  RandomCorruptionConfig corruption;
+  corruption.alpha = alpha;
+  return Simulator(
+      make_ate_instance(AteParams::canonical(n, alpha), distinct_values(n)),
+      std::make_shared<RandomCorruptionAdversary>(corruption),
+      config_with_seed(seed), workspace);
+}
+
+void expect_same_run(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.all_decided, b.all_decided);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.decision_rounds, b.decision_rounds);
+  ASSERT_EQ(a.trace.round_count(), b.trace.round_count());
+  for (Round r = 1; r <= a.trace.round_count(); ++r) {
+    for (ProcessId p = 0; p < a.n; ++p) {
+      EXPECT_EQ(a.trace.record(p, r).ho, b.trace.record(p, r).ho);
+      EXPECT_EQ(a.trace.record(p, r).sho, b.trace.record(p, r).sho);
+    }
+  }
+}
+
+TEST(RunWorkspace, ReuseAcrossRunsMatchesFreshSimulators) {
+  RunWorkspace workspace;
+  for (const std::uint64_t seed : {7u, 8u, 9u, 10u}) {
+    const RunResult reused = make_simulator(9, seed, &workspace).run();
+    const RunResult fresh = make_simulator(9, seed, nullptr).run();
+    expect_same_run(reused, fresh);
+  }
+}
+
+TEST(RunWorkspace, ReuseAcrossUniverseSizesMatchesFreshSimulators) {
+  // Shrinking and growing n between runs must not leak stale rows, slots
+  // or trace records (9 → 5 → 12 crosses both directions).
+  RunWorkspace workspace;
+  for (const int n : {9, 5, 12, 5}) {
+    const RunResult reused = make_simulator(n, 21, &workspace).run();
+    const RunResult fresh = make_simulator(n, 21, nullptr).run();
+    expect_same_run(reused, fresh);
+  }
+}
+
+TEST(RunWorkspace, SnapshotWithoutTraceSkipsTheCopy) {
+  RunWorkspace workspace;
+  Simulator simulator = make_simulator(6, 3, &workspace);
+  while (simulator.step()) {
+  }
+  const RunResult with_trace = simulator.snapshot();
+  const RunResult stats_only = simulator.snapshot(/*include_trace=*/false);
+  EXPECT_EQ(stats_only.rounds_executed, with_trace.rounds_executed);
+  EXPECT_EQ(stats_only.decisions, with_trace.decisions);
+  EXPECT_GT(with_trace.trace.round_count(), 0);
+  EXPECT_EQ(stats_only.trace.round_count(), 0);  // nothing copied
+  EXPECT_EQ(stats_only.trace.universe_size(), 6);
+  // The ground truth stays readable in place through the workspace.
+  EXPECT_EQ(simulator.trace().round_count(), with_trace.trace.round_count());
+}
+
+TEST(ComputationTrace, ResetRewindsButReusesStorage) {
+  ComputationTrace trace(3);
+  for (int r = 0; r < 4; ++r) {
+    auto& records = trace.begin_round();
+    ASSERT_EQ(records.size(), 3u);
+    for (auto& rec : records) {
+      EXPECT_TRUE(rec.ho.empty());  // recycled records arrive cleared
+      rec.ho.insert(r % 3);
+      rec.sho.insert(r % 3);
+    }
+  }
+  EXPECT_EQ(trace.round_count(), 4);
+  EXPECT_EQ(trace.last_round().round, 4);
+
+  trace.reset(3);
+  EXPECT_EQ(trace.round_count(), 0);
+  EXPECT_THROW((void)trace.last_round(), PreconditionError);
+  auto& records = trace.begin_round();
+  EXPECT_EQ(trace.round_count(), 1);
+  for (auto& rec : records) {
+    EXPECT_TRUE(rec.ho.empty());
+    EXPECT_TRUE(rec.sho.empty());
+  }
+}
+
+TEST(ComputationTrace, ResetAdoptsNewUniverseSize) {
+  ComputationTrace trace(4);
+  trace.begin_round();
+  trace.reset(2);
+  EXPECT_EQ(trace.universe_size(), 2);
+  auto& records = trace.begin_round();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records.front().ho.universe_size(), 2);
+}
+
+TEST(ComputationTrace, CopiesCarryOnlyTheRecordedPrefix) {
+  ComputationTrace trace(2);
+  for (int r = 0; r < 5; ++r) {
+    auto& records = trace.begin_round();
+    records[0].ho.insert(0);
+    records[0].sho.insert(0);
+  }
+  trace.reset(2);
+  auto& records = trace.begin_round();
+  records[1].ho.insert(1);
+  records[1].sho.insert(1);
+
+  // After the reset the trace exposes one round; a copy must not resurrect
+  // the four cached rounds.
+  const ComputationTrace copied = trace;
+  EXPECT_EQ(copied.round_count(), 1);
+  EXPECT_TRUE(copied.record(1, 1).ho.contains(1));
+  EXPECT_THROW((void)copied.round(2), PreconditionError);
+
+  ComputationTrace assigned(7);
+  assigned = trace;
+  EXPECT_EQ(assigned.universe_size(), 2);
+  EXPECT_EQ(assigned.round_count(), 1);
+}
+
+TEST(ComputationTrace, MovedFromTraceIsRewoundNotDangling) {
+  // Moves hand the round storage over; the source must not keep claiming
+  // rounds it no longer holds (used_ <= rounds_.size() stays invariant).
+  ComputationTrace trace(2);
+  trace.begin_round();
+  trace.begin_round();
+  ComputationTrace moved = std::move(trace);
+  EXPECT_EQ(moved.round_count(), 2);
+  EXPECT_EQ(trace.round_count(), 0);
+  EXPECT_THROW((void)trace.last_round(), PreconditionError);
+  trace = std::move(moved);
+  EXPECT_EQ(trace.round_count(), 2);
+  EXPECT_EQ(moved.round_count(), 0);
+  EXPECT_THROW((void)moved.round(1), PreconditionError);
+}
+
+TEST(ComputationTrace, AppendRoundStillValidatesAfterReset) {
+  ComputationTrace trace(2);
+  trace.reset(2);
+  std::vector<HoRecord> bad;
+  HoRecord rec{ProcessSet(2), ProcessSet(2)};
+  rec.sho.insert(0);  // SHO ⊄ HO
+  bad.push_back(rec);
+  bad.push_back(HoRecord{ProcessSet(2), ProcessSet(2)});
+  EXPECT_THROW(trace.append_round(std::move(bad)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hoval

@@ -57,6 +57,7 @@ struct CliOptions {
   bool adaptive = false;
   double ci_epsilon = 0.0;
   int batch_size = 0;
+  TraceRetention keep_traces = TraceRetention::kNone;
 
   // Which campaign knobs were given explicitly (they override a loaded
   // --scenario document; the rest of the document wins otherwise).
@@ -66,6 +67,7 @@ struct CliOptions {
   bool rounds_set = false;
   bool ci_epsilon_set = false;
   bool batch_size_set = false;
+  bool keep_traces_set = false;
   // Spec-shaping flags given explicitly (--algorithm, --n, ...).  These
   // cannot override a loaded document — combining them with --scenario or
   // --sweep is an error, not a silent ignore.
@@ -90,6 +92,8 @@ struct CliOptions {
       << "  --seed S         base seed                        (default 1)\n"
       << "  --threads W      campaign worker threads, 0=all cores (default 0)\n"
       << "  --batch-size B   runs claimed per pool task, 0=auto (default 0)\n"
+      << "  --keep-traces P  retain run traces: none|violations|all\n"
+      << "                   (default none)\n"
       << "  --adaptive       stop when all Wilson intervals converge\n"
       << "  --ci-epsilon E   target CI half-width, implies --adaptive\n"
       << "                   (default 0.02)\n"
@@ -121,6 +125,11 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--seed") { options.seed = std::stoull(next()); options.seed_set = true; }
     else if (arg == "--threads") { options.threads = std::stoi(next()); options.threads_set = true; }
     else if (arg == "--batch-size") { options.batch_size = std::stoi(next()); options.batch_size_set = true; }
+    else if (arg == "--keep-traces") {
+      options.keep_traces =
+          parse_trace_retention_or_throw(next(), "--keep-traces");
+      options.keep_traces_set = true;
+    }
     else if (arg == "--adaptive") options.adaptive = true;
     else if (arg == "--ci-epsilon") { options.ci_epsilon = std::stod(next()); options.ci_epsilon_set = true; options.adaptive = true; }
     else if (arg == "--values") { options.values = next(); options.shape_flags.push_back(arg); }
@@ -185,6 +194,7 @@ ScenarioSpec spec_from_flags(const CliOptions& options) {
   spec.campaign.seed = options.seed;
   spec.campaign.threads = options.threads;
   spec.campaign.batch_size = options.batch_size;
+  spec.campaign.keep_traces = options.keep_traces;
   spec.campaign.adaptive.enabled = options.adaptive;
   if (options.ci_epsilon_set)
     spec.campaign.adaptive.ci_epsilon = options.ci_epsilon;
@@ -208,6 +218,7 @@ void apply_overrides(const CliOptions& options, CampaignKnobs& knobs) {
   if (options.threads_set) knobs.threads = options.threads;
   if (options.rounds_set) knobs.rounds = options.rounds;
   if (options.batch_size_set) knobs.batch_size = options.batch_size;
+  if (options.keep_traces_set) knobs.keep_traces = options.keep_traces;
   if (options.adaptive) knobs.adaptive.enabled = true;
   if (options.ci_epsilon_set) knobs.adaptive.ci_epsilon = options.ci_epsilon;
 }
@@ -304,6 +315,9 @@ int run_many(ResolvedScenario resolved, bool progress) {
       engine.run(resolved.values, resolved.instance, resolved.adversary);
   std::cout << result.summary() << " [" << engine.threads() << " thread"
             << (engine.threads() == 1 ? "" : "s") << "]\n";
+  if (resolved.config.keep_traces != TraceRetention::kNone)
+    std::cout << "retained " << result.traces.size() << " trace(s) ("
+              << to_string(resolved.config.keep_traces) << ")\n";
   for (const auto& violation : result.violations)
     std::cout << "  " << violation << "\n";
   return result.safety_clean() ? 0 : 1;

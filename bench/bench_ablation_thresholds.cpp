@@ -88,8 +88,10 @@ void run() {
   live_base.values = component("random", {{"distinct", 3}});
   live_base.campaign.runs = 80;
   live_base.campaign.rounds = 60;
+  // One pool serves all three environment sweeps below.
+  Executor executor = bench::make_bench_executor();
   const auto live_results =
-      bench::run_sweep_timed(threshold_sweep(live_base, choices, 0));
+      bench::run_sweep_timed(threshold_sweep(live_base, choices, 0), &executor);
 
   // Safety environment 1: the same-round split attack (kills E below
   // n/2 + alpha).
@@ -100,8 +102,8 @@ void run() {
   attack_base.values = component("split", {{"lo", 1}, {"hi", 9}});
   attack_base.campaign.runs = 80;
   attack_base.campaign.rounds = 20;
-  const auto attack_results =
-      bench::run_sweep_timed(threshold_sweep(attack_base, choices, 1));
+  const auto attack_results = bench::run_sweep_timed(
+      threshold_sweep(attack_base, choices, 1), &executor);
 
   // Safety environment 2: the cross-round lock-in attack (kills T below
   // the 2(n + 2*alpha - E) frontier even when E is fine), where its
@@ -117,8 +119,8 @@ void run() {
   lock_base.campaign.runs = 80;
   lock_base.campaign.rounds = 10;
   lock_base.campaign.stop_when_all_decided = false;
-  const auto lock_results =
-      bench::run_sweep_timed(threshold_sweep(lock_base, lock_choices, 2));
+  const auto lock_results = bench::run_sweep_timed(
+      threshold_sweep(lock_base, lock_choices, 2), &executor);
 
   std::size_t next_lock = 0;
   for (std::size_t i = 0; i < choices.size(); ++i) {

@@ -34,7 +34,7 @@ const int kGaps[] = {2, 4, 8, 16};
 
 void scenario(const std::string& title, const UteaParams& params,
               std::vector<ComponentSpec> interim, CsvWriter& csv,
-              const std::string& tag) {
+              const std::string& tag, Executor& executor) {
   std::cout << "--- " << title << " ---\n";
 
   // The whole grid as data: base scenario plus one linked axis over
@@ -60,7 +60,7 @@ void scenario(const std::string& title, const UteaParams& params,
                              static_cast<std::uint64_t>(gap * 100 + pi0)))});
   sweep.axes.push_back(std::move(grid));
 
-  const auto results = bench::run_sweep_timed(sweep);
+  const auto results = bench::run_sweep_timed(sweep, &executor);
 
   TablePrinter table({"clean-phase gap", "|Pi0|", "terminated",
                       "mean decision round", "max"},
@@ -93,6 +93,9 @@ void run() {
                 {"scenario", "gap_phases", "pi0", "terminated", "runs",
                  "mean_round"});
 
+  // Both regimes' grids share one persistent pool.
+  Executor executor = bench::make_bench_executor();
+
   // (a) Within Theorem 2's predicates.
   {
     const int n = 12;
@@ -102,7 +105,7 @@ void run() {
     scenario("(a) P_alpha /\\ P^{U,safe} on every round", params,
              {component("corrupt", {{"alpha", alpha}}),
               component("usafe-clamp")},
-             csv, "within");
+             csv, "within", executor);
     std::cout
         << "\n(P^{U,safe} with canonical T = E is already termination-grade:\n"
            " the default-value rule converges within two phases, so the\n"
@@ -120,7 +123,7 @@ void run() {
              "windows sporadic",
              params,
              {component("corrupt", {{"alpha", alpha}, {"style", "garbage"}})},
-             csv, "tradeoff");
+             csv, "tradeoff", executor);
     std::cout
         << "\nReading: votes are suppressed everywhere except the clean\n"
            "windows; the decision lands at round 2*phi0 + 2 of the first\n"

@@ -18,9 +18,13 @@
 #include "predicates/safety.hpp"
 #include "runtime/crc32.hpp"
 #include "runtime/serialization.hpp"
+#include "scenario/run.hpp"
+#include "scenario/spec.hpp"
 #include "sim/engine.hpp"
+#include "sim/executor.hpp"
 #include "sim/initial_values.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace hoval {
 namespace {
@@ -193,6 +197,46 @@ double measured_runs_per_sec(int runs, int threads, int* executed) {
   return seconds > 0.0 ? result.runs / seconds : 0.0;
 }
 
+constexpr int kSweepPoints = 8;
+constexpr int kSweepRunsPerPoint = 64;
+
+/// The fixed 8-point sweep used for whole-sweep scheduling measurements:
+/// the throughput workload with eight derived seeds, so every point costs
+/// the same and the comparison isolates scheduling, not workload skew.
+SweepSpec scheduling_sweep() {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 16}, {"alpha", 3}});
+  sweep.base.adversaries = {component("corrupt", {{"alpha", 3}})};
+  sweep.base.values = component("random", {{"distinct", 3}});
+  sweep.base.campaign.runs = kSweepRunsPerPoint;
+  sweep.base.campaign.rounds = 30;
+  sweep.base.campaign.stop_when_all_decided = false;
+  SweepAxis seeds;
+  seeds.paths = {"campaign.seed"};
+  for (int point = 0; point < kSweepPoints; ++point)
+    seeds.points.push_back(
+        {Json(derived_seed(0xBE7C, static_cast<std::uint64_t>(point)))});
+  sweep.axes.push_back(std::move(seeds));
+  return sweep;
+}
+
+/// Times the sweep on one shared pool, sequentially or with every point
+/// submitted up front.  Results are bit-identical either way (executor
+/// determinism holds under any interleaving); only wall time differs.
+double measured_sweep_seconds(bool overlap_points) {
+  Executor executor(0);
+  SweepOptions options;
+  options.executor = &executor;
+  options.overlap_points = overlap_points;
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(scheduling_sweep(), options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchmark::DoNotOptimize(results.size());
+  return seconds;
+}
+
 }  // namespace
 
 /// Seeds the perf trajectory: serial vs 8-thread campaign throughput on
@@ -210,11 +254,27 @@ void write_campaign_throughput_json() {
   int executed = 0;
   const double serial = measured_runs_per_sec(runs, 1, &executed);
 
+  // Whole-sweep scheduling on the persistent Executor: the same 8-point
+  // sweep run point-after-point versus submitted all at once on one pool.
+  // Overlap can only reuse otherwise-idle workers (the per-point results
+  // are bit-identical), so parallel whole-sweep execution should never be
+  // meaningfully slower than sequential — CI asserts exactly that from
+  // these fields.
+  const double sweep_sequential = measured_sweep_seconds(false);
+  const double sweep_parallel = measured_sweep_seconds(true);
+  const double sweep_speedup =
+      sweep_parallel > 0.0 ? sweep_sequential / sweep_parallel : 0.0;
+
   std::ofstream out("BENCH_micro.json");
   out << "{\n"
       << "  \"bench\": \"micro\",\n"
       << "  \"campaign_runs\": " << executed << ",\n"
       << "  \"serial_runs_per_sec\": " << serial << ",\n"
+      << "  \"sweep_points\": " << kSweepPoints << ",\n"
+      << "  \"sweep_runs_per_point\": " << kSweepRunsPerPoint << ",\n"
+      << "  \"sweep_sequential_seconds\": " << sweep_sequential << ",\n"
+      << "  \"sweep_parallel_seconds\": " << sweep_parallel << ",\n"
+      << "  \"sweep_parallel_speedup\": " << sweep_speedup << ",\n"
       << "  \"threaded_comparison_valid\": "
       << (threaded_comparison_valid ? "true" : "false") << ",\n";
   if (threaded_comparison_valid) {

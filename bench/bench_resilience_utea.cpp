@@ -54,13 +54,17 @@ void run() {
                                static_cast<std::uint64_t>(alpha), 99)});
     }
 
+  // Both sweeps share one persistent pool: the safety grid's early
+  // finishers feed workers straight into the liveness grid's points.
+  Executor executor = bench::make_bench_executor();
+
   // Safety: worst-case clamped corruption on every round, no termination
   // aid, long enough to surface an agreement split if one exists.
   SweepSpec safety = clamped_sweep(grid, 0);
   safety.base.campaign.runs = 60;
   safety.base.campaign.rounds = 30;
   safety.base.campaign.stop_when_all_decided = false;
-  const auto safety_results = bench::run_sweep_timed(safety);
+  const auto safety_results = bench::run_sweep_timed(safety, &executor);
 
   // Liveness: the same adversary with P^{U,live} clean phases every 3.
   SweepSpec live = clamped_sweep(grid, 1);
@@ -68,7 +72,7 @@ void run() {
       component("clean-phases", {{"period", 3}}));
   live.base.campaign.runs = 40;
   live.base.campaign.rounds = 60;
-  const auto live_results = bench::run_sweep_timed(live);
+  const auto live_results = bench::run_sweep_timed(live, &executor);
 
   TablePrinter table({"n", "paper bound ceil(n/2)-1", "measured max alpha",
                       "A's wall ceil(n/4)-1", "U beats A by"},

@@ -11,8 +11,10 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "adversary/adversary.hpp"
 #include "adversary/corruption.hpp"
@@ -24,6 +26,7 @@
 #include "scenario/spec.hpp"
 #include "sim/campaign.hpp"
 #include "sim/engine.hpp"
+#include "sim/executor.hpp"
 #include "sim/initial_values.hpp"
 #include "stats/descriptive.hpp"
 #include "util/csv.hpp"
@@ -122,21 +125,45 @@ class BenchRecorder {
   int threads_ = 1;
 };
 
+/// A pool sized by the shared thread knob, for bench binaries that run
+/// several campaigns or sweeps: construct one at the top of run() and
+/// pass it to the *_timed entry points so every figure shares a single
+/// pool lifecycle instead of rebuilding workers per campaign.
+inline Executor make_bench_executor() { return Executor(campaign_threads()); }
+
 /// Campaign entry point for bench drivers: applies the shared thread knob
-/// and accounts wall time into the active BenchRecorder.
+/// and accounts wall time into the active BenchRecorder.  With a shared
+/// `executor` the campaign is submitted to that persistent pool (the
+/// result is bit-identical — campaigns do not depend on the pool that ran
+/// them); without one it pays the classic one-shot engine pool.
 inline CampaignResult run_campaign_timed(const ValueGenerator& values,
                                          const InstanceBuilder& instance,
                                          const AdversaryBuilder& adversary,
-                                         CampaignConfig config) {
+                                         CampaignConfig config,
+                                         Executor* executor = nullptr) {
   config.threads = campaign_threads();
-  const CampaignEngine engine(config);
-  const auto start = std::chrono::steady_clock::now();
-  CampaignResult result = engine.run(values, instance, adversary);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  CampaignResult result;
+  int threads = 0;
+  double seconds = 0.0;
+  if (executor != nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    result = executor->submit(values, instance, adversary, std::move(config))
+                 .take();
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+    threads = executor->threads();
+  } else {
+    const CampaignEngine engine(config);
+    const auto start = std::chrono::steady_clock::now();
+    result = engine.run(values, instance, adversary);
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+    threads = engine.threads();
+  }
   if (BenchRecorder::active())
-    BenchRecorder::active()->note_campaign(result, seconds, engine.threads());
+    BenchRecorder::active()->note_campaign(result, seconds, threads);
   return result;
 }
 
@@ -145,25 +172,44 @@ inline CampaignResult run_campaign_timed(const ValueGenerator& values,
 /// thread knob, accounting wall time into the active BenchRecorder.  The
 /// result is bit-identical to run_campaign_timed with equivalent
 /// hand-built builders.
-inline CampaignResult run_scenario_timed(const ScenarioSpec& spec) {
+inline CampaignResult run_scenario_timed(const ScenarioSpec& spec,
+                                         Executor* executor = nullptr) {
   const ResolvedScenario resolved = resolve_scenario(spec);
   return run_campaign_timed(resolved.values, resolved.instance,
-                            resolved.adversary, resolved.config);
+                            resolved.adversary, resolved.config, executor);
 }
 
 /// Sweep entry point for declarative bench drivers: expands and resolves
 /// *every* grid point up front (an infeasible substitution fails before
-/// the first campaign starts), then runs each point through
-/// run_scenario_timed.  One CampaignResult per point, in expand() order.
-inline std::vector<CampaignResult> run_sweep_timed(const SweepSpec& sweep) {
-  std::vector<ResolvedScenario> resolved;
-  for (const ScenarioSpec& point : sweep.expand())
-    resolved.push_back(resolve_scenario(point));
-  std::vector<CampaignResult> results;
-  results.reserve(resolved.size());
-  for (const ResolvedScenario& point : resolved)
-    results.push_back(run_campaign_timed(point.values, point.instance,
-                                         point.adversary, point.config));
+/// the first campaign starts), then submits the whole sweep to one pool —
+/// `executor` when given, else a pool owned for the sweep — so points
+/// overlap and adaptive early-stoppers hand their workers to the slower
+/// points.  One CampaignResult per point, in expand() order, bit-identical
+/// to running the points one at a time.
+inline std::vector<CampaignResult> run_sweep_timed(const SweepSpec& sweep,
+                                                   Executor* executor =
+                                                       nullptr) {
+  std::optional<Executor> owned;
+  if (executor == nullptr) {
+    owned.emplace(campaign_threads());
+    executor = &*owned;
+  }
+  SweepOptions options;
+  options.executor = executor;  // overlapping points, run_sweep's default
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<CampaignResult> results = run_sweep(sweep, options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Overlapped campaigns have no meaningful per-point wall time; splitting
+  // the sweep wall evenly keeps the recorder's aggregate (runs over
+  // campaign seconds) equal to the sweep's true throughput.
+  if (BenchRecorder::active())
+    for (const CampaignResult& result : results)
+      BenchRecorder::active()->note_campaign(
+          result, seconds / static_cast<double>(results.size()),
+          executor->threads());
   return results;
 }
 

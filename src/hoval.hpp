@@ -56,6 +56,7 @@
 #include "scenario/spec.hpp"
 #include "sim/campaign.hpp"
 #include "sim/engine.hpp"
+#include "sim/executor.hpp"
 #include "sim/initial_values.hpp"
 #include "sim/machine.hpp"
 #include "sim/properties.hpp"

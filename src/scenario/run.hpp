@@ -4,22 +4,33 @@
 /// The one build path from a declarative ScenarioSpec to an executed
 /// campaign.  resolve_scenario() turns a spec into exactly the builders
 /// and CampaignConfig a hand-written harness would have constructed, and
-/// run_scenario() executes them on the same CampaignEngine path as
+/// run_scenario() executes them on the same Executor-backed path as
 /// run_campaign() — the result is bit-identical to the equivalent
 /// hand-rolled builders at any thread count.
+///
+/// Sweeps execute on one persistent worker pool (sim/executor.hpp): every
+/// grid point is resolved up front, then submitted to a single Executor —
+/// by default all at once, so points overlap and an adaptive
+/// early-stopper's workers immediately pick up the slower points' runs.
+/// Because every point's campaign is bit-identical under any pool and any
+/// submission interleaving, overlapping changes wall time only, never a
+/// result.
 
+#include <functional>
 #include <vector>
 
 #include "scenario/registry.hpp"
 #include "scenario/spec.hpp"
 #include "sim/campaign.hpp"
+#include "sim/executor.hpp"
 
 namespace hoval {
 
 /// A scenario resolved against the registries: ready-to-run builders plus
 /// the CampaignConfig equivalent of the spec's campaign knobs.  Callers
 /// that need more than run_scenario() offers (progress hooks, single-run
-/// tracing, custom timing) resolve first and drive the engine themselves.
+/// tracing, custom timing) resolve first and drive the engine — or an
+/// Executor — themselves.
 struct ResolvedScenario {
   ValueGenerator values;
   InstanceBuilder instance;
@@ -37,12 +48,57 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec);
 /// resolve_scenario() + run_campaign().
 CampaignResult run_scenario(const ScenarioSpec& spec);
 
+/// resolve_scenario() + submit on a caller-supplied persistent Executor:
+/// shares the pool with every other submission instead of paying a pool
+/// lifecycle for this one campaign.  Bit-identical to run_scenario(spec);
+/// the spec's campaign.threads is ignored (the pool is already sized).
+CampaignResult run_scenario(const ScenarioSpec& spec, Executor& executor);
+
+/// Snapshot handed to a sweep progress callback: one point's campaign
+/// progress plus the point's identity within the sweep, so drivers can
+/// print "point k/N" lines.
+struct SweepProgress {
+  int point = 0;      ///< 0-based index in expand() order
+  int points = 0;     ///< total points in the sweep
+  int completed = 0;  ///< runs finished in this point's campaign
+  int total = 0;      ///< this point's configured run cap
+};
+
+/// Invoked with the batching of CampaignConfig::progress_batch, per
+/// point; with overlapping points, callbacks for different points
+/// interleave (each point's stream is serialised, as the engine always
+/// did).  Returning false cancels the *whole sweep*: every in-flight
+/// point is cancelled and every not-yet-started point is skipped.
+using SweepProgressCallback = std::function<bool(const SweepProgress&)>;
+
+/// How run_sweep() executes the expanded grid.
+struct SweepOptions {
+  /// Pool to submit the points to; nullptr makes run_sweep() own one for
+  /// the duration of the sweep (sized from the points' campaign.threads:
+  /// hardware concurrency if any point asks for 0, else their maximum —
+  /// so a sweep of threads = 1 points stays effectively serial).
+  Executor* executor = nullptr;
+  /// Submit every point up front so points overlap on the pool (the
+  /// default), or wait for each point before submitting the next.
+  /// Results are bit-identical either way; sequential trades the
+  /// overlap's wall-time win for strictly ordered progress callbacks.
+  bool overlap_points = true;
+  /// Optional point-aware progress/cancellation hook.
+  SweepProgressCallback progress;
+};
+
 /// Expands the sweep and resolves *every* grid point before running any
 /// of them, so an infeasible substitution fails before the first campaign
-/// starts.  Returns one CampaignResult per point, in expand() order.
-/// `progress`, when set, is attached to every point's campaign (batched
-/// per CampaignConfig::progress_batch; returning false cancels that
-/// point's remaining runs).
+/// starts.  Executes the points per `options` on one pool and returns one
+/// CampaignResult per point, in expand() order.  Points skipped by a
+/// whole-sweep cancellation come back as empty results with
+/// CampaignResult::cancelled set.
+std::vector<CampaignResult> run_sweep(const SweepSpec& sweep,
+                                      const SweepOptions& options);
+
+/// Compatibility overload: default options (one pool, overlapping
+/// points), with `progress` attached to every point minus the point
+/// identity.  Returning false from the callback cancels the whole sweep.
 std::vector<CampaignResult> run_sweep(const SweepSpec& sweep,
                                       const ProgressCallback& progress = {});
 

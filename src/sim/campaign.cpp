@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "sim/engine.hpp"
+#include "sim/executor.hpp"
 #include "util/format.hpp"
 
 namespace hoval {
@@ -60,6 +61,13 @@ CampaignResult run_campaign(const ValueGenerator& values,
                             const AdversaryBuilder& adversary,
                             const CampaignConfig& config) {
   return CampaignEngine(config).run(values, instance, adversary);
+}
+
+CampaignResult run_campaign(const ValueGenerator& values,
+                            const InstanceBuilder& instance,
+                            const AdversaryBuilder& adversary,
+                            const CampaignConfig& config, Executor& executor) {
+  return executor.submit(values, instance, adversary, config).take();
 }
 
 }  // namespace hoval

@@ -166,4 +166,18 @@ CampaignResult run_campaign(const ValueGenerator& values,
                             const AdversaryBuilder& adversary,
                             const CampaignConfig& config);
 
+class Executor;
+
+/// Runs the campaign on a caller-supplied persistent Executor
+/// (sim/executor.hpp) instead of a one-shot pool: submit and wait.  The
+/// result is bit-identical to the overload above — campaigns do not
+/// depend on the pool that ran them — but the pool lifecycle is shared
+/// with every other submission, so drivers looping over campaigns should
+/// prefer this entry point.  config.threads is ignored (the pool is
+/// already sized).
+CampaignResult run_campaign(const ValueGenerator& values,
+                            const InstanceBuilder& instance,
+                            const AdversaryBuilder& adversary,
+                            const CampaignConfig& config, Executor& executor);
+
 }  // namespace hoval

@@ -1,12 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <sstream>
 #include <thread>
+#include <utility>
 
+#include "sim/executor.hpp"
 #include "util/check.hpp"
 
 namespace hoval {
@@ -55,295 +53,21 @@ CampaignEngine::CampaignEngine(CampaignConfig config)
   }
 }
 
-CampaignEngine::WorkerState CampaignEngine::make_worker_state() const {
-  WorkerState state;
-  state.streams.reserve(config_.predicates.size());
-  for (const auto& predicate : config_.predicates) {
-    state.streams.push_back(predicate->make_stream());
-    state.any_stream = state.any_stream || state.streams.back() != nullptr;
-  }
-  return state;
-}
-
-CampaignEngine::RunOutcome CampaignEngine::execute_run(
-    int run, const ValueGenerator& values, const InstanceBuilder& instance,
-    const AdversaryBuilder& adversary, WorkerState& state,
-    int* violation_budget) const {
-  Rng value_rng(mix_seed(config_.base_seed, static_cast<std::uint64_t>(run), 1));
-  const std::vector<Value> initial = values(value_rng);
-
-  ProcessVector processes = instance(initial);
-  HOVAL_EXPECTS_MSG(processes.size() == initial.size(),
-                    "instance size must match initial values");
-  const int n = static_cast<int>(processes.size());
-
-  SimConfig sim = config_.sim;
-  sim.seed = mix_seed(config_.base_seed, static_cast<std::uint64_t>(run), 2);
-
-  Simulator simulator(std::move(processes), adversary(), sim,
-                      &state.workspace);
-  for (const auto& stream : state.streams)
-    if (stream) stream->reset(n);
-  while (simulator.step()) {
-    if (!state.any_stream) continue;
-    const RoundRecord& round = state.workspace.trace.last_round();
-    for (const auto& stream : state.streams)
-      if (stream) stream->on_round(round);
-  }
-
-  // Snapshot without the trace copy; retention below copies it only for
-  // the runs the policy keeps.
-  RunResult run_result = simulator.snapshot(/*include_trace=*/false);
-  const ConsensusReport report = check_consensus(initial, run_result);
-  const PropertyVerdict irrevocable = check_irrevocability(simulator.processes());
-
-  RunOutcome outcome;
-  outcome.executed = true;
-  auto record_violation = [&](const std::string& kind, const std::string& detail) {
-    // Per-worker string budget keeps campaign memory bounded.  Each worker
-    // claims strictly increasing run indices within a wave, so any string
-    // among the first max_recorded in global run order has fewer than that
-    // many worker-local predecessors and is always formatted — the
-    // reduction still sees exactly the strings the serial path would keep.
-    if (*violation_budget <= 0) return;
-    --*violation_budget;
-    std::ostringstream os;
-    os << "run " << run << " (seed " << sim.seed << "): " << kind << ": "
-       << detail;
-    outcome.violations.push_back(os.str());
-  };
-
-  if (!report.agreement.holds) {
-    outcome.agreement_violation = true;
-    record_violation("agreement", report.agreement.detail);
-  }
-  if (!report.integrity.holds) {
-    outcome.integrity_violation = true;
-    record_violation("integrity", report.integrity.detail);
-  }
-  if (!irrevocable.holds) {
-    outcome.irrevocability_violation = true;
-    record_violation("irrevocability", irrevocable.detail);
-  }
-  if (run_result.all_decided) {
-    outcome.terminated = true;
-    outcome.first_decision_round =
-        static_cast<double>(*run_result.first_decision_round);
-    outcome.last_decision_round =
-        static_cast<double>(*run_result.last_decision_round);
-  }
-
-  outcome.predicate_holds.reserve(config_.predicates.size());
-  for (std::size_t i = 0; i < config_.predicates.size(); ++i) {
-    // Streamed verdicts are identical to evaluate()'s; the fallback reads
-    // the workspace trace in place, so neither path copies the trace.
-    const bool holds =
-        state.streams[i]
-            ? state.streams[i]->finish().holds
-            : config_.predicates[i]->evaluate(state.workspace.trace).holds;
-    outcome.predicate_holds.push_back(holds ? 1 : 0);
-  }
-
-  const bool violated = outcome.agreement_violation ||
-                        outcome.integrity_violation ||
-                        outcome.irrevocability_violation;
-  if (config_.keep_traces == TraceRetention::kAll ||
-      (config_.keep_traces == TraceRetention::kViolations && violated))
-    outcome.trace = state.workspace.trace;  // deep copy of the prefix
-  return outcome;
-}
-
-CampaignResult CampaignEngine::reduce(std::vector<RunOutcome>& outcomes) const {
-  CampaignResult result;
-  result.runs_requested = cap_;
-  result.predicate_holds.assign(config_.predicates.size(), 0);
-  result.predicate_names.reserve(config_.predicates.size());
-  for (const auto& predicate : config_.predicates)
-    result.predicate_names.push_back(predicate->name());
-
-  for (std::size_t run = 0; run < outcomes.size(); ++run) {
-    RunOutcome& outcome = outcomes[run];
-    if (!outcome.executed) continue;
-    ++result.runs;
-    if (outcome.trace)
-      result.traces.push_back(
-          RetainedTrace{static_cast<int>(run), std::move(*outcome.trace)});
-    result.agreement_violations += outcome.agreement_violation ? 1 : 0;
-    result.integrity_violations += outcome.integrity_violation ? 1 : 0;
-    result.irrevocability_violations += outcome.irrevocability_violation ? 1 : 0;
-    for (const std::string& violation : outcome.violations)
-      if (static_cast<int>(result.violations.size()) <
-          config_.max_recorded_violations)
-        result.violations.push_back(violation);
-    if (outcome.terminated) {
-      ++result.terminated;
-      result.last_decision_rounds.add(outcome.last_decision_round);
-      result.first_decision_rounds.add(outcome.first_decision_round);
-    }
-    for (std::size_t i = 0; i < outcome.predicate_holds.size(); ++i)
-      result.predicate_holds[i] += outcome.predicate_holds[i];
-  }
-
-  if (config_.adaptive.enabled) {
-    result.ci_confidence = config_.adaptive.ci_confidence;
-    result.predicate_intervals.reserve(result.predicate_holds.size());
-    for (const int holds : result.predicate_holds)
-      result.predicate_intervals.push_back(
-          wilson_interval(holds, result.runs, config_.adaptive.ci_confidence));
-  }
-  return result;
-}
-
-bool CampaignEngine::converged_at(const std::vector<RunOutcome>& outcomes,
-                                  int boundary) const {
-  long long agreement_violations = 0;
-  long long terminated = 0;
-  std::vector<long long> predicate_holds(config_.predicates.size(), 0);
-  for (int run = 0; run < boundary; ++run) {
-    const RunOutcome& outcome = outcomes[static_cast<std::size_t>(run)];
-    agreement_violations += outcome.agreement_violation ? 1 : 0;
-    terminated += outcome.terminated ? 1 : 0;
-    for (std::size_t i = 0; i < outcome.predicate_holds.size(); ++i)
-      predicate_holds[i] += outcome.predicate_holds[i];
-  }
-  const StoppingRule& rule = config_.adaptive;
-  if (!rule.converged(agreement_violations, boundary)) return false;
-  if (!rule.converged(terminated, boundary)) return false;
-  for (const long long holds : predicate_holds)
-    if (!rule.converged(holds, boundary)) return false;
-  return true;
-}
-
-std::vector<int> CampaignEngine::wave_boundaries() const {
-  if (!config_.adaptive.enabled) return {cap_};
-  std::vector<int> boundaries;
-  int boundary = std::min(cap_, config_.adaptive.min_runs);
-  boundaries.push_back(boundary);
-  // Doubling keeps the number of barriers (and convergence checks)
-  // logarithmic while the sample size grows fast enough that a check that
-  // just missed converging is not re-run on a near-identical prefix.
-  while (boundary < cap_) {
-    boundary = boundary > cap_ / 2 ? cap_ : boundary * 2;
-    boundaries.push_back(boundary);
-  }
-  return boundaries;
-}
-
 CampaignResult CampaignEngine::run(const ValueGenerator& values,
                                    const InstanceBuilder& instance,
                                    const AdversaryBuilder& adversary) const {
-  HOVAL_EXPECTS_MSG(values && instance && adversary,
-                    "campaign builders must all be set");
-
-  const int total = cap_;
-  std::vector<RunOutcome> outcomes(static_cast<std::size_t>(total));
-  std::atomic<int> next_run{0};
-  std::atomic<int> completed{0};
-  std::atomic<bool> cancelled{false};
-
-  // Guards the progress callback (invoked from whichever worker crosses a
-  // batch boundary) and the first captured exception.
-  std::mutex control_mutex;
-  int last_reported = 0;
-  std::exception_ptr first_error;
-
-  auto report_progress = [&](bool final_flush) {
-    if (!config_.progress) return;
-    std::lock_guard<std::mutex> lock(control_mutex);
-    // Honour the contract: nothing follows a cancellation.
-    if (cancelled.load(std::memory_order_acquire)) return;
-    const int done = completed.load(std::memory_order_acquire);
-    if (!final_flush && done - last_reported < config_.progress_batch) return;
-    if (final_flush && done == last_reported) return;
-    last_reported = done;
-    const bool keep_going = config_.progress(CampaignProgress{done, total});
-    // A veto on the final flush has nothing left to cancel.
-    if (!keep_going && !final_flush)
-      cancelled.store(true, std::memory_order_release);
-  };
-
-  // Executes runs up to (excluding) wave_end, claiming contiguous blocks
-  // of `claim_size` run indices per dispatch.
-  auto worker = [&](int wave_end, int claim_size) {
-    int violation_budget = config_.max_recorded_violations;
-    // One workspace and one set of predicate streams per worker: every run
-    // this worker claims reuses the same buffers.
-    WorkerState state = make_worker_state();
-    for (;;) {
-      if (cancelled.load(std::memory_order_acquire)) return;
-      int claim_begin = 0;
-      int current = next_run.load(std::memory_order_relaxed);
-      do {
-        if (current >= wave_end) return;
-        claim_begin = current;
-      } while (!next_run.compare_exchange_weak(
-          current, std::min(wave_end, current + claim_size),
-          std::memory_order_relaxed));
-      const int claim_end = std::min(wave_end, claim_begin + claim_size);
-      for (int run = claim_begin; run < claim_end; ++run) {
-        if (cancelled.load(std::memory_order_acquire)) return;
-        try {
-          outcomes[static_cast<std::size_t>(run)] = execute_run(
-              run, values, instance, adversary, state, &violation_budget);
-          completed.fetch_add(1, std::memory_order_acq_rel);
-          report_progress(false);  // user callback may throw too
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(control_mutex);
-          if (!first_error) first_error = std::current_exception();
-          cancelled.store(true, std::memory_order_release);
-          return;
-        }
-      }
-    }
-  };
-
-  auto run_wave = [&](int wave_end) {
-    // Early adaptive waves can be much smaller than the cap; clamp the
-    // claim size so every worker gets at least one block per wave (batch
-    // size never affects results, only dispatch granularity).
-    const int wave_size = wave_end - next_run.load(std::memory_order_relaxed);
-    const int claim_size =
-        std::min(batch_, std::max(1, wave_size / threads_));
-    if (threads_ <= 1) {
-      worker(wave_end, claim_size);
-      return;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads_));
-    try {
-      for (int t = 0; t < threads_; ++t)
-        pool.emplace_back(worker, wave_end, claim_size);
-    } catch (...) {
-      // Thread spawn failed: stop the workers already running, join them,
-      // and propagate instead of terminating via ~thread on a joinable.
-      cancelled.store(true, std::memory_order_release);
-      for (std::thread& thread : pool) thread.join();
-      throw;
-    }
-    for (std::thread& thread : pool) thread.join();
-  };
-
-  bool stopped_early = false;
-  for (const int boundary : wave_boundaries()) {
-    run_wave(boundary);
-    if (first_error) std::rethrow_exception(first_error);
-    if (cancelled.load(std::memory_order_acquire)) break;
-    // Every run below `boundary` has completed: the convergence check sees
-    // a fixed prefix of outcomes, so the stop decision is a pure function
-    // of the config — identical at any thread count and batch size.
-    if (config_.adaptive.enabled && boundary < total &&
-        converged_at(outcomes, boundary)) {
-      stopped_early = true;
-      break;
-    }
-  }
-
-  if (!cancelled.load(std::memory_order_acquire)) report_progress(true);
-
-  CampaignResult result = reduce(outcomes);
-  result.cancelled = cancelled.load(std::memory_order_acquire);
-  result.stopped_early = stopped_early;
-  return result;
+  // Submit-and-wait on a pool sized to the resolved thread count.  Code
+  // running more than one campaign should share a long-lived Executor
+  // instead (executor.hpp) — this facade pays one pool lifecycle per
+  // call.  (For threads > 1 that is the historical engine cost; the old
+  // serial path ran inline, so threads = 1 now additionally pays one
+  // thread spawn+join per call — microseconds against any real campaign
+  // — and progress callbacks always arrive from a worker thread, which
+  // campaign.hpp has always declared they may.)
+  Executor executor(threads_);
+  return executor
+      .submit(values, instance, adversary, config_)
+      .take();
 }
 
 }  // namespace hoval

@@ -1,63 +1,41 @@
 #pragma once
 
 /// \file engine.hpp
-/// CampaignEngine: the parallel Monte-Carlo campaign executor.
+/// CampaignEngine: the synchronous one-campaign facade over the Executor.
 ///
-/// A fixed-size worker pool shards the campaign's runs across threads.
-/// Each run derives its RNG streams from (base_seed, run index) exactly as
-/// the serial driver always did — mix_seed(base_seed, run, 1) for initial
-/// values, mix_seed(base_seed, run, 2) for the fault schedule — so the
-/// outcome of every individual run is independent of which worker executes
-/// it.  Workers claim *contiguous blocks* of run indices per pool task
-/// (CampaignConfig::batch_size; 0 sizes the block automatically), which
-/// cuts dispatch overhead on cheap-per-run campaigns without affecting the
-/// result: outcomes land in slots indexed by run, and a deterministic
-/// reduction in run-index order rebuilds the aggregate CampaignResult
-/// (violation strings, decision-round samples, predicate tallies).  A
-/// campaign is therefore bit-identical for any thread count and any batch
-/// size, including the diagnostic ordering of recorded violations.
+/// Historically this class owned the parallel Monte-Carlo machinery; that
+/// machinery now lives in the persistent Executor (sim/executor.hpp),
+/// which schedules many campaigns on one long-lived worker pool.  The
+/// engine remains the source-compatible way to run exactly one campaign
+/// and block for its result: construction validates the config and
+/// resolves the thread count, and run() submits to a pool sized to that
+/// count and waits.
 ///
-/// Adaptive sizing (CampaignConfig::adaptive, stats/interval.hpp) executes
-/// the run-index space in *waves* whose boundaries double from
-/// adaptive.min_runs up to the cap.  Every run below a boundary completes
-/// before the stopping rule is evaluated on exactly that prefix, so the
-/// stop decision — and with it the executed run set — depends only on run
-/// outcomes, never on thread timing: adaptive campaigns keep the same
-/// bit-identity guarantee.  The monitored proportions are the
-/// agreement-violation rate, the termination rate and each configured
-/// predicate's hold rate; the campaign stops at the first boundary where
-/// all of their Wilson intervals have half-width <= adaptive.ci_epsilon.
+/// Everything the engine ever guaranteed still holds, because the
+/// Executor preserves it by construction: per-run seeds derive from
+/// (base_seed, run index) alone, workers claim contiguous run-index
+/// blocks (CampaignConfig::batch_size; 0 = auto), adaptive campaigns
+/// (CampaignConfig::adaptive) execute in deterministic doubling waves
+/// whose stopping decisions see only fully-executed prefixes, progress
+/// callbacks are batched and may cancel, the run hot path reuses
+/// per-worker RunWorkspaces and streaming predicate evaluators, and the
+/// reduction merges outcomes in run-index order — so a campaign is
+/// bit-identical for any thread count, any batch size, and any trace
+/// retention policy.  See executor.hpp for the full determinism
+/// contract, which additionally covers interleaving with other
+/// submissions.
 ///
-/// Long sweeps can observe progress and cancel midway through the batched
-/// ProgressCallback on CampaignConfig; cancellation skips runs that have
-/// not started yet (so a cancelled result covers a prefix-biased subset of
-/// runs and is no longer thread-count independent — it is marked
-/// CampaignResult::cancelled).
-///
-/// The run hot path is allocation-free: every worker owns one RunWorkspace
-/// (sim/workspace.hpp) whose round buffers and trace storage are reused
-/// across all the runs it executes, predicates are evaluated through
-/// per-worker streaming evaluators (Predicate::make_stream(); whole-trace
-/// evaluate() against the in-place workspace trace is the fallback), and a
-/// run's trace is deep-copied only when CampaignConfig::keep_traces
-/// retains it.  None of this changes any statistic: a streamed verdict is
-/// identical to evaluate()'s, so results stay bit-identical to the serial
-/// reference at every thread count, batch size and retention policy.
-
-#include <cstdint>
-#include <memory>
-#include <optional>
-#include <string>
-#include <vector>
+/// Code that runs more than one campaign — sweeps, benches, services —
+/// should hold one Executor and submit() instead of constructing engines,
+/// so the pool is paid for once.
 
 #include "sim/campaign.hpp"
-#include "sim/workspace.hpp"
 
 namespace hoval {
 
-/// Parallel campaign executor.  Construction validates the config and
-/// resolves the thread count; run() may be called repeatedly (each call
-/// spins up a fresh pool).
+/// Synchronous single-campaign executor facade.  Construction validates
+/// the config and resolves the thread count; run() may be called
+/// repeatedly (each call uses a pool of threads() workers).
 class CampaignEngine {
  public:
   /// \throws PreconditionError on runs <= 0, threads < 0, progress_batch
@@ -91,59 +69,6 @@ class CampaignEngine {
   const CampaignConfig& config() const noexcept { return config_; }
 
  private:
-  /// Everything one run contributes to the aggregate, in a form that can
-  /// be merged in run order without losing information.
-  struct RunOutcome {
-    bool executed = false;  ///< false for runs skipped by cancellation
-    bool agreement_violation = false;
-    bool integrity_violation = false;
-    bool irrevocability_violation = false;
-    bool terminated = false;
-    double first_decision_round = 0.0;
-    double last_decision_round = 0.0;
-    /// Formatted violation descriptions, at most one per clause; the
-    /// reduction applies the global max_recorded_violations cap.
-    std::vector<std::string> violations;
-    /// 0/1 per configured predicate.
-    std::vector<std::uint8_t> predicate_holds;
-    /// The run's trace when CampaignConfig::keep_traces retains it.
-    std::optional<ComputationTrace> trace;
-  };
-
-  /// Per-worker reusable state: the run workspace (buffers shared by every
-  /// run the worker executes) and one predicate stream per configured
-  /// predicate (null where the predicate only supports whole-trace
-  /// evaluation — execute_run falls back to evaluate() on the workspace
-  /// trace, still without copying it).
-  struct WorkerState {
-    RunWorkspace workspace;
-    std::vector<std::unique_ptr<PredicateStream>> streams;
-    bool any_stream = false;
-  };
-
-  WorkerState make_worker_state() const;
-
-  /// `violation_budget` is the executing worker's remaining allowance of
-  /// formatted violation strings (bounds campaign memory at
-  /// waves * threads * max_recorded_violations strings without affecting
-  /// which strings the reduction ultimately keeps).
-  RunOutcome execute_run(int run, const ValueGenerator& values,
-                         const InstanceBuilder& instance,
-                         const AdversaryBuilder& adversary, WorkerState& state,
-                         int* violation_budget) const;
-
-  /// Deterministic reduction in run-index order; moves retained traces out
-  /// of the outcomes.
-  CampaignResult reduce(std::vector<RunOutcome>& outcomes) const;
-
-  /// Stopping-rule check on the fully-executed prefix [0, boundary).
-  bool converged_at(const std::vector<RunOutcome>& outcomes,
-                    int boundary) const;
-
-  /// The deterministic wave boundaries: {cap} for fixed-budget campaigns;
-  /// min_runs doubling up to the cap for adaptive ones.
-  std::vector<int> wave_boundaries() const;
-
   CampaignConfig config_;
   int threads_ = 1;
   int cap_ = 0;

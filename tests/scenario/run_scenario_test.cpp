@@ -208,6 +208,24 @@ TEST(RunScenario, SummaryNamesPredicates) {
   EXPECT_NE(summary.find("predicates:"), std::string::npos) << summary;
 }
 
+// --- shared executor --------------------------------------------------------
+
+TEST(RunScenario, SharedExecutorOverloadBitIdenticalToOneShotPath) {
+  // One persistent pool serves all three scenario shapes back to back;
+  // every result must match the classic one-pool-per-campaign path down
+  // to the diagnostic strings, at pool sizes on both sides of the
+  // campaigns' own thread requests.
+  for (const int pool_threads : {1, 4}) {
+    Executor executor(pool_threads);
+    expect_identical(run_scenario(fig1_spec(1), executor),
+                     fig1_hand_built(1));
+    expect_identical(run_scenario(utea_spec(1), executor),
+                     utea_hand_built(1));
+    expect_identical(run_scenario(negative_spec(1), executor),
+                     negative_hand_built(1));
+  }
+}
+
 // --- sweeps ----------------------------------------------------------------
 
 TEST(RunScenario, SweepRunsOneCampaignPerPoint) {

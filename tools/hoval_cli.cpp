@@ -23,6 +23,7 @@
 ///   hoval_cli --dump-scenario | tee s.json && hoval_cli --scenario s.json
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -53,6 +54,7 @@ struct CliOptions {
   int threads = 0;
   std::string values = "random";
   bool progress = false;
+  bool sweep_parallel = false;
   bool trace = false;
   bool adaptive = false;
   double ci_epsilon = 0.0;
@@ -99,6 +101,8 @@ struct CliOptions {
       << "                   (default 0.02)\n"
       << "  --values unanimous|split|distinct|random          (default random)\n"
       << "  --progress       report campaign progress on stderr\n"
+      << "  --sweep-parallel overlap sweep points on one worker pool\n"
+      << "                   (results identical to sequential; see README)\n"
       << "  --trace          print the per-round trace summary (single run)\n";
   std::exit(2);
 }
@@ -134,6 +138,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--ci-epsilon") { options.ci_epsilon = std::stod(next()); options.ci_epsilon_set = true; options.adaptive = true; }
     else if (arg == "--values") { options.values = next(); options.shape_flags.push_back(arg); }
     else if (arg == "--progress") options.progress = true;
+    else if (arg == "--sweep-parallel") options.sweep_parallel = true;
     else if (arg == "--trace") options.trace = true;
     else usage(argv[0]);
   }
@@ -328,16 +333,29 @@ int run_sweep_file(const CliOptions& options) {
       SweepSpec::from_json_text(read_file(options.sweep_file, "sweep"));
   apply_overrides(options, sweep.base.campaign);
 
-  ProgressCallback progress;
+  SweepOptions execution;
+  // Sequential is the default so per-point progress reads top to bottom;
+  // --sweep-parallel overlaps points on the shared pool.  Every point's
+  // result is bit-identical either way.
+  execution.overlap_points = options.sweep_parallel;
   if (options.progress) {
-    progress = [](const CampaignProgress& state) {
-      std::cerr << "\r" << state.completed << "/" << state.total << " runs"
-                << std::flush;
-      if (state.completed == state.total) std::cerr << "\n";
+    execution.progress = [](const SweepProgress& state) {
+      // Overlapping points report concurrently; one preformatted write per
+      // update keeps the lines from interleaving mid-field.
+      std::ostringstream line;
+      line << "\rpoint " << state.point + 1 << "/" << state.points << ": "
+           << state.completed << "/" << state.total << " runs";
+      if (state.completed == state.total) line << "\n";
+      std::cerr << line.str() << std::flush;
       return true;
     };
   }
-  const auto results = run_sweep(sweep, progress);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(sweep, execution);
+  const double sweep_seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   sweep_start)
+                                   .count();
   bool all_clean = true;
   long long executed = 0;
   long long requested = 0;
@@ -362,6 +380,15 @@ int run_sweep_file(const CliOptions& options) {
               << " runs executed (saved " << format_double(saved, 1)
               << "%)\n";
   }
+  // Aggregate wall time + throughput makes sequential-vs-parallel sweep
+  // speedups visible without digging through BENCH JSON.
+  const double runs_per_sec =
+      sweep_seconds > 0.0 ? static_cast<double>(executed) / sweep_seconds : 0.0;
+  std::cout << "sweep wall time: " << format_double(sweep_seconds, 2) << "s, "
+            << executed << " runs (" << format_double(runs_per_sec, 0)
+            << " runs/sec, "
+            << (options.sweep_parallel ? "parallel points" : "sequential points")
+            << ")\n";
   return all_clean ? 0 : 1;
 }
 

@@ -14,6 +14,7 @@
 #include "adversary/corruption.hpp"
 #include "adversary/wrappers.hpp"
 #include "core/factories.hpp"
+#include "dispatch/dispatch.hpp"
 #include "predicates/liveness.hpp"
 #include "predicates/safety.hpp"
 #include "runtime/crc32.hpp"
@@ -237,6 +238,25 @@ double measured_sweep_seconds(bool overlap_points) {
   return seconds;
 }
 
+/// Times the same 8-point sweep sharded over worker *processes* (forked
+/// in-process workers, one executor thread each — the hoval_dispatch
+/// default).  The merged results are bit-identical to run_sweep, so this
+/// isolates the cost/benefit of crossing a process boundary: fork + one
+/// spec/result JSON round trip per point against true multi-core
+/// parallelism without shared-pool contention.
+double measured_dispatch_seconds(int workers) {
+  dispatch::DispatchOptions options;
+  options.workers = workers;
+  options.worker_threads = 1;
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = dispatch::dispatch_sweep(scheduling_sweep(), options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchmark::DoNotOptimize(report.results.size());
+  return seconds;
+}
+
 }  // namespace
 
 /// Seeds the perf trajectory: serial vs 8-thread campaign throughput on
@@ -265,6 +285,16 @@ void write_campaign_throughput_json() {
   const double sweep_speedup =
       sweep_parallel > 0.0 ? sweep_sequential / sweep_parallel : 0.0;
 
+  // Cross-process sharding of the same sweep: one worker process versus a
+  // small fleet.  On a single-core host the fleet only adds fork and wire
+  // overhead, so (like the thread comparison) the speedup is published for
+  // trend-watching, not gated against a floor.
+  const int dispatch_workers = 4;
+  const double dispatch_single = measured_dispatch_seconds(1);
+  const double dispatch_fleet = measured_dispatch_seconds(dispatch_workers);
+  const double dispatch_speedup =
+      dispatch_fleet > 0.0 ? dispatch_single / dispatch_fleet : 0.0;
+
   std::ofstream out("BENCH_micro.json");
   out << "{\n"
       << "  \"bench\": \"micro\",\n"
@@ -275,6 +305,10 @@ void write_campaign_throughput_json() {
       << "  \"sweep_sequential_seconds\": " << sweep_sequential << ",\n"
       << "  \"sweep_parallel_seconds\": " << sweep_parallel << ",\n"
       << "  \"sweep_parallel_speedup\": " << sweep_speedup << ",\n"
+      << "  \"dispatch_workers\": " << dispatch_workers << ",\n"
+      << "  \"dispatch_1_worker_seconds\": " << dispatch_single << ",\n"
+      << "  \"dispatch_n_workers_seconds\": " << dispatch_fleet << ",\n"
+      << "  \"dispatch_workers_speedup\": " << dispatch_speedup << ",\n"
       << "  \"threaded_comparison_valid\": "
       << (threaded_comparison_valid ? "true" : "false") << ",\n";
   if (threaded_comparison_valid) {

@@ -1,0 +1,511 @@
+#include "dispatch/dispatch.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dispatch/wire.hpp"
+#include "dispatch/worker.hpp"
+#include "scenario/run.hpp"
+#include "sim/result_json.hpp"
+#include "util/format.hpp"
+
+namespace hoval::dispatch {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Writes to dead workers must surface as EPIPE return values, not kill
+/// the host; restore the caller's disposition on the way out.  Exec'd
+/// workers inherit the SIG_IGN disposition, which is exactly right — a
+/// worker whose host vanished sees a failed write and exits instead of
+/// dying mid-campaign with a half-written frame.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    sigaction(SIGPIPE, &ignore, &old_);
+  }
+  ~SigpipeGuard() { sigaction(SIGPIPE, &old_, nullptr); }
+  SigpipeGuard(const SigpipeGuard&) = delete;
+  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
+
+ private:
+  struct sigaction old_ {};
+};
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+struct WorkerProc {
+  int slot = -1;  ///< spawn sequence number (initial workers: 0..N-1)
+  pid_t pid = -1;
+  int to_fd = -1;    ///< host -> worker point frames
+  int from_fd = -1;  ///< worker -> host result frames
+  FrameDecoder decoder;
+  int current_point = -1;  ///< in-flight point, -1 when idle
+  int results_delivered = 0;
+  Clock::time_point assigned_at{};
+  bool timed_out = false;  ///< host SIGKILLed it for exceeding the timeout
+};
+
+/// The whole host: spawn, assign, poll, merge, tolerate.
+class Dispatcher {
+ public:
+  Dispatcher(const SweepSpec& sweep, const DispatchOptions& options)
+      : options_(options) {
+    if (options_.workers < 1)
+      throw DispatchError("workers must be >= 1");
+    if (options_.worker_threads < 0)
+      throw DispatchError("worker_threads must be >= 0 (0 = all cores)");
+    if (options_.max_point_attempts < 1)
+      throw DispatchError("max_point_attempts must be >= 1");
+    if (options_.max_respawns < 0)
+      throw DispatchError("max_respawns must be >= 0");
+
+    // Expand and resolve every point before the first fork, exactly like
+    // run_sweep: an infeasible substitution fails loudly up front instead
+    // of bouncing off workers until it is quarantined.
+    const std::vector<ScenarioSpec> points = sweep.expand();
+    for (const ScenarioSpec& point : points) resolve_scenario(point);
+    point_docs_.reserve(points.size());
+    for (const ScenarioSpec& point : points)
+      point_docs_.push_back(point.to_json());
+
+    const int count = static_cast<int>(points.size());
+    report_.points = count;
+    report_.workers = options_.workers;
+    report_.results.resize(points.size());
+    report_.completed.assign(points.size(), false);
+    attempts_.assign(points.size(), 0);
+    last_error_.assign(points.size(), "");
+    for (int i = 0; i < count; ++i) pending_.push_back(i);
+  }
+
+  DispatchReport run() {
+    const auto start = Clock::now();
+    SigpipeGuard sigpipe;
+    const int initial =
+        std::min(options_.workers, std::max(1, report_.points));
+    for (int slot = 0; slot < initial; ++slot) {
+      WorkerProc* worker = spawn();
+      if (worker) assign_next(*worker);
+    }
+    while (done_ < report_.points) {
+      if (live_.empty() && !ensure_capacity()) {
+        quarantine_pending("no workers left (respawn budget exhausted)");
+        break;
+      }
+      poll_once();
+    }
+    shutdown_workers();
+    report_.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return std::move(report_);
+  }
+
+ private:
+  void log(const std::string& line) const {
+    if (options_.log) options_.log(line);
+  }
+
+  // --- spawning ------------------------------------------------------------
+
+  WorkerProc* spawn() {
+    int to_pipe[2], from_pipe[2];
+    if (::pipe(to_pipe) != 0)
+      throw DispatchError(std::string("pipe: ") + std::strerror(errno));
+    if (::pipe(from_pipe) != 0) {
+      ::close(to_pipe[0]);
+      ::close(to_pipe[1]);
+      throw DispatchError(std::string("pipe: ") + std::strerror(errno));
+    }
+    // Host-side ends must not leak into later-spawned siblings.
+    set_cloexec(to_pipe[1]);
+    set_cloexec(from_pipe[0]);
+
+    // Everything the child touches is prepared pre-fork: the child of a
+    // (possibly multithreaded) host must stick to async-signal-safe calls
+    // plus exec.
+    const std::string threads_env = std::to_string(options_.worker_threads);
+    std::vector<std::string> argv_storage = options_.worker_argv;
+    std::vector<char*> argv;
+    for (std::string& arg : argv_storage) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(to_pipe[0]);
+      ::close(to_pipe[1]);
+      ::close(from_pipe[0]);
+      ::close(from_pipe[1]);
+      throw DispatchError(std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::dup2(to_pipe[0], 0);
+      ::dup2(from_pipe[1], 1);
+      ::close(to_pipe[0]);
+      ::close(to_pipe[1]);
+      ::close(from_pipe[0]);
+      ::close(from_pipe[1]);
+      if (!argv_storage.empty()) {
+        ::setenv("HOVAL_WORKER_THREADS", threads_env.c_str(), 1);
+        ::execvp(argv[0], argv.data());
+        std::_Exit(127);  // exec failed
+      }
+      int rc = 4;
+      try {
+        rc = run_worker_loop(0, 1, options_.worker_threads);
+      } catch (...) {
+      }
+      std::_Exit(rc);
+    }
+    ::close(to_pipe[0]);
+    ::close(from_pipe[1]);
+
+    auto worker = std::make_unique<WorkerProc>();
+    worker->slot = next_slot_++;
+    worker->pid = pid;
+    worker->to_fd = to_pipe[1];
+    worker->from_fd = from_pipe[0];
+    ++report_.workers_spawned;
+    log("worker " + std::to_string(worker->slot) + ": spawned (pid " +
+        std::to_string(pid) + ")");
+    live_.push_back(std::move(worker));
+    return live_.back().get();
+  }
+
+  /// Keeps the pool at target size while work remains.  Returns false when
+  /// nothing could be (re)spawned and no worker is alive.
+  bool ensure_capacity() {
+    while (static_cast<int>(live_.size()) < options_.workers &&
+           work_remaining() > static_cast<int>(in_flight_count()) &&
+           respawns_available()) {
+      WorkerProc* worker = spawn();
+      if (worker) assign_next(*worker);
+    }
+    return !live_.empty();
+  }
+
+  bool respawns_available() const {
+    return next_slot_ < options_.workers + options_.max_respawns;
+  }
+
+  int work_remaining() const { return report_.points - done_; }
+
+  std::size_t in_flight_count() const {
+    std::size_t count = 0;
+    for (const auto& worker : live_)
+      if (worker->current_point >= 0) ++count;
+    return count;
+  }
+
+  // --- assignment ----------------------------------------------------------
+
+  /// Hands the next pending point to `worker`.  May fail the worker (a
+  /// dead child surfaces as a write error), in which case `worker` is
+  /// invalid afterwards; returns false in that case or when idle.
+  bool assign_next(WorkerProc& worker) {
+    if (pending_.empty()) return false;
+    const int point = pending_.front();
+    pending_.pop_front();
+    ++attempts_[static_cast<std::size_t>(point)];
+    worker.current_point = point;
+    worker.assigned_at = Clock::now();
+    if (!write_frame(worker.to_fd, encode_point_message(
+                                       point, point_docs_[static_cast<std::size_t>(
+                                                  point)]))) {
+      fail_worker(worker, "write to worker failed (worker gone)");
+      return false;
+    }
+    // The test hook fires on the slot's first assignment: the worker is
+    // SIGKILLed with this point guaranteed in flight, so the run must
+    // exercise resubmission to finish — a deterministic mid-sweep kill.
+    if (worker.slot == options_.test_kill_worker && !kill_hook_fired_) {
+      kill_hook_fired_ = true;
+      log("test hook: SIGKILL worker " + std::to_string(worker.slot));
+      ::kill(worker.pid, SIGKILL);
+    }
+    return true;
+  }
+
+  // --- failure handling ----------------------------------------------------
+
+  std::string describe_exit(WorkerProc& worker) {
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    worker.pid = -1;
+    std::ostringstream what;
+    what << "worker " << worker.slot;
+    if (worker.timed_out)
+      what << " timed out after "
+           << format_double(options_.point_timeout_seconds, 1)
+           << "s and was killed";
+    else if (WIFSIGNALED(status))
+      what << " killed by signal " << WTERMSIG(status);
+    else if (WIFEXITED(status))
+      what << " exited with status " << WEXITSTATUS(status);
+    else
+      what << " died";
+    return what.str();
+  }
+
+  /// A worker died (or spoke garbage): reap it, resubmit or quarantine its
+  /// in-flight point, refill the pool.  `worker` is destroyed.
+  void fail_worker(WorkerProc& worker, const std::string& reason) {
+    const pid_t pid = worker.pid;
+    if (pid > 0 && worker.timed_out) {
+      // Already SIGKILLed by the timeout scan; reap below.
+    }
+    ::close(worker.to_fd);
+    ::close(worker.from_fd);
+    const std::string what = reason + " (" + describe_exit(worker) + ")";
+    const int point = worker.current_point;
+    const int slot = worker.slot;
+    live_.erase(std::find_if(live_.begin(), live_.end(),
+                             [&worker](const auto& w) { return w.get() == &worker; }));
+    ++report_.workers_failed;
+    log("worker " + std::to_string(slot) + ": " + what);
+
+    if (point >= 0) {
+      const auto index = static_cast<std::size_t>(point);
+      last_error_[index] = what;
+      if (attempts_[index] >= options_.max_point_attempts) {
+        quarantine(point, what);
+      } else {
+        pending_.push_front(point);
+        ++report_.resubmitted_points;
+        log("point " + std::to_string(point) + ": resubmitting (attempt " +
+            std::to_string(attempts_[index] + 1) + "/" +
+            std::to_string(options_.max_point_attempts) + ")");
+      }
+    }
+    if (work_remaining() > 0 && !ensure_capacity() && live_.empty()) {
+      // Nothing alive and nothing spawnable — run() quarantines the rest.
+      return;
+    }
+    // A resubmitted point may need an already-idle worker (everyone else
+    // might be deep in a long point).
+    if (!pending_.empty()) {
+      for (const auto& candidate : live_) {
+        if (candidate->current_point < 0) {
+          assign_next(*candidate);
+          break;
+        }
+      }
+    }
+  }
+
+  void quarantine(int point, const std::string& what) {
+    report_.quarantined.push_back(
+        {point, attempts_[static_cast<std::size_t>(point)], what});
+    ++done_;
+    log("point " + std::to_string(point) + ": quarantined after " +
+        std::to_string(attempts_[static_cast<std::size_t>(point)]) +
+        " attempt(s): " + what);
+  }
+
+  void quarantine_pending(const std::string& why) {
+    while (!pending_.empty()) {
+      const int point = pending_.front();
+      pending_.pop_front();
+      const auto index = static_cast<std::size_t>(point);
+      quarantine(point, last_error_[index].empty() ? why
+                                                   : last_error_[index] +
+                                                         "; then " + why);
+    }
+  }
+
+  // --- the poll loop -------------------------------------------------------
+
+  void poll_once() {
+    std::vector<pollfd> fds;
+    std::vector<pid_t> pids;
+    fds.reserve(live_.size());
+    for (const auto& worker : live_) {
+      fds.push_back({worker->from_fd, POLLIN, 0});
+      pids.push_back(worker->pid);
+    }
+    const int timeout_ms = next_timeout_ms();
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) return;
+      throw DispatchError(std::string("poll: ") + std::strerror(errno));
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      // The worker may already be gone (failed while handling a sibling).
+      WorkerProc* worker = find_by_pid(pids[i]);
+      if (worker) handle_readable(*worker);
+    }
+    enforce_timeouts();
+  }
+
+  WorkerProc* find_by_pid(pid_t pid) {
+    for (const auto& worker : live_)
+      if (worker->pid == pid) return worker.get();
+    return nullptr;
+  }
+
+  int next_timeout_ms() const {
+    if (options_.point_timeout_seconds <= 0.0) return -1;
+    double soonest = options_.point_timeout_seconds;
+    const auto now = Clock::now();
+    for (const auto& worker : live_) {
+      if (worker->current_point < 0) continue;
+      const double elapsed =
+          std::chrono::duration<double>(now - worker->assigned_at).count();
+      soonest = std::min(soonest, options_.point_timeout_seconds - elapsed);
+    }
+    return std::max(0, static_cast<int>(soonest * 1000.0) + 1);
+  }
+
+  void enforce_timeouts() {
+    if (options_.point_timeout_seconds <= 0.0) return;
+    const auto now = Clock::now();
+    for (const auto& worker : live_) {
+      if (worker->current_point < 0 || worker->timed_out) continue;
+      const double elapsed =
+          std::chrono::duration<double>(now - worker->assigned_at).count();
+      if (elapsed >= options_.point_timeout_seconds) {
+        worker->timed_out = true;
+        ::kill(worker->pid, SIGKILL);  // EOF lands in the next poll
+      }
+    }
+  }
+
+  void handle_readable(WorkerProc& worker) {
+    char buffer[64 * 1024];
+    const ssize_t n = ::read(worker.from_fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) return;
+      fail_worker(worker, std::string("read: ") + std::strerror(errno));
+      return;
+    }
+    if (n == 0) {
+      fail_worker(worker, worker.decoder.pending_bytes() > 0
+                              ? "stream truncated mid-frame"
+                              : "stream closed");
+      return;
+    }
+    worker.decoder.feed(buffer, static_cast<std::size_t>(n));
+    try {
+      while (const auto frame = worker.decoder.next())
+        if (!handle_frame(worker, *frame)) return;  // worker failed
+    } catch (const WireError& e) {
+      fail_worker(worker, e.what());
+    }
+  }
+
+  /// Returns false when the frame failed the worker (stop touching it).
+  bool handle_frame(WorkerProc& worker, const std::string& frame) {
+    WireMessage message;
+    try {
+      message = parse_message(frame);
+    } catch (const WireError& e) {
+      fail_worker(worker, e.what());
+      return false;
+    }
+    if (message.type == WireMessage::Type::kPoint ||
+        message.index != worker.current_point) {
+      fail_worker(worker, "protocol violation (unexpected frame for point " +
+                              std::to_string(message.index) + ")");
+      return false;
+    }
+    const int point = worker.current_point;
+    const auto index = static_cast<std::size_t>(point);
+    worker.current_point = -1;
+
+    if (message.type == WireMessage::Type::kError) {
+      // Deterministic point failure: retrying it on another worker would
+      // fail identically — quarantine now, with the worker's diagnostic.
+      quarantine(point, "worker reported: " + message.what);
+    } else {
+      try {
+        report_.results[index] = campaign_result_from_json(message.body);
+      } catch (const JsonError& e) {
+        worker.current_point = point;  // still this worker's failure
+        fail_worker(worker, std::string("malformed result document: ") +
+                                e.what());
+        return false;
+      }
+      report_.completed[index] = true;
+      ++done_;
+      ++worker.results_delivered;
+      log("point " + std::to_string(point) + ": merged (worker " +
+          std::to_string(worker.slot) + ")");
+    }
+
+    assign_next(worker);
+    return true;
+  }
+
+  // --- teardown ------------------------------------------------------------
+
+  void shutdown_workers() {
+    // EOF on stdin is the shutdown signal; every live worker is idle by
+    // now (the loop only ends when no point is in flight), so each exits
+    // its read loop promptly.
+    for (const auto& worker : live_) ::close(worker->to_fd);
+    for (const auto& worker : live_) {
+      ::close(worker->from_fd);
+      int status = 0;
+      ::waitpid(worker->pid, &status, 0);
+    }
+    live_.clear();
+  }
+
+  DispatchOptions options_;
+  std::vector<Json> point_docs_;
+  std::deque<int> pending_;
+  std::vector<int> attempts_;
+  std::vector<std::string> last_error_;
+  std::vector<std::unique_ptr<WorkerProc>> live_;
+  DispatchReport report_;
+  int done_ = 0;  ///< completed + quarantined
+  int next_slot_ = 0;
+  bool kill_hook_fired_ = false;
+};
+
+}  // namespace
+
+bool DispatchReport::all_safety_clean() const {
+  if (!quarantined.empty()) return false;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    if (completed[i] && !results[i].safety_clean()) return false;
+  return true;
+}
+
+std::string DispatchReport::summary() const {
+  std::ostringstream os;
+  os << "dispatch: " << points << " point" << (points == 1 ? "" : "s")
+     << " on " << workers << " worker" << (workers == 1 ? "" : "s") << " ("
+     << workers_spawned << " spawned, " << workers_failed << " failed), "
+     << "resubmitted_points=" << resubmitted_points
+     << ", quarantined=" << quarantined.size() << ", wall "
+     << format_double(wall_seconds, 2) << "s";
+  return os.str();
+}
+
+DispatchReport dispatch_sweep(const SweepSpec& sweep,
+                              const DispatchOptions& options) {
+  return Dispatcher(sweep, options).run();
+}
+
+}  // namespace hoval::dispatch

@@ -1,0 +1,167 @@
+#include "dispatch/wire.hpp"
+
+#include <cerrno>
+#include <unistd.h>
+
+namespace hoval::dispatch {
+
+namespace {
+
+void put_u32_le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32_le(const char* bytes) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3])) << 24);
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFramePayload)
+    throw WireError("frame payload of " + std::to_string(payload.size()) +
+                    " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                    "-byte cap");
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  put_u32_le(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+void FrameDecoder::feed(const void* data, std::size_t size) {
+  // Compact lazily: once the consumed prefix dominates, drop it so the
+  // buffer stays proportional to the unconsumed tail.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (pending_bytes() < 4) return std::nullopt;
+  const std::uint32_t length = get_u32_le(buffer_.data() + consumed_);
+  if (length > kMaxFramePayload)
+    throw WireError("frame length prefix " + std::to_string(length) +
+                    " exceeds the " + std::to_string(kMaxFramePayload) +
+                    "-byte cap (corrupt or misaligned stream)");
+  if (pending_bytes() < 4 + static_cast<std::size_t>(length))
+    return std::nullopt;
+  std::string payload = buffer_.substr(consumed_ + 4, length);
+  consumed_ += 4 + static_cast<std::size_t>(length);
+  return payload;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw WireError("protocol message: " + what);
+}
+
+Json message_shell(const char* type, int index) {
+  Json message = Json::object();
+  message.set("type", type);
+  message.set("index", index);
+  return message;
+}
+
+int required_index(const Json& message) {
+  const Json* index = message.find("index");
+  if (!index || !index->is_integer() || index->as_int() < 0)
+    reject("\"index\" must be an integer >= 0");
+  return index->as_int();
+}
+
+const Json& required_member(const Json& message, const char* key) {
+  const Json* value = message.find(key);
+  if (!value) reject(std::string("missing \"") + key + "\"");
+  return *value;
+}
+
+void check_keys(const Json& message, const char* type, const char* body_key) {
+  for (const auto& member : message.members())
+    if (member.first != "type" && member.first != "index" &&
+        member.first != body_key)
+      reject("unknown key \"" + member.first + "\" in \"" + type +
+             "\" message");
+}
+
+}  // namespace
+
+std::string encode_point_message(int index, const Json& scenario) {
+  Json message = message_shell("point", index);
+  message.set("scenario", scenario);
+  return message.dump();
+}
+
+std::string encode_result_message(int index, const Json& result) {
+  Json message = message_shell("result", index);
+  message.set("result", result);
+  return message.dump();
+}
+
+std::string encode_error_message(int index, const std::string& what) {
+  Json message = message_shell("error", index);
+  message.set("what", what);
+  return message.dump();
+}
+
+WireMessage parse_message(std::string_view payload) {
+  Json message;
+  try {
+    message = Json::parse(payload);
+  } catch (const JsonError& e) {
+    reject(std::string("payload is not JSON: ") + e.what());
+  }
+  if (!message.is_object()) reject("payload must be a JSON object");
+  const Json* type = message.find("type");
+  if (!type || !type->is_string()) reject("missing string \"type\"");
+
+  WireMessage parsed;
+  parsed.index = required_index(message);
+  const std::string& name = type->as_string();
+  if (name == "point") {
+    check_keys(message, "point", "scenario");
+    parsed.type = WireMessage::Type::kPoint;
+    parsed.body = required_member(message, "scenario");
+    if (!parsed.body.is_object()) reject("\"scenario\" must be an object");
+  } else if (name == "result") {
+    check_keys(message, "result", "result");
+    parsed.type = WireMessage::Type::kResult;
+    parsed.body = required_member(message, "result");
+    if (!parsed.body.is_object()) reject("\"result\" must be an object");
+  } else if (name == "error") {
+    check_keys(message, "error", "what");
+    parsed.type = WireMessage::Type::kError;
+    const Json& what = required_member(message, "what");
+    if (!what.is_string()) reject("\"what\" must be a string");
+    parsed.what = what.as_string();
+  } else {
+    reject("unknown type \"" + name + "\"");
+  }
+  return parsed;
+}
+
+}  // namespace hoval::dispatch

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file wire.hpp
+/// The dispatch wire format: length-prefixed frames over a byte stream
+/// (pipe or socket), each carrying one JSON protocol message.
+///
+/// Framing: every frame is a 4-byte little-endian payload length followed
+/// by exactly that many payload bytes.  The decoder is incremental — feed
+/// it whatever read() returned and pop complete frames — and defensive: a
+/// length prefix above kMaxFramePayload throws WireError immediately
+/// (before any allocation of that size), and a stream that ends mid-frame
+/// is detectable via pending_bytes(), so a killed peer's half-written
+/// frame is a diagnosed truncation, never a silently misparsed payload.
+///
+/// Protocol messages (one JSON object per frame, "type"-tagged):
+///   host -> worker   {"type": "point", "index": k, "scenario": {...}}
+///   worker -> host   {"type": "result", "index": k, "result": {...}}
+///   worker -> host   {"type": "error", "index": k, "what": "..."}
+/// The host signals shutdown by closing the worker's input (EOF), not by a
+/// message — a dead host and a finished host look the same to a worker.
+/// parse_message() validates strictly (unknown types, missing fields and
+/// type mismatches throw WireError) so garbage payloads are rejected,
+/// never accepted-then-misparsed.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace hoval::dispatch {
+
+/// Thrown on malformed frames (oversized length prefix) and malformed
+/// protocol messages (non-JSON payloads, unknown/missing fields).
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Hard cap on one frame's payload.  Far above any real message (a point
+/// spec is ~1 KB, a merged result a few KB), so hitting it means the
+/// length prefix is garbage — reject before trusting it with an
+/// allocation.
+constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/// [u32-LE length][payload].  \throws WireError when payload exceeds
+/// kMaxFramePayload.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder over an arbitrary chunking of the stream.
+class FrameDecoder {
+ public:
+  /// Appends raw stream bytes (any chunking, including byte-at-a-time).
+  void feed(const void* data, std::size_t size);
+
+  /// Pops the next complete frame's payload, or nullopt when the buffered
+  /// bytes do not yet hold one.  \throws WireError on a length prefix
+  /// above kMaxFramePayload — the stream is unrecoverable after that.
+  std::optional<std::string> next();
+
+  /// Bytes buffered toward an incomplete frame.  Nonzero at end-of-stream
+  /// means the peer died mid-frame (a truncated frame).
+  std::size_t pending_bytes() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+};
+
+/// Writes one frame to a blocking fd, looping over partial writes and
+/// EINTR.  Returns false when the peer is gone (EPIPE or any other write
+/// error) — the caller decides whether that is a worker death or a host
+/// shutdown.  \throws WireError only for an oversized payload.
+bool write_frame(int fd, std::string_view payload);
+
+/// One parsed protocol message (see the file comment for the schema).
+struct WireMessage {
+  enum class Type { kPoint, kResult, kError };
+  Type type = Type::kError;
+  int index = -1;    ///< sweep point index
+  Json body;         ///< "scenario" (kPoint) or "result" (kResult) document
+  std::string what;  ///< kError diagnostic
+};
+
+std::string encode_point_message(int index, const Json& scenario);
+std::string encode_result_message(int index, const Json& result);
+std::string encode_error_message(int index, const std::string& what);
+
+/// Parses and validates one frame payload.  \throws WireError on anything
+/// but a well-formed protocol message.
+WireMessage parse_message(std::string_view payload);
+
+}  // namespace hoval::dispatch

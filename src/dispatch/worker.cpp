@@ -1,0 +1,68 @@
+#include "dispatch/worker.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+
+#include "dispatch/wire.hpp"
+#include "scenario/run.hpp"
+#include "scenario/spec.hpp"
+#include "sim/executor.hpp"
+#include "sim/result_json.hpp"
+
+namespace hoval::dispatch {
+
+namespace {
+
+/// One point: parse, resolve, run, serialise.  Every failure mode becomes
+/// an error frame with the exception text — the host quarantines the point
+/// with that diagnostic instead of retrying a deterministic failure.
+std::string serve_point(const WireMessage& message, Executor& executor) {
+  try {
+    const ScenarioSpec spec = ScenarioSpec::from_json(message.body);
+    const CampaignResult result = run_scenario(spec, executor);
+    return encode_result_message(message.index,
+                                 campaign_result_to_json(result));
+  } catch (const std::exception& e) {
+    return encode_error_message(message.index, e.what());
+  }
+}
+
+}  // namespace
+
+int run_worker_loop(int in_fd, int out_fd, int threads) {
+  Executor executor(threads < 0 ? 1 : threads);
+  FrameDecoder decoder;
+  char buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(in_fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return 1;
+    }
+    if (n == 0) return decoder.pending_bytes() == 0 ? 0 : 1;
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+    try {
+      while (const auto frame = decoder.next()) {
+        const WireMessage message = parse_message(*frame);
+        if (message.type != WireMessage::Type::kPoint) return 2;
+        if (!write_frame(out_fd, serve_point(message, executor))) return 3;
+      }
+    } catch (const WireError&) {
+      return 2;
+    }
+  }
+}
+
+int worker_threads_from_env(int fallback) {
+  const char* env = std::getenv("HOVAL_WORKER_THREADS");
+  if (!env || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 0 || parsed > 4096)
+    return fallback;
+  return static_cast<int>(parsed);
+}
+
+}  // namespace hoval::dispatch

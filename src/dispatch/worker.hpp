@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file worker.hpp
+/// The worker half of the dispatch protocol (see dispatch/wire.hpp): read
+/// point frames, run each point's campaign, write result frames back.
+/// One function, shared by every worker entry point — `hoval_dispatch
+/// --worker`, `hoval_cli --worker`, and the dispatcher's default
+/// fork-without-exec workers (dispatch/dispatch.hpp) all run exactly this
+/// loop, so the protocol has a single implementation.
+
+namespace hoval::dispatch {
+
+/// Serves point frames from `in_fd` until end-of-stream, writing one
+/// result (or error) frame to `out_fd` per point.  All campaigns run on
+/// one persistent Executor of `threads` workers (0 = hardware concurrency;
+/// the dispatcher sends 1 per worker process by default so N processes
+/// don't oversubscribe NxM threads) — the per-point results are
+/// bit-identical at any pool size, so the thread count is a throughput
+/// knob, never a correctness one.
+///
+/// A point whose campaign throws (infeasible spec, predicate failure)
+/// yields an error frame and the loop continues — a deterministic bad
+/// point must not look like a worker crash to the host.  Returns 0 on a
+/// clean end-of-stream, 1 when the stream ended mid-frame (truncated
+/// input), 2 on an unrecoverable protocol error, 3 when a result could
+/// not be written (the host is gone).
+int run_worker_loop(int in_fd, int out_fd, int threads = 1);
+
+/// The worker-process thread count from the HOVAL_WORKER_THREADS
+/// environment variable (set by the dispatcher for exec'd workers), or
+/// `fallback` when unset/invalid.
+int worker_threads_from_env(int fallback = 1);
+
+}  // namespace hoval::dispatch

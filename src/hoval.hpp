@@ -20,6 +20,8 @@
 ///               string-keyed component registries and run_scenario()
 ///   sim/        deterministic round simulator, consensus checkers,
 ///               Monte-Carlo campaigns
+///   dispatch/   cross-process sweep sharding: length-prefixed wire
+///               protocol, worker loop, fault-tolerant host dispatcher
 ///   runtime/    threaded message-passing substrate with wire-level
 ///               fault injection and CRC framing
 ///   stats/      descriptive statistics and histograms
@@ -40,6 +42,9 @@
 #include "core/params.hpp"
 #include "core/phase_king.hpp"
 #include "core/utea.hpp"
+#include "dispatch/dispatch.hpp"
+#include "dispatch/wire.hpp"
+#include "dispatch/worker.hpp"
 #include "model/message.hpp"
 #include "model/process.hpp"
 #include "model/process_set.hpp"
@@ -60,6 +65,7 @@
 #include "sim/initial_values.hpp"
 #include "sim/machine.hpp"
 #include "sim/properties.hpp"
+#include "sim/result_json.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace_retention.hpp"
 #include "sim/workspace.hpp"

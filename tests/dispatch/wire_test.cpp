@@ -1,0 +1,169 @@
+/// The dispatch wire format: framing round-trips under arbitrary stream
+/// chunking, and every malformed input — truncated frames, oversized
+/// length prefixes, garbage payloads, off-schema messages — is rejected
+/// with a diagnostic, never accepted-then-misparsed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dispatch/wire.hpp"
+#include "util/rng.hpp"
+
+namespace hoval::dispatch {
+namespace {
+
+std::vector<std::string> drain(FrameDecoder& decoder) {
+  std::vector<std::string> frames;
+  while (const auto frame = decoder.next()) frames.push_back(*frame);
+  return frames;
+}
+
+TEST(Wire, FramesRoundTripThroughTheDecoder) {
+  const std::vector<std::string> payloads = {
+      "", "x", std::string("binary\0payload", 14), std::string(100000, 'q'),
+      "{\"type\":\"error\",\"index\":3,\"what\":\"boom\"}"};
+  std::string stream;
+  for (const std::string& payload : payloads)
+    stream += encode_frame(payload);
+
+  FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  EXPECT_EQ(drain(decoder), payloads);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Wire, ByteAtATimeFeedingYieldsTheSameFrames) {
+  const std::vector<std::string> payloads = {"alpha", "", "gamma delta"};
+  std::string stream;
+  for (const std::string& payload : payloads)
+    stream += encode_frame(payload);
+
+  FrameDecoder decoder;
+  std::vector<std::string> frames;
+  for (const char byte : stream) {
+    decoder.feed(&byte, 1);
+    for (auto& frame : drain(decoder)) frames.push_back(std::move(frame));
+  }
+  EXPECT_EQ(frames, payloads);
+}
+
+TEST(Wire, TruncatedFrameIsDetectableNotMisparsed) {
+  const std::string frame = encode_frame("a payload that gets cut off");
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(frame.data(), cut);
+    EXPECT_EQ(decoder.next(), std::nullopt) << "cut at " << cut;
+    // A peer that dies here left pending bytes behind — the host's
+    // truncation diagnostic keys off exactly this.
+    EXPECT_EQ(decoder.pending_bytes(), cut);
+  }
+}
+
+TEST(Wire, OversizedLengthPrefixThrowsBeforeAllocating) {
+  // 0xFFFFFFFF and (cap + 1) as little-endian length prefixes.
+  for (const std::uint32_t length :
+       {std::uint32_t{0xFFFFFFFFu}, kMaxFramePayload + 1}) {
+    std::string stream;
+    for (int i = 0; i < 4; ++i)
+      stream.push_back(static_cast<char>((length >> (8 * i)) & 0xFF));
+    FrameDecoder decoder;
+    decoder.feed(stream.data(), stream.size());
+    EXPECT_THROW(decoder.next(), WireError);
+  }
+  EXPECT_THROW(encode_frame(std::string(kMaxFramePayload + 1, 'x')),
+               WireError);
+}
+
+TEST(Wire, PointAndResultAndErrorMessagesRoundTrip) {
+  Json scenario = Json::object();
+  scenario.set("algorithm", Json::object());
+
+  const WireMessage point = parse_message(encode_point_message(7, scenario));
+  EXPECT_EQ(point.type, WireMessage::Type::kPoint);
+  EXPECT_EQ(point.index, 7);
+  EXPECT_TRUE(point.body == scenario);
+
+  Json result = Json::object();
+  result.set("runs", 40);
+  const WireMessage merged = parse_message(encode_result_message(2, result));
+  EXPECT_EQ(merged.type, WireMessage::Type::kResult);
+  EXPECT_EQ(merged.index, 2);
+  EXPECT_TRUE(merged.body == result);
+
+  const WireMessage error = parse_message(encode_error_message(0, "boom"));
+  EXPECT_EQ(error.type, WireMessage::Type::kError);
+  EXPECT_EQ(error.index, 0);
+  EXPECT_EQ(error.what, "boom");
+}
+
+TEST(Wire, MalformedMessagesAreRejected) {
+  const std::vector<std::string> garbage = {
+      "",                                          // not JSON
+      "not json at all",                           //
+      "42",                                        // JSON, not an object
+      "[]",                                        //
+      "{}",                                        // missing type
+      R"({"type":"point"})",                       // missing index
+      R"({"type":"nonsense","index":0})",          // unknown type
+      R"({"type":"point","index":-1,"scenario":{}})",  // negative index
+      R"({"type":"point","index":"x","scenario":{}})", // index not an int
+      R"({"type":"point","index":0})",             // missing body
+      R"({"type":"point","index":0,"scenario":3})",    // body not an object
+      R"({"type":"result","index":0,"result":[]})",    //
+      R"({"type":"error","index":0,"what":17})",   // what not a string
+      R"({"type":"error","index":0,"what":"x","extra":1})",  // unknown key
+      R"({"type":"point","index":0,"scenario":{},"result":{}})",
+  };
+  for (const std::string& payload : garbage)
+    EXPECT_THROW(parse_message(payload), WireError) << payload;
+}
+
+TEST(Wire, RandomBytesNeverCrashTheDecoderOrParser) {
+  Rng rng(0xD15F);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes(rng.below(256), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.below(256));
+    FrameDecoder decoder;
+    // Random chunking exercises the buffered/compaction paths.
+    std::size_t offset = 0;
+    try {
+      while (offset < bytes.size()) {
+        const std::size_t chunk =
+            std::min(bytes.size() - offset, 1 + rng.below(64));
+        decoder.feed(bytes.data() + offset, chunk);
+        offset += chunk;
+        while (const auto frame = decoder.next()) {
+          try {
+            (void)parse_message(*frame);
+          } catch (const WireError&) {
+          }
+        }
+      }
+    } catch (const WireError&) {
+      // an oversized length prefix ends the stream — fine
+    }
+  }
+}
+
+TEST(Wire, DecoderCompactionPreservesTheStream) {
+  // Many frames through one decoder forces the lazy-compaction path; every
+  // frame must still come out intact and in order.
+  FrameDecoder decoder;
+  int received = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string payload(static_cast<std::size_t>(i % 97) * 7, 'a' + i % 26);
+    const std::string frame = encode_frame(payload);
+    decoder.feed(frame.data(), frame.size());
+    while (const auto out = decoder.next()) {
+      EXPECT_EQ(*out, payload);
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, 500);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace hoval::dispatch

@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "scenario/run.hpp"
 #include "scenario/spec.hpp"
+#include "sim/result_json.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -118,6 +120,46 @@ TEST(JsonFuzz, StructuredGarbageNeverCrashes) {
     for (char& c : text) c = kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
     parse_never_misbehaves(text);
   }
+}
+
+TEST(JsonFuzz, MutatedResultDocumentsNeverCrashTheResultParser) {
+  // Same discipline one layer over on the dispatch wire: mutations of real
+  // campaign-result documents must either throw JsonError or parse into a
+  // result that re-serialises to an accepted, equal document.
+  std::vector<std::string> seeds;
+  for (const std::uint64_t seed : {1ull, 77ull}) {
+    ScenarioSpec spec;
+    spec.algorithm = component("ate", {{"n", 9}, {"alpha", 1}});
+    spec.adversaries = {component(seed == 1 ? "corrupt" : "split",
+                                  {{"alpha", seed == 1 ? 1 : 4}})};
+    spec.values = component("split", {{"lo", 0}, {"hi", 1}});
+    spec.predicates = {component("p-alpha")};
+    spec.campaign.runs = 16;
+    spec.campaign.rounds = 30;
+    spec.campaign.seed = seed;
+    seeds.push_back(campaign_result_to_json(run_scenario(spec)).dump(2));
+  }
+  Rng rng(0xF0025);
+  long long accepted = 0;
+  for (int round = 0; round < 300; ++round) {
+    for (const std::string& document : seeds) {
+      const std::string text = mutate(document, rng);
+      try {
+        const CampaignResult result =
+            campaign_result_from_json(Json::parse(text));
+        const Json redumped = campaign_result_to_json(result);
+        EXPECT_TRUE(campaign_result_to_json(campaign_result_from_json(
+                        redumped)) == redumped)
+            << "accepted result document did not round-trip";
+        ++accepted;
+      } catch (const JsonError&) {
+        // rejection with a diagnostic is the expected common case
+      }
+    }
+  }
+  // Digit flips inside counts routinely survive validation; zero accepts
+  // would mean the round-trip arm above never executed.
+  EXPECT_GT(accepted, 0);
 }
 
 TEST(JsonFuzz, MutatedCorpusThroughScenarioLayerNeverCrashes) {

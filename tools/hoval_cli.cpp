@@ -40,8 +40,10 @@ using namespace hoval;
 struct CliOptions {
   std::string scenario_file;
   std::string sweep_file;
+  std::string out_file;
   bool list = false;
   bool dump = false;
+  bool worker = false;
 
   std::string algorithm = "ate";
   int n = 9;
@@ -83,6 +85,11 @@ struct CliOptions {
       << "                   value-gens/predicates and exit\n"
       << "  --scenario FILE  run a scenario JSON document\n"
       << "  --sweep FILE     run a sweep JSON document (one campaign per point)\n"
+      << "  --out FILE       with --sweep: write the per-point results as a\n"
+      << "                   JSON array (deterministic; byte-comparable\n"
+      << "                   against hoval_dispatch --out)\n"
+      << "  --worker         serve dispatch point frames on stdin/stdout\n"
+      << "                   (spawned by hoval_dispatch; see README)\n"
       << "  --dump-scenario  print the scenario the flags describe as JSON\n"
       << "  --algorithm ate|utea|otr|uv|lastvoting|phaseking   (default ate)\n"
       << "  --n N            processes                        (default 9)\n"
@@ -117,6 +124,8 @@ CliOptions parse(int argc, char** argv) {
     };
     if (arg == "--scenario") options.scenario_file = next();
     else if (arg == "--sweep") options.sweep_file = next();
+    else if (arg == "--out") options.out_file = next();
+    else if (arg == "--worker") options.worker = true;
     else if (arg == "--list") options.list = true;
     else if (arg == "--dump-scenario") options.dump = true;
     else if (arg == "--algorithm") { options.algorithm = next(); options.shape_flags.push_back(arg); }
@@ -368,6 +377,11 @@ int run_sweep_file(const CliOptions& options) {
         std::cout << " " << sweep.axes[a].paths[j] << "="
                   << sweep.axes[a].points[coordinate[a]][j].dump();
     std::cout << ": " << results[i].summary() << "\n";
+    // An unsafe point must be diagnosable from the sweep output alone, the
+    // way run_many prints them for a single campaign — the exit code says
+    // *that* something violated, these lines say *what*.
+    for (const auto& violation : results[i].violations)
+      std::cout << "  " << violation << "\n";
     all_clean = all_clean && results[i].safety_clean();
     executed += results[i].runs;
     requested += results[i].runs_requested;
@@ -389,6 +403,14 @@ int run_sweep_file(const CliOptions& options) {
             << " runs/sec, "
             << (options.sweep_parallel ? "parallel points" : "sequential points")
             << ")\n";
+  if (!options.out_file.empty()) {
+    // The documents are fully deterministic (no timings), so this file is
+    // byte-comparable against hoval_dispatch --out of the same sweep.
+    std::ofstream out(options.out_file);
+    if (!out)
+      throw ScenarioError("cannot write results file " + options.out_file);
+    out << campaign_results_to_json(results).dump(2) << "\n";
+  }
   return all_clean ? 0 : 1;
 }
 
@@ -397,9 +419,22 @@ int run_sweep_file(const CliOptions& options) {
 int main(int argc, char** argv) {
   try {
     const CliOptions options = parse(argc, argv);
+    if (options.worker) {
+      // Dispatch worker mode: serve point frames on stdin/stdout until the
+      // host closes the pipe.  Thread count comes from the dispatcher via
+      // HOVAL_WORKER_THREADS, overridable locally with --threads.
+      const int threads = options.threads_set
+                              ? options.threads
+                              : dispatch::worker_threads_from_env(1);
+      return dispatch::run_worker_loop(0, 1, threads);
+    }
     if (options.list) return list_registries();
     if (!options.sweep_file.empty() && !options.scenario_file.empty()) {
       std::cerr << "error: --scenario and --sweep are mutually exclusive\n";
+      return 2;
+    }
+    if (!options.out_file.empty() && options.sweep_file.empty()) {
+      std::cerr << "error: --out applies to --sweep only\n";
       return 2;
     }
     if ((!options.scenario_file.empty() || !options.sweep_file.empty()) &&

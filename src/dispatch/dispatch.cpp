@@ -143,6 +143,19 @@ class Dispatcher {
     // Everything the child touches is prepared pre-fork: the child of a
     // (possibly multithreaded) host must stick to async-signal-safe calls
     // plus exec.
+    //
+    // FD_CLOEXEC only applies across exec, so the fork-without-exec child
+    // inherits the host-side pipe ends of every already-live sibling.  If
+    // they stayed open, a worker's stdin would only see EOF once every
+    // later-spawned sibling had exited too (a newest-to-oldest cascade
+    // that one wedged worker stalls forever).  Collect them here and close
+    // them in the child — ::close is async-signal-safe.
+    std::vector<int> sibling_fds;
+    sibling_fds.reserve(live_.size() * 2);
+    for (const auto& other : live_) {
+      sibling_fds.push_back(other->to_fd);
+      sibling_fds.push_back(other->from_fd);
+    }
     const std::string threads_env = std::to_string(options_.worker_threads);
     std::vector<std::string> argv_storage = options_.worker_argv;
     std::vector<char*> argv;
@@ -164,11 +177,15 @@ class Dispatcher {
       ::close(to_pipe[1]);
       ::close(from_pipe[0]);
       ::close(from_pipe[1]);
+      for (const int fd : sibling_fds) ::close(fd);
       if (!argv_storage.empty()) {
         ::setenv("HOVAL_WORKER_THREADS", threads_env.c_str(), 1);
         ::execvp(argv[0], argv.data());
         std::_Exit(127);  // exec failed
       }
+      // 4 = run_worker_loop threw (see worker.hpp for codes 0-3); the host
+      // treats any nonzero code as a dead worker, so the distinction is
+      // purely diagnostic.
       int rc = 4;
       try {
         rc = run_worker_loop(0, 1, options_.worker_threads);
@@ -218,11 +235,17 @@ class Dispatcher {
 
   // --- assignment ----------------------------------------------------------
 
+  enum class Assign {
+    kAssigned,    ///< a point is now in flight on this worker
+    kIdle,        ///< nothing pending; the worker is alive and idle
+    kWorkerLost,  ///< the write failed: fail_worker ran, `worker` is freed
+  };
+
   /// Hands the next pending point to `worker`.  May fail the worker (a
-  /// dead child surfaces as a write error), in which case `worker` is
-  /// invalid afterwards; returns false in that case or when idle.
-  bool assign_next(WorkerProc& worker) {
-    if (pending_.empty()) return false;
+  /// dead child surfaces as a write error), in which case `worker` has
+  /// been destroyed and the caller must not touch it again.
+  Assign assign_next(WorkerProc& worker) {
+    if (pending_.empty()) return Assign::kIdle;
     const int point = pending_.front();
     pending_.pop_front();
     ++attempts_[static_cast<std::size_t>(point)];
@@ -232,7 +255,7 @@ class Dispatcher {
                                        point, point_docs_[static_cast<std::size_t>(
                                                   point)]))) {
       fail_worker(worker, "write to worker failed (worker gone)");
-      return false;
+      return Assign::kWorkerLost;
     }
     // The test hook fires on the slot's first assignment: the worker is
     // SIGKILLed with this point guaranteed in flight, so the run must
@@ -242,7 +265,7 @@ class Dispatcher {
       log("test hook: SIGKILL worker " + std::to_string(worker.slot));
       ::kill(worker.pid, SIGKILL);
     }
-    return true;
+    return Assign::kAssigned;
   }
 
   // --- failure handling ----------------------------------------------------
@@ -301,14 +324,19 @@ class Dispatcher {
       return;
     }
     // A resubmitted point may need an already-idle worker (everyone else
-    // might be deep in a long point).
+    // might be deep in a long point).  Pick the candidate before calling
+    // assign_next: it can erase from live_ (re-entrant fail_worker) or
+    // grow it (respawns), either of which invalidates iterators; the
+    // WorkerProc itself is heap-stable, so the pointer survives both.
     if (!pending_.empty()) {
+      WorkerProc* idle = nullptr;
       for (const auto& candidate : live_) {
         if (candidate->current_point < 0) {
-          assign_next(*candidate);
+          idle = candidate.get();
           break;
         }
       }
+      if (idle) assign_next(*idle);
     }
   }
 
@@ -452,8 +480,9 @@ class Dispatcher {
           std::to_string(worker.slot) + ")");
     }
 
-    assign_next(worker);
-    return true;
+    // A failed reassignment write means fail_worker already destroyed
+    // `worker` — handle_readable must not touch its decoder again.
+    return assign_next(worker) != Assign::kWorkerLost;
   }
 
   // --- teardown ------------------------------------------------------------

@@ -1,6 +1,8 @@
 #include "dispatch/wire.hpp"
 
 #include <cerrno>
+#include <cstdint>
+#include <limits>
 #include <unistd.h>
 
 namespace hoval::dispatch {
@@ -89,9 +91,20 @@ Json message_shell(const char* type, int index) {
 
 int required_index(const Json& message) {
   const Json* index = message.find("index");
-  if (!index || !index->is_integer() || index->as_int() < 0)
+  if (!index || !index->is_integer())
     reject("\"index\" must be an integer >= 0");
-  return index->as_int();
+  // as_int()/as_int64() throw JsonError outside their range; a corrupt
+  // frame must surface as a WireError the host tolerates, never escape
+  // parse_message as a different exception type.
+  std::int64_t value = -1;
+  try {
+    value = index->as_int64();
+  } catch (const JsonError&) {
+    // uint64 beyond int64: out of range below either way.
+  }
+  if (value < 0 || value > std::numeric_limits<int>::max())
+    reject("\"index\" must be an integer >= 0");
+  return static_cast<int>(value);
 }
 
 const Json& required_member(const Json& message, const char* key) {
@@ -128,7 +141,7 @@ std::string encode_error_message(int index, const std::string& what) {
   return message.dump();
 }
 
-WireMessage parse_message(std::string_view payload) {
+WireMessage parse_message(std::string_view payload) try {
   Json message;
   try {
     message = Json::parse(payload);
@@ -162,6 +175,11 @@ WireMessage parse_message(std::string_view payload) {
     reject("unknown type \"" + name + "\"");
   }
   return parsed;
+} catch (const JsonError& e) {
+  // Backstop for the "worker failures are handled, not thrown" contract:
+  // whatever a hostile frame makes the Json layer throw, the caller only
+  // ever sees WireError.
+  reject(std::string("malformed payload: ") + e.what());
 }
 
 }  // namespace hoval::dispatch

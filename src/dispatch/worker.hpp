@@ -23,7 +23,9 @@ namespace hoval::dispatch {
 /// point must not look like a worker crash to the host.  Returns 0 on a
 /// clean end-of-stream, 1 when the stream ended mid-frame (truncated
 /// input), 2 on an unrecoverable protocol error, 3 when a result could
-/// not be written (the host is gone).
+/// not be written (the host is gone).  (The dispatcher's fork-only child
+/// exits 4 if this loop itself throws — all exit codes are diagnostic
+/// only; the host treats any nonzero exit as a dead worker.)
 int run_worker_loop(int in_fd, int out_fd, int threads = 1);
 
 /// The worker-process thread count from the HOVAL_WORKER_THREADS

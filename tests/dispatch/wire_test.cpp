@@ -109,6 +109,11 @@ TEST(Wire, MalformedMessagesAreRejected) {
       R"({"type":"nonsense","index":0})",          // unknown type
       R"({"type":"point","index":-1,"scenario":{}})",  // negative index
       R"({"type":"point","index":"x","scenario":{}})", // index not an int
+      // Out-of-range indices must reject as WireError, never escape as the
+      // Json layer's own range exception (host aborts vs tolerated fault).
+      R"({"type":"result","index":99999999999,"result":{}})",    // > int32
+      R"({"type":"result","index":18446744073709551615,"result":{}})",  // uint64 max
+      R"({"type":"result","index":-99999999999,"result":{}})",   // < int32 min
       R"({"type":"point","index":0})",             // missing body
       R"({"type":"point","index":0,"scenario":3})",    // body not an object
       R"({"type":"result","index":0,"result":[]})",    //

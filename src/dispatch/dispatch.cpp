@@ -15,6 +15,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "dispatch/stream.hpp"
 #include "dispatch/wire.hpp"
 #include "dispatch/worker.hpp"
 #include "scenario/run.hpp"
@@ -26,27 +27,6 @@ namespace hoval::dispatch {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-/// Writes to dead workers must surface as EPIPE return values, not kill
-/// the host; restore the caller's disposition on the way out.  Exec'd
-/// workers inherit the SIG_IGN disposition, which is exactly right — a
-/// worker whose host vanished sees a failed write and exits instead of
-/// dying mid-campaign with a half-written frame.
-class SigpipeGuard {
- public:
-  SigpipeGuard() {
-    struct sigaction ignore {};
-    ignore.sa_handler = SIG_IGN;
-    sigemptyset(&ignore.sa_mask);
-    sigaction(SIGPIPE, &ignore, &old_);
-  }
-  ~SigpipeGuard() { sigaction(SIGPIPE, &old_, nullptr); }
-  SigpipeGuard(const SigpipeGuard&) = delete;
-  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
-
- private:
-  struct sigaction old_ {};
-};
 
 void set_cloexec(int fd) {
   const int flags = ::fcntl(fd, F_GETFD);
@@ -100,7 +80,11 @@ class Dispatcher {
 
   DispatchReport run() {
     const auto start = Clock::now();
-    SigpipeGuard sigpipe;
+    // Writes to dead workers must surface as EPIPE return values, not kill
+    // the host.  Exec'd workers inherit the SIG_IGN disposition, which is
+    // exactly right — a worker whose host vanished sees a failed write and
+    // exits instead of dying mid-campaign with a half-written frame.
+    ScopedSigpipeIgnore sigpipe;
     const int initial =
         std::min(options_.workers, std::max(1, report_.points));
     for (int slot = 0; slot < initial; ++slot) {
@@ -371,11 +355,9 @@ class Dispatcher {
       pids.push_back(worker->pid);
     }
     const int timeout_ms = next_timeout_ms();
-    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (ready < 0) {
-      if (errno == EINTR) return;
+    const int ready = poll_fds(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0)
       throw DispatchError(std::string("poll: ") + std::strerror(errno));
-    }
     for (std::size_t i = 0; i < fds.size(); ++i) {
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       // The worker may already be gone (failed while handling a sibling).
@@ -420,9 +402,8 @@ class Dispatcher {
 
   void handle_readable(WorkerProc& worker) {
     char buffer[64 * 1024];
-    const ssize_t n = ::read(worker.from_fd, buffer, sizeof(buffer));
+    const ssize_t n = read_some(worker.from_fd, buffer, sizeof(buffer));
     if (n < 0) {
-      if (errno == EINTR) return;
       fail_worker(worker, std::string("read: ") + std::strerror(errno));
       return;
     }

@@ -1,0 +1,67 @@
+#include "dispatch/stream.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+
+#include <unistd.h>
+
+namespace hoval::dispatch {
+
+ssize_t read_some(int fd, void* buffer, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, size);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, bytes + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int poll_fds(pollfd* fds, nfds_t count, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = timeout_ms < 0
+                            ? Clock::time_point::max()
+                            : Clock::now() + std::chrono::milliseconds(timeout_ms);
+  int remaining = timeout_ms;
+  for (;;) {
+    const int ready = ::poll(fds, count, remaining);
+    if (ready >= 0 || errno != EINTR) return ready;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      remaining = static_cast<int>(std::max<long long>(0, left.count()));
+    }
+  }
+}
+
+struct ScopedSigpipeIgnore::SavedAction {
+  struct sigaction action {};
+};
+
+ScopedSigpipeIgnore::ScopedSigpipeIgnore() : old_(new SavedAction) {
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  ::sigaction(SIGPIPE, &ignore, &old_->action);
+}
+
+ScopedSigpipeIgnore::~ScopedSigpipeIgnore() {
+  ::sigaction(SIGPIPE, &old_->action, nullptr);
+  delete old_;
+}
+
+}  // namespace hoval::dispatch

@@ -1,9 +1,9 @@
 #include "dispatch/wire.hpp"
 
-#include <cerrno>
 #include <cstdint>
 #include <limits>
-#include <unistd.h>
+
+#include "dispatch/stream.hpp"
 
 namespace hoval::dispatch {
 
@@ -63,17 +63,22 @@ std::optional<std::string> FrameDecoder::next() {
 
 bool write_frame(int fd, std::string_view payload) {
   const std::string frame = encode_frame(payload);
-  std::size_t written = 0;
-  while (written < frame.size()) {
-    const ssize_t n =
-        ::write(fd, frame.data() + written, frame.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
+  return write_all(fd, frame.data(), frame.size());
+}
+
+std::optional<std::string> read_frame(int fd, FrameDecoder& decoder) {
+  for (;;) {
+    if (auto frame = decoder.next()) return frame;
+    char buffer[64 * 1024];
+    const ssize_t n = read_some(fd, buffer, sizeof(buffer));
+    if (n < 0) return std::nullopt;
+    if (n == 0) {
+      if (decoder.pending_bytes() > 0)
+        throw WireError("stream ended mid-frame (truncated peer)");
+      return std::nullopt;
     }
-    written += static_cast<std::size_t>(n);
+    decoder.feed(buffer, static_cast<std::size_t>(n));
   }
-  return true;
 }
 
 namespace {

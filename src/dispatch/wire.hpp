@@ -71,10 +71,18 @@ class FrameDecoder {
 };
 
 /// Writes one frame to a blocking fd, looping over partial writes and
-/// EINTR.  Returns false when the peer is gone (EPIPE or any other write
-/// error) — the caller decides whether that is a worker death or a host
-/// shutdown.  \throws WireError only for an oversized payload.
+/// EINTR (dispatch/stream.hpp).  Returns false when the peer is gone
+/// (EPIPE or any other write error) — the caller decides whether that is a
+/// worker death or a host shutdown.  \throws WireError only for an
+/// oversized payload.
 bool write_frame(int fd, std::string_view payload);
+
+/// Blocking companion to FrameDecoder for request/response peers (the
+/// service client, tests): reads from `fd` until the decoder yields one
+/// complete frame.  Returns nullopt on a clean end-of-stream or a read
+/// error; \throws WireError when the stream ends mid-frame or a length
+/// prefix is corrupt.
+std::optional<std::string> read_frame(int fd, FrameDecoder& decoder);
 
 /// One parsed protocol message (see the file comment for the schema).
 struct WireMessage {

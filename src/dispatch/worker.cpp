@@ -5,6 +5,7 @@
 #include <string>
 #include <unistd.h>
 
+#include "dispatch/stream.hpp"
 #include "dispatch/wire.hpp"
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
@@ -36,11 +37,8 @@ int run_worker_loop(int in_fd, int out_fd, int threads) {
   FrameDecoder decoder;
   char buffer[64 * 1024];
   for (;;) {
-    const ssize_t n = ::read(in_fd, buffer, sizeof(buffer));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return 1;
-    }
+    const ssize_t n = read_some(in_fd, buffer, sizeof(buffer));
+    if (n < 0) return 1;
     if (n == 0) return decoder.pending_bytes() == 0 ? 0 : 1;
     decoder.feed(buffer, static_cast<std::size_t>(n));
     try {

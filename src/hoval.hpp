@@ -21,7 +21,11 @@
 ///   sim/        deterministic round simulator, consensus checkers,
 ///               Monte-Carlo campaigns
 ///   dispatch/   cross-process sweep sharding: length-prefixed wire
-///               protocol, worker loop, fault-tolerant host dispatcher
+///               protocol, EINTR-safe stream helpers, worker loop,
+///               fault-tolerant host dispatcher
+///   service/    hovald campaign-as-a-service daemon: framed JSON job
+///               protocol, fair-share scheduler, spec-hash result cache,
+///               poll-loop server and synchronous client
 ///   runtime/    threaded message-passing substrate with wire-level
 ///               fault injection and CRC framing
 ///   stats/      descriptive statistics and histograms
@@ -43,6 +47,7 @@
 #include "core/phase_king.hpp"
 #include "core/utea.hpp"
 #include "dispatch/dispatch.hpp"
+#include "dispatch/stream.hpp"
 #include "dispatch/wire.hpp"
 #include "dispatch/worker.hpp"
 #include "model/message.hpp"
@@ -59,6 +64,12 @@
 #include "scenario/registry.hpp"
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
+#include "service/cache.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/scheduler.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
 #include "sim/campaign.hpp"
 #include "sim/engine.hpp"
 #include "sim/executor.hpp"
@@ -75,5 +86,6 @@
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"

@@ -31,13 +31,18 @@ void check_known_keys(const Json& object,
   }
 }
 
+// Serialisation is *canonical*: every to_json in this file emits object
+// keys in sorted order, so a spec's compact dump is one fixed byte string
+// per experiment — the property the service result cache hashes
+// (src/service/cache.hpp) and tests/scenario/spec_test.cpp locks.
+
 Json adaptive_to_json(const StoppingRule& rule) {
   Json j = Json::object();
-  j.set("enabled", rule.enabled);
-  j.set("min_runs", rule.min_runs);
-  j.set("max_runs", rule.max_runs);
-  j.set("ci_epsilon", rule.ci_epsilon);
   j.set("ci_confidence", rule.ci_confidence);
+  j.set("ci_epsilon", rule.ci_epsilon);
+  j.set("enabled", rule.enabled);
+  j.set("max_runs", rule.max_runs);
+  j.set("min_runs", rule.min_runs);
   return j;
 }
 
@@ -61,20 +66,20 @@ StoppingRule adaptive_from_json(const Json& json) {
 
 Json knobs_to_json(const CampaignKnobs& knobs) {
   Json j = Json::object();
-  j.set("runs", knobs.runs);
-  j.set("rounds", knobs.rounds);
-  j.set("stop_when_all_decided", knobs.stop_when_all_decided);
-  j.set("seed", knobs.seed);
-  j.set("threads", knobs.threads);
-  j.set("max_recorded_violations", knobs.max_recorded_violations);
   // Defaulted knobs stay out of the document (and out of --dump-scenario
   // output); the round trip is still lossless because the parser defaults
   // them right back.
-  if (knobs.batch_size != 0) j.set("batch_size", knobs.batch_size);
   if (knobs.adaptive != StoppingRule{})
     j.set("adaptive", adaptive_to_json(knobs.adaptive));
+  if (knobs.batch_size != 0) j.set("batch_size", knobs.batch_size);
   if (knobs.keep_traces != TraceRetention::kNone)
     j.set("keep_traces", std::string(to_string(knobs.keep_traces)));
+  j.set("max_recorded_violations", knobs.max_recorded_violations);
+  j.set("rounds", knobs.rounds);
+  j.set("runs", knobs.runs);
+  j.set("seed", knobs.seed);
+  j.set("stop_when_all_decided", knobs.stop_when_all_decided);
+  j.set("threads", knobs.threads);
   return j;
 }
 
@@ -123,6 +128,31 @@ std::vector<ComponentSpec> components_from_json(const Json& json,
   return specs;
 }
 
+/// Deep key-sort for component params.  Json equality and dumps are
+/// insertion-order sensitive, so params are normalised to sorted order at
+/// every construction boundary (component(), from_json, to_json) — that is
+/// what makes "same experiment, same bytes" hold no matter how the spec
+/// was written down.
+Json sorted_params(const Json& json) {
+  if (json.is_object()) {
+    Json::Object members = json.members();
+    std::stable_sort(members.begin(), members.end(),
+                     [](const Json::Member& a, const Json::Member& b) {
+                       return a.first < b.first;
+                     });
+    Json out = Json::object();
+    for (auto& member : members)
+      out.set(member.first, sorted_params(member.second));
+    return out;
+  }
+  if (json.is_array()) {
+    Json out = Json::array();
+    for (const Json& item : json.items()) out.push_back(sorted_params(item));
+    return out;
+  }
+  return json;
+}
+
 }  // namespace
 
 // --- ComponentSpec ---------------------------------------------------------
@@ -130,7 +160,7 @@ std::vector<ComponentSpec> components_from_json(const Json& json,
 Json ComponentSpec::to_json() const {
   Json j = Json::object();
   j.set("name", name);
-  if (params.size() > 0) j.set("params", params);
+  if (params.size() > 0) j.set("params", sorted_params(params));
   return j;
 }
 
@@ -151,7 +181,7 @@ ComponentSpec ComponentSpec::from_json(const Json& json, const std::string& what
     if (!params->is_object())
       fail("\"params\" of " + what + " \"" + spec.name +
            "\" must be a JSON object");
-    spec.params = *params;
+    spec.params = sorted_params(*params);
   }
   return spec;
 }
@@ -163,7 +193,7 @@ bool operator==(const ComponentSpec& a, const ComponentSpec& b) {
 ComponentSpec component(std::string name, Json::Object params) {
   ComponentSpec spec;
   spec.name = std::move(name);
-  spec.params = Json::object(std::move(params));
+  spec.params = sorted_params(Json::object(std::move(params)));
   return spec;
 }
 
@@ -196,18 +226,18 @@ bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
 
 Json ScenarioSpec::to_json() const {
   Json j = Json::object();
-  if (!description.empty()) j.set("description", description);
-  j.set("algorithm", algorithm.to_json());
   Json adversary = Json::array();
   for (const ComponentSpec& layer : adversaries)
     adversary.push_back(layer.to_json());
   j.set("adversary", std::move(adversary));
-  j.set("values", values.to_json());
+  j.set("algorithm", algorithm.to_json());
+  j.set("campaign", knobs_to_json(campaign));
+  if (!description.empty()) j.set("description", description);
   Json predicate_list = Json::array();
   for (const ComponentSpec& predicate : predicates)
     predicate_list.push_back(predicate.to_json());
   j.set("predicates", std::move(predicate_list));
-  j.set("campaign", knobs_to_json(campaign));
+  j.set("values", values.to_json());
   return j;
 }
 
@@ -413,7 +443,6 @@ std::vector<ScenarioSpec> SweepSpec::expand() const {
 
 Json SweepSpec::to_json() const {
   Json j = Json::object();
-  j.set("scenario", base.to_json());
   Json axis_list = Json::array();
   for (const SweepAxis& axis : axes) {
     Json a = Json::object();
@@ -441,6 +470,7 @@ Json SweepSpec::to_json() const {
   }
   j.set("axes", std::move(axis_list));
   j.set("reseed_per_point", reseed_per_point);
+  j.set("scenario", base.to_json());
   return j;
 }
 

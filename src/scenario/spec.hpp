@@ -102,9 +102,12 @@ struct ScenarioSpec {
   std::vector<ComponentSpec> predicates;  ///< PredicateRegistry keys + params
   CampaignKnobs campaign;
 
-  /// Serialises to the canonical JSON document shape:
-  /// {"description"?, "algorithm", "adversary": [...], "values",
-  ///  "predicates": [...], "campaign": {...}}.
+  /// Serialises to the canonical JSON document shape — object keys in
+  /// sorted order at every level: {"adversary": [...], "algorithm",
+  /// "campaign": {...}, "description"?, "predicates": [...], "values"}.
+  /// Canonical means byte-stable: one experiment has exactly one compact
+  /// dump, which is what the service result cache hashes
+  /// (src/service/cache.hpp) and tests/scenario/spec_test.cpp locks.
   Json to_json() const;
   std::string to_json_text(int indent = 2) const;
 

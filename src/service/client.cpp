@@ -1,0 +1,106 @@
+#include "service/client.hpp"
+
+#include <unistd.h>
+#include <utility>
+
+#include "service/socket.hpp"
+
+namespace hoval::service {
+
+namespace {
+
+void send_or_throw(int fd, const std::string& payload) {
+  if (!dispatch::write_frame(fd, payload))
+    throw ServiceError("service connection lost while sending");
+}
+
+ServerMessage read_server_message(int fd, dispatch::FrameDecoder& decoder) {
+  std::optional<std::string> frame;
+  try {
+    frame = dispatch::read_frame(fd, decoder);
+  } catch (const dispatch::WireError& e) {
+    throw ServiceError(e.what());
+  }
+  if (!frame)
+    throw ServiceError("service connection closed before the reply");
+  return parse_server_message(*frame);
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(const std::string& address)
+    : fd_(connect_socket(address)) {
+  send_or_throw(fd_, encode_hello());
+  const ServerMessage greeting = read_server_message(fd_, decoder_);
+  if (greeting.type == ServerMessage::Type::kError)
+    throw ServiceError("service rejected the connection: " + greeting.what);
+  if (greeting.type != ServerMessage::Type::kHello)
+    throw ServiceError("service greeting was not a hello frame");
+  if (greeting.version != kProtocolVersion)
+    throw ServiceError("protocol version mismatch: client speaks " +
+                       std::to_string(kProtocolVersion) + ", server sent " +
+                       std::to_string(greeting.version));
+}
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int ServiceClient::submit(const Json& spec, bool sweep, bool progress) {
+  const int id = next_id_++;
+  send_or_throw(fd_, encode_submit(id, sweep, spec, progress));
+  return id;
+}
+
+void ServiceClient::cancel(int id) { send_or_throw(fd_, encode_cancel(id)); }
+
+JobOutcome ServiceClient::collect(int id, const ClientProgressFn& progress) {
+  for (;;) {
+    ServerMessage message = read_server_message(fd_, decoder_);
+    switch (message.type) {
+      case ServerMessage::Type::kProgress:
+        if (message.id == id && progress)
+          progress(message.completed, message.total);
+        break;
+      case ServerMessage::Type::kResult:
+        if (message.id != id) break;  // stale frame from an abandoned job
+        {
+          JobOutcome outcome;
+          outcome.ok = true;
+          outcome.cache_hit = message.cache_hit;
+          outcome.result = std::move(message.result);
+          return outcome;
+        }
+      case ServerMessage::Type::kError: {
+        if (message.id != id && message.id != -1) break;
+        JobOutcome outcome;
+        outcome.error = message.what.empty() ? "unspecified service error"
+                                             : message.what;
+        return outcome;
+      }
+      case ServerMessage::Type::kHello:
+        throw ServiceError("unexpected hello frame mid-session");
+    }
+  }
+}
+
+JobOutcome ServiceClient::submit_scenario(const Json& spec,
+                                          const ClientProgressFn& progress) {
+  const int id = submit(spec, /*sweep=*/false,
+                        /*progress=*/static_cast<bool>(progress));
+  return collect(id, progress);
+}
+
+JobOutcome ServiceClient::submit_sweep(const Json& spec,
+                                       const ClientProgressFn& progress) {
+  const int id = submit(spec, /*sweep=*/true,
+                        /*progress=*/static_cast<bool>(progress));
+  return collect(id, progress);
+}
+
+}  // namespace hoval::service

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file client.hpp
+/// Synchronous client for the hovald campaign service: connect, shake
+/// hands, submit a scenario or sweep, stream progress, collect the
+/// result.  One outstanding job per call keeps the API as simple as the
+/// local run_scenario()/run_sweep() it mirrors — `hoval_cli --connect`
+/// is a thin wrapper over this class.  The lower-level submit()/close()
+/// pair exists for tests that need a job left in flight (disconnect
+/// cancellation).
+
+#include <functional>
+#include <string>
+
+#include "dispatch/wire.hpp"
+#include "service/protocol.hpp"
+#include "util/json.hpp"
+
+namespace hoval::service {
+
+/// Progress observer for a submitted job: (completed runs, total runs)
+/// across all of the job's campaigns.
+using ClientProgressFn = std::function<void(long long, long long)>;
+
+/// What the server answered for one job.
+struct JobOutcome {
+  bool ok = false;         ///< result received (else `error` is set)
+  bool cache_hit = false;  ///< served from the spec-hash cache
+  Json result;             ///< object (scenario) or array (sweep)
+  std::string error;
+};
+
+class ServiceClient {
+ public:
+  /// Connects and performs the hello exchange.  \throws ServiceError on
+  /// connection failure, version mismatch, or a malformed greeting.
+  explicit ServiceClient(const std::string& address);
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Submits and blocks until the result or error frame arrives.
+  /// `progress`, when set, opts the job into progress frames and observes
+  /// them as they stream.  \throws ServiceError on transport failure
+  /// (spec-level failures come back as JobOutcome::error).
+  JobOutcome submit_scenario(const Json& spec,
+                             const ClientProgressFn& progress = {});
+  JobOutcome submit_sweep(const Json& spec,
+                          const ClientProgressFn& progress = {});
+
+  /// Fire-and-forget submission (returns the job id without waiting);
+  /// pair with collect() — or with close() to abandon the job, which the
+  /// server answers by cancelling it.
+  int submit(const Json& spec, bool sweep, bool progress = false);
+  /// Sends a cancel message for a submitted job.
+  void cancel(int id);
+  /// Blocks until job `id` resolves, observing its progress frames.
+  JobOutcome collect(int id, const ClientProgressFn& progress = {});
+
+  /// Closes the connection now (the destructor also does).
+  void close();
+
+ private:
+  int fd_ = -1;
+  int next_id_ = 0;
+  dispatch::FrameDecoder decoder_;
+};
+
+}  // namespace hoval::service

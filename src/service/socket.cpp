@@ -1,0 +1,209 @@
+#include "service/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.hpp"
+
+namespace hoval::service {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ServiceError(what + ": " + std::strerror(errno));
+}
+
+bool is_unix_path(const std::string& address) {
+  return address.find('/') != std::string::npos;
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw ServiceError("unix socket path too long (" +
+                       std::to_string(path.size()) + " bytes): " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Splits "host:port" / "[v6-host]:port" at the last colon.
+void split_host_port(const std::string& address, std::string& host,
+                     std::string& port) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon + 1 == address.size())
+    throw ServiceError("TCP address must be HOST:PORT (or a '/'-containing "
+                       "unix socket path): " +
+                       address);
+  host = address.substr(0, colon);
+  port = address.substr(colon + 1);
+  if (host.size() >= 2 && host.front() == '[' && host.back() == ']')
+    host = host.substr(1, host.size() - 2);
+  if (host.empty())
+    throw ServiceError("TCP address has an empty host: " + address);
+}
+
+struct AddrInfoHolder {
+  addrinfo* info = nullptr;
+  ~AddrInfoHolder() {
+    if (info) freeaddrinfo(info);
+  }
+};
+
+addrinfo* resolve(const std::string& host, const std::string& port,
+                  bool listen, AddrInfoHolder& holder) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (listen) hints.ai_flags = AI_PASSIVE;
+  const int rc = getaddrinfo(host.c_str(), port.c_str(), &hints, &holder.info);
+  if (rc != 0)
+    throw ServiceError("cannot resolve " + host + ":" + port + ": " +
+                       gai_strerror(rc));
+  return holder.info;
+}
+
+/// Formats the locally-bound address of `fd` as HOST:PORT (v6 hosts in
+/// brackets); used to report the kernel-chosen port after binding :0.
+std::string bound_address(int fd) {
+  sockaddr_storage storage{};
+  socklen_t len = sizeof(storage);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&storage), &len) != 0)
+    fail("getsockname");
+  char host[NI_MAXHOST];
+  char port[NI_MAXSERV];
+  const int rc = getnameinfo(reinterpret_cast<sockaddr*>(&storage), len, host,
+                             sizeof(host), port, sizeof(port),
+                             NI_NUMERICHOST | NI_NUMERICSERV);
+  if (rc != 0)
+    throw ServiceError(std::string("getnameinfo: ") + gai_strerror(rc));
+  if (storage.ss_family == AF_INET6)
+    return std::string("[") + host + "]:" + port;
+  return std::string(host) + ":" + port;
+}
+
+int listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = unix_address(path);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_UNIX)");
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EADDRINUSE) {
+      // A socket file can outlive a crashed daemon.  Probe it: if nothing
+      // accepts, the file is stale — unlink and retry once.
+      const int probe = socket(AF_UNIX, SOCK_STREAM, 0);
+      if (probe >= 0) {
+        const bool live = connect(probe, reinterpret_cast<const sockaddr*>(
+                                             &addr),
+                                  sizeof(addr)) == 0;
+        close(probe);
+        if (!live && unlink(path.c_str()) == 0 &&
+            bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) == 0) {
+          if (listen(fd, backlog) != 0) {
+            close(fd);
+            fail("listen(" + path + ")");
+          }
+          return fd;
+        }
+      }
+    }
+    close(fd);
+    fail("bind(" + path + ")");
+  }
+  if (listen(fd, backlog) != 0) {
+    close(fd);
+    fail("listen(" + path + ")");
+  }
+  return fd;
+}
+
+}  // namespace
+
+ListenSocket::~ListenSocket() {
+  if (fd_ >= 0) close(fd_);
+  if (!unlink_path_.empty()) unlink(unlink_path_.c_str());
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    if (!unlink_path_.empty()) unlink(unlink_path_.c_str());
+    fd_ = other.fd_;
+    address_ = std::move(other.address_);
+    unlink_path_ = std::move(other.unlink_path_);
+    other.fd_ = -1;
+    other.unlink_path_.clear();
+  }
+  return *this;
+}
+
+ListenSocket listen_socket(const std::string& address, int backlog) {
+  if (is_unix_path(address))
+    return ListenSocket(listen_unix(address, backlog), address, address);
+
+  std::string host, port;
+  split_host_port(address, host, port);
+  AddrInfoHolder holder;
+  std::string last_error = "no addresses resolved";
+  for (const addrinfo* ai = resolve(host, port, /*listen=*/true, holder); ai;
+       ai = ai->ai_next) {
+    const int fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        listen(fd, backlog) != 0) {
+      last_error = std::string("bind/listen: ") + std::strerror(errno);
+      close(fd);
+      continue;
+    }
+    return ListenSocket(fd, bound_address(fd), std::string());
+  }
+  throw ServiceError("cannot listen on " + address + ": " + last_error);
+}
+
+int connect_socket(const std::string& address) {
+  if (is_unix_path(address)) {
+    const sockaddr_un addr = unix_address(address);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket(AF_UNIX)");
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const int saved = errno;
+      close(fd);
+      errno = saved;
+      fail("connect(" + address + ")");
+    }
+    return fd;
+  }
+
+  std::string host, port;
+  split_host_port(address, host, port);
+  AddrInfoHolder holder;
+  std::string last_error = "no addresses resolved";
+  for (const addrinfo* ai = resolve(host, port, /*listen=*/false, holder); ai;
+       ai = ai->ai_next) {
+    const int fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last_error = std::string("connect: ") + std::strerror(errno);
+      close(fd);
+      continue;
+    }
+    return fd;
+  }
+  throw ServiceError("cannot connect to " + address + ": " + last_error);
+}
+
+}  // namespace hoval::service

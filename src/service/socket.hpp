@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file socket.hpp
+/// Address parsing and socket setup shared by hovald and its clients.
+/// One address grammar serves both transports: a string containing '/' is
+/// a Unix-domain socket path ("/tmp/hovald.sock"), anything else is
+/// HOST:PORT resolved via getaddrinfo ("127.0.0.1:7077", "[::1]:0").
+/// TCP listeners may bind port 0; ListenSocket::address() reports the
+/// kernel-assigned port so tests can listen on an ephemeral port without
+/// racing for a free one.
+
+#include <string>
+
+namespace hoval::service {
+
+/// A bound, listening socket plus the cleanup it owes (closing the fd,
+/// unlinking a Unix socket path).  Move-only.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ListenSocket(int fd, std::string address, std::string unlink_path)
+      : fd_(fd),
+        address_(std::move(address)),
+        unlink_path_(std::move(unlink_path)) {}
+  ~ListenSocket();
+  ListenSocket(ListenSocket&& other) noexcept { *this = std::move(other); }
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// The effective address: the Unix path, or HOST:PORT with the real
+  /// port after binding (differs from the request when it asked for :0).
+  const std::string& address() const noexcept { return address_; }
+
+ private:
+  int fd_ = -1;
+  std::string address_;
+  std::string unlink_path_;  ///< Unix socket path to unlink on close
+};
+
+/// Binds and listens on `address`.  A stale Unix socket file left by a
+/// crashed daemon is unlinked and the bind retried once — but only when
+/// nothing answers on it, so two live daemons cannot steal each other's
+/// socket.  \throws service::ServiceError on failure.
+ListenSocket listen_socket(const std::string& address, int backlog = 16);
+
+/// Connects to `address` (same grammar); returns the connected fd.
+/// \throws service::ServiceError on failure.
+int connect_socket(const std::string& address);
+
+}  // namespace hoval::service

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file hash.hpp
+/// FNV-1a, the canonical-bytes hash of the service layer.  The result
+/// cache (src/service/cache.hpp) keys every campaign by the FNV-1a digest
+/// of its canonically-serialised spec document plus the seed: the spec
+/// layer emits object keys in sorted order (scenario/spec.hpp), so two
+/// submissions describing the same experiment hash identically across
+/// clients, processes and builds.  FNV-1a is not collision-resistant
+/// against adversaries — every consumer that must never confuse two keys
+/// stores the full key bytes alongside the digest and compares them on
+/// lookup (see ResultCache).
+
+#include <cstdint>
+#include <string_view>
+
+namespace hoval {
+
+inline constexpr std::uint64_t kFnv1a64OffsetBasis = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001B3ull;
+
+/// FNV-1a over `bytes`, continuing from `state` so digests compose:
+/// fnv1a64(b, fnv1a64(a)) == fnv1a64(a concat b).
+constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                std::uint64_t state = kFnv1a64OffsetBasis) {
+  for (const char c : bytes) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnv1a64Prime;
+  }
+  return state;
+}
+
+/// Folds a 64-bit value (e.g. a campaign seed) into the digest
+/// byte-by-byte, little-endian — equivalent to hashing its 8 raw bytes.
+constexpr std::uint64_t fnv1a64_mix(std::uint64_t state, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    state ^= (value >> (8 * byte)) & 0xFF;
+    state *= kFnv1a64Prime;
+  }
+  return state;
+}
+
+}  // namespace hoval

@@ -1,9 +1,11 @@
-/// Deterministic fuzzing of the util/json.hpp parser: seeded mutations of
-/// the checked-in scenario corpus (plus purely random documents) must
-/// never crash the parser, and anything it *accepts* must be internally
-/// consistent — dump() must re-parse to an equal document (no
-/// accept-then-misparse).  Runs under the regular ctest invocation, so the
-/// ASan/UBSan CI jobs exercise exactly these inputs.
+/// Deterministic fuzzing of the util/json.hpp parser and the layers that
+/// feed on it (campaign-result documents, scenario specs, the hovald
+/// service protocol): seeded mutations of the checked-in scenario corpus
+/// (plus purely random documents) must never crash a parser, and anything
+/// one *accepts* must be internally consistent — dump() must re-parse to
+/// an equal document (no accept-then-misparse).  Runs under the regular
+/// ctest invocation, so the ASan/UBSan CI jobs exercise exactly these
+/// inputs.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +18,7 @@
 
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
+#include "service/protocol.hpp"
 #include "sim/result_json.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -159,6 +162,105 @@ TEST(JsonFuzz, MutatedResultDocumentsNeverCrashTheResultParser) {
   }
   // Digit flips inside counts routinely survive validation; zero accepts
   // would mean the round-trip arm above never executed.
+  EXPECT_GT(accepted, 0);
+}
+
+/// An accepted client frame must re-encode from its parsed fields into a
+/// frame that parses to the same message — the service-layer version of
+/// no-accept-then-misparse.  (A mutated hello version cannot be
+/// re-encoded — encode_hello() always speaks kProtocolVersion — so hello
+/// only checks that parsing was total.)
+void expect_client_frame_roundtrips(const service::ClientMessage& m) {
+  using service::ClientMessage;
+  std::string reencoded;
+  switch (m.type) {
+    case ClientMessage::Type::kHello:
+      return;
+    case ClientMessage::Type::kSubmit:
+      reencoded = service::encode_submit(m.id, m.sweep, m.spec, m.progress);
+      break;
+    case ClientMessage::Type::kCancel:
+      reencoded = service::encode_cancel(m.id);
+      break;
+  }
+  const ClientMessage again = service::parse_client_message(reencoded);
+  EXPECT_EQ(again.type, m.type);
+  EXPECT_EQ(again.id, m.id);
+  EXPECT_EQ(again.sweep, m.sweep);
+  EXPECT_EQ(again.progress, m.progress);
+  EXPECT_TRUE(again.spec == m.spec) << "spec diverged through re-encoding";
+}
+
+void expect_server_frame_roundtrips(const service::ServerMessage& m) {
+  using service::ServerMessage;
+  std::string reencoded;
+  switch (m.type) {
+    case ServerMessage::Type::kHello:
+      return;
+    case ServerMessage::Type::kProgress:
+      reencoded = service::encode_progress(m.id, m.completed, m.total);
+      break;
+    case ServerMessage::Type::kResult:
+      reencoded = service::encode_result(m.id, m.cache_hit, m.result);
+      break;
+    case ServerMessage::Type::kError:
+      reencoded = service::encode_error(m.id, m.what);
+      break;
+  }
+  const ServerMessage again = service::parse_server_message(reencoded);
+  EXPECT_EQ(again.type, m.type);
+  EXPECT_EQ(again.id, m.id);
+  EXPECT_EQ(again.completed, m.completed);
+  EXPECT_EQ(again.total, m.total);
+  EXPECT_EQ(again.cache_hit, m.cache_hit);
+  EXPECT_EQ(again.what, m.what);
+  EXPECT_TRUE(again.result == m.result) << "result diverged";
+}
+
+TEST(JsonFuzz, MutatedServiceFramesNeverCrashOrMisparse) {
+  // Seed corpus: one valid frame of every protocol message type, with a
+  // real scenario document and a real sweep document as submit payloads.
+  const std::vector<std::string> scenario_corpus = corpus_documents();
+  ASSERT_FALSE(scenario_corpus.empty());
+  std::vector<std::string> client_frames = {
+      service::encode_hello(),
+      service::encode_cancel(3),
+  };
+  for (const std::string& document : scenario_corpus)
+    client_frames.push_back(service::encode_submit(
+        1, document.find("\"axes\"") != std::string::npos,
+        Json::parse(document), true));
+  const std::vector<std::string> server_frames = {
+      service::encode_server_hello(),
+      service::encode_progress(2, 640, 2000),
+      service::encode_result(4, true,
+                             Json::parse(R"({"runs": 5, "violations": []})")),
+      service::encode_error(-1, "malformed frame"),
+  };
+
+  Rng rng(0xF0026);
+  long long accepted = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (const std::string& frame : client_frames) {
+      const std::string text = mutate(frame, rng);
+      try {
+        expect_client_frame_roundtrips(service::parse_client_message(text));
+        ++accepted;
+      } catch (const service::ServiceError&) {
+        // the only acceptable failure mode — JsonError must not leak
+      }
+    }
+    for (const std::string& frame : server_frames) {
+      const std::string text = mutate(frame, rng);
+      try {
+        expect_server_frame_roundtrips(service::parse_server_message(text));
+        ++accepted;
+      } catch (const service::ServiceError&) {
+      }
+    }
+  }
+  // Digit flips inside ids and counters routinely survive validation;
+  // zero accepts would mean the round-trip arms never executed.
   EXPECT_GT(accepted, 0);
 }
 

@@ -1,0 +1,171 @@
+/// Locks the *canonical serialisation* contract of scenario/spec.hpp: a
+/// spec's compact dump is one fixed byte string per experiment — object
+/// keys sorted at every nesting level, params normalised at every
+/// construction boundary — regardless of how the spec was authored (code
+/// insertion order, file key order).  The hovald result cache
+/// (src/service/cache.hpp) hashes these bytes, so any drift here silently
+/// splits or aliases cache entries; the golden literal below is the
+/// tripwire.
+
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace hoval {
+namespace {
+
+std::vector<std::pair<std::string, std::string>> corpus_documents() {
+  std::vector<std::pair<std::string, std::string>> documents;
+  const std::filesystem::path corpus =
+      std::filesystem::path(HOVAL_SOURCE_DIR) / "examples" / "scenarios";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus))
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    documents.emplace_back(file.filename().string(), text.str());
+  }
+  return documents;
+}
+
+/// True when every object in the document (at any depth) lists its keys
+/// in sorted order.
+bool keys_sorted_everywhere(const Json& json) {
+  if (json.is_object()) {
+    const auto& members = json.members();
+    for (std::size_t i = 0; i + 1 < members.size(); ++i)
+      if (!(members[i].first < members[i + 1].first)) return false;
+    for (const auto& member : members)
+      if (!keys_sorted_everywhere(member.second)) return false;
+    return true;
+  }
+  if (json.is_array()) {
+    for (const Json& item : json.items())
+      if (!keys_sorted_everywhere(item)) return false;
+    return true;
+  }
+  return true;
+}
+
+ScenarioSpec golden_spec() {
+  ScenarioSpec spec;
+  spec.description = "golden";
+  spec.algorithm = component("ate", {{"n", 9}, {"alpha", 1}});
+  spec.adversaries = {component(
+      "corrupt", {{"style", "fixed"}, {"alpha", 1}, {"fixed_value", 3}})};
+  spec.predicates = {component("p-alpha")};
+  spec.campaign.runs = 12;
+  spec.campaign.seed = 7;
+  return spec;
+}
+
+// The exact canonical bytes of golden_spec().  This literal is the
+// contract: if it ever changes, every cached result keyed on the old
+// bytes is orphaned — update it only with a deliberate cache-format bump.
+constexpr const char* kGoldenDump =
+    "{\"adversary\":[{\"name\":\"corrupt\",\"params\":{\"alpha\":1,"
+    "\"fixed_value\":3,\"style\":\"fixed\"}}],\"algorithm\":{\"name\":"
+    "\"ate\",\"params\":{\"alpha\":1,\"n\":9}},\"campaign\":{"
+    "\"max_recorded_violations\":5,\"rounds\":50,\"runs\":12,\"seed\":7,"
+    "\"stop_when_all_decided\":true,\"threads\":0},\"description\":"
+    "\"golden\",\"predicates\":[{\"name\":\"p-alpha\"}],\"values\":{"
+    "\"name\":\"random\"}}";
+
+TEST(CanonicalSpec, GoldenByteStability) {
+  EXPECT_EQ(golden_spec().to_json().dump(), kGoldenDump);
+}
+
+TEST(CanonicalSpec, ParamInsertionOrderDoesNotLeakIntoBytesOrEquality) {
+  const ScenarioSpec spec = golden_spec();
+  ScenarioSpec swapped = golden_spec();
+  swapped.algorithm = component("ate", {{"alpha", 1}, {"n", 9}});
+  swapped.adversaries = {component(
+      "corrupt", {{"fixed_value", 3}, {"alpha", 1}, {"style", "fixed"}})};
+  EXPECT_TRUE(swapped == spec);
+  EXPECT_EQ(swapped.to_json().dump(), spec.to_json().dump());
+}
+
+TEST(CanonicalSpec, FileKeyOrderDoesNotLeakIntoBytes) {
+  // The same experiment written with params (and top-level keys) in a
+  // different order must parse to the same canonical bytes.
+  const ScenarioSpec a = ScenarioSpec::from_json_text(R"({
+    "algorithm": {"name": "ate", "params": {"n": 9, "alpha": 1}},
+    "campaign": {"runs": 12, "seed": 7}
+  })");
+  const ScenarioSpec b = ScenarioSpec::from_json_text(R"({
+    "campaign": {"seed": 7, "runs": 12},
+    "algorithm": {"params": {"alpha": 1, "n": 9}, "name": "ate"}
+  })");
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.to_json_text(), b.to_json_text());
+}
+
+TEST(CanonicalSpec, CorpusDumpsAreSortedAtEveryLevel) {
+  const auto corpus = corpus_documents();
+  ASSERT_FALSE(corpus.empty());
+  for (const auto& [name, text] : corpus) {
+    if (name.rfind("sweep_", 0) == 0) {
+      const SweepSpec sweep = SweepSpec::from_json_text(text);
+      EXPECT_TRUE(keys_sorted_everywhere(sweep.to_json())) << name;
+    } else {
+      const ScenarioSpec spec = ScenarioSpec::from_json_text(text);
+      EXPECT_TRUE(keys_sorted_everywhere(spec.to_json())) << name;
+    }
+  }
+}
+
+TEST(CanonicalSpec, CorpusRoundTripsToAFixpoint) {
+  // parse -> dump -> parse -> dump must reach a fixpoint on the first
+  // dump: canonicalisation happens at construction, not by repeated
+  // application.
+  for (const auto& [name, text] : corpus_documents()) {
+    if (name.rfind("sweep_", 0) == 0) {
+      const SweepSpec sweep = SweepSpec::from_json_text(text);
+      const std::string canonical = sweep.to_json().dump();
+      const SweepSpec reparsed = SweepSpec::from_json_text(canonical);
+      EXPECT_EQ(reparsed.to_json().dump(), canonical) << name;
+      EXPECT_TRUE(reparsed.base == sweep.base) << name;
+    } else {
+      const ScenarioSpec spec = ScenarioSpec::from_json_text(text);
+      const std::string canonical = spec.to_json_text();
+      const ScenarioSpec reparsed = ScenarioSpec::from_json_text(canonical);
+      EXPECT_EQ(reparsed.to_json_text(), canonical) << name;
+      EXPECT_TRUE(reparsed == spec) << name;
+    }
+  }
+}
+
+TEST(CanonicalSpec, SeedChangesTheBytes) {
+  // The seed is part of the campaign object, so two otherwise-identical
+  // experiments with different seeds serialise differently — a cache
+  // keyed on these bytes can never alias them.
+  ScenarioSpec reseeded = golden_spec();
+  reseeded.campaign.seed = 8;
+  EXPECT_NE(reseeded.to_json_text(), golden_spec().to_json_text());
+}
+
+TEST(CanonicalSpec, SweepDumpIsCanonicalToo) {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 8}, {"alpha", 1}});
+  sweep.axes.push_back(
+      SweepAxis::single("algorithm.params.alpha", {Json(0), Json(1)}));
+  SweepSpec swapped = sweep;
+  swapped.base.algorithm = component("ate", {{"alpha", 1}, {"n", 8}});
+  EXPECT_EQ(swapped.to_json().dump(), sweep.to_json().dump());
+  EXPECT_TRUE(keys_sorted_everywhere(sweep.to_json()));
+}
+
+}  // namespace
+}  // namespace hoval

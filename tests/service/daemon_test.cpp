@@ -1,0 +1,407 @@
+/// End-to-end tests of hovald (service/server.hpp) against an in-process
+/// server on a real socket: daemon-served scenario and sweep results must
+/// be byte-identical to local run_scenario()/run_sweep() output, repeats
+/// must be served from the spec-hash cache without executing runs,
+/// concurrent clients must not perturb each other, and a disconnect must
+/// cancel the client's in-flight jobs while other clients' jobs finish
+/// untouched.
+
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dispatch/wire.hpp"
+#include "scenario/run.hpp"
+#include "scenario/spec.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+#include "sim/result_json.hpp"
+#include "util/json.hpp"
+
+namespace hoval::service {
+namespace {
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/hovald-test-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// An in-process server on its own thread; stops and joins on scope exit.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerConfig config) {
+    if (config.address.empty()) config.address = unique_socket_path();
+    if (config.executor_threads == 0) config.executor_threads = 2;
+    server_ = std::make_unique<Server>(std::move(config));
+    thread_ = std::thread([this] { server_->run(); });
+  }
+  ~ServerFixture() {
+    server_->stop();
+    thread_.join();
+  }
+  Server& server() { return *server_; }
+  const std::string& address() const { return server_->address(); }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+ScenarioSpec small_spec(int runs = 10, std::uint64_t seed = 42) {
+  ScenarioSpec spec;
+  spec.algorithm = component("ate", {{"n", 9}, {"alpha", 1}});
+  spec.campaign.runs = runs;
+  spec.campaign.seed = seed;
+  return spec;
+}
+
+/// A job that stays in flight for minutes if nobody cancels it: many
+/// moderate runs (cancellation is checked between run claims, so the run
+/// count — not the run length — bounds cancel latency), each forced
+/// through its full round budget.
+ScenarioSpec long_running_spec() {
+  ScenarioSpec spec = small_spec(5000);
+  spec.campaign.rounds = 100'000;
+  spec.campaign.stop_when_all_decided = false;
+  return spec;
+}
+
+std::string local_scenario_bytes(const ScenarioSpec& spec) {
+  return campaign_result_to_json(run_scenario(spec)).dump();
+}
+
+std::string local_sweep_bytes(const SweepSpec& sweep) {
+  return campaign_results_to_json(run_sweep(sweep)).dump();
+}
+
+std::vector<std::pair<std::string, std::string>> corpus_documents() {
+  std::vector<std::pair<std::string, std::string>> documents;
+  const std::filesystem::path corpus =
+      std::filesystem::path(HOVAL_SOURCE_DIR) / "examples" / "scenarios";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus))
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    documents.emplace_back(file.filename().string(), text.str());
+  }
+  return documents;
+}
+
+/// Polls `predicate` until it holds or `deadline` elapses.
+bool eventually(const std::function<bool()>& predicate,
+                std::chrono::seconds deadline = std::chrono::seconds(30)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return predicate();
+}
+
+// --- byte identity ---------------------------------------------------------
+
+TEST(Daemon, ScenarioResultMatchesLocalRunByteForByte) {
+  ServerFixture fixture({});
+  const ScenarioSpec spec = small_spec(50);
+  ServiceClient client(fixture.address());
+  const JobOutcome outcome = client.submit_scenario(spec.to_json());
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_FALSE(outcome.cache_hit);
+  EXPECT_EQ(outcome.result.dump(), local_scenario_bytes(spec));
+}
+
+TEST(Daemon, SweepResultMatchesLocalRunByteForByte) {
+  ServerFixture fixture({});
+  SweepSpec sweep;
+  sweep.base = small_spec(20);
+  sweep.axes.push_back(
+      SweepAxis::single("algorithm.params.alpha", {Json(0), Json(1)}));
+  ServiceClient client(fixture.address());
+  const JobOutcome outcome = client.submit_sweep(sweep.to_json());
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_TRUE(outcome.result.is_array());
+  EXPECT_EQ(outcome.result.items().size(), 2u);
+  EXPECT_EQ(outcome.result.dump(), local_sweep_bytes(sweep));
+}
+
+TEST(Daemon, CorpusScenariosMatchLocalRunsAndRepeatFromCache) {
+  ServerFixture fixture({});
+  ServiceClient client(fixture.address());
+  for (const auto& [name, text] : corpus_documents()) {
+    if (name.rfind("sweep_", 0) == 0) continue;
+    // Trim the corpus budgets so the whole matrix stays fast; the
+    // submitted document and the local run share the exact same spec.
+    ScenarioSpec spec = ScenarioSpec::from_json_text(text);
+    spec.campaign.runs = 10;
+    spec.campaign.adaptive.enabled = false;
+    spec.campaign.keep_traces = TraceRetention::kNone;
+
+    const JobOutcome first = client.submit_scenario(spec.to_json());
+    ASSERT_TRUE(first.ok) << name << ": " << first.error;
+    EXPECT_FALSE(first.cache_hit) << name;
+    EXPECT_EQ(first.result.dump(), local_scenario_bytes(spec)) << name;
+
+    const JobOutcome repeat = client.submit_scenario(spec.to_json());
+    ASSERT_TRUE(repeat.ok) << name << ": " << repeat.error;
+    EXPECT_TRUE(repeat.cache_hit) << name;
+    EXPECT_EQ(repeat.result.dump(), first.result.dump()) << name;
+  }
+  EXPECT_GT(fixture.server().stats().cache_hits, 0u);
+}
+
+TEST(Daemon, TcpLoopbackServesTheSameBytes) {
+  ServerConfig config;
+  config.address = "127.0.0.1:0";  // ephemeral port, reported by address()
+  ServerFixture fixture(std::move(config));
+  const ScenarioSpec spec = small_spec(25);
+  ServiceClient client(fixture.address());
+  const JobOutcome outcome = client.submit_scenario(spec.to_json());
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.dump(), local_scenario_bytes(spec));
+}
+
+// --- the cache -------------------------------------------------------------
+
+TEST(Daemon, RepeatSweepIsServedFromCacheByteIdentically) {
+  ServerFixture fixture({});
+  SweepSpec sweep;
+  sweep.base = small_spec(15);
+  sweep.axes.push_back(
+      SweepAxis::single("algorithm.params.alpha", {Json(0), Json(1)}));
+  ServiceClient client(fixture.address());
+  const JobOutcome first = client.submit_sweep(sweep.to_json());
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+  const JobOutcome repeat = client.submit_sweep(sweep.to_json());
+  ASSERT_TRUE(repeat.ok) << repeat.error;
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.result.dump(), first.result.dump());
+}
+
+TEST(Daemon, DifferentSeedNeverHitsTheCache) {
+  // The served bytes can coincide for a benign scenario (every seed
+  // decides in the same round); what must never happen is the cache
+  // aliasing the two seeds — both submissions execute.
+  ServerFixture fixture({});
+  ServiceClient client(fixture.address());
+  const JobOutcome first = client.submit_scenario(small_spec(10, 1).to_json());
+  ASSERT_TRUE(first.ok) << first.error;
+  const JobOutcome other = client.submit_scenario(small_spec(10, 2).to_json());
+  ASSERT_TRUE(other.ok) << other.error;
+  EXPECT_FALSE(other.cache_hit);
+  EXPECT_EQ(fixture.server().stats().cache_hits, 0u);
+  EXPECT_EQ(fixture.server().stats().cache_misses, 2u);
+}
+
+TEST(Daemon, ParamAuthoringOrderHitsTheSameCacheEntry) {
+  // The canonical-bytes contract end to end: the same experiment written
+  // with params in a different order is the same cache entry.
+  ServerFixture fixture({});
+  ServiceClient client(fixture.address());
+  const Json a = Json::parse(R"({
+    "algorithm": {"name": "ate", "params": {"n": 9, "alpha": 1}},
+    "campaign": {"runs": 10, "seed": 42}
+  })");
+  const Json b = Json::parse(R"({
+    "campaign": {"seed": 42, "runs": 10},
+    "algorithm": {"params": {"alpha": 1, "n": 9}, "name": "ate"}
+  })");
+  const JobOutcome first = client.submit_scenario(a);
+  ASSERT_TRUE(first.ok) << first.error;
+  const JobOutcome repeat = client.submit_scenario(b);
+  ASSERT_TRUE(repeat.ok) << repeat.error;
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.result.dump(), first.result.dump());
+}
+
+TEST(Daemon, TinyCacheBudgetNeverHitsButStillServes) {
+  ServerConfig config;
+  config.cache_bytes = 8;  // smaller than any key: nothing is cacheable
+  ServerFixture fixture(std::move(config));
+  ServiceClient client(fixture.address());
+  const ScenarioSpec spec = small_spec(10);
+  const JobOutcome first = client.submit_scenario(spec.to_json());
+  ASSERT_TRUE(first.ok) << first.error;
+  const JobOutcome repeat = client.submit_scenario(spec.to_json());
+  ASSERT_TRUE(repeat.ok) << repeat.error;
+  EXPECT_FALSE(repeat.cache_hit);
+  // Determinism still makes the recomputed bytes identical.
+  EXPECT_EQ(repeat.result.dump(), first.result.dump());
+  EXPECT_EQ(fixture.server().stats().cache_hits, 0u);
+}
+
+// --- progress and errors ---------------------------------------------------
+
+TEST(Daemon, ProgressFramesStreamMonotonically) {
+  ServerFixture fixture({});
+  ServiceClient client(fixture.address());
+  const ScenarioSpec spec = small_spec(50'000);
+  long long last_completed = -1;
+  long long last_total = 0;
+  int frames = 0;
+  const JobOutcome outcome = client.submit_scenario(
+      spec.to_json(), [&](long long completed, long long total) {
+        ++frames;
+        EXPECT_GE(completed, last_completed);
+        EXPECT_LE(completed, total);
+        last_completed = completed;
+        last_total = total;
+      });
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_GE(frames, 1);
+  EXPECT_EQ(last_total, 50'000);
+  EXPECT_EQ(outcome.result.dump(), local_scenario_bytes(spec));
+}
+
+TEST(Daemon, BadSpecAnswersAnErrorAndTheConnectionSurvives) {
+  ServerFixture fixture({});
+  ServiceClient client(fixture.address());
+  Json bad = Json::object();
+  bad.set("algorithm", Json("no-such-algorithm"));
+  const JobOutcome outcome = client.submit_scenario(bad);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("no-such-algorithm"), std::string::npos)
+      << outcome.error;
+  // Same connection keeps working.
+  const JobOutcome good = client.submit_scenario(small_spec(5).to_json());
+  EXPECT_TRUE(good.ok) << good.error;
+  EXPECT_EQ(fixture.server().stats().jobs_failed, 1u);
+}
+
+TEST(Daemon, GarbageFrameGetsAConnectionErrorNotAMisparse) {
+  ServerFixture fixture({});
+  const int fd = connect_socket(fixture.address());
+  dispatch::FrameDecoder decoder;
+  ASSERT_TRUE(dispatch::write_frame(fd, encode_hello()));
+  const auto hello = dispatch::read_frame(fd, decoder);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(parse_server_message(*hello).type, ServerMessage::Type::kHello);
+
+  ASSERT_TRUE(dispatch::write_frame(fd, "this is not a protocol message"));
+  const auto reply = dispatch::read_frame(fd, decoder);
+  ASSERT_TRUE(reply.has_value());
+  const ServerMessage error = parse_server_message(*reply);
+  EXPECT_EQ(error.type, ServerMessage::Type::kError);
+  EXPECT_EQ(error.id, -1);  // connection-level
+  // The server hangs up after the connection-level error.
+  EXPECT_FALSE(dispatch::read_frame(fd, decoder).has_value());
+  ::close(fd);
+}
+
+// --- concurrency and cancellation ------------------------------------------
+
+TEST(Daemon, ConcurrentClientsAllGetLocalIdenticalBytes) {
+  ServerConfig config;
+  config.max_active_jobs = 2;  // some clients must queue: scheduler in play
+  ServerFixture fixture(std::move(config));
+  constexpr int kClients = 4;
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < kClients; ++i)
+    specs.push_back(small_spec(30 + i, /*seed=*/100 + i));
+  std::vector<std::string> served(kClients);
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i)
+    threads.emplace_back([&, i] {
+      try {
+        ServiceClient client(fixture.address());
+        const JobOutcome outcome = client.submit_scenario(specs[i].to_json());
+        if (outcome.ok)
+          served[i] = outcome.result.dump();
+        else
+          errors[i] = outcome.error;
+      } catch (const std::exception& e) {
+        errors[i] = e.what();
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(errors[i].empty()) << "client " << i << ": " << errors[i];
+    EXPECT_EQ(served[i], local_scenario_bytes(specs[i])) << "client " << i;
+  }
+}
+
+TEST(Daemon, DisconnectCancelsInFlightJobWithoutDisturbingOthers) {
+  ServerConfig config;
+  config.max_active_jobs = 2;
+  ServerFixture fixture(std::move(config));
+
+  // Client A parks a job big enough to still be running when it vanishes.
+  auto victim = std::make_unique<ServiceClient>(fixture.address());
+  victim->submit(long_running_spec().to_json(), /*sweep=*/false);
+  ASSERT_TRUE(eventually(
+      [&] { return fixture.server().stats().jobs_submitted >= 1; }));
+
+  // Client B queues a small job behind it (the pool drains jobs in
+  // submission order, so it cannot finish while A's campaign hogs the
+  // workers)...
+  ServiceClient bystander(fixture.address());
+  const ScenarioSpec small = small_spec(10);
+  const int bystander_id =
+      bystander.submit(small.to_json(), /*sweep=*/false);
+
+  // ...then A hangs up.  The server must cancel A's in-flight campaign
+  // (reclaiming the workers) rather than letting it run to completion —
+  // B's job would otherwise wait out the full 5000-run budget.
+  victim->close();
+  EXPECT_TRUE(eventually(
+      [&] { return fixture.server().stats().jobs_cancelled >= 1; }));
+
+  // B's job is untouched by its neighbour's demise: it completes with
+  // exactly the local bytes.
+  const JobOutcome outcome = bystander.collect(bystander_id);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.dump(), local_scenario_bytes(small));
+
+  const JobOutcome again = bystander.submit_scenario(small.to_json());
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_TRUE(again.cache_hit);
+}
+
+TEST(Daemon, ExplicitCancelAnswersAnError) {
+  ServerFixture fixture({});
+  ServiceClient client(fixture.address());
+  const int id =
+      client.submit(long_running_spec().to_json(), /*sweep=*/false);
+  client.cancel(id);
+  const JobOutcome outcome = client.collect(id);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("cancel"), std::string::npos) << outcome.error;
+  EXPECT_TRUE(eventually(
+      [&] { return fixture.server().stats().jobs_cancelled >= 1; }));
+  // The connection survives a cancel.
+  const JobOutcome next = client.submit_scenario(small_spec(5).to_json());
+  EXPECT_TRUE(next.ok) << next.error;
+}
+
+TEST(Daemon, StopWithBusyClientsDrainsCleanly) {
+  auto fixture = std::make_unique<ServerFixture>(ServerConfig{});
+  ServiceClient client(fixture->address());
+  client.submit(long_running_spec().to_json(), /*sweep=*/false);
+  ASSERT_TRUE(eventually(
+      [&] { return fixture->server().stats().jobs_submitted >= 1; }));
+  // ~ServerFixture stops the server: in-flight campaigns are cancelled
+  // and drained; this must not hang or crash.
+  fixture.reset();
+}
+
+}  // namespace
+}  // namespace hoval::service

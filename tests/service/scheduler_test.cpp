@@ -1,0 +1,83 @@
+/// Locks hovald's admission policy (service/scheduler.hpp): small jobs
+/// before large, fewest-active-client fair share within a class, FIFO as
+/// the final tiebreak — and the cost model that classifies jobs.
+
+#include "service/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/spec.hpp"
+
+namespace hoval::service {
+namespace {
+
+QueuedJob job(std::uint64_t seq, int client, long long cost) {
+  QueuedJob j;
+  j.seq = seq;
+  j.client = client;
+  j.id = static_cast<int>(seq);
+  j.cost = cost;
+  return j;
+}
+
+TEST(Scheduler, EmptyQueueReturnsSize) {
+  EXPECT_EQ(pick_next({}, {}, SchedulerPolicy{}), 0u);
+}
+
+TEST(Scheduler, FifoAmongEqualJobs) {
+  const std::vector<QueuedJob> pending = {job(1, 5, 10), job(2, 6, 10),
+                                          job(3, 7, 10)};
+  EXPECT_EQ(pick_next(pending, {}, SchedulerPolicy{}), 0u);
+}
+
+TEST(Scheduler, SmallJobsJumpLargeOnes) {
+  SchedulerPolicy policy;
+  policy.small_job_cost = 1000;
+  // A later, small scenario beats an earlier bulk sweep.
+  const std::vector<QueuedJob> pending = {job(1, 5, 50'000), job(2, 6, 100)};
+  EXPECT_EQ(pick_next(pending, {}, policy), 1u);
+  // Exactly at the threshold still counts as small.
+  const std::vector<QueuedJob> boundary = {job(1, 5, 1001), job(2, 6, 1000)};
+  EXPECT_EQ(pick_next(boundary, {}, policy), 1u);
+}
+
+TEST(Scheduler, FairShareWithinAClass) {
+  // Client 5 already has two active jobs; client 6 has none — client 6's
+  // job wins even though it queued later.
+  const std::vector<QueuedJob> pending = {job(1, 5, 10), job(2, 6, 10)};
+  const std::unordered_map<int, int> active = {{5, 2}};
+  EXPECT_EQ(pick_next(pending, active, SchedulerPolicy{}), 1u);
+}
+
+TEST(Scheduler, SmallClassBeatsFairShare) {
+  // Priority class dominates: a small job from a busy client still goes
+  // before a large job from an idle one.
+  SchedulerPolicy policy;
+  const std::vector<QueuedJob> pending = {job(1, 6, 50'000), job(2, 5, 10)};
+  const std::unordered_map<int, int> active = {{5, 3}};
+  EXPECT_EQ(pick_next(pending, active, policy), 1u);
+}
+
+TEST(Scheduler, CostModelChargesAdaptiveCap) {
+  ScenarioSpec spec;
+  spec.algorithm = component("ate", {{"n", 9}, {"alpha", 1}});
+  spec.campaign.runs = 100;
+  EXPECT_EQ(scenario_cost(spec), 100);
+
+  spec.campaign.adaptive.enabled = true;
+  spec.campaign.adaptive.min_runs = 100;
+  spec.campaign.adaptive.max_runs = 5000;
+  EXPECT_EQ(scenario_cost(spec), 5000);
+}
+
+TEST(Scheduler, SweepCostScalesWithPointCount) {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("ate", {{"n", 9}, {"alpha", 1}});
+  sweep.base.campaign.runs = 100;
+  sweep.axes.push_back(SweepAxis::single(
+      "algorithm.params.alpha", {Json(0), Json(1), Json(2)}));
+  EXPECT_EQ(sweep_cost(sweep), 3 * 100);
+}
+
+}  // namespace
+}  // namespace hoval::service

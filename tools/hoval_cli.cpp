@@ -10,6 +10,7 @@
 ///   hoval_cli [flags] --dump-scenario > my.json
 ///   hoval_cli --scenario my.json [--runs K --seed S --threads W --rounds R]
 ///   hoval_cli --sweep sweep.json
+///   hoval_cli --connect ADDR --scenario my.json [--out FILE]   (hovald client)
 ///   hoval_cli [--algorithm ate|utea|otr|uv|lastvoting|phaseking]
 ///             [--n N] [--alpha A] [--adversary none|corrupt|omit|block|byz|split]
 ///             [--good-rounds G] [--rounds R] [--runs K] [--seed S]
@@ -41,6 +42,7 @@ struct CliOptions {
   std::string scenario_file;
   std::string sweep_file;
   std::string out_file;
+  std::string connect;  ///< hovald address; run server-side when set
   bool list = false;
   bool dump = false;
   bool worker = false;
@@ -85,9 +87,13 @@ struct CliOptions {
       << "                   value-gens/predicates and exit\n"
       << "  --scenario FILE  run a scenario JSON document\n"
       << "  --sweep FILE     run a sweep JSON document (one campaign per point)\n"
-      << "  --out FILE       with --sweep: write the per-point results as a\n"
-      << "                   JSON array (deterministic; byte-comparable\n"
-      << "                   against hoval_dispatch --out)\n"
+      << "  --out FILE       with --scenario/--sweep: write the result\n"
+      << "                   document(s) as JSON (deterministic;\n"
+      << "                   byte-comparable across local, --connect and\n"
+      << "                   hoval_dispatch --out runs)\n"
+      << "  --connect ADDR   submit the scenario/sweep to a hovald daemon\n"
+      << "                   (unix socket path or HOST:PORT) instead of\n"
+      << "                   running locally; prints the cache_hit status\n"
       << "  --worker         serve dispatch point frames on stdin/stdout\n"
       << "                   (spawned by hoval_dispatch; see README)\n"
       << "  --dump-scenario  print the scenario the flags describe as JSON\n"
@@ -125,6 +131,7 @@ CliOptions parse(int argc, char** argv) {
     if (arg == "--scenario") options.scenario_file = next();
     else if (arg == "--sweep") options.sweep_file = next();
     else if (arg == "--out") options.out_file = next();
+    else if (arg == "--connect") options.connect = next();
     else if (arg == "--worker") options.worker = true;
     else if (arg == "--list") options.list = true;
     else if (arg == "--dump-scenario") options.dump = true;
@@ -314,7 +321,16 @@ int run_single(const ResolvedScenario& resolved, bool trace) {
   return report.safety_holds() ? 0 : 1;
 }
 
-int run_many(ResolvedScenario resolved, bool progress) {
+void write_json_file(const std::string& path, const Json& document) {
+  std::ofstream out(path);
+  if (!out) throw ScenarioError("cannot write results file " + path);
+  // dump(2) + "\n" is the one canonical pretty form every --out producer
+  // emits, which is what makes the files byte-comparable (cmp, not diff).
+  out << document.dump(2) << "\n";
+}
+
+int run_many(ResolvedScenario resolved, bool progress,
+             const std::string& out_file = std::string()) {
   if (progress) {
     resolved.config.progress_batch = std::max(1, resolved.config.runs / 20);
     resolved.config.progress = [](const CampaignProgress& state) {
@@ -334,6 +350,66 @@ int run_many(ResolvedScenario resolved, bool progress) {
               << to_string(resolved.config.keep_traces) << ")\n";
   for (const auto& violation : result.violations)
     std::cout << "  " << violation << "\n";
+  if (!out_file.empty())
+    write_json_file(out_file, campaign_result_to_json(result));
+  return result.safety_clean() ? 0 : 1;
+}
+
+/// --connect mode: ship the document to a hovald daemon and render the
+/// returned canonical result the way the local paths would.  The served
+/// bytes are identical to a local run of the same document (determinism),
+/// so --out files from either path cmp equal.
+int run_connected(const CliOptions& options) {
+  service::ServiceClient client(options.connect);
+  service::ClientProgressFn progress_fn;
+  if (options.progress)
+    progress_fn = [](long long completed, long long total) {
+      std::cerr << "\r" << completed << "/" << total << " runs" << std::flush;
+      if (completed >= total) std::cerr << "\n";
+    };
+
+  if (!options.sweep_file.empty()) {
+    SweepSpec sweep =
+        SweepSpec::from_json_text(read_file(options.sweep_file, "sweep"));
+    apply_overrides(options, sweep.base.campaign);
+    const service::JobOutcome outcome =
+        client.submit_sweep(sweep.to_json(), progress_fn);
+    if (!outcome.ok) {
+      std::cerr << "error: service: " << outcome.error << "\n";
+      return 2;
+    }
+    std::cout << "service: cache_hit="
+              << (outcome.cache_hit ? "true" : "false") << "\n";
+    const std::vector<CampaignResult> results =
+        campaign_results_from_json(outcome.result);
+    bool all_clean = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::cout << "[" << i + 1 << "/" << results.size() << "] "
+                << results[i].summary() << "\n";
+      for (const auto& violation : results[i].violations)
+        std::cout << "  " << violation << "\n";
+      all_clean = all_clean && results[i].safety_clean();
+    }
+    if (!options.out_file.empty())
+      write_json_file(options.out_file, outcome.result);
+    return all_clean ? 0 : 1;
+  }
+
+  const ScenarioSpec spec = load_scenario(options);
+  const service::JobOutcome outcome =
+      client.submit_scenario(spec.to_json(), progress_fn);
+  if (!outcome.ok) {
+    std::cerr << "error: service: " << outcome.error << "\n";
+    return 2;
+  }
+  std::cout << "service: cache_hit=" << (outcome.cache_hit ? "true" : "false")
+            << "\n";
+  const CampaignResult result = campaign_result_from_json(outcome.result);
+  std::cout << result.summary() << "\n";
+  for (const auto& violation : result.violations)
+    std::cout << "  " << violation << "\n";
+  if (!options.out_file.empty())
+    write_json_file(options.out_file, outcome.result);
   return result.safety_clean() ? 0 : 1;
 }
 
@@ -403,14 +479,10 @@ int run_sweep_file(const CliOptions& options) {
             << " runs/sec, "
             << (options.sweep_parallel ? "parallel points" : "sequential points")
             << ")\n";
-  if (!options.out_file.empty()) {
+  if (!options.out_file.empty())
     // The documents are fully deterministic (no timings), so this file is
     // byte-comparable against hoval_dispatch --out of the same sweep.
-    std::ofstream out(options.out_file);
-    if (!out)
-      throw ScenarioError("cannot write results file " + options.out_file);
-    out << campaign_results_to_json(results).dump(2) << "\n";
-  }
+    write_json_file(options.out_file, campaign_results_to_json(results));
   return all_clean ? 0 : 1;
 }
 
@@ -433,9 +505,21 @@ int main(int argc, char** argv) {
       std::cerr << "error: --scenario and --sweep are mutually exclusive\n";
       return 2;
     }
-    if (!options.out_file.empty() && options.sweep_file.empty()) {
-      std::cerr << "error: --out applies to --sweep only\n";
+    if (!options.out_file.empty() && options.sweep_file.empty() &&
+        options.scenario_file.empty()) {
+      std::cerr << "error: --out applies to --scenario/--sweep only\n";
       return 2;
+    }
+    if (!options.connect.empty()) {
+      if (options.scenario_file.empty() && options.sweep_file.empty()) {
+        std::cerr << "error: --connect requires --scenario or --sweep\n";
+        return 2;
+      }
+      if (options.dump || options.trace) {
+        std::cerr << "error: --dump-scenario/--trace do not apply to "
+                     "--connect\n";
+        return 2;
+      }
     }
     if ((!options.scenario_file.empty() || !options.sweep_file.empty()) &&
         !options.shape_flags.empty()) {
@@ -448,6 +532,7 @@ int main(int argc, char** argv) {
                    "JSON (start from --dump-scenario) instead\n";
       return 2;
     }
+    if (!options.connect.empty()) return run_connected(options);
     if (!options.sweep_file.empty()) {
       if (options.dump) {
         std::cerr << "error: --dump-scenario does not apply to --sweep "
@@ -474,8 +559,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     warn_if_infeasible(spec, resolved.context);
-    return spec.campaign.runs <= 1 ? run_single(resolved, options.trace)
-                                   : run_many(resolved, options.progress);
+    // --out always takes the campaign path (even for runs == 1) so the
+    // written document matches what hovald serves for the same spec.
+    if (spec.campaign.runs <= 1 && options.out_file.empty())
+      return run_single(resolved, options.trace);
+    return run_many(resolved, options.progress, options.out_file);
   } catch (const ScenarioError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

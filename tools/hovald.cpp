@@ -1,0 +1,97 @@
+/// hovald — the hoval campaign service.  Listens on a Unix-domain or TCP
+/// socket, accepts scenario / sweep submissions over the framed protocol
+/// (src/service/protocol.hpp), runs them on one shared Executor pool with
+/// fair-share scheduling, and serves repeat submissions from the
+/// spec-hash result cache without executing a run.
+///
+/// Usage:
+///   hovald --listen /tmp/hovald.sock [--threads W] [--max-active J]
+///          [--cache-bytes B] [--small-runs R] [--quiet]
+///
+/// The listen address accepts the same grammar as `hoval_cli --connect`:
+/// a string containing '/' is a Unix socket path, anything else is
+/// HOST:PORT (":0" picks an ephemeral port, printed on startup).
+/// SIGTERM / SIGINT shut the daemon down cleanly: in-flight jobs are
+/// cancelled, the pool drains, and the process exits 0.
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "hoval.hpp"
+
+namespace {
+
+hoval::service::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  // Server::stop() is async-signal-safe by contract (atomic store + pipe
+  // write); everything else happens on the event-loop thread.
+  if (g_server) g_server->stop();
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --listen ADDR [options]\n"
+      << "  --listen ADDR    unix socket path (contains '/') or HOST:PORT\n"
+      << "  --threads W      executor pool size, 0 = all cores (default 0)\n"
+      << "  --max-active J   jobs executing concurrently     (default 2)\n"
+      << "  --cache-bytes B  result-cache budget in bytes    (default 64MiB)\n"
+      << "  --small-runs R   priority-class cutoff in runs   (default 1000)\n"
+      << "  --quiet          suppress per-connection logging\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hoval::service::ServerConfig config;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--listen") config.address = next();
+      else if (arg == "--threads") config.executor_threads = std::stoi(next());
+      else if (arg == "--max-active") config.max_active_jobs = std::stoi(next());
+      else if (arg == "--cache-bytes")
+        config.cache_bytes = static_cast<std::size_t>(std::stoull(next()));
+      else if (arg == "--small-runs") config.small_job_runs = std::stoll(next());
+      else if (arg == "--quiet") quiet = true;
+      else usage(argv[0]);
+    } catch (const std::exception&) {
+      std::cerr << "error: malformed numeric option for " << arg << "\n";
+      return 2;
+    }
+  }
+  if (config.address.empty()) {
+    std::cerr << "error: --listen ADDR is required\n";
+    usage(argv[0]);
+  }
+  if (!quiet)
+    config.log = [](const std::string& line) {
+      std::cerr << "hovald: " << line << "\n";
+    };
+
+  try {
+    hoval::service::Server server(std::move(config));
+    g_server = &server;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    std::cerr << "hovald: listening on " << server.address() << "\n";
+    server.run();
+    const hoval::service::ServerStats stats = server.stats();
+    std::cerr << "hovald: served " << stats.jobs_completed << " job(s) ("
+              << stats.cache_hits << " cache hit(s)), " << stats.jobs_failed
+              << " failed, " << stats.jobs_cancelled << " cancelled\n";
+    g_server = nullptr;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "hovald: error: " << e.what() << "\n";
+    return 1;
+  }
+}

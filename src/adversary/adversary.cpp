@@ -25,13 +25,44 @@ DeliveredRound DeliveredRound::faithful(const IntendedRound& intended) {
   return out;
 }
 
+namespace {
+
+/// True when every sender's row of the intended matrix is uniform, i.e.
+/// every process broadcasts one message to all receivers this round.
+bool all_senders_broadcast(const IntendedRound& intended) {
+  for (const auto& row : intended.by_sender) {
+    for (std::size_t p = 1; p < row.size(); ++p)
+      if (row[p] != row[0]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 void DeliveredRound::assign_faithful(const IntendedRound& intended) {
   const int n = intended.n();
   for (const auto& row : intended.by_sender)
     HOVAL_EXPECTS_MSG(static_cast<int>(row.size()) == n,
                       "intended matrix must be square");
+  faithful_ = &intended;
   if (this->n() != n)
     by_receiver.assign(static_cast<std::size_t>(n), ReceptionVector(n));
+  if (static_cast<int>(altered_.size()) != n ||
+      (n > 0 && altered_.front().universe_size() != n)) {
+    altered_.assign(static_cast<std::size_t>(n), ProcessSet(n));
+  } else {
+    for (auto& set : altered_) set.clear();
+  }
+  if (n > 0 && (intended.uniform_rows || all_senders_broadcast(intended))) {
+    // Every receiver gets the identical vector; build its slots *and*
+    // aggregates once and copy them n times instead of rebuilding the
+    // histograms per receiver — the dominant per-round cost before.
+    if (broadcast_base_.universe_size() != n) broadcast_base_.reset(n);
+    broadcast_base_.fill_faithful(intended.by_sender, 0);
+    for (ProcessId p = 0; p < n; ++p)
+      by_receiver[static_cast<std::size_t>(p)] = broadcast_base_;
+    return;
+  }
   for (ProcessId p = 0; p < n; ++p) {
     ReceptionVector& mu = by_receiver[static_cast<std::size_t>(p)];
     if (mu.universe_size() != n) mu.reset(n);
@@ -42,11 +73,36 @@ void DeliveredRound::assign_faithful(const IntendedRound& intended) {
 void DeliveredRound::put(ProcessId sender, ProcessId receiver, Msg m) {
   HOVAL_EXPECTS_MSG(receiver >= 0 && receiver < n(), "receiver out of universe");
   by_receiver[static_cast<std::size_t>(receiver)].set(sender, m);
+  ProcessSet& altered = altered_[static_cast<std::size_t>(receiver)];
+  if (m == faithful_->intended(sender, receiver))
+    altered.erase(sender);
+  else
+    altered.insert(sender);
+}
+
+void DeliveredRound::put_altered(ProcessId sender, ProcessId receiver, Msg m) {
+  HOVAL_EXPECTS_MSG(receiver >= 0 && receiver < n(), "receiver out of universe");
+  by_receiver[static_cast<std::size_t>(receiver)].set(sender, m);
+  altered_[static_cast<std::size_t>(receiver)].insert(sender);
 }
 
 void DeliveredRound::omit(ProcessId sender, ProcessId receiver) {
   HOVAL_EXPECTS_MSG(receiver >= 0 && receiver < n(), "receiver out of universe");
   by_receiver[static_cast<std::size_t>(receiver)].unset(sender);
+  altered_[static_cast<std::size_t>(receiver)].erase(sender);
+}
+
+void DeliveredRound::ground_truth_into(ProcessId receiver, ProcessSet& ho,
+                                       ProcessSet& sho) const {
+  HOVAL_EXPECTS_MSG(receiver >= 0 && receiver < n(), "receiver out of universe");
+  by_receiver[static_cast<std::size_t>(receiver)].support_into(ho);
+  sho = ho;
+  sho.subtract_with(altered_[static_cast<std::size_t>(receiver)]);
+}
+
+const ProcessSet& DeliveredRound::altered(ProcessId receiver) const {
+  HOVAL_EXPECTS_MSG(receiver >= 0 && receiver < n(), "receiver out of universe");
+  return altered_[static_cast<std::size_t>(receiver)];
 }
 
 void DeliveredRound::restore(const IntendedRound& intended, ProcessId sender,

@@ -32,6 +32,11 @@ namespace hoval {
 struct IntendedRound {
   Round round = 0;
   std::vector<std::vector<Msg>> by_sender;  ///< [sender][receiver]
+  /// Producer's promise that every sender's row is uniform (everyone
+  /// broadcast this round).  Lets assign_faithful take its shared-base
+  /// fast path without scanning the matrix; when false the matrix is
+  /// scanned, so leaving it unset is always correct, just slower.
+  bool uniform_rows = false;
 
   int n() const noexcept { return static_cast<int>(by_sender.size()); }
 
@@ -44,6 +49,12 @@ struct IntendedRound {
 };
 
 /// What is actually received at one round: a reception vector per receiver.
+///
+/// The round also tracks, per receiver, the set of *altered* links (put()
+/// compares against the intended round captured by assign_faithful), so
+/// the simulator's ground truth is pure word algebra: HO is the support of
+/// the reception vector and SHO is HO minus the altered set — no per-link
+/// message comparison on the hot path.
 struct DeliveredRound {
   std::vector<ReceptionVector> by_receiver;
 
@@ -55,16 +66,37 @@ struct DeliveredRound {
 
   /// In-place faithful delivery: overwrites every link with the intended
   /// message, reusing the reception-vector storage across rounds and runs.
+  /// Captures a reference to `intended` for the alteration tracking of
+  /// put()/ground_truth_into(); it must stay alive and unchanged until the
+  /// next assign_faithful.  When every sender broadcasts (its row of the
+  /// matrix is uniform — true for all core algorithms), one shared base
+  /// vector is built and copied per receiver, so the reception aggregates
+  /// are computed once per round instead of once per receiver.
   void assign_faithful(const IntendedRound& intended);
 
   /// Replaces what `receiver` gets from `sender`.
   void put(ProcessId sender, ProcessId receiver, Msg m);
+
+  /// put() for a message the caller guarantees differs from the intended
+  /// one (e.g. the output of corrupt_message) — skips the comparison
+  /// against the intended matrix on the corruption hot path.
+  void put_altered(ProcessId sender, ProcessId receiver, Msg m);
 
   /// Drops the message from `sender` to `receiver` (omission fault).
   void omit(ProcessId sender, ProcessId receiver);
 
   /// Restores the faithful message on one link.
   void restore(const IntendedRound& intended, ProcessId sender, ProcessId receiver);
+
+  /// Ground truth for one receiver in word operations: `ho` becomes the
+  /// support of its reception vector, `sho` the safe subset (support minus
+  /// altered links).  Both sets must be over this round's universe.
+  void ground_truth_into(ProcessId receiver, ProcessSet& ho,
+                         ProcessSet& sho) const;
+
+  /// Senders whose delivered entry differs from the intended one (AHO),
+  /// as maintained by put()/omit() since the last assign_faithful.
+  const ProcessSet& altered(ProcessId receiver) const;
 
   /// |SHO(receiver)| under this delivery: links whose delivered message
   /// equals the intended one.
@@ -77,6 +109,11 @@ struct DeliveredRound {
   /// Senders in AHO(receiver): delivered but altered.
   std::vector<ProcessId> altered_senders(const IntendedRound& intended,
                                          ProcessId receiver) const;
+
+ private:
+  const IntendedRound* faithful_ = nullptr;  ///< set by assign_faithful
+  std::vector<ProcessSet> altered_;          ///< per receiver, delivered ∧ != intended
+  ReceptionVector broadcast_base_;           ///< shared faithful vector scratch
 };
 
 /// How a corrupted message is fabricated from the original.

@@ -27,20 +27,30 @@ void RandomCorruptionAdversary::apply(const IntendedRound& intended,
   const int n = intended.n();
   const int budget = std::min(config_.alpha, n);
   if (budget == 0) return;
-  for (ProcessId p = 0; p < n; ++p) {
-    if (!rng.chance(config_.attack_probability)) continue;
+  // All attack coins of the round in one word-at-a-time pass (zero draws
+  // when the intensity is degenerate), then Floyd's k-subset per attacked
+  // receiver — no per-link rng.chance and no O(n) sample pool.
+  BernoulliBlock attack(config_.attack_probability);
+  if (attack.never()) return;
+  if (attacked_scratch_.universe_size() != n) {
+    attacked_scratch_ = ProcessSet(n);
+    victim_scratch_ = ProcessSet(n);
+  }
+  attacked_scratch_.assign_bernoulli(rng, attack);
+  attacked_scratch_.for_each([&](ProcessId p) {
     const int count =
         config_.always_max
             ? budget
             : static_cast<int>(rng.range(1, static_cast<std::int64_t>(budget)));
-    rng.sample_into(static_cast<std::size_t>(n), static_cast<std::size_t>(count),
-                    victim_scratch_);
-    for (std::size_t sender_idx : victim_scratch_) {
-      const auto sender = static_cast<ProcessId>(sender_idx);
-      delivered.put(sender, p,
-                    corrupt_message(intended.intended(sender, p), config_.policy, rng));
-    }
-  }
+    victim_scratch_.assign_random_subset(rng, count);
+    victim_scratch_.for_each([&](ProcessId sender) {
+      const Msg& original =
+          intended.by_sender[static_cast<std::size_t>(sender)]
+                            [static_cast<std::size_t>(p)];
+      delivered.put_altered(sender, p,
+                            corrupt_message(original, config_.policy, rng));
+    });
+  });
 }
 
 }  // namespace hoval

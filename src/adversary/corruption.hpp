@@ -39,8 +39,10 @@ class RandomCorruptionAdversary final : public Adversary {
 
  private:
   RandomCorruptionConfig config_;
-  /// Scratch for the per-receiver victim draw, reused across rounds.
-  std::vector<std::size_t> victim_scratch_;
+  /// Receivers attacked this round (batched Bernoulli mask) and the
+  /// per-receiver victim set (Floyd's draw) — both reused across rounds.
+  ProcessSet attacked_scratch_;
+  ProcessSet victim_scratch_;
 };
 
 }  // namespace hoval

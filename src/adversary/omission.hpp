@@ -12,6 +12,13 @@ namespace hoval {
 /// Drops each transmission independently with a fixed probability, with an
 /// optional cap on omissions per receiver per round (so experiments can
 /// guarantee |HO(p,r)| >= n - cap).
+///
+/// Victims are drawn word-at-a-time: one BernoulliBlock lane per incoming
+/// link, 64 links per refill, instead of one rng.chance() per link.  When
+/// the Bernoulli draw exceeds the cap, a uniform cap-subset of the victims
+/// is kept — distributionally identical to the historical random-order
+/// drop-until-cap loop (which dropped the first `cap` successes of a
+/// uniformly shuffled link order, i.e. a uniform cap-subset).
 class RandomOmissionAdversary final : public Adversary {
  public:
   /// \param drop_probability  per-link loss probability in [0,1]
@@ -27,6 +34,10 @@ class RandomOmissionAdversary final : public Adversary {
  private:
   double drop_probability_;
   int max_omissions_per_receiver_;
+  /// Per-receiver victim mask, reused across receivers, rounds and runs —
+  /// no per-round heap traffic (the pre-kernel code allocated and shuffled
+  /// a fresh order vector per receiver per round).
+  ProcessSet victim_scratch_;
 };
 
 /// Crash-style omissions: at reset a victim set of the given size is drawn;

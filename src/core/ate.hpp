@@ -29,6 +29,7 @@ class AteProcess : public HoProcess {
 
   /// S_p^r: the same estimate message to every destination.
   Msg message_for(Round r, ProcessId dest) const override;
+  bool broadcasts() const noexcept override { return true; }
 
   /// T_p^r per Algorithm 1.  The decision guard (line 9) is evaluated on
   /// the reception vector independently of the |HO| > T update guard:

@@ -43,6 +43,7 @@ class PhaseKingProcess : public HoProcess {
   PhaseKingProcess(ProcessId id, PhaseKingParams params, Value initial);
 
   Msg message_for(Round r, ProcessId dest) const override;
+  bool broadcasts() const noexcept override { return true; }
   void transition(Round r, const ReceptionVector& mu) override;
   std::string name() const override;
 

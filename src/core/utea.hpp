@@ -31,6 +31,7 @@ class UteaProcess : public HoProcess {
 
   /// S_p^r: estimate in the first round of a phase, vote in the second.
   Msg message_for(Round r, ProcessId dest) const override;
+  bool broadcasts() const noexcept override { return true; }
 
   /// T_p^r per Algorithm 2.
   void transition(Round r, const ReceptionVector& mu) override;

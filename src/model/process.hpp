@@ -46,6 +46,13 @@ class HoProcess {
   /// its current state.  Must be callable repeatedly without side effects.
   virtual Msg message_for(Round r, ProcessId dest) const = 0;
 
+  /// True when message_for ignores `dest` at every round — the process
+  /// broadcasts one message per round.  The simulator then evaluates
+  /// S_p^r once per round instead of once per link, and (when every
+  /// process broadcasts) the delivery layer shares one faithful reception
+  /// vector across receivers.  Conservative default: false.
+  virtual bool broadcasts() const noexcept { return false; }
+
   /// T_p^r: consumes the reception vector of round `r` and updates state.
   virtual void transition(Round r, const ReceptionVector& mu) = 0;
 

@@ -114,6 +114,58 @@ void ProcessSet::unite_with_difference(const ProcessSet& a,
     words[i] |= first[i] & ~second[i];
 }
 
+int ProcessSet::assign_bernoulli(Rng& rng, BernoulliBlock& coins) {
+  std::uint64_t* words = blocks();
+  int total = 0;
+  int remaining = n_;
+  for (std::size_t i = 0; i < block_count(); ++i) {
+    const int lanes = remaining < 64 ? remaining : 64;
+    words[i] = coins.take(rng, lanes);
+    total += __builtin_popcountll(words[i]);
+    remaining -= lanes;
+  }
+  return total;
+}
+
+void ProcessSet::assign_random_subset(Rng& rng, int k) {
+  HOVAL_EXPECTS_MSG(k >= 0 && k <= n_,
+                    "cannot sample more elements than the universe");
+  clear();
+  // Floyd's algorithm; membership tests are O(1) bit probes here, so the
+  // whole draw is k bounded draws plus k word operations.
+  for (int i = n_ - k; i < n_; ++i) {
+    const auto j =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(i) + 1));
+    if (contains(j))
+      insert(i);
+    else
+      insert(j);
+  }
+}
+
+void ProcessSet::keep_random_subset(Rng& rng, int k) {
+  HOVAL_EXPECTS_MSG(k >= 0, "subset size must be non-negative");
+  int m = count();
+  std::uint64_t* words = blocks();
+  while (m > k) {
+    // Erase the rank-th member (uniform over the m current members); a
+    // chain of uniform single erasures yields a uniform k-subset.
+    auto rank = static_cast<int>(rng.below(static_cast<std::uint64_t>(m)));
+    for (std::size_t b = 0; b < block_count(); ++b) {
+      const int pop = __builtin_popcountll(words[b]);
+      if (rank >= pop) {
+        rank -= pop;
+        continue;
+      }
+      std::uint64_t word = words[b];
+      for (; rank > 0; --rank) word &= word - 1;  // drop `rank` low members
+      words[b] &= ~(word & (~word + 1));          // clear the lowest survivor
+      break;
+    }
+    --m;
+  }
+}
+
 int ProcessSet::subtract_count(const ProcessSet& other) const {
   check_same_universe(other);
   const std::uint64_t* words = blocks();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "model/types.hpp"
+#include "util/rng.hpp"
 
 namespace hoval {
 
@@ -39,7 +40,15 @@ class ProcessSet {
   /// Number of members.
   int count() const noexcept;
 
-  bool empty() const noexcept { return count() == 0; }
+  bool empty() const noexcept {
+    // Early-exit on the first nonzero word instead of popcounting every
+    // block via count() — this predicate sits on the kernel/altered-span
+    // hot path where the answer is usually decided by word zero.
+    const std::uint64_t* words = blocks();
+    for (std::size_t i = 0; i < block_count(); ++i)
+      if (words[i] != 0) return false;
+    return true;
+  }
 
   bool contains(ProcessId p) const;
   void insert(ProcessId p);
@@ -61,6 +70,22 @@ class ProcessSet {
   /// *this ∪= (a \ b) in one word-parallel pass, without materialising the
   /// difference — the AHO-accumulation primitive (see HoRecord::aho()).
   void unite_with_difference(const ProcessSet& a, const ProcessSet& b);
+
+  /// Replaces the membership with one independent Bernoulli trial per
+  /// universe element, drawn word-at-a-time from `coins` (64 lanes per
+  /// block) — the bit-parallel victim draw of the adversary kernel.
+  /// Returns the resulting cardinality.
+  int assign_bernoulli(Rng& rng, BernoulliBlock& coins);
+
+  /// Replaces the membership with a uniformly distributed k-subset of the
+  /// universe via Floyd's algorithm: k bounded draws, no pool, no heap.
+  /// Requires 0 <= k <= n.
+  void assign_random_subset(Rng& rng, int k);
+
+  /// Shrinks the membership to a uniformly distributed k-subset of the
+  /// current members by repeatedly erasing a uniformly chosen member (a
+  /// no-op when k >= count()).  Requires k >= 0.
+  void keep_random_subset(Rng& rng, int k);
 
   /// |*this \ other| without materialising the difference.
   int subtract_count(const ProcessSet& other) const;

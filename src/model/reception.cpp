@@ -8,14 +8,35 @@ namespace hoval {
 
 namespace {
 
-/// Per-thread scratch for the histogram queries.  Transition functions run
-/// one of these per process per round, so the sorted flat vector reuses
-/// its capacity across calls instead of allocating map nodes every time.
-thread_local PayloadHistogram histogram_scratch;
+/// Adds one occurrence of `v` to a sorted flat histogram.
+void hist_add(PayloadHistogram& hist, Value v) {
+  auto it = std::lower_bound(
+      hist.begin(), hist.end(), v,
+      [](const std::pair<Value, int>& entry, Value value) {
+        return entry.first < value;
+      });
+  if (it != hist.end() && it->first == v)
+    ++it->second;
+  else
+    hist.insert(it, {v, 1});
+}
+
+/// Removes one occurrence of `v` from a sorted flat histogram.
+void hist_remove(PayloadHistogram& hist, Value v) {
+  auto it = std::lower_bound(
+      hist.begin(), hist.end(), v,
+      [](const std::pair<Value, int>& entry, Value value) {
+        return entry.first < value;
+      });
+  HOVAL_ENSURES_MSG(it != hist.end() && it->first == v && it->second > 0,
+                    "histogram out of step with slots");
+  if (--it->second == 0) hist.erase(it);
+}
 
 }  // namespace
 
-ReceptionVector::ReceptionVector(int n) : slots_(static_cast<std::size_t>(n)) {
+ReceptionVector::ReceptionVector(int n)
+    : slots_(static_cast<std::size_t>(n)), present_(n) {
   HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
 }
 
@@ -23,14 +44,40 @@ void ReceptionVector::reset(int n) {
   HOVAL_EXPECTS_MSG(n >= 0, "universe size must be non-negative");
   if (static_cast<int>(slots_.size()) == n) {
     for (auto& slot : slots_) slot.reset();
+    present_.clear();
   } else {
     slots_.assign(static_cast<std::size_t>(n), std::nullopt);
+    present_ = ProcessSet(n);
   }
+  for (int& count : kind_counts_) count = 0;
+  question_votes_ = 0;
+  for (auto& hist : hists_) hist.clear();
+}
+
+void ReceptionVector::aggregate_add(ProcessId q, const Msg& m) {
+  present_.insert(q);
+  ++kind_counts_[kind_index(m.kind)];
+  if (m.payload)
+    hist_add(hists_[kind_index(m.kind)], *m.payload);
+  else if (m.kind == MsgKind::kVote)
+    ++question_votes_;
+}
+
+void ReceptionVector::aggregate_remove(ProcessId q, const Msg& m) {
+  present_.erase(q);
+  --kind_counts_[kind_index(m.kind)];
+  if (m.payload)
+    hist_remove(hists_[kind_index(m.kind)], *m.payload);
+  else if (m.kind == MsgKind::kVote)
+    --question_votes_;
 }
 
 void ReceptionVector::set(ProcessId q, Msg m) {
   HOVAL_EXPECTS_MSG(q >= 0 && q < universe_size(), "sender id out of universe");
-  slots_[static_cast<std::size_t>(q)] = m;
+  std::optional<Msg>& slot = slots_[static_cast<std::size_t>(q)];
+  if (slot) aggregate_remove(q, *slot);
+  slot = m;
+  aggregate_add(q, m);
 }
 
 void ReceptionVector::fill_faithful(
@@ -39,8 +86,21 @@ void ReceptionVector::fill_faithful(
   HOVAL_EXPECTS_MSG(by_sender.size() == n &&
                         receiver >= 0 && static_cast<std::size_t>(receiver) < n,
                     "faithful fill needs an n x n matrix over this universe");
+  for (int& count : kind_counts_) count = 0;
+  question_votes_ = 0;
+  for (auto& hist : hists_) hist.clear();
+  for (std::size_t q = 0; q < n; ++q) {
+    const Msg& m = by_sender[q][static_cast<std::size_t>(receiver)];
+    slots_[q] = m;
+    ++kind_counts_[kind_index(m.kind)];
+    if (m.payload)
+      hist_add(hists_[kind_index(m.kind)], *m.payload);
+    else if (m.kind == MsgKind::kVote)
+      ++question_votes_;
+  }
+  present_.clear();
   for (std::size_t q = 0; q < n; ++q)
-    slots_[q] = by_sender[q][static_cast<std::size_t>(receiver)];
+    present_.insert(static_cast<ProcessId>(q));
 }
 
 void ReceptionVector::ground_truth_into(
@@ -66,7 +126,10 @@ void ReceptionVector::ground_truth_into(
 
 void ReceptionVector::unset(ProcessId q) {
   HOVAL_EXPECTS_MSG(q >= 0 && q < universe_size(), "sender id out of universe");
-  slots_[static_cast<std::size_t>(q)].reset();
+  std::optional<Msg>& slot = slots_[static_cast<std::size_t>(q)];
+  if (!slot) return;
+  aggregate_remove(q, *slot);
+  slot.reset();
 }
 
 const std::optional<Msg>& ReceptionVector::get(ProcessId q) const {
@@ -83,61 +146,38 @@ ProcessSet ReceptionVector::support() const {
 void ReceptionVector::support_into(ProcessSet& out) const {
   HOVAL_EXPECTS_MSG(out.universe_size() == universe_size(),
                     "support target must be over the same universe");
-  out.clear();
-  for (int q = 0; q < universe_size(); ++q)
-    if (slots_[static_cast<std::size_t>(q)]) out.insert(q);
+  out = present_;  // word copy; same universe, so no allocation
 }
 
 int ReceptionVector::count_received() const noexcept {
-  int total = 0;
-  for (const auto& slot : slots_)
-    if (slot) ++total;
-  return total;
+  return present_.count();
 }
 
 int ReceptionVector::count_kind(MsgKind kind) const noexcept {
-  int total = 0;
-  for (const auto& slot : slots_)
-    if (slot && slot->kind == kind) ++total;
-  return total;
+  return kind_counts_[kind_index(kind)];
 }
 
 int ReceptionVector::count_payload(MsgKind kind, Value v) const noexcept {
-  int total = 0;
-  for (const auto& slot : slots_)
-    if (slot && slot->kind == kind && slot->payload == v) ++total;
-  return total;
+  const PayloadHistogram& hist = hists_[kind_index(kind)];
+  const auto it = std::lower_bound(
+      hist.begin(), hist.end(), v,
+      [](const std::pair<Value, int>& entry, Value value) {
+        return entry.first < value;
+      });
+  return it != hist.end() && it->first == v ? it->second : 0;
 }
 
 int ReceptionVector::count_question_votes() const noexcept {
-  int total = 0;
-  for (const auto& slot : slots_)
-    if (slot && slot->kind == MsgKind::kVote && !slot->payload) ++total;
-  return total;
+  return question_votes_;
 }
 
 PayloadHistogram ReceptionVector::payload_histogram(MsgKind kind) const {
-  return payload_histogram_scratch(kind);  // copies the scratch out
+  return hists_[kind_index(kind)];
 }
 
 const PayloadHistogram& ReceptionVector::payload_histogram_scratch(
     MsgKind kind) const {
-  PayloadHistogram& hist = histogram_scratch;
-  hist.clear();
-  for (const auto& slot : slots_) {
-    if (!slot || slot->kind != kind || !slot->payload) continue;
-    const Value v = *slot->payload;
-    auto it = std::lower_bound(
-        hist.begin(), hist.end(), v,
-        [](const std::pair<Value, int>& entry, Value value) {
-          return entry.first < value;
-        });
-    if (it != hist.end() && it->first == v)
-      ++it->second;
-    else
-      hist.insert(it, {v, 1});
-  }
-  return hist;
+  return hists_[kind_index(kind)];
 }
 
 std::optional<Value> smallest_most_frequent(const PayloadHistogram& hist) {

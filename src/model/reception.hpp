@@ -32,6 +32,16 @@ std::optional<Value> payload_exceeding(const PayloadHistogram& hist,
                                        double threshold);
 
 /// Partial vector of messages indexed by sender.
+///
+/// Alongside the slots the vector maintains its aggregates incrementally:
+/// the support bitset, per-kind counts, the '?'-vote count and one sorted
+/// payload histogram per kind.  Every mutation (set/unset/fill) keeps them
+/// in step, so the queries the transition functions hammer every round —
+/// count_received, count_payload, smallest_most_frequent, ... — are O(1)
+/// or a popcount instead of an O(n) slot rescan, and copying a vector
+/// copies the aggregates with it (the broadcast fast path in
+/// DeliveredRound::assign_faithful builds them once per round, not once
+/// per receiver).
 class ReceptionVector {
  public:
   /// Empty vector over a universe of `n` processes.
@@ -90,13 +100,11 @@ class ReceptionVector {
   /// value ascending.
   PayloadHistogram payload_histogram(MsgKind kind) const;
 
-  /// Zero-allocation variant for transition functions: the histogram is
-  /// built into a per-thread scratch buffer that is reused across calls.
-  /// The reference is invalidated by the next histogram *build* on any
-  /// ReceptionVector in the same thread (this method, payload_histogram(),
-  /// smallest_most_frequent(MsgKind), payload_exceeding(MsgKind, ...)) —
-  /// consume it immediately, e.g. via the free helpers above, and don't
-  /// run another query while holding it.
+  /// Zero-allocation variant for transition functions: a reference to the
+  /// incrementally maintained member histogram (no per-call build at all).
+  /// The reference is invalidated by the next mutation of *this* vector
+  /// (set/unset/reset/fill_faithful or assignment) — consume it before
+  /// mutating, e.g. via the free helpers above.
   const PayloadHistogram& payload_histogram_scratch(MsgKind kind) const;
 
   /// "The smallest most often received value": among messages of `kind`
@@ -114,7 +122,21 @@ class ReceptionVector {
   ProcessSet senders_of(const Msg& m) const;
 
  private:
+  static constexpr int kKinds = 2;  ///< kEstimate, kVote
+
+  static int kind_index(MsgKind kind) noexcept {
+    return static_cast<int>(kind);
+  }
+
+  /// Folds the message in slot `q` into / out of the aggregates.
+  void aggregate_add(ProcessId q, const Msg& m);
+  void aggregate_remove(ProcessId q, const Msg& m);
+
   std::vector<std::optional<Msg>> slots_;
+  ProcessSet present_;                ///< support — exactly HO(p, r)
+  int kind_counts_[kKinds] = {0, 0};  ///< received messages per kind
+  int question_votes_ = 0;            ///< received '?' votes
+  PayloadHistogram hists_[kKinds];    ///< sorted payload multiset per kind
 };
 
 }  // namespace hoval

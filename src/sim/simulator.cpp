@@ -61,29 +61,40 @@ bool Simulator::step() {
   const int n = static_cast<int>(processes_.size());
   const Round r = next_round_++;
 
-  // (1) Sending functions, into the workspace's reusable matrix.
+  // (1) Sending functions, into the workspace's reusable matrix.  A
+  // broadcasting sender's row is one S_q^r evaluation fanned out, not n;
+  // when every sender broadcasts the matrix is flagged uniform so the
+  // delivery layer can share one base reception vector across receivers.
   IntendedRound& intended = workspace_->intended;
   intended.round = r;
+  bool uniform = true;
   for (ProcessId q = 0; q < n; ++q) {
+    const HoProcess& sender = *processes_[static_cast<std::size_t>(q)];
     auto& row = intended.by_sender[static_cast<std::size_t>(q)];
-    for (ProcessId p = 0; p < n; ++p)
-      row[static_cast<std::size_t>(p)] =
-          processes_[static_cast<std::size_t>(q)]->message_for(r, p);
+    if (sender.broadcasts()) {
+      const Msg m = sender.message_for(r, 0);
+      for (ProcessId p = 0; p < n; ++p) row[static_cast<std::size_t>(p)] = m;
+    } else {
+      uniform = false;
+      for (ProcessId p = 0; p < n; ++p)
+        row[static_cast<std::size_t>(p)] = sender.message_for(r, p);
+    }
   }
+  intended.uniform_rows = uniform;
 
   // (2) Adversary transforms the faithful delivery.
   DeliveredRound& delivered = workspace_->delivered;
   delivered.assign_faithful(intended);
   adversary_->apply(intended, delivered, rng_);
 
-  // (3) Ground truth: HO from the support, SHO by comparing against
-  // intent, recorded straight into the trace's recycled round records
-  // (SHO ⊆ HO holds by construction — a safe link is a delivered link).
+  // (3) Ground truth: HO is the support bitset, SHO the support minus the
+  // altered links tracked by the delivery — pure word operations, recorded
+  // straight into the trace's recycled round records (SHO ⊆ HO holds by
+  // construction — a safe link is a delivered link).
   std::vector<HoRecord>& records = workspace_->trace.begin_round();
   for (ProcessId p = 0; p < n; ++p) {
     HoRecord& rec = records[static_cast<std::size_t>(p)];
-    delivered.by_receiver[static_cast<std::size_t>(p)].ground_truth_into(
-        intended.by_sender, p, rec.ho, rec.sho);
+    delivered.ground_truth_into(p, rec.ho, rec.sho);
   }
 
   // (4) Transition functions.

@@ -81,8 +81,11 @@ class Rng {
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   bool chance(double p) noexcept;
 
-  /// Chooses k distinct indices out of [0, n) (unordered, uniformly via
-  /// partial Fisher–Yates).  Requires k <= n.
+  /// Chooses k distinct indices out of [0, n): an unordered, uniformly
+  /// distributed k-subset (the order of the returned indices is
+  /// unspecified).  Requires k <= n.  Small draws (k <= 64) use Floyd's
+  /// algorithm, so the cost scales with k, not with the population size;
+  /// larger draws fall back to a partial Fisher–Yates over the full pool.
   std::vector<std::size_t> sample(std::size_t n, std::size_t k);
 
   /// sample() into a caller-provided buffer (left holding exactly the k
@@ -90,6 +93,10 @@ class Rng {
   /// for hot loops.  Consumes identical draws and produces identical
   /// results to sample().
   void sample_into(std::size_t n, std::size_t k, std::vector<std::size_t>& out);
+
+  /// Fills out[0..count) with raw 64-bit draws — the batched variant of
+  /// next() for callers that consume randomness a block at a time.
+  void fill(std::uint64_t* out, std::size_t count) noexcept;
 
   /// In-place Fisher–Yates shuffle.
   template <typename T>
@@ -106,6 +113,45 @@ class Rng {
 
  private:
   std::array<std::uint64_t, 4> s_{};
+};
+
+/// Batched Bernoulli lane generator: hands out independent Bernoulli(p)
+/// trials 64 *lanes* at a time, packed into the bits of a word — the
+/// block-RNG primitive of the bit-parallel run kernel.  A per-link
+/// `rng.chance(p)` loop costs one 64-bit draw (plus a double compare) per
+/// link; a BernoulliBlock materialises 64 links per refill at at most 32
+/// draws, and buffers unused lanes across calls, so consecutive
+/// per-receiver masks of a round share refills.
+///
+/// The success probability is quantised to 32 fractional bits (the classic
+/// truncated-binary-expansion construction: fold one uniform word per set
+/// bit of the expansion).  The per-trial bias is below 2^-32 — invisible
+/// to any Monte-Carlo estimate this repository runs — and the stream is a
+/// pure function of (p, the Rng state), so fault schedules stay fully
+/// reproducible.
+class BernoulliBlock {
+ public:
+  /// Prepares lanes with success probability `p` (clamped to [0,1]).
+  explicit BernoulliBlock(double p) noexcept;
+
+  /// The next `count` lanes (0 <= count <= 64), packed into the low
+  /// `count` bits of the result.  Degenerate probabilities (quantised to
+  /// 0 or 1) consume no draws, mirroring Rng::chance's short-circuits.
+  std::uint64_t take(Rng& rng, int count) noexcept;
+
+  /// True when every lane is guaranteed 1 (p quantised to 1).
+  bool always() const noexcept { return always_; }
+  /// True when every lane is guaranteed 0 (p quantised to 0).
+  bool never() const noexcept { return pattern_ == 0 && !always_; }
+
+ private:
+  std::uint64_t refill(Rng& rng) noexcept;  ///< 64 fresh lanes
+
+  std::uint32_t pattern_ = 0;  ///< p in 0.32 fixed point
+  int start_bit_ = 0;          ///< lowest set bit of pattern_
+  std::uint64_t buffer_ = 0;   ///< leftover lanes, low-aligned
+  int available_ = 0;          ///< lanes currently buffered
+  bool always_ = false;
 };
 
 }  // namespace hoval

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "util/check.hpp"
 
 namespace hoval {
@@ -237,6 +239,121 @@ TEST_P(ProcessSetStorageBoundary, MembersRoundTrip) {
     ++visited;
   });
   EXPECT_EQ(visited, a.count());
+}
+
+TEST(ProcessSet, AssignBernoulliRateAndUniverseBounds) {
+  Rng rng(0xBEEF);
+  for (const int n : {9, 64, 100, 130}) {
+    BernoulliBlock coins(0.3);
+    ProcessSet s(n);
+    long members = 0;
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+      const int count = s.assign_bernoulli(rng, coins);
+      EXPECT_EQ(count, s.count());
+      members += count;
+      s.for_each([&](ProcessId p) { EXPECT_LT(p, n); });
+    }
+    EXPECT_NEAR(static_cast<double>(members) / (trials * n), 0.3, 0.02)
+        << "n=" << n;
+  }
+}
+
+TEST(ProcessSet, AssignBernoulliReplacesPreviousMembership) {
+  Rng rng(5);
+  ProcessSet s(10);
+  s.insert(0);
+  s.insert(9);
+  BernoulliBlock never(0.0);
+  EXPECT_EQ(s.assign_bernoulli(rng, never), 0);
+  EXPECT_TRUE(s.empty());
+  BernoulliBlock always(1.0);
+  EXPECT_EQ(s.assign_bernoulli(rng, always), 10);
+  EXPECT_EQ(s, ProcessSet::universe(10));
+}
+
+TEST(ProcessSet, AssignRandomSubsetSizeAndUniformity) {
+  Rng rng(0xF107D);
+  const int n = 9;
+  const int k = 3;
+  ProcessSet s(n);
+  std::array<long, 9> appearances{};
+  const int trials = 12000;
+  for (int t = 0; t < trials; ++t) {
+    s.assign_random_subset(rng, k);
+    EXPECT_EQ(s.count(), k);
+    s.for_each([&](ProcessId p) { ++appearances[static_cast<std::size_t>(p)]; });
+  }
+  // Each element belongs to a uniform 3-subset of 9 with probability 1/3.
+  for (long c : appearances)
+    EXPECT_NEAR(static_cast<double>(c) / trials, 1.0 / 3.0, 0.02);
+  s.assign_random_subset(rng, 0);
+  EXPECT_TRUE(s.empty());
+  s.assign_random_subset(rng, n);
+  EXPECT_EQ(s, ProcessSet::universe(n));
+}
+
+TEST(ProcessSet, KeepRandomSubsetShrinksUniformly) {
+  Rng rng(0x7217);
+  const int n = 12;
+  ProcessSet base(n);
+  for (ProcessId p = 0; p < n; p += 2) base.insert(p);  // {0,2,4,6,8,10}
+  std::array<long, 12> appearances{};
+  const int trials = 12000;
+  for (int t = 0; t < trials; ++t) {
+    ProcessSet s = base;
+    s.keep_random_subset(rng, 2);
+    EXPECT_EQ(s.count(), 2);
+    EXPECT_TRUE(s.is_subset_of(base));
+    s.for_each([&](ProcessId p) { ++appearances[static_cast<std::size_t>(p)]; });
+  }
+  // A uniform 2-subset of the 6 members keeps each with probability 1/3;
+  // non-members must never appear.
+  for (ProcessId p = 0; p < n; ++p) {
+    const double rate =
+        static_cast<double>(appearances[static_cast<std::size_t>(p)]) / trials;
+    if (base.contains(p))
+      EXPECT_NEAR(rate, 1.0 / 3.0, 0.02) << "p=" << p;
+    else
+      EXPECT_EQ(rate, 0.0) << "p=" << p;
+  }
+  // k at or above the cardinality is a no-op.
+  ProcessSet s = base;
+  s.keep_random_subset(rng, 6);
+  EXPECT_EQ(s, base);
+  s.keep_random_subset(rng, 100);
+  EXPECT_EQ(s, base);
+  s.keep_random_subset(rng, 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ProcessSet, KeepRandomSubsetSpansSpilledBlocks) {
+  Rng rng(0x5B111);
+  const int n = 130;  // three blocks
+  ProcessSet s = ProcessSet::universe(n);
+  s.keep_random_subset(rng, 5);
+  EXPECT_EQ(s.count(), 5);
+  bool above_64 = false;
+  for (int t = 0; t < 200 && !above_64; ++t) {
+    ProcessSet again = ProcessSet::universe(n);
+    again.keep_random_subset(rng, 5);
+    again.for_each([&](ProcessId p) { above_64 = above_64 || p >= 64; });
+  }
+  EXPECT_TRUE(above_64) << "trimming never kept a member beyond block zero";
+}
+
+TEST(ProcessSet, EmptyEarlyExitAgreesWithCount) {
+  for (const int n : {0, 1, 64, 65, 200}) {
+    ProcessSet s(n);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count() == 0, s.empty());
+    if (n > 0) {
+      s.insert(n - 1);  // membership only in the last block
+      EXPECT_FALSE(s.empty());
+      s.erase(n - 1);
+      EXPECT_TRUE(s.empty());
+    }
+  }
 }
 
 TEST(ProcessSet, InPlaceMutatorsRejectCrossUniverse) {

@@ -175,6 +175,118 @@ TEST(MixSeed, DistinctInputsDistinctOutputs) {
   EXPECT_EQ(outputs.size(), 100u);
 }
 
+TEST(Rng, SampleIntoMatchesSampleAndReusesCapacity) {
+  // The two entry points must consume identical draws and produce
+  // identical subsets — sample() is specified as a wrapper over the
+  // Floyd/pool machinery of sample_into().
+  Rng a(31);
+  Rng b(31);
+  std::vector<std::size_t> buffer;
+  for (const auto& [n, k] : {std::pair<std::size_t, std::size_t>{20, 7},
+                            {5, 5},
+                            {200, 64},   // largest Floyd draw
+                            {200, 65},   // smallest pool draw
+                            {9, 0}}) {
+    const auto from_sample = a.sample(n, k);
+    b.sample_into(n, k, buffer);
+    EXPECT_EQ(from_sample, buffer) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(Rng, SampleLargeKIsStillDistinctAndInRange) {
+  // k above the Floyd cutoff exercises the partial Fisher–Yates path.
+  Rng rng(41);
+  const auto picks = rng.sample(300, 100);
+  ASSERT_EQ(picks.size(), 100u);
+  const std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (auto p : picks) EXPECT_LT(p, 300u);
+}
+
+TEST(Rng, FillMatchesNext) {
+  Rng a(55);
+  Rng b(55);
+  std::uint64_t block[17];
+  a.fill(block, 17);
+  for (std::uint64_t word : block) EXPECT_EQ(word, b.next());
+  a.fill(block, 0);  // zero-length fill consumes nothing
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(BernoulliBlock, DegenerateProbabilitiesConsumeNoDraws) {
+  Rng rng(3);
+  const std::uint64_t before = Rng(3).next();
+
+  BernoulliBlock never(0.0);
+  EXPECT_TRUE(never.never());
+  EXPECT_FALSE(never.always());
+  EXPECT_EQ(never.take(rng, 64), 0u);
+
+  BernoulliBlock always(1.0);
+  EXPECT_TRUE(always.always());
+  EXPECT_FALSE(always.never());
+  EXPECT_EQ(always.take(rng, 64), ~std::uint64_t{0});
+  EXPECT_EQ(always.take(rng, 5), 0x1Fu);
+
+  // Neither block advanced the generator.
+  EXPECT_EQ(rng.next(), before);
+}
+
+TEST(BernoulliBlock, LaneRateMatchesProbability) {
+  Rng rng(0xB10C);
+  for (const double p : {0.05, 0.25, 0.5, 0.8}) {
+    BernoulliBlock coins(p);
+    long hits = 0;
+    const int words = 4000;
+    for (int i = 0; i < words; ++i)
+      hits += __builtin_popcountll(coins.take(rng, 64));
+    EXPECT_NEAR(static_cast<double>(hits) / (64.0 * words), p, 0.01)
+        << "p=" << p;
+  }
+}
+
+TEST(BernoulliBlock, PartialTakesBufferLanesNotDiscardThem) {
+  // Drawing 64 lanes as 64 + some split must yield the same *stream* of
+  // lanes: leftover lanes are buffered across take() calls, so consecutive
+  // per-receiver masks share refills instead of wasting draws.
+  Rng whole_rng(0xFACE);
+  Rng split_rng(0xFACE);
+  BernoulliBlock whole(0.37);
+  BernoulliBlock split(0.37);
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t lanes = whole.take(whole_rng, 64);
+    const std::uint64_t low = split.take(split_rng, 23);
+    const std::uint64_t high = split.take(split_rng, 41);
+    EXPECT_EQ(lanes, low | (high << 23));
+  }
+}
+
+TEST(BernoulliBlock, TakeClampsCount) {
+  Rng rng(9);
+  BernoulliBlock coins(0.5);
+  EXPECT_EQ(coins.take(rng, 0), 0u);
+  EXPECT_EQ(coins.take(rng, -3), 0u);
+  // Counts above 64 clamp to a full word.
+  const std::uint64_t word = coins.take(rng, 200);
+  EXPECT_LE(__builtin_popcountll(word), 64);
+}
+
+TEST(BernoulliBlock, LanesAreIndependentOfPosition) {
+  // Each of the 64 lanes must hit at the same rate — a biased fold (e.g.
+  // one that only randomises low bits) would show up immediately.
+  Rng rng(0x1A7E);
+  BernoulliBlock coins(0.3);
+  std::array<long, 64> lane_hits{};
+  const int words = 6000;
+  for (int i = 0; i < words; ++i) {
+    std::uint64_t word = coins.take(rng, 64);
+    for (int bit = 0; bit < 64; ++bit)
+      lane_hits[static_cast<std::size_t>(bit)] += (word >> bit) & 1u;
+  }
+  for (long hits : lane_hits)
+    EXPECT_NEAR(static_cast<double>(hits) / words, 0.3, 0.03);
+}
+
 TEST(DerivedSeed, MatchesTheHistoricalConvention) {
   // The benches/CLI historically derived campaign seeds as `base + label`;
   // derived_seed centralises exactly that arithmetic, so the historical

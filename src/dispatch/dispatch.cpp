@@ -8,6 +8,7 @@
 #include <deque>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include <fcntl.h>
@@ -198,6 +199,14 @@ class Dispatcher {
     while (static_cast<int>(live_.size()) < options_.workers &&
            work_remaining() > static_cast<int>(in_flight_count()) &&
            respawns_available()) {
+      const auto now = Clock::now();
+      if (now < next_spawn_allowed_) {
+        // Crash-loop backoff in force.  With live workers the poll loop
+        // retries after the deadline (next_timeout_ms folds it in); with
+        // none there is nothing to service, so just sleep it out.
+        if (!live_.empty()) break;
+        std::this_thread::sleep_for(next_spawn_allowed_ - now);
+      }
       WorkerProc* worker = spawn();
       if (worker) assign_next(*worker);
     }
@@ -238,7 +247,7 @@ class Dispatcher {
     if (!write_frame(worker.to_fd, encode_point_message(
                                        point, point_docs_[static_cast<std::size_t>(
                                                   point)]))) {
-      fail_worker(worker, "write to worker failed (worker gone)");
+      fail_worker(worker, Loss::kWriteFailed, "write to worker failed");
       return Assign::kWorkerLost;
     }
     // The test hook fires on the slot's first assignment: the worker is
@@ -254,41 +263,86 @@ class Dispatcher {
 
   // --- failure handling ----------------------------------------------------
 
-  std::string describe_exit(WorkerProc& worker) {
-    int status = 0;
-    ::waitpid(worker.pid, &status, 0);
-    worker.pid = -1;
-    std::ostringstream what;
-    what << "worker " << worker.slot;
-    if (worker.timed_out)
-      what << " timed out after "
-           << format_double(options_.point_timeout_seconds, 1)
-           << "s and was killed";
-    else if (WIFSIGNALED(status))
-      what << " killed by signal " << WTERMSIG(status);
-    else if (WIFEXITED(status))
-      what << " exited with status " << WEXITSTATUS(status);
-    else
-      what << " died";
-    return what.str();
+  /// How the host observed a worker's loss; refined by the child's exit
+  /// status into the structured reason token.
+  enum class Loss { kEof, kBadFrame, kWriteFailed, kReadError };
+
+  static const char* loss_name(Loss kind) {
+    switch (kind) {
+      case Loss::kEof: return "eof";
+      case Loss::kBadFrame: return "bad-frame";
+      case Loss::kWriteFailed: return "write-failed";
+      case Loss::kReadError: return "read-error";
+    }
+    return "lost";
   }
 
   /// A worker died (or spoke garbage): reap it, resubmit or quarantine its
-  /// in-flight point, refill the pool.  `worker` is destroyed.
-  void fail_worker(WorkerProc& worker, const std::string& reason) {
-    const pid_t pid = worker.pid;
-    if (pid > 0 && worker.timed_out) {
-      // Already SIGKILLed by the timeout scan; reap below.
-    }
+  /// in-flight point, arm the crash-loop backoff, refill the pool.
+  /// `worker` is destroyed.
+  void fail_worker(WorkerProc& worker, Loss kind, const std::string& detail) {
     ::close(worker.to_fd);
     ::close(worker.from_fd);
-    const std::string what = reason + " (" + describe_exit(worker) + ")";
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);  // SIGKILLed/EOF'd children exit soon
+    const pid_t pid = worker.pid;
+    worker.pid = -1;
+
+    // The structured reason: the host's own kill wins (timeout), a frame
+    // the host rejected stays bad-frame (the exit status is downstream
+    // fallout of closing the pipes), and otherwise the child's exit status
+    // is more specific than how the loss happened to surface host-side.
+    std::string reason = loss_name(kind);
+    if (worker.timed_out) {
+      reason = "timeout";
+    } else if (kind != Loss::kBadFrame) {
+      if (WIFSIGNALED(status))
+        reason = "signal=" + std::to_string(WTERMSIG(status));
+      else if (WIFEXITED(status) && WEXITSTATUS(status) != 0)
+        reason = "exit=" + std::to_string(WEXITSTATUS(status));
+    }
+    std::string what = "worker " + std::to_string(worker.slot) + " lost (" +
+                       reason + (detail.empty() ? "" : ": " + detail) + ")";
+    if (worker.timed_out)
+      what += ", timed out after " +
+              format_double(options_.point_timeout_seconds, 1) + "s/attempt";
+
     const int point = worker.current_point;
     const int slot = worker.slot;
+    const bool delivered = worker.results_delivered > 0;
     live_.erase(std::find_if(live_.begin(), live_.end(),
                              [&worker](const auto& w) { return w.get() == &worker; }));
     ++report_.workers_failed;
-    log("worker " + std::to_string(slot) + ": " + what);
+    {
+      std::ostringstream line;
+      line << "worker-lost slot=" << slot << " pid=" << pid
+           << " reason=" << reason << " point=";
+      if (point >= 0)
+        line << point << " attempt="
+             << attempts_[static_cast<std::size_t>(point)] << "/"
+             << options_.max_point_attempts;
+      else
+        line << "none";
+      line << " detail=\"" << detail << "\"";
+      log(line.str());
+    }
+
+    // Crash-loop accounting: a worker that delivered results before dying
+    // restarts the streak at one; back-to-back barren deaths escalate the
+    // spawn delay exponentially.
+    crash_streak_ = delivered ? 1 : crash_streak_ + 1;
+    if (options_.respawn_backoff_initial_ms > 0 && crash_streak_ >= 2) {
+      long long delay = options_.respawn_backoff_initial_ms;
+      for (int i = 2; i < crash_streak_ &&
+                      delay < options_.respawn_backoff_max_ms;
+           ++i)
+        delay *= 2;
+      delay = std::min<long long>(
+          delay, std::max(1, options_.respawn_backoff_max_ms));
+      next_spawn_allowed_ = Clock::now() + std::chrono::milliseconds(delay);
+      log("respawn backoff: " + std::to_string(delay) + "ms (streak " +
+          std::to_string(crash_streak_) + ")");
+    }
 
     if (point >= 0) {
       const auto index = static_cast<std::size_t>(point);
@@ -365,6 +419,9 @@ class Dispatcher {
       if (worker) handle_readable(*worker);
     }
     enforce_timeouts();
+    // Spawns deferred by the crash-loop backoff happen here once the
+    // deadline passes (next_timeout_ms bounded the sleep above).
+    ensure_capacity();
   }
 
   WorkerProc* find_by_pid(pid_t pid) {
@@ -373,16 +430,36 @@ class Dispatcher {
     return nullptr;
   }
 
+  /// The in-flight point's deadline, scaled by its attempt number: a
+  /// point on attempt k gets k x point_timeout_seconds, so a slow but
+  /// legitimate point is not quarantined by k identical timeouts.
+  double attempt_deadline_seconds(const WorkerProc& worker) const {
+    const int attempt = std::max(
+        1, attempts_[static_cast<std::size_t>(worker.current_point)]);
+    return options_.point_timeout_seconds * attempt;
+  }
+
   int next_timeout_ms() const {
-    if (options_.point_timeout_seconds <= 0.0) return -1;
-    double soonest = options_.point_timeout_seconds;
+    double soonest = -1.0;  // seconds until the nearest deadline
     const auto now = Clock::now();
-    for (const auto& worker : live_) {
-      if (worker->current_point < 0) continue;
-      const double elapsed =
-          std::chrono::duration<double>(now - worker->assigned_at).count();
-      soonest = std::min(soonest, options_.point_timeout_seconds - elapsed);
+    if (options_.point_timeout_seconds > 0.0) {
+      for (const auto& worker : live_) {
+        if (worker->current_point < 0) continue;
+        const double elapsed =
+            std::chrono::duration<double>(now - worker->assigned_at).count();
+        const double left = attempt_deadline_seconds(*worker) - elapsed;
+        soonest = soonest < 0.0 ? left : std::min(soonest, left);
+      }
     }
+    if (next_spawn_allowed_ > now &&
+        static_cast<int>(live_.size()) < options_.workers &&
+        work_remaining() > static_cast<int>(in_flight_count()) &&
+        respawns_available()) {
+      const double until_spawn =
+          std::chrono::duration<double>(next_spawn_allowed_ - now).count();
+      soonest = soonest < 0.0 ? until_spawn : std::min(soonest, until_spawn);
+    }
+    if (soonest < 0.0) return -1;
     return std::max(0, static_cast<int>(soonest * 1000.0) + 1);
   }
 
@@ -393,7 +470,7 @@ class Dispatcher {
       if (worker->current_point < 0 || worker->timed_out) continue;
       const double elapsed =
           std::chrono::duration<double>(now - worker->assigned_at).count();
-      if (elapsed >= options_.point_timeout_seconds) {
+      if (elapsed >= attempt_deadline_seconds(*worker)) {
         worker->timed_out = true;
         ::kill(worker->pid, SIGKILL);  // EOF lands in the next poll
       }
@@ -404,13 +481,13 @@ class Dispatcher {
     char buffer[64 * 1024];
     const ssize_t n = read_some(worker.from_fd, buffer, sizeof(buffer));
     if (n < 0) {
-      fail_worker(worker, std::string("read: ") + std::strerror(errno));
+      fail_worker(worker, Loss::kReadError, std::strerror(errno));
       return;
     }
     if (n == 0) {
-      fail_worker(worker, worker.decoder.pending_bytes() > 0
-                              ? "stream truncated mid-frame"
-                              : "stream closed");
+      fail_worker(worker, Loss::kEof, worker.decoder.pending_bytes() > 0
+                                          ? "stream truncated mid-frame"
+                                          : "stream closed");
       return;
     }
     worker.decoder.feed(buffer, static_cast<std::size_t>(n));
@@ -418,7 +495,7 @@ class Dispatcher {
       while (const auto frame = worker.decoder.next())
         if (!handle_frame(worker, *frame)) return;  // worker failed
     } catch (const WireError& e) {
-      fail_worker(worker, e.what());
+      fail_worker(worker, Loss::kBadFrame, e.what());
     }
   }
 
@@ -428,13 +505,14 @@ class Dispatcher {
     try {
       message = parse_message(frame);
     } catch (const WireError& e) {
-      fail_worker(worker, e.what());
+      fail_worker(worker, Loss::kBadFrame, e.what());
       return false;
     }
     if (message.type == WireMessage::Type::kPoint ||
         message.index != worker.current_point) {
-      fail_worker(worker, "protocol violation (unexpected frame for point " +
-                              std::to_string(message.index) + ")");
+      fail_worker(worker, Loss::kBadFrame,
+                  "protocol violation (unexpected frame for point " +
+                      std::to_string(message.index) + ")");
       return false;
     }
     const int point = worker.current_point;
@@ -450,13 +528,14 @@ class Dispatcher {
         report_.results[index] = campaign_result_from_json(message.body);
       } catch (const JsonError& e) {
         worker.current_point = point;  // still this worker's failure
-        fail_worker(worker, std::string("malformed result document: ") +
-                                e.what());
+        fail_worker(worker, Loss::kBadFrame,
+                    std::string("malformed result document: ") + e.what());
         return false;
       }
       report_.completed[index] = true;
       ++done_;
       ++worker.results_delivered;
+      crash_streak_ = 0;  // the fleet is delivering; stand down the backoff
       log("point " + std::to_string(point) + ": merged (worker " +
           std::to_string(worker.slot) + ")");
     }
@@ -491,6 +570,8 @@ class Dispatcher {
   int done_ = 0;  ///< completed + quarantined
   int next_slot_ = 0;
   bool kill_hook_fired_ = false;
+  int crash_streak_ = 0;  ///< consecutive worker losses with no result
+  Clock::time_point next_spawn_allowed_{};  ///< crash-loop backoff gate
 };
 
 }  // namespace

@@ -64,15 +64,30 @@ struct DispatchOptions {
   /// `workers`.  Bounds a crash-looping fleet the way max_point_attempts
   /// bounds a crash-looping point.
   int max_respawns = 8;
+  /// Exponential respawn backoff: after the second consecutive worker
+  /// loss with no result delivered in between, replacement spawns are
+  /// delayed initial * 2^(streak-2) ms (capped at max) — a crash-looping
+  /// worker binary burns its respawn budget at a bounded rate instead of
+  /// hot-spinning through it.  A delivered result resets the streak.
+  /// initial <= 0 disables.
+  int respawn_backoff_initial_ms = 25;
+  int respawn_backoff_max_ms = 1000;
   /// SIGKILL a worker's in-flight point after this long; 0 disables.
+  /// The deadline is per *attempt* and scales with the attempt number
+  /// (attempt k of a point gets k x this), so a genuinely slow point is
+  /// given a longer leash before each retry instead of being quarantined
+  /// by identical timeouts.
   double point_timeout_seconds = 0.0;
   /// Test hook (satellite of the worker-kill CI step): SIGKILL the
   /// worker in this slot immediately after its first point assignment —
   /// a deterministic kill with a guaranteed in-flight point, so the run
   /// can only finish by resubmitting it to a survivor.  -1 disables.
   int test_kill_worker = -1;
-  /// Progress/diagnostic lines ("worker 2 died, resubmitting point 5");
-  /// null discards them.
+  /// Progress/diagnostic lines; null discards them.  Every worker loss
+  /// emits one structured line:
+  ///   worker-lost slot=S pid=P reason=R point=K attempt=A/M detail="..."
+  /// where R is `timeout`, `eof`, `bad-frame`, `exit=N`, `signal=N`,
+  /// `write-failed`, or `read-error`.
   std::function<void(const std::string&)> log;
 };
 

@@ -7,11 +7,18 @@
 
 #include <unistd.h>
 
+#include "util/faults.hpp"
+
 namespace hoval::dispatch {
+
+// All syscalls below go through faults::sys_read/sys_write so an installed
+// HOVAL_FAULT_PLAN exercises these very retry loops (injected EINTR and
+// short writes land *inside* read_some/write_all, the code under test).
+// With no injector installed the hooks are one relaxed load + branch.
 
 ssize_t read_some(int fd, void* buffer, std::size_t size) {
   for (;;) {
-    const ssize_t n = ::read(fd, buffer, size);
+    const ssize_t n = faults::sys_read(fd, buffer, size);
     if (n < 0 && errno == EINTR) continue;
     return n;
   }
@@ -21,7 +28,7 @@ bool write_all(int fd, const void* data, std::size_t size) {
   const char* bytes = static_cast<const char*>(data);
   std::size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, bytes + written, size - written);
+    const ssize_t n = faults::sys_write(fd, bytes + written, size - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

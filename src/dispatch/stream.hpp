@@ -9,6 +9,11 @@
 /// fork/exec dispatcher (dispatch/dispatch.cpp), the worker loop, and the
 /// hovald service transport (src/service/), so a future multi-host
 /// dispatcher swaps the fd's origin, not the I/O discipline.
+///
+/// Every syscall here routes through the fault-injection hooks in
+/// util/faults.hpp (zero-cost when no HOVAL_FAULT_PLAN injector is
+/// installed), so the whole distributed stack can be chaos-tested under
+/// one deterministic, seed-replayable fault schedule.
 
 #include <cstddef>
 

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "dispatch/stream.hpp"
+#include "runtime/crc32.hpp"
+#include "util/bytes.hpp"
 
 namespace hoval::dispatch {
 
@@ -31,8 +33,9 @@ std::string encode_frame(std::string_view payload) {
                     " bytes exceeds the " + std::to_string(kMaxFramePayload) +
                     "-byte cap");
   std::string frame;
-  frame.reserve(4 + payload.size());
+  frame.reserve(kFrameHeaderBytes + payload.size());
   put_u32_le(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(frame, crc32(as_byte_span(payload.data(), payload.size())));
   frame.append(payload.data(), payload.size());
   return frame;
 }
@@ -48,16 +51,25 @@ void FrameDecoder::feed(const void* data, std::size_t size) {
 }
 
 std::optional<std::string> FrameDecoder::next() {
+  // The length is validated as soon as its 4 bytes arrive — a garbage
+  // prefix is rejected before we wait for (or allocate) anything else.
   if (pending_bytes() < 4) return std::nullopt;
   const std::uint32_t length = get_u32_le(buffer_.data() + consumed_);
   if (length > kMaxFramePayload)
     throw WireError("frame length prefix " + std::to_string(length) +
                     " exceeds the " + std::to_string(kMaxFramePayload) +
                     "-byte cap (corrupt or misaligned stream)");
-  if (pending_bytes() < 4 + static_cast<std::size_t>(length))
+  if (pending_bytes() < kFrameHeaderBytes + static_cast<std::size_t>(length))
     return std::nullopt;
-  std::string payload = buffer_.substr(consumed_ + 4, length);
-  consumed_ += 4 + static_cast<std::size_t>(length);
+  const std::uint32_t expected = get_u32_le(buffer_.data() + consumed_ + 4);
+  std::string payload = buffer_.substr(consumed_ + kFrameHeaderBytes, length);
+  const std::uint32_t actual = crc32(as_byte_span(payload.data(), payload.size()));
+  if (actual != expected)
+    throw WireError("frame checksum mismatch (corrupted stream): payload of " +
+                    std::to_string(length) + " bytes hashed " +
+                    std::to_string(actual) + ", header says " +
+                    std::to_string(expected));
+  consumed_ += kFrameHeaderBytes + static_cast<std::size_t>(length);
   return payload;
 }
 

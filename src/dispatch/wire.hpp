@@ -4,13 +4,19 @@
 /// The dispatch wire format: length-prefixed frames over a byte stream
 /// (pipe or socket), each carrying one JSON protocol message.
 ///
-/// Framing: every frame is a 4-byte little-endian payload length followed
-/// by exactly that many payload bytes.  The decoder is incremental — feed
-/// it whatever read() returned and pop complete frames — and defensive: a
-/// length prefix above kMaxFramePayload throws WireError immediately
-/// (before any allocation of that size), and a stream that ends mid-frame
-/// is detectable via pending_bytes(), so a killed peer's half-written
-/// frame is a diagnosed truncation, never a silently misparsed payload.
+/// Framing: every frame is a 4-byte little-endian payload length, a
+/// 4-byte little-endian CRC-32 of the payload (runtime/crc32.hpp — the
+/// same value-fault-to-benign-fault transform the paper's Sec. 5.2
+/// discusses, applied to our own transport), then exactly `length`
+/// payload bytes.  The decoder is incremental — feed it whatever read()
+/// returned and pop complete frames — and defensive: a length prefix
+/// above kMaxFramePayload throws WireError immediately (before any
+/// allocation of that size), a checksum mismatch throws WireError (a
+/// flipped bit becomes a detected link fault the peer-loss paths already
+/// handle, never a silently altered result byte), and a stream that ends
+/// mid-frame is detectable via pending_bytes(), so a killed peer's
+/// half-written frame is a diagnosed truncation, never a silently
+/// misparsed payload.
 ///
 /// Protocol messages (one JSON object per frame, "type"-tagged):
 ///   host -> worker   {"type": "point", "index": k, "scenario": {...}}
@@ -46,8 +52,11 @@ class WireError : public std::runtime_error {
 /// allocation.
 constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
 
-/// [u32-LE length][payload].  \throws WireError when payload exceeds
-/// kMaxFramePayload.
+/// Bytes before the payload: [u32-LE length][u32-LE crc32(payload)].
+constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// [u32-LE length][u32-LE crc32(payload)][payload].  \throws WireError
+/// when payload exceeds kMaxFramePayload.
 std::string encode_frame(std::string_view payload);
 
 /// Incremental frame decoder over an arbitrary chunking of the stream.
@@ -58,7 +67,8 @@ class FrameDecoder {
 
   /// Pops the next complete frame's payload, or nullopt when the buffered
   /// bytes do not yet hold one.  \throws WireError on a length prefix
-  /// above kMaxFramePayload — the stream is unrecoverable after that.
+  /// above kMaxFramePayload or a payload whose CRC-32 does not match the
+  /// header — the stream is unrecoverable after either.
   std::optional<std::string> next();
 
   /// Bytes buffered toward an incomplete frame.  Nonzero at end-of-stream

@@ -29,7 +29,8 @@
 ///   runtime/    threaded message-passing substrate with wire-level
 ///               fault injection and CRC framing
 ///   stats/      descriptive statistics and histograms
-///   util/       contracts, deterministic RNG, tables, CSV, logging
+///   util/       contracts, deterministic RNG, tables, CSV, logging,
+///               seeded syscall-level fault injection (chaos testing)
 
 #include "adversary/adversary.hpp"
 #include "adversary/bivalence.hpp"
@@ -85,6 +86,7 @@
 #include "stats/interval.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/faults.hpp"
 #include "util/format.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"

@@ -1,8 +1,12 @@
 #include "service/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <unistd.h>
 #include <utility>
 
+#include "dispatch/stream.hpp"
 #include "service/socket.hpp"
 
 namespace hoval::service {
@@ -26,12 +30,67 @@ ServerMessage read_server_message(int fd, dispatch::FrameDecoder& decoder) {
   return parse_server_message(*frame);
 }
 
+/// read_server_message bounded by a deadline: polls before every read so
+/// a silent or glacial peer surfaces as a clean retryable error instead
+/// of a hang.  `timeout_ms <= 0` means no deadline.
+ServerMessage read_server_message_deadline(int fd,
+                                           dispatch::FrameDecoder& decoder,
+                                           int timeout_ms) {
+  if (timeout_ms <= 0) return read_server_message(fd, decoder);
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    try {
+      if (auto frame = decoder.next()) return parse_server_message(*frame);
+    } catch (const dispatch::WireError& e) {
+      throw ServiceError(e.what());
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0)
+      throw ServiceError("service did not answer within " +
+                         std::to_string(timeout_ms) + "ms");
+    pollfd waiter{};
+    waiter.fd = fd;
+    waiter.events = POLLIN;
+    const int ready =
+        dispatch::poll_fds(&waiter, 1, static_cast<int>(left.count()));
+    if (ready < 0) throw ServiceError("service connection failed (poll)");
+    if (ready == 0) continue;  // deadline check above fires next round
+    char buffer[64 * 1024];
+    const ssize_t n = dispatch::read_some(fd, buffer, sizeof(buffer));
+    if (n < 0) throw ServiceError("service connection failed while reading");
+    if (n == 0)
+      throw ServiceError("service connection closed before the reply");
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+  }
+}
+
 }  // namespace
 
-ServiceClient::ServiceClient(const std::string& address)
-    : fd_(connect_socket(address)) {
+ServiceClient::ServiceClient(const std::string& address, RetryPolicy policy)
+    : address_(address),
+      policy_(std::move(policy)),
+      jitter_(policy_.jitter_seed) {
+  connect_with_retries();
+}
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServiceClient::connect_once() {
+  close();
+  decoder_ = dispatch::FrameDecoder();  // a dead peer's half-frame is gone
+  fd_ = connect_socket(address_, policy_.connect_timeout_ms);
   send_or_throw(fd_, encode_hello());
-  const ServerMessage greeting = read_server_message(fd_, decoder_);
+  const ServerMessage greeting =
+      read_server_message_deadline(fd_, decoder_, policy_.hello_timeout_ms);
   if (greeting.type == ServerMessage::Type::kError)
     throw ServiceError("service rejected the connection: " + greeting.what);
   if (greeting.type != ServerMessage::Type::kHello)
@@ -42,13 +101,37 @@ ServiceClient::ServiceClient(const std::string& address)
                        std::to_string(greeting.version));
 }
 
-ServiceClient::~ServiceClient() { close(); }
-
-void ServiceClient::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+void ServiceClient::connect_with_retries() {
+  const int attempts = std::max(1, policy_.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      connect_once();
+      return;
+    } catch (const ServiceError& e) {
+      close();
+      if (attempt >= attempts) throw;
+      backoff(attempt, e.what());
+    }
   }
+}
+
+void ServiceClient::backoff(int attempt, const std::string& reason,
+                            int hint_ms) {
+  int delay = hint_ms;
+  if (delay < 0) {
+    // Capped exponential: initial * 2^(attempt-1), then deterministic
+    // jitter into [delay/2, delay] so herds spread without losing replay.
+    long long base = std::max(1, policy_.initial_backoff_ms);
+    for (int i = 1; i < attempt && base < policy_.max_backoff_ms; ++i)
+      base *= 2;
+    base = std::min<long long>(base, std::max(1, policy_.max_backoff_ms));
+    delay = static_cast<int>(base / 2 +
+                             jitter_.below(static_cast<std::uint64_t>(base / 2 + 1)));
+  }
+  ++retries_;
+  if (policy_.on_retry)
+    policy_.on_retry(attempt, std::max(1, policy_.max_attempts), delay, reason);
+  if (delay > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay));
 }
 
 int ServiceClient::submit(const Json& spec, bool sweep, bool progress) {
@@ -81,6 +164,7 @@ JobOutcome ServiceClient::collect(int id, const ClientProgressFn& progress) {
         JobOutcome outcome;
         outcome.error = message.what.empty() ? "unspecified service error"
                                              : message.what;
+        outcome.retry_after_ms = message.retry_after_ms;
         return outcome;
       }
       case ServerMessage::Type::kHello:
@@ -89,18 +173,41 @@ JobOutcome ServiceClient::collect(int id, const ClientProgressFn& progress) {
   }
 }
 
+JobOutcome ServiceClient::submit_collect(const Json& spec, bool sweep,
+                                         const ClientProgressFn& progress) {
+  const int attempts = std::max(1, policy_.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (fd_ < 0) connect_with_retries();
+      const int id = submit(spec, sweep, static_cast<bool>(progress));
+      JobOutcome outcome = collect(id, progress);
+      // A busy shed is the one *answered* outcome worth retrying: the
+      // daemon asked us to come back.  Resubmission is idempotent (the
+      // spec-hash cache serves repeats byte-identically), so honouring
+      // the hint is always safe.  Every other error is spec-level and
+      // deterministic — retrying would only repeat it.
+      if (!outcome.ok && outcome.retry_after_ms >= 0 && attempt < attempts) {
+        backoff(attempt, "service busy: " + outcome.error,
+                outcome.retry_after_ms);
+        continue;
+      }
+      return outcome;
+    } catch (const ServiceError& e) {
+      close();  // the connection is suspect; a retry starts fresh
+      if (attempt >= attempts) throw;
+      backoff(attempt, e.what());
+    }
+  }
+}
+
 JobOutcome ServiceClient::submit_scenario(const Json& spec,
                                           const ClientProgressFn& progress) {
-  const int id = submit(spec, /*sweep=*/false,
-                        /*progress=*/static_cast<bool>(progress));
-  return collect(id, progress);
+  return submit_collect(spec, /*sweep=*/false, progress);
 }
 
 JobOutcome ServiceClient::submit_sweep(const Json& spec,
                                        const ClientProgressFn& progress) {
-  const int id = submit(spec, /*sweep=*/true,
-                        /*progress=*/static_cast<bool>(progress));
-  return collect(id, progress);
+  return submit_collect(spec, /*sweep=*/true, progress);
 }
 
 }  // namespace hoval::service

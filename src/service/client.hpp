@@ -8,13 +8,26 @@
 /// is a thin wrapper over this class.  The lower-level submit()/close()
 /// pair exists for tests that need a job left in flight (disconnect
 /// cancellation).
+///
+/// Fault tolerance: a RetryPolicy turns transport failures (connection
+/// refused/reset, truncated or checksum-failed frames, the daemon's
+/// `busy` shed) into capped-exponential-backoff retries with
+/// deterministic jitter, reconnecting and resubmitting the identical
+/// spec.  Resubmission is *idempotent by construction*: the canonical
+/// sorted-key spec serialisation plus the daemon's spec-hash result cache
+/// guarantee a repeat submission costs zero runs once the first attempt
+/// completed, and yields byte-identical result text either way.
+/// Spec-level errors (bad scenario, unknown adversary, ...) are
+/// deterministic and never retried.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
 #include "dispatch/wire.hpp"
 #include "service/protocol.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace hoval::service {
 
@@ -28,21 +41,51 @@ struct JobOutcome {
   bool cache_hit = false;  ///< served from the spec-hash cache
   Json result;             ///< object (scenario) or array (sweep)
   std::string error;
+  int retry_after_ms = -1;  ///< server's resubmit hint; -1 = not retryable
+};
+
+/// Observer for retry decisions: (attempt just failed, max attempts,
+/// sleep before the next attempt in ms, reason).  hoval_cli logs these to
+/// stderr; tests count them.
+using RetryObserverFn =
+    std::function<void(int, int, int, const std::string&)>;
+
+/// How hard to fight for a connection and a result.  The default policy
+/// (max_attempts = 1) never retries — identical behaviour to the
+/// pre-retry client except that connect/hello now observe deadlines
+/// instead of blocking forever.
+struct RetryPolicy {
+  int max_attempts = 1;          ///< total tries per operation (>= 1)
+  int initial_backoff_ms = 100;  ///< first retry delay (doubles per retry)
+  int max_backoff_ms = 2000;     ///< backoff cap
+  int connect_timeout_ms = 10'000;  ///< per connect(2) attempt; <=0 blocks
+  int hello_timeout_ms = 10'000;    ///< handshake deadline; <=0 blocks
+  /// Seeds the jitter stream so a replayed run backs off identically;
+  /// jitter spreads a thundering herd of clients, determinism keeps any
+  /// one client's schedule reproducible.
+  std::uint64_t jitter_seed = 0;
+  RetryObserverFn on_retry;  ///< called before each backoff sleep
 };
 
 class ServiceClient {
  public:
-  /// Connects and performs the hello exchange.  \throws ServiceError on
-  /// connection failure, version mismatch, or a malformed greeting.
-  explicit ServiceClient(const std::string& address);
+  /// Connects and performs the hello exchange, retrying per `policy`.
+  /// \throws ServiceError once every attempt failed (connection failure,
+  /// version mismatch, malformed greeting, deadline).
+  explicit ServiceClient(const std::string& address, RetryPolicy policy = {});
   ~ServiceClient();
   ServiceClient(const ServiceClient&) = delete;
   ServiceClient& operator=(const ServiceClient&) = delete;
 
-  /// Submits and blocks until the result or error frame arrives.
-  /// `progress`, when set, opts the job into progress frames and observes
-  /// them as they stream.  \throws ServiceError on transport failure
-  /// (spec-level failures come back as JobOutcome::error).
+  /// Submits and blocks until the result or error frame arrives,
+  /// retrying per the policy: a transport failure reconnects and
+  /// resubmits; a `busy` shed waits the server's retry_after_ms hint and
+  /// resubmits on the same connection.  `progress`, when set, opts the
+  /// job into progress frames and observes them as they stream (a retry
+  /// restarts the stream from the fresh attempt's counts).  \throws
+  /// ServiceError when the final attempt fails on transport
+  /// (deterministic spec-level failures come back as JobOutcome::error,
+  /// never retried).
   JobOutcome submit_scenario(const Json& spec,
                              const ClientProgressFn& progress = {});
   JobOutcome submit_sweep(const Json& spec,
@@ -50,7 +93,7 @@ class ServiceClient {
 
   /// Fire-and-forget submission (returns the job id without waiting);
   /// pair with collect() — or with close() to abandon the job, which the
-  /// server answers by cancelling it.
+  /// server answers by cancelling it.  Never retries.
   int submit(const Json& spec, bool sweep, bool progress = false);
   /// Sends a cancel message for a submitted job.
   void cancel(int id);
@@ -60,9 +103,25 @@ class ServiceClient {
   /// Closes the connection now (the destructor also does).
   void close();
 
+  /// Retries performed so far (reconnects + busy waits), for reporting.
+  std::uint64_t retries() const noexcept { return retries_; }
+
  private:
+  void connect_once();  ///< one connect + hello attempt on a fresh fd
+  void connect_with_retries();
+  /// Sleeps the backoff for the failure of `attempt` (1-based) and
+  /// notifies the observer; `hint_ms >= 0` (a busy shed) overrides the
+  /// exponential schedule.
+  void backoff(int attempt, const std::string& reason, int hint_ms = -1);
+  JobOutcome submit_collect(const Json& spec, bool sweep,
+                            const ClientProgressFn& progress);
+
+  std::string address_;
+  RetryPolicy policy_;
+  Rng jitter_;
   int fd_ = -1;
   int next_id_ = 0;
+  std::uint64_t retries_ = 0;
   dispatch::FrameDecoder decoder_;
 };
 

@@ -183,11 +183,13 @@ std::string encode_result_text(int id, bool cache_hit,
   return out;
 }
 
-std::string encode_error(int id, const std::string& what) {
+std::string encode_error(int id, const std::string& what,
+                         int retry_after_ms) {
   Json message = Json::object();
   message.set("type", "error");
   message.set("id", id);
   message.set("what", what);
+  if (retry_after_ms >= 0) message.set("retry_after_ms", retry_after_ms);
   return message.dump();
 }
 
@@ -218,12 +220,18 @@ ServerMessage parse_server_message(std::string_view payload) try {
     if (!parsed.result.is_object() && !parsed.result.is_array())
       reject("\"result\" must be an object or an array");
   } else if (name == "error") {
-    check_keys(message, "error", {"id", "what"});
+    check_keys(message, "error", {"id", "what", "retry_after_ms"});
     parsed.type = ServerMessage::Type::kError;
     parsed.id = required_id(message, /*minimum=*/-1);
     const Json& what = required_member(message, "what");
     if (!what.is_string()) reject("\"what\" must be a string");
     parsed.what = what.as_string();
+    if (message.contains("retry_after_ms")) {
+      const long long hint = required_integer(message, "retry_after_ms", 0);
+      if (hint > std::numeric_limits<int>::max())
+        reject("\"retry_after_ms\" out of range");
+      parsed.retry_after_ms = static_cast<int>(hint);
+    }
   } else {
     reject("unknown type \"" + name + "\"");
   }

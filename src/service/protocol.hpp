@@ -15,8 +15,15 @@
 ///      "spec": {...}, "progress": true?}
 ///   < {"type": "progress", "id": k, "completed": c, "total": t}   (opt-in)
 ///   < {"type": "result", "id": k, "cache_hit": b, "result": {...}|[...]}
-///   < {"type": "error", "id": k, "what": "..."}   (id -1: whole connection)
+///   < {"type": "error", "id": k, "what": "...",
+///      "retry_after_ms": n?}                      (id -1: whole connection)
 ///   > {"type": "cancel", "id": k}
+///
+/// `retry_after_ms` appears only on *retryable* errors — today the
+/// daemon's admission-queue `busy` shed — and tells a well-behaved client
+/// when to resubmit the identical spec (safe: the spec-hash cache makes
+/// repeats byte-identical).  Errors without it are deterministic spec
+/// failures that retrying cannot fix.
 ///
 /// `id` is chosen by the client and scopes one job within its connection;
 /// ids may be reused once answered, but a duplicate among unanswered jobs
@@ -47,8 +54,10 @@ class ServiceError : public std::runtime_error {
 };
 
 /// Bumped on any incompatible protocol change; hello frames carry it and
-/// both sides reject a peer speaking a different version.
-constexpr int kProtocolVersion = 1;
+/// both sides reject a peer speaking a different version.  Version 2:
+/// CRC-32 in the wire frame header (dispatch/wire.hpp) and the optional
+/// `retry_after_ms` hint on error messages.
+constexpr int kProtocolVersion = 2;
 
 // --- client -> server ------------------------------------------------------
 
@@ -82,6 +91,7 @@ struct ServerMessage {
   bool cache_hit = false;   ///< kResult
   Json result;              ///< kResult: object (scenario) or array (sweep)
   std::string what;         ///< kError
+  int retry_after_ms = -1;  ///< kError: resubmit hint; -1 = not retryable
 };
 
 std::string encode_server_hello();
@@ -93,7 +103,10 @@ std::string encode_result(int id, bool cache_hit, const Json& result);
 /// must be a valid compact JSON value (the cache only ever holds dumps).
 std::string encode_result_text(int id, bool cache_hit,
                                std::string_view result_text);
-std::string encode_error(int id, const std::string& what);
+/// `retry_after_ms >= 0` marks the error retryable (the admission-queue
+/// `busy` shed); the default omits the key entirely.
+std::string encode_error(int id, const std::string& what,
+                         int retry_after_ms = -1);
 
 /// Parses and validates one server frame payload.  \throws ServiceError.
 ServerMessage parse_server_message(std::string_view payload);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <list>
@@ -12,6 +13,8 @@
 #include <unistd.h>
 #include <utility>
 #include <vector>
+
+#include "util/faults.hpp"
 
 #include "dispatch/stream.hpp"
 #include "dispatch/wire.hpp"
@@ -83,12 +86,21 @@ ProgressCallback make_point_progress(std::shared_ptr<ProgressState> state,
 }
 
 struct Client {
+  using Clock = std::chrono::steady_clock;
+
   dispatch::FrameDecoder decoder;
   std::string outbox;        ///< framed bytes awaiting POLLOUT
   bool said_hello = false;
   /// Set on a fatal protocol error: stop reading, flush the outbox (which
   /// ends with the error frame), then close.
   bool doomed = false;
+  /// Set by the degradation checks (deadline expiry, outbox overflow):
+  /// close without ceremony at the end of the loop iteration — these
+  /// clients are unresponsive, an error frame would just sit unflushed.
+  const char* drop_reason = nullptr;
+  bool drop_is_overflow = false;
+  Clock::time_point connected_at{};  ///< hello deadline anchor
+  Clock::time_point last_input{};    ///< idle deadline anchor
 };
 
 struct PendingJob {
@@ -129,6 +141,9 @@ struct Server::Impl {
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
   std::atomic<std::uint64_t> cache_evictions{0};
+  std::atomic<std::uint64_t> jobs_shed{0};
+  std::atomic<std::uint64_t> clients_timed_out{0};
+  std::atomic<std::uint64_t> clients_overflowed{0};
   std::atomic<bool> stop_flag{false};
 
   ResultCache cache;
@@ -166,14 +181,21 @@ struct Server::Impl {
   void send_payload(int fd, Client& client, std::string_view payload) {
     client.outbox += dispatch::encode_frame(payload);
     flush(fd, client);
+    // The cap is checked after the flush attempt: only bytes the socket
+    // genuinely will not take count against the client.
+    if (config.max_outbox_bytes > 0 && !client.drop_reason &&
+        client.outbox.size() > config.max_outbox_bytes) {
+      client.drop_reason = "outbox overflow";
+      client.drop_is_overflow = true;
+    }
   }
 
   /// Writes as much of the outbox as the socket takes.  Returns false when
   /// the connection is dead (caller must disconnect).
   bool flush(int fd, Client& client) {
     while (!client.outbox.empty()) {
-      const ssize_t n = ::write(fd, client.outbox.data(),
-                                client.outbox.size());
+      const ssize_t n = faults::sys_write(fd, client.outbox.data(),
+                                          client.outbox.size());
       if (n > 0) {
         client.outbox.erase(0, static_cast<std::size_t>(n));
         continue;
@@ -239,6 +261,23 @@ struct Server::Impl {
       return;
     }
     sync_cache_stats();
+    // Bounded admission: shed instead of queuing without limit.  A cache
+    // hit above is still served — it costs no runs — and the `busy` error
+    // carries a retry hint; resubmitting the identical spec is idempotent,
+    // so a well-behaved client just comes back.
+    if (config.max_pending_jobs > 0 &&
+        pending.size() >= static_cast<std::size_t>(config.max_pending_jobs)) {
+      jobs_shed.fetch_add(1, std::memory_order_relaxed);
+      log("job " + std::to_string(message.id) + " from client " +
+          std::to_string(fd) + " shed: " + std::to_string(pending.size()) +
+          " jobs queued (retry_after_ms=" +
+          std::to_string(config.busy_retry_ms) + ")");
+      send_payload(fd, client,
+                   encode_error(message.id,
+                                "busy: admission queue is full, retry later",
+                                std::max(0, config.busy_retry_ms)));
+      return;
+    }
     pending.push_back(std::move(job));
     admit_jobs();
   }
@@ -428,7 +467,8 @@ struct Server::Impl {
       }
       set_nonblocking(fd);
       clients_accepted.fetch_add(1, std::memory_order_relaxed);
-      clients.emplace(fd, Client{});
+      Client& client = clients.emplace(fd, Client{}).first->second;
+      client.connected_at = client.last_input = Client::Clock::now();
       log("client " + std::to_string(fd) + " connected");
     }
   }
@@ -489,8 +529,9 @@ struct Server::Impl {
   bool read_input(int fd, Client& client) {
     char buffer[64 * 1024];
     for (;;) {
-      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      const ssize_t n = faults::sys_read(fd, buffer, sizeof(buffer));
       if (n > 0) {
+        client.last_input = Client::Clock::now();
         client.decoder.feed(buffer, static_cast<std::size_t>(n));
         continue;
       }
@@ -519,6 +560,73 @@ struct Server::Impl {
     }
   }
 
+  // --- graceful degradation ------------------------------------------------
+
+  bool client_has_jobs(int fd) const {
+    for (const PendingJob& job : pending)
+      if (job.meta.client == fd) return true;
+    for (const ActiveJob& job : active)
+      if (job.client_fd == fd && !job.discarded) return true;
+    return false;
+  }
+
+  /// The client's currently-armed deadline, or time_point::max() when it
+  /// has none.  Two deadlines exist: hello (a connection must identify
+  /// itself promptly — the slow-loris guard) and idle (a jobless, silent
+  /// client does not get to hold a connection slot forever).  A client
+  /// with queued or active jobs is never idle.
+  Client::Clock::time_point client_deadline(int fd, const Client& client) const {
+    using Ms = std::chrono::milliseconds;
+    if (!client.said_hello) {
+      if (config.hello_timeout_ms > 0)
+        return client.connected_at + Ms(config.hello_timeout_ms);
+      return Client::Clock::time_point::max();
+    }
+    if (config.idle_timeout_ms > 0 && !client_has_jobs(fd))
+      return client.last_input + Ms(config.idle_timeout_ms);
+    return Client::Clock::time_point::max();
+  }
+
+  /// Folds the earliest client deadline into the poll timeout.
+  int fold_deadline_timeout(int timeout_ms,
+                            Client::Clock::time_point now) const {
+    auto earliest = Client::Clock::time_point::max();
+    for (const auto& entry : clients)
+      earliest = std::min(earliest, client_deadline(entry.first, entry.second));
+    if (earliest == Client::Clock::time_point::max()) return timeout_ms;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(earliest - now);
+    const int until = static_cast<int>(
+        std::clamp<long long>(left.count() + 1, 0, 60'000));
+    return timeout_ms < 0 ? until : std::min(timeout_ms, until);
+  }
+
+  void enforce_deadlines(Client::Clock::time_point now) {
+    for (auto& entry : clients) {
+      Client& client = entry.second;
+      if (client.drop_reason) continue;
+      if (now >= client_deadline(entry.first, client))
+        client.drop_reason =
+            client.said_hello ? "idle timeout" : "hello timeout";
+    }
+  }
+
+  /// Closes clients marked by the degradation checks — only the offending
+  /// client; its jobs are cancelled by the normal disconnect path.
+  void sweep_drops() {
+    std::vector<int> to_drop;
+    for (const auto& entry : clients)
+      if (entry.second.drop_reason) to_drop.push_back(entry.first);
+    for (const int fd : to_drop) {
+      const Client& client = clients.at(fd);
+      (client.drop_is_overflow ? clients_overflowed : clients_timed_out)
+          .fetch_add(1, std::memory_order_relaxed);
+      log("client " + std::to_string(fd) + " dropped: " + client.drop_reason +
+          " (outbox " + std::to_string(client.outbox.size()) + " bytes)");
+      disconnect(fd);
+    }
+  }
+
   // --- the loop ------------------------------------------------------------
 
   void run() {
@@ -536,8 +644,10 @@ struct Server::Impl {
         fds.push_back(pollfd{entry.first, events, 0});
       }
       // Completion has no notification channel (by design: ready() is a
-      // cheap atomic poll), so tick while anything is active.
-      const int timeout_ms = active.empty() ? -1 : 10;
+      // cheap atomic poll), so tick while anything is active; client
+      // deadlines bound the sleep so expiries are enforced on time.
+      const int timeout_ms = fold_deadline_timeout(active.empty() ? -1 : 10,
+                                                   Client::Clock::now());
       const int ready =
           dispatch::poll_fds(fds.data(), fds.size(), timeout_ms);
       if (ready < 0)
@@ -573,6 +683,8 @@ struct Server::Impl {
 
       emit_progress();
       collect_ready();
+      enforce_deadlines(Client::Clock::now());
+      sweep_drops();
 
       // Doomed clients linger only until their error frame is flushed.
       std::vector<int> to_close;
@@ -632,6 +744,11 @@ ServerStats Server::stats() const {
   stats.cache_misses = impl_->cache_misses.load(std::memory_order_relaxed);
   stats.cache_evictions =
       impl_->cache_evictions.load(std::memory_order_relaxed);
+  stats.jobs_shed = impl_->jobs_shed.load(std::memory_order_relaxed);
+  stats.clients_timed_out =
+      impl_->clients_timed_out.load(std::memory_order_relaxed);
+  stats.clients_overflowed =
+      impl_->clients_overflowed.load(std::memory_order_relaxed);
   return stats;
 }
 

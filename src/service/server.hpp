@@ -23,6 +23,16 @@
 /// policy in service/scheduler.hpp.  A client disconnecting cancels its
 /// in-flight jobs (the executor reclaims the workers) and drops its
 /// queued ones without disturbing other clients.
+///
+/// Graceful degradation: the admission queue is bounded — a submit
+/// arriving with max_pending_jobs already queued is answered with a
+/// `busy` error frame carrying a retry_after_ms hint instead of growing
+/// the queue without limit (resubmission is idempotent thanks to the
+/// spec-hash cache, so shedding is safe).  Per-client deadlines drop
+/// slow-loris peers: a connection that never completes its hello within
+/// hello_timeout_ms, or sits idle with no jobs for idle_timeout_ms, is
+/// closed.  A per-client outbox byte cap bounds what one unreading
+/// client can pin in memory; exceeding it drops only that client.
 
 #include <cstddef>
 #include <cstdint>
@@ -41,6 +51,21 @@ struct ServerConfig {
   /// Jobs estimated at most this many runs jump the queue (scheduler.hpp).
   long long small_job_runs = 1000;
   std::size_t cache_bytes = 64u << 20;  ///< result-cache budget
+
+  // --- graceful degradation (0 or negative disables each knob) ---
+  /// Queued (not yet active) jobs across all clients before submits are
+  /// shed with a `busy` error frame instead of queued.
+  int max_pending_jobs = 64;
+  /// The retry_after_ms hint sent with a `busy` shed.
+  int busy_retry_ms = 250;
+  /// A connection must complete its hello within this deadline.
+  int hello_timeout_ms = 10'000;
+  /// A client with no queued/active jobs and no input for this long is
+  /// dropped (clients waiting on a submitted job are never idle).
+  int idle_timeout_ms = 300'000;
+  /// Unflushed response bytes one client may pin before it is dropped.
+  std::size_t max_outbox_bytes = 64u << 20;
+
   /// Optional log sink (one line per call, no trailing newline).
   std::function<void(const std::string&)> log;
 };
@@ -55,6 +80,9 @@ struct ServerStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  std::uint64_t jobs_shed = 0;           ///< submits answered with `busy`
+  std::uint64_t clients_timed_out = 0;   ///< hello/idle deadline drops
+  std::uint64_t clients_overflowed = 0;  ///< outbox byte-cap drops
 };
 
 class Server {

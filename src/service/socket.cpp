@@ -2,12 +2,15 @@
 
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "dispatch/stream.hpp"
 #include "service/protocol.hpp"
 
 namespace hoval::service {
@@ -122,6 +125,55 @@ int listen_unix(const std::string& path, int backlog) {
   return fd;
 }
 
+/// connect(2) with an optional deadline.  `timeout_ms <= 0` is a plain
+/// blocking connect; otherwise the socket goes non-blocking for the
+/// attempt (restored after) and an unfinished connect is polled for
+/// writability until the deadline, with SO_ERROR deciding the outcome.
+/// Returns true on success; on failure fills `error` and leaves the fd
+/// for the caller to close.
+bool connect_deadline(int fd, const sockaddr* addr, socklen_t len,
+                      int timeout_ms, std::string& error) {
+  if (timeout_ms <= 0) {
+    if (connect(fd, addr, len) == 0) return true;
+    error = std::string("connect: ") + std::strerror(errno);
+    return false;
+  }
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    error = std::string("fcntl: ") + std::strerror(errno);
+    return false;
+  }
+  bool connected = connect(fd, addr, len) == 0;
+  if (!connected && (errno == EINPROGRESS || errno == EAGAIN)) {
+    pollfd waiter{};
+    waiter.fd = fd;
+    waiter.events = POLLOUT;
+    const int ready = dispatch::poll_fds(&waiter, 1, timeout_ms);
+    if (ready == 0) {
+      error = "connect: timed out after " + std::to_string(timeout_ms) + "ms";
+    } else if (ready < 0) {
+      error = std::string("poll: ") + std::strerror(errno);
+    } else {
+      int soerr = 0;
+      socklen_t soerr_len = sizeof(soerr);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) != 0) {
+        error = std::string("getsockopt(SO_ERROR): ") + std::strerror(errno);
+      } else if (soerr != 0) {
+        error = std::string("connect: ") + std::strerror(soerr);
+      } else {
+        connected = true;
+      }
+    }
+  } else if (!connected) {
+    error = std::string("connect: ") + std::strerror(errno);
+  }
+  if (connected && fcntl(fd, F_SETFL, flags) != 0) {
+    error = std::string("fcntl(restore): ") + std::strerror(errno);
+    return false;
+  }
+  return connected;
+}
+
 }  // namespace
 
 ListenSocket::~ListenSocket() {
@@ -170,17 +222,16 @@ ListenSocket listen_socket(const std::string& address, int backlog) {
   throw ServiceError("cannot listen on " + address + ": " + last_error);
 }
 
-int connect_socket(const std::string& address) {
+int connect_socket(const std::string& address, int timeout_ms) {
   if (is_unix_path(address)) {
     const sockaddr_un addr = unix_address(address);
     const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) fail("socket(AF_UNIX)");
-    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      const int saved = errno;
+    std::string error;
+    if (!connect_deadline(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr), timeout_ms, error)) {
       close(fd);
-      errno = saved;
-      fail("connect(" + address + ")");
+      throw ServiceError("cannot connect to " + address + ": " + error);
     }
     return fd;
   }
@@ -196,8 +247,8 @@ int connect_socket(const std::string& address) {
       last_error = std::string("socket: ") + std::strerror(errno);
       continue;
     }
-    if (connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
-      last_error = std::string("connect: ") + std::strerror(errno);
+    if (!connect_deadline(fd, ai->ai_addr, ai->ai_addrlen, timeout_ms,
+                          last_error)) {
       close(fd);
       continue;
     }

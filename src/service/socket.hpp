@@ -47,7 +47,11 @@ class ListenSocket {
 ListenSocket listen_socket(const std::string& address, int backlog = 16);
 
 /// Connects to `address` (same grammar); returns the connected fd.
-/// \throws service::ServiceError on failure.
-int connect_socket(const std::string& address);
+/// `timeout_ms > 0` bounds each connect attempt (non-blocking connect +
+/// poll; an unreachable or hung address surfaces as a clean ServiceError
+/// instead of blocking forever); `timeout_ms <= 0` blocks indefinitely.
+/// The returned fd is blocking either way.  \throws service::ServiceError
+/// on failure or timeout.
+int connect_socket(const std::string& address, int timeout_ms = 0);
 
 }  // namespace hoval::service

@@ -1,0 +1,241 @@
+#include "util/faults.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace hoval::faults {
+
+namespace {
+
+double parse_rate(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double rate = -1;
+  try {
+    rate = std::stod(value, &used);
+  } catch (const std::exception&) {
+    throw FaultError("fault plan: \"" + key + "\" needs a number, got \"" +
+                     value + "\"");
+  }
+  if (used != value.size() || !(rate >= 0 && rate <= 1))  // NaN-proof bounds
+    throw FaultError("fault plan: \"" + key + "\" must be a rate in [0,1], got \"" +
+                     value + "\"");
+  return rate;
+}
+
+std::uint64_t parse_u64(const std::string& what, const std::string& value) {
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos)
+    throw FaultError("fault plan: " + what +
+                     " must be a non-negative integer, got \"" + value + "\"");
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    throw FaultError("fault plan: " + what + " out of range: \"" + value + "\"");
+  }
+}
+
+void append_rate(std::string& out, const char* key, double rate) {
+  if (rate <= 0) return;
+  out += out.empty() ? ":" : ",";
+  // Enough digits to round-trip the rates anyone writes by hand.
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", rate);
+  out += key;
+  out += '=';
+  out += buffer;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  FaultPlan plan;
+  plan.seed = parse_u64("seed", text.substr(0, colon));
+  if (colon == std::string::npos) return plan;
+
+  std::size_t cursor = colon + 1;
+  while (cursor <= text.size()) {
+    const std::size_t comma = text.find(',', cursor);
+    const std::string entry =
+        text.substr(cursor, comma == std::string::npos ? comma : comma - cursor);
+    const std::size_t equals = entry.find('=');
+    if (entry.empty() || equals == std::string::npos)
+      throw FaultError("fault plan: expected key=value, got \"" + entry + "\"");
+    const std::string key = entry.substr(0, equals);
+    const std::string value = entry.substr(equals + 1);
+    if (key == "short")
+      plan.short_rate = parse_rate(key, value);
+    else if (key == "eintr")
+      plan.eintr_rate = parse_rate(key, value);
+    else if (key == "reset")
+      plan.reset_rate = parse_rate(key, value);
+    else if (key == "eof")
+      plan.eof_rate = parse_rate(key, value);
+    else if (key == "corrupt")
+      plan.corrupt_rate = parse_rate(key, value);
+    else if (key == "stall")
+      plan.stall_rate = parse_rate(key, value);
+    else if (key == "stall_ms")
+      plan.stall_ms = static_cast<int>(parse_u64("stall_ms", value));
+    else if (key == "max_faults")
+      plan.max_faults = parse_u64("max_faults", value);
+    else
+      throw FaultError(
+          "fault plan: unknown key \"" + key +
+          "\" (valid: short, eintr, reset, eof, corrupt, stall, stall_ms, "
+          "max_faults)");
+    if (comma == std::string::npos) break;
+    cursor = comma + 1;
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string keys;
+  append_rate(keys, "short", short_rate);
+  append_rate(keys, "eintr", eintr_rate);
+  append_rate(keys, "reset", reset_rate);
+  append_rate(keys, "eof", eof_rate);
+  append_rate(keys, "corrupt", corrupt_rate);
+  append_rate(keys, "stall", stall_rate);
+  if (stall_rate > 0 && stall_ms != FaultPlan{}.stall_ms)
+    keys += ",stall_ms=" + std::to_string(stall_ms);
+  if (max_faults != 0) {
+    keys += keys.empty() ? ":" : ",";
+    keys += "max_faults=" + std::to_string(max_faults);
+  }
+  return std::to_string(seed) + keys;
+}
+
+bool FaultInjector::draw(double rate) {
+  return rate > 0 && budget_left() && rng_.chance(rate);
+}
+
+ssize_t FaultInjector::read(int fd, void* buffer, std::size_t size) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.operations;
+  if (draw(plan_.eintr_rate)) {
+    ++stats_.eintrs;
+    errno = EINTR;
+    return -1;
+  }
+  if (draw(plan_.reset_rate)) {
+    ++stats_.resets;
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (draw(plan_.eof_rate)) {
+    ++stats_.eofs;
+    return 0;
+  }
+  if (draw(plan_.stall_rate)) {
+    ++stats_.stalls;
+    const int stall_ms = plan_.stall_ms;
+    lock.unlock();  // never sleep while holding the schedule lock
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    lock.lock();
+  }
+  std::size_t effective = size;
+  if (size > 1 && draw(plan_.short_rate)) {
+    ++stats_.shorts;
+    effective = 1 + static_cast<std::size_t>(rng_.below(size - 1));
+  }
+  const ssize_t n = ::read(fd, buffer, effective);
+  if (n > 0 && draw(plan_.corrupt_rate)) {
+    ++stats_.corruptions;
+    const std::size_t byte = static_cast<std::size_t>(
+        rng_.below(static_cast<std::uint64_t>(n)));
+    const int bit = static_cast<int>(rng_.below(8));
+    static_cast<unsigned char*>(buffer)[byte] ^=
+        static_cast<unsigned char>(1u << bit);
+  }
+  return n;
+}
+
+ssize_t FaultInjector::write(int fd, const void* data, std::size_t size) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.operations;
+  if (draw(plan_.eintr_rate)) {
+    ++stats_.eintrs;
+    errno = EINTR;
+    return -1;
+  }
+  if (draw(plan_.reset_rate)) {
+    ++stats_.resets;
+    errno = EPIPE;
+    return -1;
+  }
+  if (draw(plan_.stall_rate)) {
+    ++stats_.stalls;
+    const int stall_ms = plan_.stall_ms;
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    lock.lock();
+  }
+  std::size_t effective = size;
+  if (size > 1 && draw(plan_.short_rate)) {
+    ++stats_.shorts;
+    effective = 1 + static_cast<std::size_t>(rng_.below(size - 1));
+  }
+  return ::write(fd, data, effective);
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+namespace detail {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace detail
+
+namespace {
+// The installed injector's storage.  Leaked on replacement only in the
+// pathological install-while-I/O-races case the header forbids; tools
+// install exactly once at startup, tests install/clear sequentially.
+FaultInjector* g_owned = nullptr;
+}  // namespace
+
+FaultInjector* install_fault_injector(const FaultPlan& plan) {
+  clear_fault_injector();
+  g_owned = new FaultInjector(plan);
+  detail::g_injector.store(g_owned, std::memory_order_release);
+  return g_owned;
+}
+
+void clear_fault_injector() {
+  detail::g_injector.store(nullptr, std::memory_order_release);
+  delete g_owned;
+  g_owned = nullptr;
+}
+
+FaultInjector* install_fault_plan_from_env() {
+  const char* text = std::getenv("HOVAL_FAULT_PLAN");
+  if (!text || !*text) return nullptr;
+  return install_fault_injector(FaultPlan::parse(text));
+}
+
+ssize_t FaultyStream::read(void* buffer, std::size_t size) {
+  for (;;) {
+    const ssize_t n = injector_->read(fd_, buffer, size);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool FaultyStream::write_all(const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = injector_->write(fd_, bytes + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace hoval::faults

@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <vector>
 
 #include "dispatch/dispatch.hpp"
 #include "dispatch/wire.hpp"
@@ -18,6 +20,7 @@
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
 #include "sim/result_json.hpp"
+#include "util/faults.hpp"
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -178,6 +181,90 @@ TEST(Dispatch, InvalidOptionsAndSweepsFailFast) {
   sweep.axes[0] =
       SweepAxis::single("adversary.0.params.alpha", {Json("not a budget")});
   EXPECT_THROW(dispatch_sweep(sweep, {}), ScenarioError);
+}
+
+// --- chaos: the dispatcher under an installed fault plan -------------------
+
+/// Installs the process-wide injector for one test and always clears it.
+struct ScopedFaultInjection {
+  faults::FaultInjector* injector;
+  explicit ScopedFaultInjection(const std::string& plan)
+      : injector(faults::install_fault_injector(faults::FaultPlan::parse(plan))) {}
+  ~ScopedFaultInjection() { faults::clear_fault_injector(); }
+};
+
+TEST(Dispatch, FaultPlanChaosStaysBitIdenticalToTheFaultFreeRun) {
+  // The acceptance contract of the chaos layer, in-process: with faults
+  // hammering both pipe ends (fork inherits the injector), the dispatcher
+  // must still merge the exact fault-free bytes.  Injected corruption is
+  // caught by the frame CRC (bad-frame -> worker lost), injected
+  // EOF/reset kill workers, and resubmission + respawn absorb all of it.
+  const SweepSpec sweep = demo_sweep();
+  const std::string reference = rendered(run_sweep(sweep, SweepOptions{}));
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    ScopedFaultInjection chaos(
+        std::to_string(seed) +
+        ":short=0.2,eintr=0.2,reset=0.005,eof=0.005,corrupt=0.005");
+    DispatchOptions options;
+    options.workers = 2;
+    options.max_point_attempts = 20;
+    options.max_respawns = 200;
+    options.respawn_backoff_initial_ms = 1;  // keep the test fast
+    options.respawn_backoff_max_ms = 8;
+    const DispatchReport report = dispatch_sweep(sweep, options);
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(rendered(report.results), reference);
+    EXPECT_GT(chaos.injector->stats().injected(), 0u);
+  }
+}
+
+TEST(Dispatch, WorkerLossEmitsOneStructuredReasonLine) {
+  DispatchOptions options;
+  options.workers = 1;
+  options.worker_argv = {"/bin/false"};
+  options.max_point_attempts = 1;
+  options.max_respawns = 0;
+  std::vector<std::string> lines;
+  options.log = [&](const std::string& line) { lines.push_back(line); };
+  const DispatchReport report = dispatch_sweep(demo_sweep(), options);
+  EXPECT_FALSE(report.complete());
+  bool found = false;
+  for (const std::string& line : lines) {
+    if (line.rfind("worker-lost ", 0) != 0) continue;
+    found = true;
+    EXPECT_NE(line.find("slot=0"), std::string::npos) << line;
+    EXPECT_NE(line.find("pid="), std::string::npos) << line;
+    EXPECT_NE(line.find("reason="), std::string::npos) << line;
+    EXPECT_NE(line.find("point="), std::string::npos) << line;
+    EXPECT_NE(line.find("detail=\""), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found) << "no worker-lost line was logged";
+}
+
+TEST(Dispatch, CrashLoopRespawnsAreBackedOffNotHotSpun) {
+  // Six respawns with a 40ms initial backoff: streaks 2..7 wait
+  // 40+80+160+320+320+320 >= ~1.2s.  A hot loop through /bin/false would
+  // finish in tens of milliseconds — wall time is the observable.
+  DispatchOptions options;
+  options.workers = 1;
+  options.worker_argv = {"/bin/false"};
+  options.max_point_attempts = 8;
+  options.max_respawns = 6;
+  options.respawn_backoff_initial_ms = 40;
+  options.respawn_backoff_max_ms = 320;
+  std::vector<std::string> lines;
+  options.log = [&](const std::string& line) { lines.push_back(line); };
+  const auto start = std::chrono::steady_clock::now();
+  const DispatchReport report = dispatch_sweep(demo_sweep(), options);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_FALSE(report.complete());
+  EXPECT_GE(elapsed.count(), 500) << "respawns were not delayed";
+  bool backoff_logged = false;
+  for (const std::string& line : lines)
+    if (line.find("respawn backoff") != std::string::npos) backoff_logged = true;
+  EXPECT_TRUE(backoff_logged);
 }
 
 // --- the worker loop, driven synchronously through pipes -------------------

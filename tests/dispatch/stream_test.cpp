@@ -1,0 +1,165 @@
+#include "dispatch/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <pthread.h>
+#include <unistd.h>
+
+#include "util/faults.hpp"
+
+namespace hoval::dispatch {
+namespace {
+
+/// Installs the process-wide injector for one test body and always clears
+/// it, so a failing assertion cannot leak faults into the next test.
+struct ScopedFaultInjection {
+  faults::FaultInjector* injector;
+  explicit ScopedFaultInjection(const std::string& plan)
+      : injector(faults::install_fault_injector(faults::FaultPlan::parse(plan))) {}
+  ~ScopedFaultInjection() { faults::clear_fault_injector(); }
+};
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() { close_read(); close_write(); }
+  void close_read() { if (fds[0] >= 0) { ::close(fds[0]); fds[0] = -1; } }
+  void close_write() { if (fds[1] >= 0) { ::close(fds[1]); fds[1] = -1; } }
+};
+
+TEST(Stream, ReadSomeResumesAfterInjectedEintr) {
+  ScopedFaultInjection chaos("17:eintr=0.7");
+  Pipe pipe;
+  const std::string payload = "hello through the storm";
+  ASSERT_EQ(::write(pipe.fds[1], payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  char buffer[64];
+  // Every injected EINTR is retried inside read_some: the caller only ever
+  // sees bytes, EOF, or a real error.
+  const ssize_t n = read_some(pipe.fds[0], buffer, sizeof(buffer));
+  ASSERT_EQ(n, static_cast<ssize_t>(payload.size()));
+  EXPECT_EQ(std::string(buffer, payload.size()), payload);
+  EXPECT_GT(chaos.injector->stats().eintrs, 0u);
+}
+
+TEST(Stream, WriteAllCompletesUnderShortWritesAndEintr) {
+  ScopedFaultInjection chaos("23:short=0.8,eintr=0.5");
+  Pipe pipe;
+  std::string payload;
+  for (int i = 0; i < 2000; ++i) payload += static_cast<char>('A' + i % 23);
+
+  std::string received;
+  std::thread reader([&] {
+    // Plain reads on purpose: the faults under test are the writer's.
+    char buffer[256];
+    for (;;) {
+      const ssize_t n = ::read(pipe.fds[0], buffer, sizeof(buffer));
+      if (n <= 0) break;
+      received.append(buffer, static_cast<std::size_t>(n));
+    }
+  });
+  // Many write_all calls: any one call can get lucky and finish in a
+  // single full write, but across twenty the schedule must clamp some.
+  std::string sent;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(write_all(pipe.fds[1], payload.data(), payload.size()));
+    sent += payload;
+  }
+  pipe.close_write();
+  reader.join();
+  EXPECT_EQ(received, sent);
+  EXPECT_GT(chaos.injector->stats().shorts, 0u);
+  EXPECT_GT(chaos.injector->stats().eintrs, 0u);
+}
+
+TEST(Stream, InjectedResetSurfacesAsARealError) {
+  ScopedFaultInjection chaos("31:reset=1");
+  Pipe pipe;
+  ASSERT_EQ(::write(pipe.fds[1], "x", 1), 1);
+  char buffer[8];
+  errno = 0;
+  EXPECT_EQ(read_some(pipe.fds[0], buffer, sizeof(buffer)), -1);
+  EXPECT_EQ(errno, ECONNRESET);
+  errno = 0;
+  EXPECT_FALSE(write_all(pipe.fds[1], "y", 1));
+  EXPECT_EQ(errno, EPIPE);
+}
+
+void noop_handler(int) {}
+
+TEST(Stream, PollFdsPreservesTheDeadlineAcrossASignalStorm) {
+  // A handler without SA_RESTART makes every SIGUSR1 interrupt poll(2)
+  // with EINTR; poll_fds must re-derive the remaining timeout instead of
+  // restarting the full one on each retry.
+  struct sigaction storm {};
+  storm.sa_handler = noop_handler;
+  sigemptyset(&storm.sa_mask);
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &storm, &previous), 0);
+
+  Pipe pipe;  // never written: poll can only time out
+  pollfd waiter{};
+  waiter.fd = pipe.fds[0];
+  waiter.events = POLLIN;
+
+  const pthread_t target = pthread_self();
+  std::atomic<bool> done{false};
+  std::thread sender([&] {
+    while (!done.load()) {
+      pthread_kill(target, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const int ready = poll_fds(&waiter, 1, 250);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - start);
+  done.store(true);
+  sender.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &previous, nullptr), 0);
+
+  EXPECT_EQ(ready, 0);
+  EXPECT_GE(elapsed.count(), 240);
+  // A full-timeout restart per EINTR would stretch ~250ms into seconds.
+  EXPECT_LT(elapsed.count(), 2000);
+}
+
+TEST(Stream, ScopedSigpipeIgnoreTurnsPeerLossIntoAFalseReturn) {
+  struct sigaction before {};
+  ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &before), 0);
+  {
+    ScopedSigpipeIgnore guard;
+    Pipe pipe;
+    pipe.close_read();
+    // Without the guard this write would kill the process with SIGPIPE.
+    EXPECT_FALSE(write_all(pipe.fds[1], "orphaned", 8));
+    EXPECT_EQ(errno, EPIPE);
+  }
+  struct sigaction after {};
+  ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &after), 0);
+  EXPECT_EQ(after.sa_handler, before.sa_handler);  // disposition restored
+}
+
+TEST(Stream, HooksAreInertWithoutAnInstalledInjector) {
+  faults::clear_fault_injector();
+  Pipe pipe;
+  const std::string payload = "no chaos today";
+  ASSERT_TRUE(write_all(pipe.fds[1], payload.data(), payload.size()));
+  char buffer[64];
+  const ssize_t n = read_some(pipe.fds[0], buffer, sizeof(buffer));
+  ASSERT_EQ(n, static_cast<ssize_t>(payload.size()));
+  EXPECT_EQ(std::string(buffer, payload.size()), payload);
+}
+
+}  // namespace
+}  // namespace hoval::dispatch

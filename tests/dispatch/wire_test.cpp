@@ -76,6 +76,47 @@ TEST(Wire, OversizedLengthPrefixThrowsBeforeAllocating) {
                WireError);
 }
 
+TEST(Wire, CorruptedBytesAreRejectedByTheChecksumNeverMisparsed) {
+  // Flip every bit position of a frame in turn: whatever the fault model
+  // does to the bytes, the decoder must either throw (checksum or length
+  // violation) or keep waiting — it may never deliver altered payload.
+  const std::string payload = R"({"type":"error","index":1,"what":"ok"})";
+  const std::string frame = encode_frame(payload);
+  int rejected = 0;
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    std::string corrupted = frame;
+    corrupted[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    FrameDecoder decoder;
+    try {
+      decoder.feed(corrupted.data(), corrupted.size());
+      while (const auto out = decoder.next()) {
+        ADD_FAILURE() << "bit " << bit << " delivered a frame";
+        EXPECT_EQ(*out, payload);
+      }
+      // A length-field flip can leave the decoder waiting for more bytes;
+      // that is detection-by-truncation, also safe.
+    } catch (const WireError&) {
+      ++rejected;
+    }
+  }
+  // The overwhelming majority of flips (all payload and CRC bits, most
+  // length bits) must be caught outright.
+  EXPECT_GT(rejected, static_cast<int>(frame.size() * 8 / 2));
+}
+
+TEST(Wire, ChecksumMismatchDiagnosticNamesTheCorruption) {
+  std::string frame = encode_frame("checksummed payload");
+  frame[frame.size() - 1] ^= 0x01;  // corrupt the payload's last byte
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  try {
+    decoder.next();
+    FAIL() << "corrupted frame was accepted";
+  } catch (const WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
 TEST(Wire, PointAndResultAndErrorMessagesRoundTrip) {
   Json scenario = Json::object();
   scenario.set("algorithm", Json::object());

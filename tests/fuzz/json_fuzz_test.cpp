@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "dispatch/wire.hpp"
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
 #include "service/protocol.hpp"
@@ -204,7 +205,7 @@ void expect_server_frame_roundtrips(const service::ServerMessage& m) {
       reencoded = service::encode_result(m.id, m.cache_hit, m.result);
       break;
     case ServerMessage::Type::kError:
-      reencoded = service::encode_error(m.id, m.what);
+      reencoded = service::encode_error(m.id, m.what, m.retry_after_ms);
       break;
   }
   const ServerMessage again = service::parse_server_message(reencoded);
@@ -214,6 +215,7 @@ void expect_server_frame_roundtrips(const service::ServerMessage& m) {
   EXPECT_EQ(again.total, m.total);
   EXPECT_EQ(again.cache_hit, m.cache_hit);
   EXPECT_EQ(again.what, m.what);
+  EXPECT_EQ(again.retry_after_ms, m.retry_after_ms);
   EXPECT_TRUE(again.result == m.result) << "result diverged";
 }
 
@@ -236,6 +238,8 @@ TEST(JsonFuzz, MutatedServiceFramesNeverCrashOrMisparse) {
       service::encode_result(4, true,
                              Json::parse(R"({"runs": 5, "violations": []})")),
       service::encode_error(-1, "malformed frame"),
+      service::encode_error(7, "busy: admission queue is full, retry later",
+                            250),
   };
 
   Rng rng(0xF0026);
@@ -262,6 +266,68 @@ TEST(JsonFuzz, MutatedServiceFramesNeverCrashOrMisparse) {
   // Digit flips inside ids and counters routinely survive validation;
   // zero accepts would mean the round-trip arms never executed.
   EXPECT_GT(accepted, 0);
+}
+
+TEST(JsonFuzz, MutatedWireFramesNeverDeliverAlteredPayloads) {
+  // The chaos-layer contract one level below the JSON: bit-flipped,
+  // truncated, and spliced *frames* fed to the FrameDecoder must never
+  // deliver a payload that differs from one of the originals.  The CRC in
+  // the frame header is what turns silent value faults into detected link
+  // faults (rejection or truncation), mirroring the paper's reduction of
+  // corrupted communication to a tolerable fault class.
+  const std::vector<std::string> payloads = {
+      "",
+      "x",
+      std::string("binary\0payload", 14),
+      service::encode_hello(),
+      service::encode_error(7, "busy: admission queue is full, retry later",
+                            250),
+      dispatch::encode_error_message(3, "worker went away"),
+      std::string(5000, 'q'),
+  };
+  std::vector<std::string> frames;
+  for (const std::string& payload : payloads)
+    frames.push_back(dispatch::encode_frame(payload));
+
+  const auto is_original = [&](const std::string& delivered) {
+    for (const std::string& payload : payloads)
+      if (delivered == payload) return true;
+    return false;
+  };
+
+  Rng rng(0xF0027);
+  long long delivered_total = 0, rejected_total = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Splice 1-3 frames, then mutate the byte stream.
+    std::string stream;
+    const int spliced = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < spliced; ++i)
+      stream += frames[rng.below(frames.size())];
+    const std::string text = mutate(stream, rng);
+
+    dispatch::FrameDecoder decoder;
+    std::size_t offset = 0;
+    try {
+      while (offset < text.size()) {
+        const std::size_t chunk = std::min<std::size_t>(
+            text.size() - offset, 1 + rng.below(128));
+        decoder.feed(text.data() + offset, chunk);
+        offset += chunk;
+        while (const auto frame = decoder.next()) {
+          EXPECT_TRUE(is_original(*frame))
+              << "trial " << trial << " delivered altered payload";
+          ++delivered_total;
+        }
+      }
+    } catch (const dispatch::WireError&) {
+      ++rejected_total;  // detected corruption ends the stream — correct
+    }
+  }
+  // Mutations that only touch one frame leave the others deliverable, and
+  // corrupting mutations must be getting caught; zero on either side means
+  // the harness is not exercising the decoder.
+  EXPECT_GT(delivered_total, 0);
+  EXPECT_GT(rejected_total, 0);
 }
 
 TEST(JsonFuzz, MutatedCorpusThroughScenarioLayerNeverCrashes) {

@@ -10,12 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -401,6 +403,265 @@ TEST(Daemon, StopWithBusyClientsDrainsCleanly) {
   // ~ServerFixture stops the server: in-flight campaigns are cancelled
   // and drained; this must not hang or crash.
   fixture.reset();
+}
+
+// --- load shedding and deadlines -------------------------------------------
+
+TEST(Daemon, BusySubmitIsShedWithARetryHintAndRetrySucceeds) {
+  ServerConfig config;
+  config.max_active_jobs = 1;
+  config.max_pending_jobs = 1;
+  config.busy_retry_ms = 123;
+  ServerFixture fixture(std::move(config));
+
+  // One long job active, one queued: the admission queue is now full.
+  ServiceClient hog(fixture.address());
+  hog.submit(long_running_spec().to_json(), /*sweep=*/false);
+  ScenarioSpec queued = long_running_spec();
+  queued.campaign.seed = 777;
+  hog.submit(queued.to_json(), /*sweep=*/false);
+  ASSERT_TRUE(eventually(
+      [&] { return fixture.server().stats().jobs_submitted >= 2; }));
+
+  // A no-retry client sees the shed verbatim: a `busy` error frame with
+  // the configured hint, not a hang and not a grown queue.
+  const ScenarioSpec small = small_spec(10);
+  {
+    ServiceClient once(fixture.address());
+    const int id = once.submit(small.to_json(), /*sweep=*/false);
+    const JobOutcome shed = once.collect(id);
+    EXPECT_FALSE(shed.ok);
+    EXPECT_NE(shed.error.find("busy"), std::string::npos) << shed.error;
+    EXPECT_EQ(shed.retry_after_ms, 123);
+  }
+  EXPECT_GE(fixture.server().stats().jobs_shed, 1u);
+
+  // A retrying client rides the hint: it keeps getting shed while the
+  // queue is full, and completes with local-identical bytes once the hog
+  // disconnects (cancelling its jobs and draining the queue).
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff_ms = 10;
+  ServiceClient patient(fixture.address(), policy);
+  std::thread unblock([&] {
+    ASSERT_TRUE(eventually(
+        [&] { return fixture.server().stats().jobs_shed >= 2; }));
+    hog.close();
+  });
+  const JobOutcome outcome = patient.submit_scenario(small.to_json());
+  unblock.join();
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.dump(), local_scenario_bytes(small));
+  EXPECT_GT(patient.retries(), 0u);
+}
+
+TEST(Daemon, HelloDeadlineDropsASilentConnection) {
+  ServerConfig config;
+  config.hello_timeout_ms = 100;
+  ServerFixture fixture(std::move(config));
+  const int fd = connect_socket(fixture.address());
+  // Never says hello: the server must hang up on its own.
+  dispatch::FrameDecoder decoder;
+  EXPECT_FALSE(dispatch::read_frame(fd, decoder).has_value());
+  EXPECT_TRUE(eventually(
+      [&] { return fixture.server().stats().clients_timed_out >= 1; }));
+  ::close(fd);
+}
+
+TEST(Daemon, IdleDeadlineDropsJoblessClientsButSparesBusyOnes) {
+  ServerConfig config;
+  config.idle_timeout_ms = 150;
+  ServerFixture fixture(std::move(config));
+
+  // The busy client's long job exempts it from the idle deadline even
+  // though it sends nothing while waiting.
+  ServiceClient busy(fixture.address());
+  const int id = busy.submit(long_running_spec().to_json(), /*sweep=*/false);
+  ASSERT_TRUE(eventually(
+      [&] { return fixture.server().stats().jobs_submitted >= 1; }));
+
+  ServiceClient idle(fixture.address());
+  EXPECT_TRUE(eventually(
+      [&] { return fixture.server().stats().clients_timed_out >= 1; }));
+  EXPECT_EQ(fixture.server().stats().clients_timed_out, 1u);
+
+  // The busy client's connection still works end to end.
+  busy.cancel(id);
+  const JobOutcome cancelled = busy.collect(id);
+  EXPECT_FALSE(cancelled.ok);
+  EXPECT_NE(cancelled.error.find("cancel"), std::string::npos)
+      << cancelled.error;
+}
+
+TEST(Daemon, ClientHelloDeadlineSurfacesAsACleanRetryableError) {
+  // A listener that accepts but never speaks: without the deadline the
+  // client constructor would block forever on the greeting.
+  const ListenSocket mute = listen_socket(unique_socket_path(), 4);
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_ms = 1;
+  policy.hello_timeout_ms = 100;
+  int retries_seen = 0;
+  policy.on_retry = [&](int, int, int, const std::string&) { ++retries_seen; };
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(ServiceClient(mute.address(), policy), ServiceError);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 10'000) << "deadline did not bound the hello";
+  EXPECT_EQ(retries_seen, 1);  // attempt 1 failed, was retried, attempt 2 threw
+}
+
+// --- chaos: connection kills and outbox overflow ---------------------------
+
+/// A byte-forwarding proxy in front of the daemon that kills its first
+/// connection after relaying `kill_after` server-to-client bytes, then
+/// relays every later connection untouched — a deterministic mid-job
+/// connection loss for the retry path to absorb.
+class KillingProxy {
+ public:
+  KillingProxy(std::string target, long long kill_after)
+      : target_(std::move(target)),
+        kill_after_(kill_after),
+        listener_(listen_socket(unique_socket_path(), 4)) {
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~KillingProxy() {
+    stopping_.store(true);
+    // Wake the blocking accept with one last throwaway connection.
+    try {
+      ::close(connect_socket(listener_.address()));
+    } catch (const ServiceError&) {
+    }
+    acceptor_.join();
+    for (auto& pump : pumps_) pump.join();
+  }
+
+  const std::string& address() const { return listener_.address(); }
+  int connections() const { return connections_.load(); }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      const int client_fd = ::accept(listener_.fd(), nullptr, nullptr);
+      if (client_fd < 0) return;
+      if (stopping_.load()) {
+        ::close(client_fd);
+        return;
+      }
+      const int server_fd = connect_socket(target_);
+      const int index = connections_.fetch_add(1);
+      // Only the first connection is killed; later ones relay untouched.
+      auto budget = std::make_shared<std::atomic<long long>>(
+          index == 0 ? kill_after_
+                     : std::numeric_limits<long long>::max());
+      auto severed = std::make_shared<std::atomic<bool>>(false);
+      pumps_.emplace_back(
+          [=] { pump(client_fd, server_fd, nullptr, severed); });
+      pumps_.emplace_back(
+          [=] { pump(server_fd, client_fd, budget, severed); });
+    }
+  }
+
+  /// Relays from `from` to `to`; when `budget` is given, charges it per
+  /// byte and severs both directions once it runs dry.  The fds are only
+  /// shut down, never closed, so the paired pump can never race a closed
+  /// descriptor; a test leaks a handful of fds, which is fine.
+  static void pump(int from, int to,
+                   std::shared_ptr<std::atomic<long long>> budget,
+                   std::shared_ptr<std::atomic<bool>> severed) {
+    char buffer[4096];
+    for (;;) {
+      const ssize_t n = ::read(from, buffer, sizeof(buffer));
+      if (n <= 0 || severed->load()) break;
+      if (budget && budget->fetch_sub(n) - n < 0) {
+        severed->store(true);
+        break;
+      }
+      std::size_t written = 0;
+      while (written < static_cast<std::size_t>(n)) {
+        const ssize_t m = ::write(to, buffer + written,
+                                  static_cast<std::size_t>(n) - written);
+        if (m <= 0) {
+          severed->store(true);
+          break;
+        }
+        written += static_cast<std::size_t>(m);
+      }
+      if (severed->load()) break;
+    }
+    ::shutdown(from, SHUT_RDWR);
+    ::shutdown(to, SHUT_RDWR);
+  }
+
+  std::string target_;
+  long long kill_after_;
+  ListenSocket listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> connections_{0};
+  std::thread acceptor_;
+  std::vector<std::thread> pumps_;
+};
+
+TEST(Daemon, MidJobConnectionKillIsRetriedToLocalIdenticalBytes) {
+  ServerFixture fixture({});
+  // Kill connection #1 after ~600 server-to-client bytes: past the hello
+  // reply and the first progress frames, before the result document.
+  KillingProxy proxy(fixture.address(), 600);
+
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 10;
+  ServiceClient client(proxy.address(), policy);
+  const ScenarioSpec spec = small_spec(50'000);
+  std::atomic<int> progress_frames{0};
+  const JobOutcome outcome = client.submit_scenario(
+      spec.to_json(), [&](long long, long long) { ++progress_frames; });
+
+  // The kill forced at least one reconnect+resubmission, and the retried
+  // job's bytes are indistinguishable from a fault-free local run (served
+  // from cache when the first attempt's campaign finished server-side).
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.dump(), local_scenario_bytes(spec));
+  EXPECT_GT(client.retries(), 0u);
+  EXPECT_GE(proxy.connections(), 2);
+}
+
+TEST(Daemon, OutboxOverflowDropsOnlyTheUnreadingClient) {
+  ServerConfig config;
+  config.max_outbox_bytes = 32 * 1024;
+  ServerFixture fixture(std::move(config));
+
+  // Prime the cache so repeat submits are answered instantly — the
+  // offender below can then flood the server with cheap result traffic.
+  const ScenarioSpec spec = small_spec(10);
+  ServiceClient bystander(fixture.address());
+  ASSERT_TRUE(bystander.submit_scenario(spec.to_json()).ok);
+
+  // The offender submits the cached spec in a tight loop and never reads a
+  // reply: results pile up in its outbox until the kernel buffer and then
+  // the byte cap fill.
+  const int offender = connect_socket(fixture.address());
+  dispatch::FrameDecoder decoder;
+  ASSERT_TRUE(dispatch::write_frame(offender, encode_hello()));
+  ASSERT_TRUE(dispatch::read_frame(offender, decoder).has_value());
+  const Json spec_json = spec.to_json();
+  for (int i = 0; i < 2000; ++i) {
+    if (!dispatch::write_frame(
+            offender, encode_submit(i, false, spec_json, false)))
+      break;  // the server already dropped us mid-flood — success
+    if (fixture.server().stats().clients_overflowed > 0) break;
+  }
+  EXPECT_TRUE(eventually(
+      [&] { return fixture.server().stats().clients_overflowed >= 1; }));
+  ::close(offender);
+
+  // The neighbour is untouched: same connection, same bytes as local.
+  const JobOutcome after = bystander.submit_scenario(spec.to_json());
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_TRUE(after.cache_hit);
+  EXPECT_EQ(after.result.dump(), local_scenario_bytes(spec));
 }
 
 }  // namespace

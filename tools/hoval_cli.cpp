@@ -46,6 +46,8 @@ struct CliOptions {
   bool list = false;
   bool dump = false;
   bool worker = false;
+  int retries = 8;                  ///< --connect submit/reconnect attempts
+  int connect_timeout_ms = 10'000;  ///< --connect dial + hello deadline
 
   std::string algorithm = "ate";
   int n = 9;
@@ -94,6 +96,10 @@ struct CliOptions {
       << "  --connect ADDR   submit the scenario/sweep to a hovald daemon\n"
       << "                   (unix socket path or HOST:PORT) instead of\n"
       << "                   running locally; prints the cache_hit status\n"
+      << "  --retries K      with --connect: total attempts per operation\n"
+      << "                   (connect, submit); 1 = no retry (default 8)\n"
+      << "  --connect-timeout MS  with --connect: dial + hello deadline,\n"
+      << "                   0 = block forever (default 10000)\n"
       << "  --worker         serve dispatch point frames on stdin/stdout\n"
       << "                   (spawned by hoval_dispatch; see README)\n"
       << "  --dump-scenario  print the scenario the flags describe as JSON\n"
@@ -132,6 +138,8 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--sweep") options.sweep_file = next();
     else if (arg == "--out") options.out_file = next();
     else if (arg == "--connect") options.connect = next();
+    else if (arg == "--retries") options.retries = std::stoi(next());
+    else if (arg == "--connect-timeout") options.connect_timeout_ms = std::stoi(next());
     else if (arg == "--worker") options.worker = true;
     else if (arg == "--list") options.list = true;
     else if (arg == "--dump-scenario") options.dump = true;
@@ -360,7 +368,20 @@ int run_many(ResolvedScenario resolved, bool progress,
 /// bytes are identical to a local run of the same document (determinism),
 /// so --out files from either path cmp equal.
 int run_connected(const CliOptions& options) {
-  service::ServiceClient client(options.connect);
+  // Capped exponential backoff with deterministic jitter; each retry is a
+  // stderr line so chaos CI can grep for "service: retrying" and operators
+  // can see the client riding out a flaky daemon.  Retrying is safe: the
+  // daemon's spec-hash cache makes resubmission idempotent.
+  service::RetryPolicy policy;
+  policy.max_attempts = std::max(1, options.retries);
+  policy.connect_timeout_ms = options.connect_timeout_ms;
+  policy.hello_timeout_ms = options.connect_timeout_ms;
+  policy.on_retry = [](int attempt, int max_attempts, int delay_ms,
+                       const std::string& reason) {
+    std::cerr << "service: retrying (attempt " << attempt << "/" << max_attempts
+              << ") in " << delay_ms << "ms: " << reason << "\n";
+  };
+  service::ServiceClient client(options.connect, policy);
   service::ClientProgressFn progress_fn;
   if (options.progress)
     progress_fn = [](long long completed, long long total) {
@@ -490,6 +511,18 @@ int run_sweep_file(const CliOptions& options) {
 
 int main(int argc, char** argv) {
   try {
+    // Chaos hook: HOVAL_FAULT_PLAN=SEED[:key=rate,...] arms deterministic
+    // syscall-level fault injection on every stream this process touches
+    // (see util/faults.hpp and README "Chaos testing").  A bad plan is a
+    // usage error, not a crash.
+    try {
+      if (faults::FaultInjector* injector = faults::install_fault_plan_from_env())
+        std::cerr << "chaos: fault plan active: "
+                  << injector->plan().to_string() << "\n";
+    } catch (const faults::FaultError& e) {
+      std::cerr << "error: HOVAL_FAULT_PLAN: " << e.what() << "\n";
+      return 2;
+    }
     const CliOptions options = parse(argc, argv);
     if (options.worker) {
       // Dispatch worker mode: serve point frames on stdin/stdout until the

@@ -195,6 +195,17 @@ int run_dispatch(const Options& options) {
 
 int main(int argc, char** argv) {
   try {
+    // Chaos hook: both the host and --worker invocations install the plan
+    // (exec'd workers inherit the variable), so faults hit both pipe ends.
+    // Worker losses they cause are absorbed by resubmission + respawn.
+    try {
+      if (faults::FaultInjector* injector = faults::install_fault_plan_from_env())
+        std::cerr << "chaos: fault plan active: "
+                  << injector->plan().to_string() << "\n";
+    } catch (const faults::FaultError& e) {
+      std::cerr << "error: HOVAL_FAULT_PLAN: " << e.what() << "\n";
+      return 2;
+    }
     const Options options = parse(argc, argv);
     if (options.worker)
       return dispatch::run_worker_loop(0, 1,

@@ -6,13 +6,23 @@
 ///
 /// Usage:
 ///   hovald --listen /tmp/hovald.sock [--threads W] [--max-active J]
-///          [--cache-bytes B] [--small-runs R] [--quiet]
+///          [--cache-bytes B] [--small-runs R] [--max-pending Q]
+///          [--busy-retry-ms MS] [--hello-timeout-ms MS]
+///          [--idle-timeout-ms MS] [--max-outbox-bytes B] [--quiet]
 ///
 /// The listen address accepts the same grammar as `hoval_cli --connect`:
 /// a string containing '/' is a Unix socket path, anything else is
 /// HOST:PORT (":0" picks an ephemeral port, printed on startup).
 /// SIGTERM / SIGINT shut the daemon down cleanly: in-flight jobs are
 /// cancelled, the pool drains, and the process exits 0.
+///
+/// Load shedding: once --max-pending jobs are queued, further submits are
+/// answered with a `busy` error frame carrying the --busy-retry-ms hint;
+/// clients with retry policies (hoval_cli --retries) resubmit and — the
+/// cache being spec-hash keyed — get byte-identical results.  Slow-loris
+/// and unreading clients fall to the hello/idle deadlines and the outbox
+/// byte cap.  HOVAL_FAULT_PLAN arms deterministic fault injection on the
+/// daemon's own socket I/O (README "Chaos testing").
 
 #include <csignal>
 #include <cstdlib>
@@ -39,6 +49,15 @@ void handle_signal(int) {
       << "  --max-active J   jobs executing concurrently     (default 2)\n"
       << "  --cache-bytes B  result-cache budget in bytes    (default 64MiB)\n"
       << "  --small-runs R   priority-class cutoff in runs   (default 1000)\n"
+      << "  --max-pending Q  queued jobs before submits are shed with a\n"
+      << "                   `busy` frame, <=0 unbounded     (default 64)\n"
+      << "  --busy-retry-ms MS    retry_after_ms hint on a shed (default 250)\n"
+      << "  --hello-timeout-ms MS deadline for a connection's hello,\n"
+      << "                   <=0 disables                    (default 10000)\n"
+      << "  --idle-timeout-ms MS  drop job-less silent clients after this,\n"
+      << "                   <=0 disables                    (default 300000)\n"
+      << "  --max-outbox-bytes B  unflushed bytes one client may pin,\n"
+      << "                   <=0 unbounded                   (default 64MiB)\n"
       << "  --quiet          suppress per-connection logging\n";
   std::exit(2);
 }
@@ -61,6 +80,15 @@ int main(int argc, char** argv) {
       else if (arg == "--cache-bytes")
         config.cache_bytes = static_cast<std::size_t>(std::stoull(next()));
       else if (arg == "--small-runs") config.small_job_runs = std::stoll(next());
+      else if (arg == "--max-pending") config.max_pending_jobs = std::stoi(next());
+      else if (arg == "--busy-retry-ms") config.busy_retry_ms = std::stoi(next());
+      else if (arg == "--hello-timeout-ms") config.hello_timeout_ms = std::stoi(next());
+      else if (arg == "--idle-timeout-ms") config.idle_timeout_ms = std::stoi(next());
+      else if (arg == "--max-outbox-bytes") {
+        const long long bytes = std::stoll(next());
+        config.max_outbox_bytes =
+            bytes <= 0 ? 0 : static_cast<std::size_t>(bytes);
+      }
       else if (arg == "--quiet") quiet = true;
       else usage(argv[0]);
     } catch (const std::exception&) {
@@ -78,6 +106,16 @@ int main(int argc, char** argv) {
     };
 
   try {
+    if (hoval::faults::FaultInjector* injector =
+            hoval::faults::install_fault_plan_from_env())
+      std::cerr << "hovald: chaos: fault plan active: "
+                << injector->plan().to_string() << "\n";
+  } catch (const hoval::faults::FaultError& e) {
+    std::cerr << "error: HOVAL_FAULT_PLAN: " << e.what() << "\n";
+    return 2;
+  }
+
+  try {
     hoval::service::Server server(std::move(config));
     g_server = &server;
     std::signal(SIGTERM, handle_signal);
@@ -87,7 +125,10 @@ int main(int argc, char** argv) {
     const hoval::service::ServerStats stats = server.stats();
     std::cerr << "hovald: served " << stats.jobs_completed << " job(s) ("
               << stats.cache_hits << " cache hit(s)), " << stats.jobs_failed
-              << " failed, " << stats.jobs_cancelled << " cancelled\n";
+              << " failed, " << stats.jobs_cancelled << " cancelled, "
+              << stats.jobs_shed << " shed; " << stats.clients_timed_out
+              << " client(s) timed out, " << stats.clients_overflowed
+              << " overflowed\n";
     g_server = nullptr;
     return 0;
   } catch (const std::exception& e) {

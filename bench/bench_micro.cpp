@@ -17,6 +17,7 @@
 #include "dispatch/dispatch.hpp"
 #include "predicates/liveness.hpp"
 #include "predicates/safety.hpp"
+#include "refine/driver.hpp"
 #include "runtime/crc32.hpp"
 #include "runtime/serialization.hpp"
 #include "scenario/run.hpp"
@@ -257,6 +258,40 @@ double measured_dispatch_seconds(int workers) {
   return seconds;
 }
 
+/// The adaptive-refinement workload: termination as a function of the
+/// campaign.rounds horizon is an exact 0/1 step (a phase-based algorithm
+/// on unanimous values under faithful communication decides at one fixed
+/// round), so the refined sweep's point set — and with it the savings
+/// percentage — is a pure function of the spec, deterministic across
+/// hosts and pool sizes.
+SweepSpec refinement_sweep() {
+  SweepSpec sweep;
+  sweep.base.algorithm = component("utea", {{"n", 6}, {"alpha", 1}});
+  sweep.base.values = component("unanimous", {{"value", 1}});
+  sweep.base.campaign.runs = 40;
+  sweep.base.campaign.rounds = 1;
+  sweep.base.campaign.seed = 1234;
+  sweep.axes.push_back(
+      SweepAxis::single("campaign.rounds", {Json(1), Json(16)}));
+  sweep.refine.enabled = true;
+  sweep.refine.max_depth = 4;
+  sweep.refine.max_points = 64;
+  sweep.refine.monitor.kind = MonitorSelector::Kind::kTermination;
+  return sweep;
+}
+
+/// Times the refined step sweep on a fresh pool; the returned document's
+/// runs_saved_pct() feeds BENCH_micro.json (CI floors it above zero).
+RefinedSweepResult measured_refined_sweep(double* seconds) {
+  Executor executor(0);
+  const auto start = std::chrono::steady_clock::now();
+  RefinedSweepResult refined = run_refined_sweep(refinement_sweep(), &executor);
+  *seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return refined;
+}
+
 }  // namespace
 
 /// Seeds the perf trajectory: serial vs 8-thread campaign throughput on
@@ -295,6 +330,12 @@ void write_campaign_throughput_json() {
   const double dispatch_speedup =
       dispatch_fleet > 0.0 ? dispatch_single / dispatch_fleet : 0.0;
 
+  // Adaptive refinement on a deterministic step workload: the savings
+  // against the dense grid at the same resolution are a pure function of
+  // the spec, so CI can floor them without tolerating runner noise.
+  double refine_seconds = 0.0;
+  const RefinedSweepResult refined = measured_refined_sweep(&refine_seconds);
+
   std::ofstream out("BENCH_micro.json");
   out << "{\n"
       << "  \"bench\": \"micro\",\n"
@@ -309,6 +350,13 @@ void write_campaign_throughput_json() {
       << "  \"dispatch_1_worker_seconds\": " << dispatch_single << ",\n"
       << "  \"dispatch_n_workers_seconds\": " << dispatch_fleet << ",\n"
       << "  \"dispatch_workers_speedup\": " << dispatch_speedup << ",\n"
+      << "  \"refine_points\": " << refined.points.size() << ",\n"
+      << "  \"refine_generations\": " << refined.generations << ",\n"
+      << "  \"refine_runs_executed\": " << refined.runs_executed << ",\n"
+      << "  \"refine_dense_runs_estimate\": " << refined.dense_runs_estimate
+      << ",\n"
+      << "  \"refine_runs_saved_pct\": " << refined.runs_saved_pct() << ",\n"
+      << "  \"refine_wall_seconds\": " << refine_seconds << ",\n"
       << "  \"threaded_comparison_valid\": "
       << (threaded_comparison_valid ? "true" : "false") << ",\n";
   if (threaded_comparison_valid) {

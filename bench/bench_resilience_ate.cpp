@@ -115,11 +115,62 @@ void run() {
          "[csv] bench_resilience_ate.csv written\n";
 }
 
+/// The omission-termination threshold of the canonical A_{T,E}(16, 3),
+/// hunted adaptively: instead of a dense drop-probability grid, the
+/// refined sweep (src/refine/) subdivides only where adjacent points'
+/// Wilson intervals of the termination rate disagree — so the runs
+/// concentrate on the collapse of the curve, not its plateaus.
+void refined_omission_threshold() {
+  banner("Adaptive refinement — where A_{T,E}'s termination collapses "
+         "under omission",
+         "src/refine on the Sec. 3.3 canonical instantiation (n=16, alpha=3)");
+
+  SweepSpec sweep;
+  sweep.base = base_scenario(*AteParams::feasible(16, 3));
+  sweep.base.adversaries = {component(
+      "omit", {{"drop_probability", 0.0}, {"max_per_receiver", 16}})};
+  sweep.base.campaign.runs = 40;
+  sweep.base.campaign.rounds = 25;
+  sweep.base.campaign.seed = 4242;
+  sweep.axes.push_back(SweepAxis::single(
+      "adversary.0.params.drop_probability",
+      {Json(0.0), Json(0.25), Json(0.5), Json(0.75), Json(1.0)}));
+  sweep.refine.enabled = true;
+  sweep.refine.max_depth = 3;
+  sweep.refine.max_points = 24;
+  sweep.refine.monitor.kind = MonitorSelector::Kind::kTermination;
+
+  const RefinedSweepResult refined = bench::run_refined_sweep_timed(sweep);
+
+  TablePrinter table({"drop probability", "generation", "terminated"},
+                     {Align::kRight, Align::kRight, Align::kRight});
+  CsvWriter csv("bench_resilience_ate_refined.csv",
+                {"drop_probability", "generation", "terminated",
+                 "runs"});
+  for (const RefinedPoint& point : refined.points) {
+    const std::string drop = point.coordinates.front().dump();
+    table.add_row({drop, std::to_string(point.generation),
+                   ratio(point.result.terminated, point.result.runs)});
+    csv.add_row({drop, std::to_string(point.generation),
+                 std::to_string(point.result.terminated),
+                 std::to_string(point.result.runs)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nrefined " << refined.points.size() << " points in "
+            << refined.generations << " generations: "
+            << refined.runs_executed << " runs executed vs "
+            << refined.dense_runs_estimate << " dense-grid runs, saved "
+            << format_double(refined.runs_saved_pct(), 1) << "%\n"
+            << "[csv] bench_resilience_ate_refined.csv written\n";
+}
+
 }  // namespace
 }  // namespace hoval
 
 int main() {
   hoval::bench::BenchRecorder recorder("resilience_ate");
   hoval::run();
+  hoval::refined_omission_threshold();
   return 0;
 }

@@ -120,11 +120,65 @@ void run() {
          "[csv] bench_resilience_utea.csv written\n";
 }
 
+/// The omission-termination threshold of the canonical U(12, 2), hunted
+/// adaptively by src/refine/: the drop-probability axis is subdivided only
+/// where adjacent points' Wilson intervals of the termination rate
+/// disagree, so the runs land on the collapse of the curve instead of a
+/// uniform dense grid.  (At the alpha wall — U(12, 5) — the curve is a
+/// cliff at zero: any omission breaks the permanent SHO bound termination
+/// needs; alpha = 2 leaves slack, so the collapse sits mid-axis and the
+/// driver has a real threshold to hunt.)
+void refined_omission_threshold() {
+  banner("Adaptive refinement — where U_{T,E,alpha}'s termination "
+         "collapses under omission",
+         "src/refine on the Sec. 4.3 instantiation U(n=12, alpha=2)");
+
+  SweepSpec sweep;
+  sweep.base.algorithm = component("utea", {{"n", 12}, {"alpha", 2}});
+  sweep.base.values = component("random", {{"distinct", 3}});
+  sweep.base.adversaries = {component(
+      "omit", {{"drop_probability", 0.0}, {"max_per_receiver", 12}})};
+  sweep.base.campaign.runs = 40;
+  sweep.base.campaign.rounds = 30;
+  sweep.base.campaign.seed = 2424;
+  sweep.axes.push_back(SweepAxis::single(
+      "adversary.0.params.drop_probability",
+      {Json(0.0), Json(0.25), Json(0.5), Json(0.75), Json(1.0)}));
+  sweep.refine.enabled = true;
+  sweep.refine.max_depth = 3;
+  sweep.refine.max_points = 24;
+  sweep.refine.monitor.kind = MonitorSelector::Kind::kTermination;
+
+  const RefinedSweepResult refined = bench::run_refined_sweep_timed(sweep);
+
+  TablePrinter table({"drop probability", "generation", "terminated"},
+                     {Align::kRight, Align::kRight, Align::kRight});
+  CsvWriter csv("bench_resilience_utea_refined.csv",
+                {"drop_probability", "generation", "terminated", "runs"});
+  for (const RefinedPoint& point : refined.points) {
+    const std::string drop = point.coordinates.front().dump();
+    table.add_row({drop, std::to_string(point.generation),
+                   ratio(point.result.terminated, point.result.runs)});
+    csv.add_row({drop, std::to_string(point.generation),
+                 std::to_string(point.result.terminated),
+                 std::to_string(point.result.runs)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nrefined " << refined.points.size() << " points in "
+            << refined.generations << " generations: "
+            << refined.runs_executed << " runs executed vs "
+            << refined.dense_runs_estimate << " dense-grid runs, saved "
+            << format_double(refined.runs_saved_pct(), 1) << "%\n"
+            << "[csv] bench_resilience_utea_refined.csv written\n";
+}
+
 }  // namespace
 }  // namespace hoval
 
 int main() {
   hoval::bench::BenchRecorder recorder("resilience_utea");
   hoval::run();
+  hoval::refined_omission_threshold();
   return 0;
 }

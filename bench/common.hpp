@@ -22,6 +22,7 @@
 #include "core/factories.hpp"
 #include "predicates/liveness.hpp"
 #include "predicates/safety.hpp"
+#include "refine/driver.hpp"
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
 #include "sim/campaign.hpp"
@@ -82,6 +83,17 @@ class BenchRecorder {
     }
   }
 
+  /// Accounts one refined sweep (src/refine/): point/run totals plus the
+  /// dense-grid cost it avoided, surfaced as refine_runs_saved_pct in the
+  /// JSON so CI can assert the adaptive layer actually saves runs.
+  void note_refined(const RefinedSweepResult& refined, double seconds) {
+    ++refined_sweeps_;
+    refine_points_ += static_cast<long long>(refined.points.size());
+    refine_runs_executed_ += refined.runs_executed;
+    refine_dense_runs_estimate_ += refined.dense_runs_estimate;
+    campaign_seconds_ += seconds;
+  }
+
   void write() const {
     const double total_seconds = std::chrono::duration<double>(
                                      std::chrono::steady_clock::now() - start_)
@@ -92,6 +104,13 @@ class BenchRecorder {
         campaign_runs_requested_ > 0
             ? 1.0 - static_cast<double>(campaign_runs_) /
                         static_cast<double>(campaign_runs_requested_)
+            : 0.0;
+    const double refine_saved_pct =
+        refine_dense_runs_estimate_ > 0
+            ? 100.0 *
+                  static_cast<double>(refine_dense_runs_estimate_ -
+                                      refine_runs_executed_) /
+                  static_cast<double>(refine_dense_runs_estimate_)
             : 0.0;
     std::ofstream out("BENCH_" + name_ + ".json");
     out << "{\n"
@@ -104,6 +123,12 @@ class BenchRecorder {
         << "  \"stopped_early\": " << stopped_early_ << ",\n"
         << "  \"early_stop_savings\": " << savings << ",\n"
         << "  \"max_ci_half_width\": " << max_ci_half_width_ << ",\n"
+        << "  \"refined_sweeps\": " << refined_sweeps_ << ",\n"
+        << "  \"refine_points\": " << refine_points_ << ",\n"
+        << "  \"refine_runs_executed\": " << refine_runs_executed_ << ",\n"
+        << "  \"refine_dense_runs_estimate\": " << refine_dense_runs_estimate_
+        << ",\n"
+        << "  \"refine_runs_saved_pct\": " << refine_saved_pct << ",\n"
         << "  \"campaign_wall_seconds\": " << campaign_seconds_ << ",\n"
         << "  \"runs_per_sec\": " << runs_per_sec << ",\n"
         << "  \"total_wall_seconds\": " << total_seconds << "\n"
@@ -121,6 +146,10 @@ class BenchRecorder {
   int adaptive_campaigns_ = 0;
   int stopped_early_ = 0;
   double max_ci_half_width_ = 0.0;
+  int refined_sweeps_ = 0;
+  long long refine_points_ = 0;
+  long long refine_runs_executed_ = 0;
+  long long refine_dense_runs_estimate_ = 0;
   double campaign_seconds_ = 0.0;
   int threads_ = 1;
 };
@@ -211,6 +240,28 @@ inline std::vector<CampaignResult> run_sweep_timed(const SweepSpec& sweep,
           result, seconds / static_cast<double>(results.size()),
           executor->threads());
   return results;
+}
+
+/// Refined-sweep entry point for declarative bench drivers: drives
+/// src/refine's adaptive subdivision on the shared thread knob (the result
+/// is bit-identical for any pool — see refine/driver.hpp's determinism
+/// contract) and accounts the savings into the active BenchRecorder.
+inline RefinedSweepResult run_refined_sweep_timed(const SweepSpec& sweep,
+                                                  Executor* executor =
+                                                      nullptr) {
+  std::optional<Executor> owned;
+  if (executor == nullptr) {
+    owned.emplace(campaign_threads());
+    executor = &*owned;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  RefinedSweepResult refined = run_refined_sweep(sweep, executor);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (BenchRecorder::active())
+    BenchRecorder::active()->note_refined(refined, seconds);
+  return refined;
 }
 
 /// Renders a pass/fail verdict cell.

@@ -62,20 +62,23 @@ class Dispatcher {
 
     // Expand and resolve every point before the first fork, exactly like
     // run_sweep: an infeasible substitution fails loudly up front instead
-    // of bouncing off workers until it is quarantined.
-    const std::vector<ScenarioSpec> points = sweep.expand();
-    for (const ScenarioSpec& point : points) resolve_scenario(point);
-    point_docs_.reserve(points.size());
-    for (const ScenarioSpec& point : points)
-      point_docs_.push_back(point.to_json());
+    // of bouncing off workers until it is quarantined.  Points are
+    // expanded one at a time (SweepSpec::expand_point) and re-expanded at
+    // assignment, so the host never holds O(points) documents for huge
+    // grids — only the sweep itself.
+    const std::size_t point_total = sweep.point_count();
+    if (point_total == 0) sweep.expand();  // raises the empty-axis error
+    for (std::size_t i = 0; i < point_total; ++i)
+      resolve_scenario(sweep.expand_point(i));
+    sweep_ = sweep;
 
-    const int count = static_cast<int>(points.size());
+    const int count = static_cast<int>(point_total);
     report_.points = count;
     report_.workers = options_.workers;
-    report_.results.resize(points.size());
-    report_.completed.assign(points.size(), false);
-    attempts_.assign(points.size(), 0);
-    last_error_.assign(points.size(), "");
+    report_.results.resize(point_total);
+    report_.completed.assign(point_total, false);
+    attempts_.assign(point_total, 0);
+    last_error_.assign(point_total, "");
     for (int i = 0; i < count; ++i) pending_.push_back(i);
   }
 
@@ -244,9 +247,11 @@ class Dispatcher {
     ++attempts_[static_cast<std::size_t>(point)];
     worker.current_point = point;
     worker.assigned_at = Clock::now();
-    if (!write_frame(worker.to_fd, encode_point_message(
-                                       point, point_docs_[static_cast<std::size_t>(
-                                                  point)]))) {
+    if (!write_frame(worker.to_fd,
+                     encode_point_message(
+                         point, sweep_.expand_point(
+                                    static_cast<std::size_t>(point))
+                                    .to_json()))) {
       fail_worker(worker, Loss::kWriteFailed, "write to worker failed");
       return Assign::kWorkerLost;
     }
@@ -561,7 +566,7 @@ class Dispatcher {
   }
 
   DispatchOptions options_;
-  std::vector<Json> point_docs_;
+  SweepSpec sweep_;
   std::deque<int> pending_;
   std::vector<int> attempts_;
   std::vector<std::string> last_error_;

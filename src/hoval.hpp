@@ -18,6 +18,8 @@
 ///               Byzantine encodings, combinators
 ///   scenario/   declarative ScenarioSpec / SweepSpec documents, the
 ///               string-keyed component registries and run_scenario()
+///   refine/     adaptive sweep refinement: Wilson-interval threshold
+///               hunting on the shared Executor (RefinementDriver)
 ///   sim/        deterministic round simulator, consensus checkers,
 ///               Monte-Carlo campaigns
 ///   dispatch/   cross-process sweep sharding: length-prefixed wire
@@ -61,6 +63,8 @@
 #include "predicates/liveness.hpp"
 #include "predicates/predicate.hpp"
 #include "predicates/safety.hpp"
+#include "refine/driver.hpp"
+#include "refine/spec.hpp"
 #include "runtime/runner.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/run.hpp"

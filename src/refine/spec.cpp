@@ -1,0 +1,144 @@
+#include "refine/spec.hpp"
+
+#include <algorithm>
+#include <initializer_list>
+
+#include "scenario/registry.hpp"  // closest_name (cpp-only; no header cycle)
+
+namespace hoval {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw RefineError(what); }
+
+/// Unknown keys are rejected with a suggestion, mirroring the scenario
+/// layer's check_known_keys + did-you-mean convention.
+void check_known_keys(const Json& object,
+                      std::initializer_list<const char*> known,
+                      const std::string& what) {
+  for (const auto& member : object.members()) {
+    if (std::any_of(known.begin(), known.end(),
+                    [&](const char* key) { return member.first == key; }))
+      continue;
+    std::string message =
+        "unknown key \"" + member.first + "\" in " + what + " (known:";
+    for (const char* key : known) message += std::string(" ") + key;
+    message += ")";
+    const std::string suggestion = closest_name(
+        member.first, std::vector<std::string>(known.begin(), known.end()));
+    if (!suggestion.empty())
+      message += " — did you mean \"" + suggestion + "\"?";
+    fail(message);
+  }
+}
+
+constexpr const char* kPredicatePrefix = "predicate:";
+
+}  // namespace
+
+// --- MonitorSelector --------------------------------------------------------
+
+std::string MonitorSelector::to_string() const {
+  switch (kind) {
+    case Kind::kViolations:
+      return "violations";
+    case Kind::kTermination:
+      return "termination";
+    case Kind::kPredicate:
+      return kPredicatePrefix + predicate;
+  }
+  return "termination";
+}
+
+MonitorSelector MonitorSelector::parse(const std::string& text) {
+  MonitorSelector selector;
+  if (text == "violations") {
+    selector.kind = Kind::kViolations;
+    return selector;
+  }
+  if (text == "termination") {
+    selector.kind = Kind::kTermination;
+    return selector;
+  }
+  if (text.rfind(kPredicatePrefix, 0) == 0) {
+    selector.kind = Kind::kPredicate;
+    selector.predicate = text.substr(std::string(kPredicatePrefix).size());
+    if (selector.predicate.empty())
+      fail("\"refine.monitor\": \"predicate:\" requires a predicate name "
+           "(e.g. \"predicate:agreement\")");
+    return selector;
+  }
+  std::string message = "unknown \"refine.monitor\" value \"" + text +
+                        "\" (known: violations termination predicate:<name>)";
+  const std::string suggestion =
+      closest_name(text, {"violations", "termination"});
+  if (!suggestion.empty()) message += " — did you mean \"" + suggestion + "\"?";
+  fail(message);
+}
+
+bool operator==(const MonitorSelector& a, const MonitorSelector& b) {
+  return a.kind == b.kind && a.predicate == b.predicate;
+}
+
+// --- RefineSpec -------------------------------------------------------------
+
+bool operator==(const RefineSpec& a, const RefineSpec& b) {
+  return a.enabled == b.enabled && a.axes == b.axes &&
+         a.max_depth == b.max_depth && a.max_points == b.max_points &&
+         a.disagreement_epsilon == b.disagreement_epsilon &&
+         a.ci_confidence == b.ci_confidence && a.monitor == b.monitor;
+}
+
+Json RefineSpec::to_json() const {
+  Json j = Json::object();
+  Json axis_list = Json::array();
+  for (const std::string& path : axes) axis_list.push_back(path);
+  j.set("axes", std::move(axis_list));
+  j.set("ci_confidence", ci_confidence);
+  j.set("disagreement_epsilon", disagreement_epsilon);
+  j.set("enabled", enabled);
+  j.set("max_depth", max_depth);
+  j.set("max_points", max_points);
+  j.set("monitor", monitor.to_string());
+  return j;
+}
+
+RefineSpec RefineSpec::from_json(const Json& json) {
+  try {
+    if (!json.is_object()) fail("\"refine\" must be a JSON object");
+    check_known_keys(json,
+                     {"enabled", "axes", "max_depth", "max_points",
+                      "disagreement_epsilon", "ci_confidence", "monitor"},
+                     "\"refine\"");
+    RefineSpec spec;
+    // Writing a refine block means opting in; "enabled": false keeps the
+    // tuned knobs in the document while running the plain fixed grid.
+    spec.enabled = true;
+    if (const Json* v = json.find("enabled")) spec.enabled = v->as_bool();
+    if (const Json* v = json.find("axes")) {
+      if (!v->is_array())
+        fail("\"refine.axes\" must be an array of axis path strings");
+      for (const Json& path : v->items())
+        spec.axes.push_back(path.as_string());
+    }
+    if (const Json* v = json.find("max_depth")) spec.max_depth = v->as_int();
+    if (const Json* v = json.find("max_points")) spec.max_points = v->as_int();
+    if (const Json* v = json.find("disagreement_epsilon"))
+      spec.disagreement_epsilon = v->as_double();
+    if (const Json* v = json.find("ci_confidence"))
+      spec.ci_confidence = v->as_double();
+    if (const Json* v = json.find("monitor"))
+      spec.monitor = MonitorSelector::parse(v->as_string());
+    if (spec.max_depth < 0) fail("\"refine.max_depth\" must be >= 0");
+    if (spec.max_points < 1) fail("\"refine.max_points\" must be >= 1");
+    if (spec.disagreement_epsilon < 0.0)
+      fail("\"refine.disagreement_epsilon\" must be >= 0");
+    if (spec.ci_confidence <= 0.0 || spec.ci_confidence >= 1.0)
+      fail("\"refine.ci_confidence\" must be in (0, 1)");
+    return spec;
+  } catch (const JsonError& e) {
+    throw RefineError(std::string("invalid \"refine\" block: ") + e.what());
+  }
+}
+
+}  // namespace hoval

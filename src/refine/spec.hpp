@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file spec.hpp
+/// Declarative configuration of adaptive sweep refinement.  A RefineSpec
+/// rides inside a sweep document (the "refine" block of SweepSpec) and
+/// says *which* monitored proportion to watch, *which* axes may be
+/// subdivided, and *when* to stop: a per-axis resolution floor derived
+/// from max_depth, and a total point budget.  The driver that acts on it
+/// lives in refine/driver.hpp.
+///
+/// Dependency note: this header is included by scenario/spec.hpp (the
+/// refine block is a field of SweepSpec), so it must not depend on the
+/// scenario layer — only on the JSON model and the standard library.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace hoval {
+
+/// Thrown on invalid refine blocks: unknown keys (with a "did you mean"
+/// suggestion when one is close), mistyped fields, and unknown monitor
+/// selectors.  SweepSpec::from_json translates it into ScenarioError so
+/// callers of the spec layer keep a single error type.
+class RefineError : public std::runtime_error {
+ public:
+  explicit RefineError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Which monitored proportion of a CampaignResult drives the disagreement
+/// test.  Spelled as a string in JSON: "violations" (any safety violation
+/// per run), "termination" (all processes decided within the horizon), or
+/// "predicate:<name>" (per-run holds of one registered predicate).
+struct MonitorSelector {
+  enum class Kind { kViolations, kTermination, kPredicate };
+
+  Kind kind = Kind::kTermination;
+  std::string predicate;  ///< kPredicate only: the monitored predicate name
+
+  std::string to_string() const;
+  /// Parses the JSON spelling; unknown selectors fail with a suggestion.
+  /// \throws RefineError
+  static MonitorSelector parse(const std::string& text);
+};
+
+bool operator==(const MonitorSelector& a, const MonitorSelector& b);
+inline bool operator!=(const MonitorSelector& a, const MonitorSelector& b) {
+  return !(a == b);
+}
+
+/// The "refine" block of a sweep document.  Writing the block opts in
+/// (mirroring "campaign.adaptive"); "enabled": false keeps the tuned knobs
+/// in the document while running the plain fixed grid.
+struct RefineSpec {
+  bool enabled = false;
+  /// Dotted paths of the sweep axes to refine.  Empty means "every
+  /// numeric single-path axis".  Each named path must match a single-path
+  /// axis of the sweep with strictly increasing numeric points.
+  std::vector<std::string> axes;
+  /// Resolution floor: an axis may be subdivided until its intervals
+  /// reach (initial minimum gap) / 2^max_depth.  0 disables subdivision
+  /// (the coarse grid runs as-is, with coordinate-derived seeds).
+  int max_depth = 4;
+  /// Hard cap on the total number of grid points (coarse + refined).
+  int max_points = 256;
+  /// Extra separation two Wilson intervals must show before their gap
+  /// counts as a disagreement (stats/interval.hpp::intervals_disagree).
+  double disagreement_epsilon = 0.0;
+  /// Two-sided confidence of the disagreement intervals.
+  double ci_confidence = 0.95;
+  /// The monitored proportion compared across adjacent points.
+  MonitorSelector monitor;
+
+  /// Canonical JSON (sorted keys, every knob explicit) — the block is
+  /// part of the sweep's one-byte-string-per-experiment serialisation the
+  /// service result cache hashes.
+  Json to_json() const;
+  /// \throws RefineError
+  static RefineSpec from_json(const Json& json);
+};
+
+bool operator==(const RefineSpec& a, const RefineSpec& b);
+inline bool operator!=(const RefineSpec& a, const RefineSpec& b) {
+  return !(a == b);
+}
+
+}  // namespace hoval

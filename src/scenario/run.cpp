@@ -73,17 +73,16 @@ struct SweepCancelState {
   }
 };
 
-/// Pool size for a sweep-owned executor: hardware concurrency as soon as
-/// any point asks for it (threads = 0), else the widest explicit request —
-/// so a sweep of threads = 1 points runs on a single worker and builders
-/// with shared mutable state stay safe.
-int sweep_pool_threads(const std::vector<ResolvedScenario>& points) {
-  int threads = 1;
-  for (const ResolvedScenario& point : points) {
-    if (point.config.threads == 0) return 0;
-    threads = std::max(threads, point.config.threads);
-  }
-  return threads;
+/// Folds one point's thread request into the pool size for a sweep-owned
+/// executor: hardware concurrency as soon as any point asks for it
+/// (threads = 0), else the widest explicit request — so a sweep of
+/// threads = 1 points runs on a single worker and builders with shared
+/// mutable state stay safe.
+void fold_pool_threads(int point_threads, int& pool_threads) {
+  if (point_threads == 0)
+    pool_threads = 0;
+  else if (pool_threads != 0)
+    pool_threads = std::max(pool_threads, point_threads);
 }
 
 /// A point skipped outright by whole-sweep cancellation: zero executed
@@ -186,24 +185,31 @@ CampaignResult run_scenario(const ScenarioSpec& spec, Executor& executor) {
 
 std::vector<CampaignResult> run_sweep(const SweepSpec& sweep,
                                       const SweepOptions& options) {
-  const std::vector<ScenarioSpec> points = sweep.expand();
-  std::vector<ResolvedScenario> resolved;
-  resolved.reserve(points.size());
-  for (const ScenarioSpec& point : points)
-    resolved.push_back(resolve_scenario(point));
+  // Validation pass: expand and resolve one grid point at a time
+  // (SweepSpec::expand_point), so an infeasible substitution or bad
+  // parameter still fails before any campaign starts — but without
+  // holding O(points) specs or builders alive for huge grids.  Pool
+  // sizing for an owned executor falls out of the same pass.
+  const std::size_t count = sweep.point_count();
+  if (count == 0) sweep.expand();  // raises the precise empty-axis error
+  int pool_threads = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ResolvedScenario point = resolve_scenario(sweep.expand_point(i));
+    fold_pool_threads(point.config.threads, pool_threads);
+  }
 
   // One pool lifecycle for the whole sweep.
   std::optional<Executor> owned;
   Executor* executor = options.executor;
-  if (executor == nullptr && !resolved.empty()) {
-    owned.emplace(sweep_pool_threads(resolved));
+  if (executor == nullptr && count > 0) {
+    owned.emplace(pool_threads);
     executor = &*owned;
   }
 
-  const int total_points = static_cast<int>(resolved.size());
+  const int total_points = static_cast<int>(count);
   auto cancel = std::make_shared<SweepCancelState>();
   std::vector<CampaignResult> results;
-  results.reserve(resolved.size());
+  results.reserve(count);
 
   try {
     if (options.overlap_points) {
@@ -211,9 +217,10 @@ std::vector<CampaignResult> run_sweep(const SweepSpec& sweep,
       // early-stoppers hand their workers to the slow points instead of
       // idling through each point's tail.
       std::vector<CampaignHandle> handles;
-      handles.reserve(resolved.size());
+      handles.reserve(count);
       for (int i = 0; i < total_points; ++i) {
-        ResolvedScenario& point = resolved[static_cast<std::size_t>(i)];
+        ResolvedScenario point =
+            resolve_scenario(sweep.expand_point(static_cast<std::size_t>(i)));
         point.config.progress =
             wrap_point_progress(cancel, options.progress, i, total_points);
         CampaignHandle handle = executor->submit(
@@ -225,7 +232,8 @@ std::vector<CampaignResult> run_sweep(const SweepSpec& sweep,
       for (CampaignHandle& handle : handles) results.push_back(handle.take());
     } else {
       for (int i = 0; i < total_points; ++i) {
-        ResolvedScenario& point = resolved[static_cast<std::size_t>(i)];
+        ResolvedScenario point =
+            resolve_scenario(sweep.expand_point(static_cast<std::size_t>(i)));
         if (cancel->flag.load(std::memory_order_acquire)) {
           results.push_back(skipped_point_result(point.config));
           continue;

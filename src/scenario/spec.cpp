@@ -419,26 +419,121 @@ std::vector<std::size_t> SweepSpec::point_coordinates(std::size_t index) const {
   return coordinates;
 }
 
+namespace {
+
+/// Shared body of expand() and expand_point(): substitutes grid point
+/// `index` into a pre-serialised base document and re-validates.
+ScenarioSpec expand_point_document(const SweepSpec& sweep,
+                                   const Json& base_document,
+                                   std::size_t index) {
+  Json document = base_document;
+  const std::vector<std::size_t> coordinates = sweep.point_coordinates(index);
+  for (std::size_t a = 0; a < sweep.axes.size(); ++a) {
+    const std::vector<Json>& tuple = sweep.axes[a].points[coordinates[a]];
+    for (std::size_t j = 0; j < sweep.axes[a].paths.size(); ++j)
+      set_json_path(document, sweep.axes[a].paths[j], tuple[j]);
+  }
+  if (sweep.reseed_per_point)
+    set_json_path(document, "campaign.seed",
+                  Json(derived_seed(sweep.base.campaign.seed, index)));
+  return ScenarioSpec::from_json(document);
+}
+
+}  // namespace
+
 std::vector<ScenarioSpec> SweepSpec::expand() const {
   for (const SweepAxis& axis : axes) validate_axis(axis, reseed_per_point);
   const Json base_document = base.to_json();
   const std::size_t count = point_count();
   std::vector<ScenarioSpec> points;
   points.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    Json document = base_document;
-    const std::vector<std::size_t> coordinates = point_coordinates(i);
-    for (std::size_t a = 0; a < axes.size(); ++a) {
-      const std::vector<Json>& tuple = axes[a].points[coordinates[a]];
-      for (std::size_t j = 0; j < axes[a].paths.size(); ++j)
-        set_json_path(document, axes[a].paths[j], tuple[j]);
-    }
-    if (reseed_per_point)
-      set_json_path(document, "campaign.seed",
-                    Json(derived_seed(base.campaign.seed, i)));
-    points.push_back(ScenarioSpec::from_json(document));
-  }
+  for (std::size_t i = 0; i < count; ++i)
+    points.push_back(expand_point_document(*this, base_document, i));
   return points;
+}
+
+ScenarioSpec SweepSpec::expand_point(std::size_t index) const {
+  for (const SweepAxis& axis : axes) validate_axis(axis, reseed_per_point);
+  if (index >= point_count())
+    fail("sweep point index " + std::to_string(index) +
+         " out of range (point count " + std::to_string(point_count()) + ")");
+  return expand_point_document(*this, base.to_json(), index);
+}
+
+ScenarioSpec SweepSpec::expand_at(
+    const std::vector<Json>& values_per_axis) const {
+  if (values_per_axis.size() != axes.size())
+    fail("expand_at: expected " + std::to_string(axes.size()) +
+         " axis value(s), got " + std::to_string(values_per_axis.size()));
+  Json document = base.to_json();
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (axes[a].paths.size() != 1)
+      fail("expand_at requires single-path axes (axis \"" +
+           axis_label(axes[a]) + "\" is linked)");
+    set_json_path(document, axes[a].paths[0], values_per_axis[a]);
+  }
+  return ScenarioSpec::from_json(document);
+}
+
+void SweepSpec::validate_refine() const {
+  if (!refine.enabled) return;
+  if (reseed_per_point)
+    fail("\"refine\" cannot be combined with reseed_per_point: refined "
+         "points derive their seeds from their axis values, not from grid "
+         "indices (see refine/driver.hpp)");
+  std::vector<std::string> axis_paths;
+  for (const SweepAxis& axis : axes) {
+    if (axis.paths.size() != 1)
+      fail("\"refine\" requires single-path axes; axis \"" +
+           axis_label(axis) + "\" is linked");
+    if (axis.paths[0] == "campaign.seed")
+      fail("\"refine\" cannot sweep \"campaign.seed\": refined points "
+           "derive their seeds from their axis values");
+    axis_paths.push_back(axis.paths[0]);
+  }
+  const auto axis_by_path = [&](const std::string& path) -> const SweepAxis* {
+    for (const SweepAxis& axis : axes)
+      if (axis.paths[0] == path) return &axis;
+    return nullptr;
+  };
+  const auto require_numeric_increasing = [&](const SweepAxis& axis) {
+    double previous = 0.0;
+    for (std::size_t i = 0; i < axis.points.size(); ++i) {
+      const Json& value = axis.points[i][0];
+      if (!value.is_number())
+        fail("\"refine\" axis \"" + axis.paths[0] +
+             "\" must have numeric points");
+      const double v = value.as_double();
+      if (i > 0 && v <= previous)
+        fail("\"refine\" axis \"" + axis.paths[0] +
+             "\" must have strictly increasing points");
+      previous = v;
+    }
+  };
+  for (const std::string& path : refine.axes) {
+    const SweepAxis* axis = axis_by_path(path);
+    if (!axis) {
+      std::string message =
+          "\"refine.axes\" names \"" + path + "\" but the sweep has no such axis";
+      const std::string suggestion = closest_name(path, axis_paths);
+      if (!suggestion.empty())
+        message += " — did you mean \"" + suggestion + "\"?";
+      fail(message);
+    }
+    require_numeric_increasing(*axis);
+  }
+  if (refine.axes.empty()) {
+    // Implicit selection: every numeric axis refines.  Non-numeric axes
+    // (e.g. an algorithm-name axis) stay fixed grid dimensions.
+    for (const SweepAxis& axis : axes) {
+      const bool numeric =
+          std::all_of(axis.points.begin(), axis.points.end(),
+                      [](const std::vector<Json>& tuple) {
+                        return tuple[0].is_number();
+                      });
+      if (numeric) require_numeric_increasing(axis);
+    }
+  }
 }
 
 Json SweepSpec::to_json() const {
@@ -469,6 +564,7 @@ Json SweepSpec::to_json() const {
     axis_list.push_back(std::move(a));
   }
   j.set("axes", std::move(axis_list));
+  if (refine != RefineSpec{}) j.set("refine", refine.to_json());
   j.set("reseed_per_point", reseed_per_point);
   j.set("scenario", base.to_json());
   return j;
@@ -477,7 +573,7 @@ Json SweepSpec::to_json() const {
 SweepSpec SweepSpec::from_json(const Json& json) {
   try {
     if (!json.is_object()) fail("sweep document must be a JSON object");
-    check_known_keys(json, {"scenario", "axes", "reseed_per_point"},
+    check_known_keys(json, {"scenario", "axes", "reseed_per_point", "refine"},
                      "sweep document");
     const Json* scenario = json.find("scenario");
     if (!scenario) fail("sweep document requires a \"scenario\"");
@@ -518,6 +614,14 @@ SweepSpec SweepSpec::from_json(const Json& json) {
     }
     if (const Json* reseed = json.find("reseed_per_point"))
       sweep.reseed_per_point = reseed->as_bool();
+    if (const Json* refine = json.find("refine")) {
+      try {
+        sweep.refine = RefineSpec::from_json(*refine);
+      } catch (const RefineError& e) {
+        fail(std::string("invalid sweep document: ") + e.what());
+      }
+    }
+    sweep.validate_refine();
     return sweep;
   } catch (const JsonError& e) {
     throw ScenarioError(std::string("invalid sweep document: ") + e.what());

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "model/types.hpp"
+#include "refine/spec.hpp"
 #include "sim/trace_retention.hpp"
 #include "stats/interval.hpp"
 #include "util/json.hpp"
@@ -155,6 +156,11 @@ struct SweepSpec {
   /// derived_seed(base.campaign.seed, i) so points are statistically
   /// independent; when false every point reuses the base seed.
   bool reseed_per_point = false;
+  /// Adaptive refinement block (refine/spec.hpp); disabled by default.
+  /// When enabled, the refinement driver (refine/driver.hpp) treats the
+  /// grid as the coarse generation 0 and subdivides disagreeing axis
+  /// intervals; every point's seed is then derived from its axis values.
+  RefineSpec refine;
 
   /// Total number of grid points (product of axis sizes; 1 for no axes).
   std::size_t point_count() const;
@@ -169,6 +175,27 @@ struct SweepSpec {
   /// "campaign.seed" combined with reseed_per_point (the reseed would
   /// silently overwrite the swept seeds).
   std::vector<ScenarioSpec> expand() const;
+
+  /// Grid point `index` alone, identical to expand()[index] — the
+  /// O(1)-memory expansion used by the dispatcher, the sweep driver and
+  /// the refinement layer, where materialising every ScenarioSpec of a
+  /// huge (or growing) grid would hold O(points) documents alive.
+  /// \throws ScenarioError as expand(), plus on index out of range.
+  ScenarioSpec expand_point(std::size_t index) const;
+
+  /// Expands the scenario at an explicit coordinate tuple — one value per
+  /// axis, substituted into each axis's (single) path — without requiring
+  /// the values to lie on the grid.  This is how the refinement driver
+  /// realises subdivision midpoints.  Requires every axis to be
+  /// single-path; ignores reseed_per_point (refinement derives seeds from
+  /// the coordinates themselves).  \throws ScenarioError
+  ScenarioSpec expand_at(const std::vector<Json>& values_per_axis) const;
+
+  /// Validates the refine block against the axes (single-path numeric
+  /// axes, known axis names, no "campaign.seed" axis, no
+  /// reseed_per_point).  No-op when refinement is disabled.  Called by
+  /// from_json; exposed for sweeps built in code.  \throws ScenarioError
+  void validate_refine() const;
 
   Json to_json() const;
   static SweepSpec from_json(const Json& json);

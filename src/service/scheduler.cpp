@@ -12,8 +12,13 @@ long long scenario_cost(const ScenarioSpec& spec) {
 }
 
 long long sweep_cost(const SweepSpec& spec) {
-  return static_cast<long long>(spec.point_count()) *
-         scenario_cost(spec.base);
+  // A refined sweep's point count is data-dependent; its admission cost is
+  // the budget ceiling, which the refinement driver never exceeds.
+  const long long points =
+      spec.refine.enabled
+          ? static_cast<long long>(spec.refine.max_points)
+          : static_cast<long long>(spec.point_count());
+  return points * scenario_cost(spec.base);
 }
 
 std::size_t pick_next(const std::vector<QueuedJob>& pending,

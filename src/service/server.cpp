@@ -18,6 +18,7 @@
 
 #include "dispatch/stream.hpp"
 #include "dispatch/wire.hpp"
+#include "refine/driver.hpp"
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
 #include "service/cache.hpp"
@@ -124,6 +125,9 @@ struct ActiveJob {
   std::string cache_key;
   std::vector<CampaignHandle> handles;
   std::shared_ptr<ProgressState> state;  ///< null unless progress_wanted
+  /// Refined sweeps run through the non-blocking refinement state machine
+  /// instead of a fixed handle list; collect_ready() pumps it each tick.
+  std::unique_ptr<RefinementDriver> driver;
 };
 
 }  // namespace
@@ -307,6 +311,7 @@ struct Server::Impl {
 
   static void cancel_job(ActiveJob& job) {
     if (job.state) job.state->cancelled.store(true, std::memory_order_release);
+    if (job.driver) job.driver->cancel();
     for (CampaignHandle& handle : job.handles) handle.cancel();
   }
 
@@ -342,6 +347,10 @@ struct Server::Impl {
   /// identical to the local path regardless of interleaving.
   /// \throws ScenarioError on an unresolvable spec (nothing submitted).
   void start_job(PendingJob job) {
+    if (job.sweep && job.sweep_spec.refine.enabled) {
+      start_refined_job(std::move(job));
+      return;
+    }
     std::vector<ResolvedScenario> points;
     if (job.sweep) {
       const std::vector<ScenarioSpec> expanded = job.sweep_spec.expand();
@@ -380,46 +389,106 @@ struct Server::Impl {
     active.push_back(std::move(admitted));
   }
 
+  /// Admits a refined sweep: the RefinementDriver submits generation 0
+  /// itself and is pumped from collect_ready() each loop tick, so the
+  /// event loop never blocks on a refinement decision.  Progress wakeups
+  /// ride the same self-pipe as plain jobs.
+  /// \throws RefineError / ScenarioError on an invalid spec.
+  void start_refined_job(PendingJob job) {
+    ActiveJob admitted;
+    admitted.client_fd = job.meta.client;
+    admitted.id = job.meta.id;
+    admitted.sweep = true;
+    admitted.progress_wanted = job.progress_wanted;
+    admitted.cache_key = std::move(job.cache_key);
+    RefineDriverOptions options;
+    if (job.progress_wanted) {
+      const int wake_fd = wake.write_fd;
+      options.on_progress = [wake_fd] {
+        const char byte = 1;
+        [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+      };
+    }
+    admitted.driver = std::make_unique<RefinementDriver>(
+        job.sweep_spec, executor, std::move(options));
+    admitted.total = admitted.driver->budget_runs();
+    log("job " + std::to_string(admitted.id) + " from client " +
+        std::to_string(admitted.client_fd) + " started (refined sweep, " +
+        std::to_string(job.sweep_spec.point_count()) + " coarse point(s))");
+    active.push_back(std::move(admitted));
+  }
+
   void emit_progress() {
     for (ActiveJob& job : active) {
-      if (!job.state || job.discarded ||
-          !job.state->dirty.exchange(false, std::memory_order_acq_rel))
-        continue;
+      if (job.discarded) continue;
       long long completed = 0;
-      for (const auto& point : job.state->completed)
-        completed += point.load(std::memory_order_relaxed);
+      long long total = job.total;
+      if (job.driver) {
+        if (!job.progress_wanted || !job.driver->take_dirty()) continue;
+        completed = job.driver->completed_runs();
+        // The denominator grows as generations land; the budget cap is a
+        // poor bound, so report against the runs submitted so far.
+        total = job.driver->submitted_runs();
+      } else {
+        if (!job.state ||
+            !job.state->dirty.exchange(false, std::memory_order_acq_rel))
+          continue;
+        for (const auto& point : job.state->completed)
+          completed += point.load(std::memory_order_relaxed);
+      }
       const auto it = clients.find(job.client_fd);
       if (it != clients.end() && !it->second.doomed)
         send_payload(it->first, it->second,
-                     encode_progress(job.id, completed, job.total));
+                     encode_progress(job.id, completed, total));
     }
   }
 
   void collect_ready() {
     for (auto it = active.begin(); it != active.end();) {
-      const bool done = std::all_of(
-          it->handles.begin(), it->handles.end(),
-          [](const CampaignHandle& handle) { return handle.ready(); });
+      bool done = false;
+      std::string pump_failure;
+      if (it->driver) {
+        // One pump per tick: collects a completed generation and submits
+        // the next one, or finalises.  Never blocks.
+        try {
+          done = it->driver->pump();
+        } catch (const std::exception& e) {
+          pump_failure = e.what();
+          if (pump_failure.empty()) pump_failure = "refined sweep failed";
+          done = true;
+        }
+      } else {
+        done = std::all_of(
+            it->handles.begin(), it->handles.end(),
+            [](const CampaignHandle& handle) { return handle.ready(); });
+      }
       if (!done) {
         ++it;
         continue;
       }
-      finish_job(*it);
+      finish_job(*it, pump_failure);
       it = active.erase(it);
     }
     admit_jobs();
   }
 
-  void finish_job(ActiveJob& job) {
+  void finish_job(ActiveJob& job, const std::string& pump_failure) {
     std::vector<CampaignResult> results;
     results.reserve(job.handles.size());
-    std::string failure;
-    try {
-      for (CampaignHandle& handle : job.handles)
-        results.push_back(handle.take());
-    } catch (const std::exception& e) {
-      failure = e.what();
-      if (failure.empty()) failure = "campaign failed";
+    RefinedSweepResult refined;
+    std::string failure = pump_failure;
+    if (failure.empty()) {
+      try {
+        if (job.driver) {
+          refined = job.driver->take();
+        } else {
+          for (CampaignHandle& handle : job.handles)
+            results.push_back(handle.take());
+        }
+      } catch (const std::exception& e) {
+        failure = e.what();
+        if (failure.empty()) failure = "campaign failed";
+      }
     }
 
     if (job.discarded) return;  // client gone; nothing to answer or cache
@@ -434,8 +503,11 @@ struct Server::Impl {
     }
     const bool cancelled =
         job.cancel_requested ||
-        std::any_of(results.begin(), results.end(),
-                    [](const CampaignResult& r) { return r.cancelled; });
+        (job.driver ? refined.cancelled
+                    : std::any_of(results.begin(), results.end(),
+                                  [](const CampaignResult& r) {
+                                    return r.cancelled;
+                                  }));
     if (cancelled) {
       // Counted in jobs_cancelled when the cancel landed; a partial result
       // is never cached and never reported as a result.
@@ -444,8 +516,9 @@ struct Server::Impl {
     }
 
     const std::string text =
-        job.sweep ? campaign_results_to_json(results).dump()
-                  : campaign_result_to_json(results.front()).dump();
+        job.driver ? refined.to_json().dump()
+        : job.sweep ? campaign_results_to_json(results).dump()
+                    : campaign_result_to_json(results.front()).dump();
     cache.insert(job.cache_key, text);
     sync_cache_stats();
     jobs_completed.fetch_add(1, std::memory_order_relaxed);
@@ -702,8 +775,10 @@ struct Server::Impl {
       if (!job.discarded && !job.cancel_requested)
         jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
     }
-    for (ActiveJob& job : active)
+    for (ActiveJob& job : active) {
+      if (job.driver) job.driver->wait_current();
       for (CampaignHandle& handle : job.handles) handle.wait();
+    }
     active.clear();
     pending.clear();
     for (const auto& entry : clients) close(entry.first);

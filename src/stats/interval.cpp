@@ -94,6 +94,11 @@ ConfidenceInterval wilson_interval(long long successes, long long trials,
   return interval;
 }
 
+bool intervals_disagree(const ConfidenceInterval& a,
+                        const ConfidenceInterval& b, double epsilon) noexcept {
+  return a.lower > b.upper + epsilon || b.lower > a.upper + epsilon;
+}
+
 bool StoppingRule::converged(long long successes, long long trials) const {
   return wilson_interval(successes, trials, ci_confidence).half_width() <=
          ci_epsilon;

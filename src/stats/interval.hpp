@@ -49,6 +49,17 @@ double two_sided_z(double confidence);
 ConfidenceInterval wilson_interval(long long successes, long long trials,
                                    double confidence);
 
+/// True when the two intervals are separated by a gap larger than
+/// `epsilon` — i.e. the underlying proportions are distinguishable at the
+/// intervals' confidence level.  This is the disagreement test of the
+/// adaptive refinement layer (src/refine/): an axis interval whose
+/// endpoint statistics disagree is worth subdividing.  Overlapping or
+/// touching intervals never disagree; with epsilon > 0 the gap must
+/// additionally exceed epsilon, which lets callers ignore transitions
+/// shallower than a chosen effect size.
+bool intervals_disagree(const ConfidenceInterval& a,
+                        const ConfidenceInterval& b, double epsilon) noexcept;
+
 /// Sequential stopping policy for adaptive campaigns: keep sampling until
 /// every monitored proportion's Wilson interval has half-width at most
 /// ci_epsilon (at ci_confidence), but never stop before min_runs and never

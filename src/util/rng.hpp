@@ -9,7 +9,10 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
+
+#include "util/hash.hpp"
 
 namespace hoval {
 
@@ -47,6 +50,20 @@ std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0,
 constexpr std::uint64_t derived_seed(std::uint64_t base,
                                      std::uint64_t label) noexcept {
   return base + label;
+}
+
+/// Derives a campaign base seed from a base seed plus an arbitrary byte
+/// string (canonically serialised sweep coordinates, a point's parameter
+/// tuple, ...).  Unlike derived_seed's plain addition — where
+/// derived_seed(b, 1) == derived_seed(b + 1, 0), so two *different grids*
+/// over the same base seed can hand one seed to two distinct axis-value
+/// tuples — this keys the whole identity into an FNV-1a digest, so any
+/// change to the bytes (or the base) moves the seed.  The refinement layer
+/// (src/refine/) uses it to give every refined point a seed that is a pure
+/// function of its axis values, independent of submission order.
+constexpr std::uint64_t derived_seed_from_bytes(std::uint64_t base,
+                                                std::string_view bytes) noexcept {
+  return fnv1a64(bytes, fnv1a64_mix(kFnv1a64OffsetBasis, base));
 }
 
 /// xoshiro256**: public-domain generator by Blackman & Vigna.  Fast,

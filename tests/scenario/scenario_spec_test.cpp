@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
+#include "refine/spec.hpp"
 #include "scenario/registry.hpp"
 #include "util/rng.hpp"
 
@@ -406,6 +408,138 @@ TEST(SweepSpec, RoundTripsThroughJson) {
   }
   EXPECT_EQ(reparsed.reseed_per_point, true);
   EXPECT_EQ(reparsed.to_json().dump(), sweep.to_json().dump());
+}
+
+TEST(SweepSpec, ExpandPointMatchesExpand) {
+  // The incremental expander is specified as expand()[i] without the
+  // O(points) materialisation — the sweep drivers and the dispatcher run
+  // on it, so any divergence silently changes what a grid point means.
+  const SweepSpec sweep = demo_sweep();
+  const auto points = sweep.expand();
+  ASSERT_EQ(points.size(), sweep.point_count());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScenarioSpec point = sweep.expand_point(i);
+    EXPECT_TRUE(point == points[i]) << "point " << i;
+    EXPECT_EQ(point.to_json().dump(), points[i].to_json().dump());
+  }
+}
+
+TEST(SweepSpec, ExpandPointReseedsAndRangeChecks) {
+  SweepSpec sweep = demo_sweep();
+  sweep.base.campaign.seed = 100;
+  sweep.reseed_per_point = true;
+  EXPECT_EQ(sweep.expand_point(4).campaign.seed, derived_seed(100, 4));
+  EXPECT_THROW(sweep.expand_point(sweep.point_count()), ScenarioError);
+}
+
+TEST(SweepSpec, ExpandAtSubstitutesOneValuePerAxis) {
+  const SweepSpec sweep = demo_sweep();
+  const ScenarioSpec point = sweep.expand_at({Json(1), Json(20)});
+  EXPECT_EQ(point.algorithm.params.at("alpha").as_int(), 1);
+  EXPECT_EQ(point.campaign.runs, 20);
+  EXPECT_THROW(sweep.expand_at({Json(1)}), ScenarioError);  // arity
+}
+
+TEST(SweepSpec, RefineBlockRoundTripsThroughJson) {
+  SweepSpec sweep = demo_sweep();
+  sweep.refine.enabled = true;
+  sweep.refine.axes = {"campaign.runs"};
+  sweep.refine.max_depth = 3;
+  sweep.refine.max_points = 24;
+  sweep.refine.disagreement_epsilon = 0.05;
+  sweep.refine.ci_confidence = 0.9;
+  sweep.refine.monitor = MonitorSelector::parse("predicate:p-alpha");
+  const SweepSpec reparsed = SweepSpec::from_json_text(sweep.to_json().dump(2));
+  EXPECT_TRUE(reparsed.refine == sweep.refine);
+  EXPECT_EQ(reparsed.to_json().dump(), sweep.to_json().dump());
+  EXPECT_NE(sweep.to_json().dump().find("\"refine\""), std::string::npos);
+}
+
+TEST(SweepSpec, DefaultRefineBlockStaysOutOfTheDocument) {
+  EXPECT_EQ(demo_sweep().to_json().dump().find("\"refine\""),
+            std::string::npos);
+}
+
+TEST(SweepSpec, RefinePresenceImpliesEnabledUnlessSaidOtherwise) {
+  const char* kTemplate = R"({
+    "scenario": {"algorithm": {"name": "ate", "params": {"n": 8}}},
+    "axes": [{"path": "campaign.rounds", "points": [10, 20]}],
+    "refine": {%s"monitor": "termination"}
+  })";
+  char text[512];
+  std::snprintf(text, sizeof(text), kTemplate, "");
+  EXPECT_TRUE(SweepSpec::from_json_text(text).refine.enabled);
+  std::snprintf(text, sizeof(text), kTemplate, "\"enabled\": false, ");
+  EXPECT_FALSE(SweepSpec::from_json_text(text).refine.enabled);
+}
+
+TEST(SweepSpec, UnknownRefineKeySuggestsClosest) {
+  try {
+    SweepSpec::from_json_text(R"({
+      "scenario": {"algorithm": {"name": "ate", "params": {"n": 8}}},
+      "axes": [{"path": "campaign.rounds", "points": [10, 20]}],
+      "refine": {"max_dpeth": 3}
+    })");
+    FAIL() << "unknown refine key accepted";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("max_dpeth"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("max_depth"), std::string::npos);
+  }
+}
+
+TEST(SweepSpec, UnknownMonitorSelectorSuggestsClosest) {
+  try {
+    MonitorSelector::parse("terminaton");
+    FAIL() << "unknown monitor selector accepted";
+  } catch (const RefineError& e) {
+    EXPECT_NE(std::string(e.what()).find("termination"), std::string::npos);
+  }
+  EXPECT_EQ(MonitorSelector::parse("predicate:p-alpha").predicate, "p-alpha");
+  EXPECT_EQ(MonitorSelector::parse("violations").kind,
+            MonitorSelector::Kind::kViolations);
+}
+
+TEST(SweepSpec, RefineRejectsReseedAndSeedAndLinkedAxes) {
+  SweepSpec sweep = demo_sweep();
+  sweep.refine.enabled = true;
+  sweep.validate_refine();  // the demo grid itself is refinable
+
+  SweepSpec reseeding = sweep;
+  reseeding.reseed_per_point = true;
+  EXPECT_THROW(reseeding.validate_refine(), ScenarioError);
+
+  SweepSpec seed_axis = sweep;
+  seed_axis.axes.push_back(
+      SweepAxis::single("campaign.seed", {Json(1), Json(2)}));
+  EXPECT_THROW(seed_axis.validate_refine(), ScenarioError);
+
+  SweepSpec linked = sweep;
+  linked.refine.axes = {"algorithm.params.alpha"};
+  linked.axes[0] = SweepAxis::linked(
+      {"algorithm.params.alpha", "campaign.rounds"},
+      {{Json(0), Json(20)}, {Json(1), Json(40)}});
+  EXPECT_THROW(linked.validate_refine(), ScenarioError);
+}
+
+TEST(SweepSpec, RefineAxisNameMustMatchASweepAxisWithSuggestion) {
+  SweepSpec sweep = demo_sweep();
+  sweep.refine.enabled = true;
+  sweep.refine.axes = {"campaign.run"};  // typo for campaign.runs
+  try {
+    sweep.validate_refine();
+    FAIL() << "unknown refine axis accepted";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("campaign.runs"), std::string::npos);
+  }
+}
+
+TEST(SweepSpec, RefineRequiresStrictlyIncreasingNumericAxes) {
+  SweepSpec sweep = demo_sweep();
+  sweep.refine.enabled = true;
+  sweep.refine.axes = {"campaign.runs"};
+  sweep.axes[1] = SweepAxis::single("campaign.runs",
+                                    {Json(30), Json(10), Json(20)});
+  EXPECT_THROW(sweep.validate_refine(), ScenarioError);
 }
 
 }  // namespace

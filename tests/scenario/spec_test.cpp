@@ -40,6 +40,13 @@ std::vector<std::pair<std::string, std::string>> corpus_documents() {
   return documents;
 }
 
+/// Sweep documents in the corpus: the sweep_ prefix or a refine block
+/// (refined sweeps are sweeps; the CI corpus loop uses the same rule).
+bool is_sweep_document(const std::string& name) {
+  return name.rfind("sweep_", 0) == 0 ||
+         name.find("refine") != std::string::npos;
+}
+
 /// True when every object in the document (at any depth) lists its keys
 /// in sorted order.
 bool keys_sorted_everywhere(const Json& json) {
@@ -116,7 +123,7 @@ TEST(CanonicalSpec, CorpusDumpsAreSortedAtEveryLevel) {
   const auto corpus = corpus_documents();
   ASSERT_FALSE(corpus.empty());
   for (const auto& [name, text] : corpus) {
-    if (name.rfind("sweep_", 0) == 0) {
+    if (is_sweep_document(name)) {
       const SweepSpec sweep = SweepSpec::from_json_text(text);
       EXPECT_TRUE(keys_sorted_everywhere(sweep.to_json())) << name;
     } else {
@@ -131,7 +138,7 @@ TEST(CanonicalSpec, CorpusRoundTripsToAFixpoint) {
   // dump: canonicalisation happens at construction, not by repeated
   // application.
   for (const auto& [name, text] : corpus_documents()) {
-    if (name.rfind("sweep_", 0) == 0) {
+    if (is_sweep_document(name)) {
       const SweepSpec sweep = SweepSpec::from_json_text(text);
       const std::string canonical = sweep.to_json().dump();
       const SweepSpec reparsed = SweepSpec::from_json_text(canonical);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "dispatch/wire.hpp"
+#include "refine/driver.hpp"
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
 #include "service/client.hpp"
@@ -144,11 +145,45 @@ TEST(Daemon, SweepResultMatchesLocalRunByteForByte) {
   EXPECT_EQ(outcome.result.dump(), local_sweep_bytes(sweep));
 }
 
+TEST(Daemon, RefinedSweepMatchesLocalRunByteForByteAndRepeatsFromCache) {
+  // The refinement driver runs server-side through the same submit/result
+  // protocol; coordinate-derived seeds make the served document identical
+  // to a local run_refined_sweep(), and the refine block is part of the
+  // cache key, so the repeat is a hit.
+  ServerFixture fixture({});
+  SweepSpec sweep;
+  sweep.base = small_spec(30);
+  sweep.base.algorithm = component("utea", {{"n", 6}, {"alpha", 1}});
+  sweep.base.values = component("unanimous", {{"value", 1}});
+  sweep.axes.push_back(
+      SweepAxis::single("campaign.rounds", {Json(1), Json(8)}));
+  sweep.refine.enabled = true;
+  sweep.refine.monitor = MonitorSelector::parse("termination");
+
+  ServiceClient client(fixture.address());
+  const JobOutcome first = client.submit_sweep(sweep.to_json());
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+  const std::string local = run_refined_sweep(sweep).to_json().dump();
+  EXPECT_EQ(first.result.dump(), local);
+  const RefinedSweepResult refined =
+      RefinedSweepResult::from_json(first.result);
+  EXPECT_GT(refined.points.size(), 2u);  // the step forced subdivision
+  EXPECT_GT(refined.runs_saved(), 0);
+
+  const JobOutcome repeat = client.submit_sweep(sweep.to_json());
+  ASSERT_TRUE(repeat.ok) << repeat.error;
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.result.dump(), local);
+}
+
 TEST(Daemon, CorpusScenariosMatchLocalRunsAndRepeatFromCache) {
   ServerFixture fixture({});
   ServiceClient client(fixture.address());
   for (const auto& [name, text] : corpus_documents()) {
-    if (name.rfind("sweep_", 0) == 0) continue;
+    if (name.rfind("sweep_", 0) == 0 ||
+        name.find("refine") != std::string::npos)
+      continue;  // sweep documents; covered by the sweep/refine tests above
     // Trim the corpus budgets so the whole matrix stays fast; the
     // submitted document and the local run share the exact same spec.
     ScenarioSpec spec = ScenarioSpec::from_json_text(text);

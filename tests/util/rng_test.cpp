@@ -287,6 +287,45 @@ TEST(BernoulliBlock, LanesAreIndependentOfPosition) {
     EXPECT_NEAR(static_cast<double>(hits) / words, 0.3, 0.03);
 }
 
+TEST(DerivedSeedFromBytes, IsDeterministicAndOrderSensitive) {
+  static_assert(derived_seed_from_bytes(1, "[0.5]") ==
+                derived_seed_from_bytes(1, "[0.5]"));
+  EXPECT_EQ(derived_seed_from_bytes(42, "[1,2]"),
+            derived_seed_from_bytes(42, "[1,2]"));
+  EXPECT_NE(derived_seed_from_bytes(42, "[1,2]"),
+            derived_seed_from_bytes(42, "[2,1]"));
+  EXPECT_NE(derived_seed_from_bytes(42, "[1,2]"),
+            derived_seed_from_bytes(43, "[1,2]"));
+}
+
+TEST(DerivedSeedFromBytes, RegressionNoAdjacentBaseCollisions) {
+  // The historical additive convention collides across neighbouring
+  // campaigns — derived_seed(base, 1) == derived_seed(base + 1, 0) — so
+  // two sweeps with nearby base seeds silently share run streams.  The
+  // refinement layer seeds points from their canonical coordinates, where
+  // that aliasing must not exist.
+  EXPECT_EQ(derived_seed(100, 1), derived_seed(101, 0));  // the hazard
+  EXPECT_NE(derived_seed_from_bytes(100, "[1]"),
+            derived_seed_from_bytes(101, "[0]"));
+
+  // Two overlapping refinement grids (a coarse one and its subdivision)
+  // must give every distinct coordinate tuple a distinct seed, while the
+  // shared lattice points agree exactly across the grids.
+  std::set<std::uint64_t> seeds;
+  std::size_t tuples = 0;
+  for (const std::uint64_t base : {7ull, 8ull}) {
+    for (const char* tuple :
+         {"[0]", "[0.25]", "[0.5]", "[0.75]", "[1]", "[0.125]", "[0.375]",
+          "[0.625]", "[0.875]", "[2,0.5]", "[4,0.5]", "[3,0.5]"}) {
+      seeds.insert(derived_seed_from_bytes(base, tuple));
+      ++tuples;
+    }
+  }
+  EXPECT_EQ(seeds.size(), tuples);
+  EXPECT_EQ(derived_seed_from_bytes(7, "[0.5]"),
+            derived_seed_from_bytes(7, std::string("[0.5]")));
+}
+
 TEST(DerivedSeed, MatchesTheHistoricalConvention) {
   // The benches/CLI historically derived campaign seeds as `base + label`;
   // derived_seed centralises exactly that arithmetic, so the historical

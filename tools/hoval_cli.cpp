@@ -61,6 +61,7 @@ struct CliOptions {
   std::string values = "random";
   bool progress = false;
   bool sweep_parallel = false;
+  bool refine = false;
   bool trace = false;
   bool adaptive = false;
   double ci_epsilon = 0.0;
@@ -89,6 +90,10 @@ struct CliOptions {
       << "                   value-gens/predicates and exit\n"
       << "  --scenario FILE  run a scenario JSON document\n"
       << "  --sweep FILE     run a sweep JSON document (one campaign per point)\n"
+      << "  --refine         with --sweep: adaptively refine the grid where\n"
+      << "                   adjacent points' Wilson intervals disagree\n"
+      << "                   (equivalent to \"refine\": {\"enabled\": true} in\n"
+      << "                   the document; see README \"Adaptive refinement\")\n"
       << "  --out FILE       with --scenario/--sweep: write the result\n"
       << "                   document(s) as JSON (deterministic;\n"
       << "                   byte-comparable across local, --connect and\n"
@@ -163,6 +168,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--values") { options.values = next(); options.shape_flags.push_back(arg); }
     else if (arg == "--progress") options.progress = true;
     else if (arg == "--sweep-parallel") options.sweep_parallel = true;
+    else if (arg == "--refine") options.refine = true;
     else if (arg == "--trace") options.trace = true;
     else usage(argv[0]);
   }
@@ -363,6 +369,8 @@ int run_many(ResolvedScenario resolved, bool progress,
   return result.safety_clean() ? 0 : 1;
 }
 
+bool render_refined(const SweepSpec& sweep, const RefinedSweepResult& refined);
+
 /// --connect mode: ship the document to a hovald daemon and render the
 /// returned canonical result the way the local paths would.  The served
 /// bytes are identical to a local run of the same document (determinism),
@@ -393,6 +401,7 @@ int run_connected(const CliOptions& options) {
     SweepSpec sweep =
         SweepSpec::from_json_text(read_file(options.sweep_file, "sweep"));
     apply_overrides(options, sweep.base.campaign);
+    if (options.refine) sweep.refine.enabled = true;
     const service::JobOutcome outcome =
         client.submit_sweep(sweep.to_json(), progress_fn);
     if (!outcome.ok) {
@@ -401,6 +410,16 @@ int run_connected(const CliOptions& options) {
     }
     std::cout << "service: cache_hit="
               << (outcome.cache_hit ? "true" : "false") << "\n";
+    if (sweep.refine.enabled) {
+      // The daemon serves the refined document the local path would have
+      // produced (coordinate-derived seeds make the two byte-identical).
+      const RefinedSweepResult refined =
+          RefinedSweepResult::from_json(outcome.result);
+      const bool all_clean = render_refined(sweep, refined);
+      if (!options.out_file.empty())
+        write_json_file(options.out_file, outcome.result);
+      return all_clean ? 0 : 1;
+    }
     const std::vector<CampaignResult> results =
         campaign_results_from_json(outcome.result);
     bool all_clean = true;
@@ -434,10 +453,68 @@ int run_connected(const CliOptions& options) {
   return result.safety_clean() ? 0 : 1;
 }
 
+/// Renders a refined sweep's per-point lines and the savings summary the
+/// way run_sweep_file renders a fixed grid.  Returns all-points-clean.
+bool render_refined(const SweepSpec& sweep, const RefinedSweepResult& refined) {
+  bool all_clean = true;
+  for (std::size_t i = 0; i < refined.points.size(); ++i) {
+    const RefinedPoint& point = refined.points[i];
+    std::cout << "[" << i + 1 << "/" << refined.points.size() << "]";
+    // validate_refine() restricts refined sweeps to single-path axes, so
+    // each axis has exactly one label.
+    for (std::size_t a = 0;
+         a < sweep.axes.size() && a < point.coordinates.size(); ++a)
+      std::cout << " " << sweep.axes[a].paths.front() << "="
+                << point.coordinates[a].dump();
+    std::cout << " (g" << point.generation << "): " << point.result.summary()
+              << "\n";
+    for (const auto& violation : point.result.violations)
+      std::cout << "  " << violation << "\n";
+    all_clean = all_clean && point.result.safety_clean();
+  }
+  std::cout << "refined " << refined.points.size() << " points in "
+            << refined.generations << " generation"
+            << (refined.generations == 1 ? "" : "s") << ": "
+            << refined.runs_executed << " runs executed vs "
+            << refined.dense_runs_estimate << " dense-grid runs ("
+            << refined.dense_points << " points), saved "
+            << refined.runs_saved() << " runs ("
+            << format_double(refined.runs_saved_pct(), 1) << "%)\n";
+  if (refined.budget_exhausted)
+    std::cout << "refine budget exhausted: refine.max_points reached before "
+                 "the resolution floor\n";
+  return all_clean;
+}
+
+int run_refined_file(const SweepSpec& sweep, const CliOptions& options) {
+  RefineDriverOptions hooks;
+  if (options.progress)
+    hooks.on_generation = [](int generation, std::size_t added,
+                             std::size_t total) {
+      std::cerr << "generation " << generation << ": +" << added
+                << " point(s), " << total << " total\n";
+    };
+  const auto start = std::chrono::steady_clock::now();
+  const RefinedSweepResult refined =
+      run_refined_sweep(sweep, nullptr, std::move(hooks));
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  const bool all_clean = render_refined(sweep, refined);
+  std::cout << "refine wall time: " << format_double(seconds, 2) << "s\n";
+  if (!options.out_file.empty())
+    // Deterministic document: byte-comparable against a --connect --out of
+    // the same sweep (the daemon serves the identical canonical JSON).
+    write_json_file(options.out_file, refined.to_json());
+  return all_clean ? 0 : 1;
+}
+
 int run_sweep_file(const CliOptions& options) {
   SweepSpec sweep =
       SweepSpec::from_json_text(read_file(options.sweep_file, "sweep"));
   apply_overrides(options, sweep.base.campaign);
+  if (options.refine) sweep.refine.enabled = true;
+  if (sweep.refine.enabled) return run_refined_file(sweep, options);
 
   SweepOptions execution;
   // Sequential is the default so per-point progress reads top to bottom;
@@ -541,6 +618,10 @@ int main(int argc, char** argv) {
     if (!options.out_file.empty() && options.sweep_file.empty() &&
         options.scenario_file.empty()) {
       std::cerr << "error: --out applies to --scenario/--sweep only\n";
+      return 2;
+    }
+    if (options.refine && options.sweep_file.empty()) {
+      std::cerr << "error: --refine applies to --sweep only\n";
       return 2;
     }
     if (!options.connect.empty()) {
